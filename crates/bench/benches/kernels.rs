@@ -1,0 +1,144 @@
+//! Criterion benchmarks of the computational kernels behind each
+//! table/figure reproduction. One group per experiment family:
+//!
+//! * `scores`     — the analytic score transformations (Figs. 1–3, Table 1)
+//! * `accountant` — RDP composition/conversion (Figs. 8–10 inner loop)
+//! * `belief`     — the adversary's per-step belief update (Fig. 6, Table 2)
+//! * `gradients`  — per-example clipped gradients (Figs. 4–7 inner loop)
+//! * `sensitivity`— the dataset-sensitivity search (Fig. 4 setup)
+//! * `dpsgd`      — one full-batch private training step
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpaudit_bench::Workload;
+use dpaudit_core::{
+    eps_from_local_sensitivities, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha,
+    rho_beta, BeliefTracker,
+};
+use dpaudit_datasets::{bounded_candidates, Hamming, NegSsim};
+use dpaudit_dp::{calibrate_noise_multiplier_closed_form, NeighborMode, RdpAccountant};
+use dpaudit_dpsgd::clipped_gradient;
+use dpaudit_math::seeded_rng;
+
+fn bench_scores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scores");
+    g.bench_function("rho_beta_and_inverse", |b| {
+        b.iter(|| {
+            let rb = rho_beta(black_box(2.2));
+            black_box(epsilon_for_rho_beta(rb))
+        })
+    });
+    g.bench_function("rho_alpha_and_inverse", |b| {
+        b.iter(|| {
+            let ra = rho_alpha(black_box(2.2), black_box(1e-3));
+            black_box(epsilon_for_rho_alpha(ra, 1e-3))
+        })
+    });
+    g.finish();
+}
+
+fn bench_accountant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accountant");
+    g.bench_function("homogeneous_30_steps", |b| {
+        b.iter(|| {
+            let mut acc = RdpAccountant::new();
+            acc.add_gaussian_steps(black_box(9.95), 30);
+            black_box(acc.epsilon(1e-3))
+        })
+    });
+    g.bench_function("heterogeneous_30_steps", |b| {
+        let sigmas: Vec<f64> = (0..30).map(|i| 20.0 + i as f64).collect();
+        let ls: Vec<f64> = (0..30).map(|i| 2.0 + 0.05 * i as f64).collect();
+        b.iter(|| black_box(eps_from_local_sensitivities(&sigmas, &ls, 1e-3, 1e-9)))
+    });
+    g.bench_function("calibrate_closed_form", |b| {
+        b.iter(|| black_box(calibrate_noise_multiplier_closed_form(2.2, 1e-3, 30)))
+    });
+    g.finish();
+}
+
+fn bench_belief(c: &mut Criterion) {
+    let mut g = c.benchmark_group("belief");
+    for dim in [5_306usize, 89_828] {
+        // The two reference models' gradient dimensions.
+        let noisy: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+        let cd: Vec<f64> = (0..dim).map(|i| (i as f64).cos()).collect();
+        let cdp: Vec<f64> = (0..dim).map(|i| (i as f64).cos() * 0.99).collect();
+        g.bench_function(format!("update_gaussian_dim{dim}"), |b| {
+            b.iter(|| {
+                let mut t = BeliefTracker::new();
+                t.update_gaussian(black_box(&noisy), &cd, &cdp, 29.9);
+                black_box(t.belief())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gradients");
+    g.sample_size(20);
+    let mut rng = seeded_rng(1);
+    let mnist = dpaudit_nn::mnist_cnn(&mut rng);
+    let mnist_x = dpaudit_datasets::render_digit(3, 0, 0, 0.9, false);
+    g.bench_function("mnist_cnn_per_example_clipped_grad", |b| {
+        b.iter(|| black_box(clipped_gradient(&mnist, &mnist_x, 3, 3.0)))
+    });
+    let mlp = dpaudit_nn::purchase_mlp(&mut rng);
+    let basket = dpaudit_tensor::Tensor::full(&[600], 1.0);
+    g.bench_function("purchase_mlp_per_example_clipped_grad", |b| {
+        b.iter(|| black_box(clipped_gradient(&mlp, &basket, 7, 3.0)))
+    });
+    g.finish();
+}
+
+fn bench_sensitivity_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    let mnist = Workload::Mnist.world(5, 50);
+    g.bench_function("ssim_bounded_search_50x400", |b| {
+        b.iter(|| black_box(bounded_candidates(&mnist.train, &mnist.pool, &NegSsim, 3, true)))
+    });
+    let purchase = Workload::Purchase.world(6, 100);
+    g.bench_function("hamming_bounded_search_100x400", |b| {
+        b.iter(|| {
+            black_box(bounded_candidates(&purchase.train, &purchase.pool, &Hamming, 3, true))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dpsgd_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpsgd");
+    g.sample_size(10);
+    let world = Workload::Purchase.world(7, 50);
+    let pair = Workload::Purchase.max_pair(&world, NeighborMode::Unbounded);
+    let cfg = dpaudit_dpsgd::DpsgdConfig::new(
+        3.0,
+        0.005,
+        1,
+        NeighborMode::Unbounded,
+        8.38,
+        dpaudit_dpsgd::SensitivityScaling::Local,
+    );
+    g.bench_function("purchase_full_batch_step_n50", |b| {
+        b.iter(|| {
+            let mut model = dpaudit_nn::purchase_mlp(&mut seeded_rng(2));
+            let mut rng = seeded_rng(3);
+            black_box(dpaudit_dpsgd::train_collect(
+                &mut model, &pair, true, &cfg, &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scores,
+    bench_accountant,
+    bench_belief,
+    bench_gradients,
+    bench_sensitivity_search,
+    bench_dpsgd_step
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Minimal command-line flags shared by the reproduction binaries.
+
+/// Parsed flags. All binaries accept:
+///
+/// * `--reps N`  — experiment repetitions (default per binary).
+/// * `--full`    — paper-scale repetitions and dataset sizes.
+/// * `--seed N`  — master seed (default 42).
+/// * `--json`    — additionally emit a JSON blob of the results.
+/// * `--steps N` — override the number of training steps (default 30).
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Repetition count, if given.
+    pub reps: Option<usize>,
+    /// Paper-scale mode.
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON after the human-readable tables.
+    pub json: bool,
+    /// Training-step override.
+    pub steps: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            reps: None,
+            full: false,
+            seed: 42,
+            json: false,
+            steps: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args()`, panicking with a usage message on
+    /// unknown flags (these binaries are developer tools; failing fast is
+    /// friendlier than guessing).
+    pub fn parse() -> Self {
+        Self::from_flags(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_flags(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--reps" => {
+                    let v = it.next().expect("--reps needs a value");
+                    out.reps = Some(v.parse().expect("--reps must be an integer"));
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--steps" => {
+                    let v = it.next().expect("--steps needs a value");
+                    out.steps = Some(v.parse().expect("--steps must be an integer"));
+                }
+                "--full" => out.full = true,
+                "--json" => out.json = true,
+                other => panic!(
+                    "unknown flag {other}; supported: --reps N --seed N --steps N --full --json"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Resolve the repetition count: explicit `--reps` wins, then `--full`
+    /// (paper scale), then the binary's default.
+    pub fn resolve_reps(&self, default: usize, paper: usize) -> usize {
+        self.reps.unwrap_or(if self.full { paper } else { default })
+    }
+
+    /// Resolve the step count (default 30, the paper's k).
+    pub fn resolve_steps(&self) -> usize {
+        self.steps.unwrap_or(crate::STEPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_flags(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.reps, None);
+        assert!(!a.full);
+        assert_eq!(a.seed, 42);
+        assert!(!a.json);
+        assert_eq!(a.resolve_reps(25, 250), 25);
+        assert_eq!(a.resolve_steps(), 30);
+    }
+
+    #[test]
+    fn full_flag_selects_paper_scale() {
+        let a = parse(&["--full"]);
+        assert_eq!(a.resolve_reps(25, 250), 250);
+    }
+
+    #[test]
+    fn explicit_reps_override_full() {
+        let a = parse(&["--full", "--reps", "7"]);
+        assert_eq!(a.resolve_reps(25, 250), 7);
+    }
+
+    #[test]
+    fn seed_steps_json() {
+        let a = parse(&["--seed", "9", "--steps", "5", "--json"]);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.resolve_steps(), 5);
+        assert!(a.json);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 2 — error regions of A_DI,Gau for (6, 1e−6)-DP vs (3, 1e−6)-DP.
+//!
+//! For each guarantee the Gaussian mechanism's σ is calibrated classically
+//! (Eq. 1) at Δf = 1 with centers f(D) = 0, f(D′) = 1. The shaded error
+//! region of the paper is the mass of each density on the wrong side of the
+//! midpoint decision boundary; we print the densities, the belief curves
+//! and the resulting error probability / expected advantage, showing that
+//! the stronger guarantee shrinks the advantage.
+
+use dpaudit_bench::{fmt_sig, print_series, print_table, Args};
+use dpaudit_core::rho_alpha;
+use dpaudit_dp::{DpGuarantee, GaussianMechanism};
+use dpaudit_math::phi;
+
+fn main() {
+    let args = Args::parse();
+    let delta = 1e-6;
+    let grid: Vec<f64> = (-40..=50).map(|i| i as f64 / 10.0).collect();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    for eps in [6.0, 3.0] {
+        let mech = GaussianMechanism::calibrate(DpGuarantee::new(eps, delta), 1.0);
+        let dens_d: Vec<f64> = grid
+            .iter()
+            .map(|&r| mech.log_density(&[r], &[0.0]).exp())
+            .collect();
+        let beliefs: Vec<f64> = grid
+            .iter()
+            .map(|&r| {
+                dpaudit_math::sigmoid(mech.log_likelihood_ratio(&[r], &[0.0], &[1.0]))
+            })
+            .collect();
+        println!("\n== ({eps}, 1e-6)-DP Gaussian: sigma = {:.4} ==\n", mech.sigma);
+        print_series(
+            &format!("density p(r | D), eps={eps}"),
+            "r",
+            &grid,
+            "density",
+            &dens_d,
+        );
+        println!();
+        print_series(
+            &format!("posterior belief beta(D | r), eps={eps}"),
+            "r",
+            &grid,
+            "beta",
+            &beliefs,
+        );
+
+        // Error mass: Pr(r > 1/2 | D) = 1 − Φ(0.5/σ); symmetric for D′.
+        let error = 1.0 - phi(0.5 / mech.sigma);
+        let advantage = 2.0 * phi(0.5 / mech.sigma) - 1.0;
+        rows.push(vec![
+            fmt_sig(eps),
+            fmt_sig(mech.sigma),
+            fmt_sig(error),
+            fmt_sig(advantage),
+            fmt_sig(rho_alpha(eps, delta)),
+        ]);
+        json.push(serde_json::json!({
+            "epsilon": eps, "sigma": mech.sigma, "error_mass": error,
+            "advantage": advantage, "rho_alpha": rho_alpha(eps, delta),
+        }));
+    }
+
+    println!("\nError regions and expected advantage (boundary at r = 1/2):\n");
+    print_table(
+        &["epsilon", "sigma", "error mass", "Adv (this pair)", "rho_alpha bound"],
+        &rows,
+    );
+    println!("\nStronger guarantee (smaller eps) -> wider PDFs -> larger error region -> smaller advantage.");
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+    }
+}

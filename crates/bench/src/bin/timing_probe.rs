@@ -1,0 +1,43 @@
+//! Developer utility: measure the wall-clock cost of the core experiment
+//! units so default repetition counts stay sane on small machines.
+
+use dpaudit_bench::{param_row, Workload};
+use dpaudit_core::{run_di_trial, ChallengeMode, TrialSettings};
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::{DpsgdConfig, SensitivityScaling};
+use std::time::Instant;
+
+fn main() {
+    for workload in [Workload::Mnist, Workload::Purchase] {
+        let t0 = Instant::now();
+        let world = workload.world(1, workload.default_train_size());
+        let gen_t = t0.elapsed();
+
+        let t0 = Instant::now();
+        let pair = workload.max_pair(&world, NeighborMode::Bounded);
+        let ds_t = t0.elapsed();
+
+        let row = param_row(0.90, workload.delta());
+        let settings = TrialSettings {
+            dpsgd: DpsgdConfig::new(
+                3.0,
+                0.005,
+                30,
+                NeighborMode::Bounded,
+                row.noise_multiplier,
+                SensitivityScaling::Local,
+            ),
+            challenge: ChallengeMode::RandomBit,
+        };
+        let t0 = Instant::now();
+        let trial = run_di_trial(&pair, &settings, None, |rng| workload.build_model(rng), 7);
+        let trial_t = t0.elapsed();
+        println!(
+            "{}: |D|={} gen={gen_t:?} ds-search={ds_t:?} one-trial(30 steps)={trial_t:?} belief={:.3} correct={}",
+            workload.name(),
+            world.train.len(),
+            trial.belief_d,
+            trial.correct,
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Terminal line charts for the figure-reproduction binaries.
+//!
+//! The paper's figures are curves and histograms; printing the raw series
+//! is the machine-readable ground truth, but a quick visual check of the
+//! *shape* (who is above whom, where curves cross) is what a reviewer
+//! actually wants. This renderer plots multiple series on a shared
+//! character grid with distinct glyphs per series.
+
+/// One named series to plot.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Plot glyph (one character per series, e.g. '*', 'o', '+').
+    pub glyph: char,
+    /// x coordinates (need not be shared across series).
+    pub xs: &'a [f64],
+    /// y coordinates, parallel to `xs`.
+    pub ys: &'a [f64],
+}
+
+/// Render the series onto a `width × height` grid and return the chart as a
+/// multi-line string (y axis ascending upward, labels on the left).
+///
+/// # Panics
+/// Panics on an empty series list, mismatched series lengths, NaN
+/// coordinates or degenerate dimensions.
+pub fn line_chart(series: &[Series<'_>], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "line_chart: no series");
+    assert!(width >= 8 && height >= 4, "line_chart: grid too small");
+    for s in series {
+        assert_eq!(s.xs.len(), s.ys.len(), "line_chart: ragged series {}", s.label);
+        assert!(!s.xs.is_empty(), "line_chart: empty series {}", s.label);
+        assert!(
+            s.xs.iter().chain(s.ys).all(|v| v.is_finite()),
+            "line_chart: non-finite point in {}",
+            s.label
+        );
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for (&x, &y) in s.xs.iter().zip(s.ys) {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+    let to_row =
+        |y: f64| height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+
+    for s in series {
+        // Plot points and connect consecutive ones with linear interpolation
+        // so sparse series still read as lines.
+        for pair in s.xs.iter().zip(s.ys).collect::<Vec<_>>().windows(2) {
+            let (&(&x0, &y0), &(&x1, &y1)) = (&pair[0], &pair[1]);
+            let c0 = to_col(x0);
+            let c1 = to_col(x1);
+            let span = c0.abs_diff(c1).max(1);
+            for step in 0..=span {
+                let t = step as f64 / span as f64;
+                let x = x0 + (x1 - x0) * t;
+                let y = y0 + (y1 - y0) * t;
+                grid[to_row(y)][to_col(x)] = s.glyph;
+            }
+        }
+        if s.xs.len() == 1 {
+            grid[to_row(s.ys[0])][to_col(s.xs[0])] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_here:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>11}{:<.3}{}{:>.3}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(12)),
+        x_max
+    ));
+    for s in series {
+        out.push_str(&format!("{:>11}{} {}\n", "", s.glyph, s.label));
+    }
+    out
+}
+
+/// Render a horizontal bar chart: one row per (label, value), bars scaled
+/// to the maximum value across `width` characters.
+///
+/// # Panics
+/// Panics on empty input, ragged lengths, negative or non-finite values.
+pub fn bar_chart(labels: &[String], values: &[f64], width: usize) -> String {
+    assert!(!labels.is_empty(), "bar_chart: no bars");
+    assert_eq!(labels.len(), values.len(), "bar_chart: ragged input");
+    assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "bar_chart: values must be finite and non-negative"
+    );
+    assert!(width >= 4, "bar_chart: width too small");
+    let max = values.iter().cloned().fold(0.0, f64::max).max(1e-300);
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let bars = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{} {v}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let labels: Vec<String> = ["a", "bb", "c"].iter().map(|s| s.to_string()).collect();
+        let chart = bar_chart(&labels, &[1.0, 4.0, 2.0], 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The max bar uses the full width; half-value uses half.
+        assert!(lines[1].contains(&"#".repeat(8)));
+        assert!(lines[2].contains(&"#".repeat(4)));
+        assert!(!lines[2].contains(&"#".repeat(5)));
+        // Labels right-aligned to the widest.
+        assert!(lines[0].starts_with(" a |"));
+    }
+
+    #[test]
+    fn bar_chart_all_zero_ok() {
+        let labels = vec!["x".to_string()];
+        let chart = bar_chart(&labels, &[0.0], 10);
+        assert!(chart.contains("x |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged input")]
+    fn bar_chart_ragged_rejected() {
+        bar_chart(&["a".to_string()], &[1.0, 2.0], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bar_chart_negative_rejected() {
+        bar_chart(&["a".to_string()], &[-1.0], 8);
+    }
+
+    #[test]
+    fn renders_a_line_with_correct_extremes() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 2.0, 3.0];
+        let chart = line_chart(
+            &[Series { label: "diag", glyph: '*', xs: &xs, ys: &ys }],
+            20,
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row holds the max, bottom data row the min.
+        assert!(lines[0].contains('*'));
+        assert!(lines[9].contains('*'));
+        assert!(chart.contains("diag"));
+        assert!(chart.contains("3.000"));
+        assert!(chart.contains("0.000"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let xs = [0.0, 1.0];
+        let hi = [2.0, 2.0];
+        let lo = [1.0, 1.0];
+        let chart = line_chart(
+            &[
+                Series { label: "hi", glyph: 'o', xs: &xs, ys: &hi },
+                Series { label: "lo", glyph: '+', xs: &xs, ys: &lo },
+            ],
+            16,
+            8,
+        );
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        // 'hi' must appear on an earlier (higher) line than 'lo'.
+        let row_of = |g: char| chart.lines().position(|l| l.contains(g)).unwrap();
+        assert!(row_of('o') < row_of('+'));
+    }
+
+    #[test]
+    fn flat_series_handled() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 5.0, 5.0];
+        let chart = line_chart(
+            &[Series { label: "flat", glyph: '#', xs: &xs, ys: &ys }],
+            16,
+            6,
+        );
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn single_point_series_handled() {
+        let chart = line_chart(
+            &[Series { label: "pt", glyph: '@', xs: &[1.0], ys: &[2.0] }],
+            12,
+            5,
+        );
+        assert!(chart.contains('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged series")]
+    fn ragged_series_rejected() {
+        line_chart(
+            &[Series { label: "bad", glyph: '*', xs: &[1.0, 2.0], ys: &[1.0] }],
+            12,
+            5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        line_chart(
+            &[Series { label: "nan", glyph: '*', xs: &[1.0], ys: &[f64::NAN] }],
+            12,
+            5,
+        );
+    }
+}

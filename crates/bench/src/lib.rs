@@ -1,0 +1,421 @@
+//! Shared harness for the reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! They share: a tiny flag parser (`--reps`, `--full`, `--seed`, `--json`),
+//! the paper's parameter grid (Table 1), dataset/pair setup built on the
+//! dataset-sensitivity heuristic, and aligned-table printing.
+
+use dpaudit_core::{epsilon_for_rho_beta, rho_alpha};
+use dpaudit_datasets::{
+    bounded_candidates, generate_mnist, generate_purchase, unbounded_candidates, Dataset,
+    Dissimilarity, Hamming, NegSsim, RankedNeighbor,
+};
+use dpaudit_dp::{calibrate_noise_multiplier_closed_form, NeighborMode};
+use dpaudit_dpsgd::NeighborPair;
+use dpaudit_math::{seeded_rng, split_seed};
+
+pub mod args;
+pub mod chart;
+pub mod print;
+
+pub use args::Args;
+pub use chart::{bar_chart, line_chart, Series};
+pub use print::{fmt_sig, print_series, print_table};
+
+/// The paper's four MNIST target rows of Table 1 (ρ_β, δ) with k = 30,
+/// η = 0.005, C = 3. ε and ρ_α are derived (Eq. 10 / Theorem 2).
+pub const MNIST_RHO_BETAS: [f64; 4] = [0.52, 0.75, 0.90, 0.99];
+/// Purchase-100 target rows of Table 1.
+pub const PURCHASE_RHO_BETAS: [f64; 4] = [0.53, 0.75, 0.90, 0.99];
+/// δ for the MNIST rows (as printed in Table 1).
+pub const MNIST_DELTA: f64 = 1e-3;
+/// δ for the Purchase rows (as printed in Table 1).
+pub const PURCHASE_DELTA: f64 = 1e-2;
+/// Training steps (= epochs under full-batch GD) in all experiments.
+pub const STEPS: usize = 30;
+/// Learning rate η.
+pub const LEARNING_RATE: f64 = 0.005;
+/// Clipping norm C (median-of-gradient-norms recommendation).
+pub const CLIP_NORM: f64 = 3.0;
+
+/// One derived Table-1 row.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamRow {
+    /// Target maximum posterior belief.
+    pub rho_beta: f64,
+    /// Derived expected membership advantage (Theorem 2).
+    pub rho_alpha: f64,
+    /// Derived total ε (Eq. 10).
+    pub epsilon: f64,
+    /// The row's δ.
+    pub delta: f64,
+    /// Noise multiplier z = σ/Δf from the RDP closed form at k = STEPS.
+    pub noise_multiplier: f64,
+}
+
+/// Derive a [`ParamRow`] from a ρ_β target.
+pub fn param_row(rho_beta: f64, delta: f64) -> ParamRow {
+    let epsilon = epsilon_for_rho_beta(rho_beta);
+    ParamRow {
+        rho_beta,
+        rho_alpha: rho_alpha(epsilon, delta),
+        epsilon,
+        delta,
+        noise_multiplier: calibrate_noise_multiplier_closed_form(epsilon, delta, STEPS),
+    }
+}
+
+/// A fully prepared experiment world: training set, disjoint candidate pool
+/// (the rest of the holdout U), and a test set.
+pub struct World {
+    /// The fixed training dataset D.
+    pub train: Dataset,
+    /// U ∖ D — candidates for the bounded-DP replacement record.
+    pub pool: Dataset,
+    /// Held-out evaluation data.
+    pub test: Dataset,
+}
+
+/// Generate the MNIST-like world. Defaults follow the paper (|D| = 100);
+/// pool and test sizes are implementation choices documented in DESIGN.md.
+pub fn mnist_world(seed: u64, train_size: usize, pool_size: usize, test_size: usize) -> World {
+    let mut rng = seeded_rng(split_seed(seed, 10));
+    let all = generate_mnist(&mut rng, train_size + pool_size + test_size);
+    let (train, rest) = all.split_at(train_size);
+    let (pool, test) = rest.split_at(pool_size);
+    World { train, pool, test }
+}
+
+/// Generate the Purchase-100-like world (paper: |D| = 1000).
+pub fn purchase_world(seed: u64, train_size: usize, pool_size: usize, test_size: usize) -> World {
+    let mut rng = seeded_rng(split_seed(seed, 20));
+    let all = generate_purchase(&mut rng, train_size + pool_size + test_size);
+    let (train, rest) = all.split_at(train_size);
+    let (pool, test) = rest.split_at(pool_size);
+    World { train, pool, test }
+}
+
+/// Which reference dataset an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Synthetic MNIST + CNN + −SSIM.
+    Mnist,
+    /// Synthetic Purchase-100 + MLP + Hamming.
+    Purchase,
+}
+
+impl Workload {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mnist => "MNIST",
+            Workload::Purchase => "Purchase-100",
+        }
+    }
+
+    /// The row δ for this workload (Table 1 as printed).
+    pub fn delta(self) -> f64 {
+        match self {
+            Workload::Mnist => MNIST_DELTA,
+            Workload::Purchase => PURCHASE_DELTA,
+        }
+    }
+
+    /// The paper's training-set size.
+    pub fn paper_train_size(self) -> usize {
+        match self {
+            Workload::Mnist => 100,
+            Workload::Purchase => 1000,
+        }
+    }
+
+    /// The reduced default size used when `--full` is not given (single-core
+    /// machine; shapes are unaffected, see DESIGN.md).
+    pub fn default_train_size(self) -> usize {
+        match self {
+            Workload::Mnist => 100,
+            Workload::Purchase => 200,
+        }
+    }
+
+    /// Build the world at a given training-set size.
+    pub fn world(self, seed: u64, train_size: usize) -> World {
+        match self {
+            Workload::Mnist => mnist_world(seed, train_size, 400, 200),
+            Workload::Purchase => purchase_world(seed, train_size, 400, 200),
+        }
+    }
+
+    /// Ranked bounded-DP neighbour candidates under this workload's
+    /// dissimilarity measure.
+    pub fn bounded_ranked(self, world: &World, k: usize, largest: bool) -> Vec<RankedNeighbor> {
+        match self {
+            Workload::Mnist => bounded_candidates(&world.train, &world.pool, &NegSsim, k, largest),
+            Workload::Purchase => {
+                bounded_candidates(&world.train, &world.pool, &Hamming, k, largest)
+            }
+        }
+    }
+
+    /// Ranked unbounded-DP neighbour candidates.
+    pub fn unbounded_ranked(self, world: &World, k: usize, largest: bool) -> Vec<RankedNeighbor> {
+        match self {
+            Workload::Mnist => unbounded_candidates(&world.train, &NegSsim, k, largest),
+            Workload::Purchase => unbounded_candidates(&world.train, &Hamming, k, largest),
+        }
+    }
+
+    /// The DS-maximising pair for a neighbouring mode (the default pair all
+    /// identifiability experiments use).
+    pub fn max_pair(self, world: &World, mode: NeighborMode) -> NeighborPair {
+        let spec = match mode {
+            NeighborMode::Bounded => self.bounded_ranked(world, 1, true).remove(0).spec,
+            NeighborMode::Unbounded => self.unbounded_ranked(world, 1, true).remove(0).spec,
+        };
+        NeighborPair::from_spec(&world.train, &spec)
+    }
+
+    /// Build the workload's reference model from a seeded RNG.
+    pub fn build_model(self, rng: &mut rand::rngs::StdRng) -> dpaudit_nn::Sequential {
+        match self {
+            Workload::Mnist => dpaudit_nn::mnist_cnn(rng),
+            Workload::Purchase => dpaudit_nn::purchase_mlp(rng),
+        }
+    }
+
+    /// The workload's dissimilarity measure, boxed for generic callers.
+    pub fn measure(self) -> Box<dyn Dissimilarity + Send + Sync> {
+        match self {
+            Workload::Mnist => Box::new(NegSsim),
+            Workload::Purchase => Box::new(Hamming),
+        }
+    }
+}
+
+/// Run a trial batch with rayon across per-trial seeds (deterministic: the
+/// seed split does not depend on scheduling).
+pub fn run_batch_parallel(
+    workload: Workload,
+    pair: &NeighborPair,
+    settings: &dpaudit_core::TrialSettings,
+    test_set: Option<&Dataset>,
+    reps: usize,
+    master_seed: u64,
+) -> dpaudit_core::DiBatchResult {
+    use rayon::prelude::*;
+    assert!(reps > 0, "run_batch_parallel: reps must be positive");
+    let trials: Vec<_> = (0..reps)
+        .into_par_iter()
+        .map(|i| {
+            dpaudit_core::run_di_trial(
+                pair,
+                settings,
+                test_set,
+                |rng| workload.build_model(rng),
+                split_seed(master_seed, 1000 + i as u64),
+            )
+        })
+        .collect();
+    dpaudit_core::DiBatchResult { trials }
+}
+
+/// The four experimental arms of Figures 5–7 / Table 2:
+/// {local, global} sensitivity scaling × {bounded, unbounded} DP.
+pub const ARMS: [(dpaudit_dpsgd::SensitivityScaling, NeighborMode); 4] = [
+    (dpaudit_dpsgd::SensitivityScaling::Local, NeighborMode::Bounded),
+    (dpaudit_dpsgd::SensitivityScaling::Local, NeighborMode::Unbounded),
+    (dpaudit_dpsgd::SensitivityScaling::Global, NeighborMode::Bounded),
+    (dpaudit_dpsgd::SensitivityScaling::Global, NeighborMode::Unbounded),
+];
+
+/// Assemble the [`dpaudit_core::TrialSettings`] for one arm at a Table-1 row.
+pub fn arm_settings(
+    row: &ParamRow,
+    steps: usize,
+    scaling: dpaudit_dpsgd::SensitivityScaling,
+    mode: NeighborMode,
+    challenge: dpaudit_core::ChallengeMode,
+) -> dpaudit_core::TrialSettings {
+    // The noise multiplier is re-derived at the requested step count so that
+    // `--steps` overrides stay correctly calibrated.
+    let z = calibrate_noise_multiplier_closed_form(row.epsilon, row.delta, steps);
+    dpaudit_core::TrialSettings {
+        dpsgd: dpaudit_dpsgd::DpsgdConfig::new(CLIP_NORM, LEARNING_RATE, steps, mode, z, scaling),
+        challenge,
+    }
+}
+
+/// One cell of the §6.4 auditing grid: a target ε, a sensitivity-scaling
+/// arm, and the three empirical ε′ estimates.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AuditCell {
+    /// The row's ρ_β target.
+    pub rho_beta: f64,
+    /// The target (claimed) ε.
+    pub target_epsilon: f64,
+    /// Which Δf the noise was scaled to.
+    pub scaling: String,
+    /// ε′ from per-step local sensitivities via RDP (mean over reps).
+    pub eps_from_ls: f64,
+    /// ε′ from the maximum observed belief.
+    pub eps_from_belief: f64,
+    /// ε′ from the empirical advantage.
+    pub eps_from_advantage: f64,
+    /// The empirical advantage itself.
+    pub advantage: f64,
+    /// The maximum observed final belief.
+    pub max_belief: f64,
+}
+
+/// Run the §6.4 auditing grid: for each Table-1 ε target and each scaling
+/// arm (bounded DP, as in the paper), run `reps` challenge trials and audit.
+pub fn run_audit_grid(workload: Workload, reps: usize, steps: usize, seed: u64) -> Vec<AuditCell> {
+    let world = workload.world(seed, workload.default_train_size());
+    let pair = workload.max_pair(&world, NeighborMode::Bounded);
+    let rho_betas = match workload {
+        Workload::Mnist => MNIST_RHO_BETAS,
+        Workload::Purchase => PURCHASE_RHO_BETAS,
+    };
+    let mut cells = Vec::new();
+    for (ei, &rb) in rho_betas.iter().enumerate() {
+        let row = param_row(rb, workload.delta());
+        for (si, scaling) in [
+            dpaudit_dpsgd::SensitivityScaling::Local,
+            dpaudit_dpsgd::SensitivityScaling::Global,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let settings = arm_settings(
+                &row,
+                steps,
+                scaling,
+                NeighborMode::Bounded,
+                dpaudit_core::ChallengeMode::RandomBit,
+            );
+            let batch = run_batch_parallel(
+                workload,
+                &pair,
+                &settings,
+                None,
+                reps,
+                split_seed(seed, 301 + (ei * 2 + si) as u64),
+            );
+            let ls_floor = settings.dpsgd.ls_floor;
+            let eps_ls: f64 = batch
+                .trials
+                .iter()
+                .map(|t| {
+                    dpaudit_core::eps_from_local_sensitivities(
+                        &t.sigmas,
+                        &t.local_sensitivities,
+                        row.delta,
+                        ls_floor,
+                    )
+                })
+                .sum::<f64>()
+                / batch.trials.len() as f64;
+            cells.push(AuditCell {
+                rho_beta: rb,
+                target_epsilon: row.epsilon,
+                scaling: scaling.to_string(),
+                eps_from_ls: eps_ls,
+                eps_from_belief: dpaudit_core::eps_from_max_belief(batch.max_belief()),
+                eps_from_advantage: dpaudit_core::eps_from_advantage(
+                    batch.advantage(),
+                    row.delta,
+                ),
+                advantage: batch.advantage(),
+                max_belief: batch.max_belief(),
+            });
+        }
+    }
+    cells
+}
+
+/// Print an auditing grid as a table with one ε′ column selected by `pick`,
+/// followed by a shape chart (target ε on x, ε′ on y, identity line `-`).
+pub fn print_audit_grid(
+    title: &str,
+    cells: &[AuditCell],
+    column: &str,
+    pick: impl Fn(&AuditCell) -> f64,
+) {
+    println!("{title}\n");
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.2}", c.rho_beta),
+                fmt_sig(c.target_epsilon),
+                c.scaling.clone(),
+                fmt_sig(pick(c)),
+            ]
+        })
+        .collect();
+    print_table(&["rho_beta", "target eps", "Delta f", column], &rows);
+
+    let take = |scaling: &str| -> (Vec<f64>, Vec<f64>) {
+        cells
+            .iter()
+            .filter(|c| c.scaling == scaling)
+            .map(|c| (c.target_epsilon, pick(c).min(c.target_epsilon * 2.0)))
+            .unzip()
+    };
+    let (x_ls, y_ls) = take("LS");
+    let (x_gs, y_gs) = take("GS");
+    if !x_ls.is_empty() && !x_gs.is_empty() && y_ls.iter().chain(&y_gs).all(|v| v.is_finite()) {
+        let ident = x_ls.clone();
+        println!(
+            "\n{}",
+            chart::line_chart(
+                &[
+                    chart::Series { label: "target eps (identity)", glyph: '-', xs: &x_ls, ys: &ident },
+                    chart::Series { label: "eps' with Delta f = LS", glyph: 'L', xs: &x_ls, ys: &y_ls },
+                    chart::Series { label: "eps' with Delta f = GS", glyph: 'G', xs: &x_gs, ys: &y_gs },
+                ],
+                64,
+                18,
+            )
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_rows_reproduce_table1() {
+        let r = param_row(0.90, MNIST_DELTA);
+        assert!((r.epsilon - 2.197).abs() < 1e-2);
+        assert!((r.rho_alpha - 0.23).abs() < 0.01);
+        let p = param_row(0.53, PURCHASE_DELTA);
+        assert!((p.epsilon - 0.12).abs() < 1e-2);
+        assert!((p.rho_alpha - 0.015).abs() < 0.005);
+    }
+
+    #[test]
+    fn worlds_are_disjoint_and_sized() {
+        let w = mnist_world(1, 20, 30, 10);
+        assert_eq!(w.train.len(), 20);
+        assert_eq!(w.pool.len(), 30);
+        assert_eq!(w.test.len(), 10);
+    }
+
+    #[test]
+    fn max_pair_bounded_has_replacement() {
+        let w = Workload::Purchase.world(3, 20);
+        let pair = Workload::Purchase.max_pair(&w, NeighborMode::Bounded);
+        assert!(pair.x2.is_some());
+        assert_eq!(pair.sizes(), (20, 20));
+    }
+
+    #[test]
+    fn max_pair_unbounded_removes_one() {
+        let w = Workload::Purchase.world(4, 20);
+        let pair = Workload::Purchase.max_pair(&w, NeighborMode::Unbounded);
+        assert!(pair.x2.is_none());
+        assert_eq!(pair.sizes(), (20, 19));
+    }
+}

@@ -1,0 +1,93 @@
+//! Aligned table and series printing for the reproduction binaries.
+
+/// Format a float to 4 significant digits, compactly.
+pub fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let mag = v.abs().log10().floor() as i32;
+    let decimals = (3 - mag).clamp(0, 10) as usize;
+    format!("{v:.decimals$}")
+}
+
+/// Print an aligned text table with a header row.
+///
+/// # Panics
+/// Panics if any row's width differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "print_table: ragged row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (cell, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!("{cell:>w$}  "));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total.saturating_sub(2)));
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Print a named x/y series (one figure curve) as two aligned columns.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn print_series(name: &str, x_label: &str, xs: &[f64], y_label: &str, ys: &[f64]) {
+    assert_eq!(xs.len(), ys.len(), "print_series: length mismatch");
+    println!("# {name}");
+    print_table(
+        &[x_label, y_label],
+        &xs.iter()
+            .zip(ys)
+            .map(|(x, y)| vec![fmt_sig(*x), fmt_sig(*y)])
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_sig_magnitudes() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(2.1972), "2.197");
+        assert_eq!(fmt_sig(0.0123456), "0.01235");
+        assert_eq!(fmt_sig(12345.6), "12346");
+        assert_eq!(fmt_sig(-0.5), "-0.5000");
+        assert_eq!(fmt_sig(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn series_prints_without_panic() {
+        print_series("curve", "x", &[1.0, 2.0], "y", &[3.0, 4.0]);
+    }
+}

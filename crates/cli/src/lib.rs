@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! The `dpaudit` command-line tool: translate identifiability targets,
+//! calibrate DPSGD noise, query the RDP accountant, and audit training
+//! transcripts — the paper's workflow without writing Rust.
+//!
+//! All command logic lives in this library (string in → report string out)
+//! so it is unit-testable; `main.rs` only forwards `std::env::args`.
+
+pub mod commands;
+pub mod opts;
+
+pub use commands::run;
+pub use opts::Opts;

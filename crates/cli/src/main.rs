@@ -1,0 +1,15 @@
+//! The `dpaudit` binary: thin wrapper over the testable command library.
+
+use dpaudit_cli::{run, Opts};
+
+fn main() {
+    let parsed = Opts::parse(std::env::args().skip(1));
+    let result = parsed.and_then(|opts| run(&opts));
+    match result {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

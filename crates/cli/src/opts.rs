@@ -1,0 +1,161 @@
+//! Flag parsing for the `dpaudit` subcommands.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// The subcommand name (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    values: BTreeMap<String, String>,
+    /// Bare `--flag`s.
+    flags: Vec<String>,
+}
+
+/// Keys that are bare flags (no value).
+const BARE_FLAGS: &[&str] = &["json", "classic", "analytic", "help"];
+
+impl Opts {
+    /// Parse an argument list (without the program name).
+    ///
+    /// # Errors
+    /// Returns a message for malformed input (missing values, non-flag
+    /// tokens in option position).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().unwrap_or_else(|| "help".to_string());
+        let mut out = Opts {
+            command,
+            ..Opts::default()
+        };
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{tok}`"))?
+                .to_string();
+            if BARE_FLAGS.contains(&key.as_str()) {
+                out.flags.push(key);
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.values.insert(key, value);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A required f64 option.
+    ///
+    /// # Errors
+    /// Missing or unparsable value.
+    pub fn f64_req(&self, name: &str) -> Result<f64, String> {
+        self.values
+            .get(name)
+            .ok_or_else(|| format!("missing required --{name}"))?
+            .parse()
+            .map_err(|_| format!("--{name} must be a number"))
+    }
+
+    /// An optional f64 option.
+    ///
+    /// # Errors
+    /// Unparsable value.
+    pub fn f64_opt(&self, name: &str) -> Result<Option<f64>, String> {
+        self.values
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} must be a number")))
+            .transpose()
+    }
+
+    /// An optional usize option with a default.
+    ///
+    /// # Errors
+    /// Unparsable value.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+
+    /// An optional u64 option with a default.
+    ///
+    /// # Errors
+    /// Unparsable value.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+
+    /// An optional string option.
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Opts, String> {
+        Opts::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_values_and_flags() {
+        let o = parse(&["scores", "--eps", "2.2", "--delta", "1e-3", "--json"]).unwrap();
+        assert_eq!(o.command, "scores");
+        assert_eq!(o.f64_req("eps").unwrap(), 2.2);
+        assert_eq!(o.f64_req("delta").unwrap(), 1e-3);
+        assert!(o.flag("json"));
+        assert!(!o.flag("classic"));
+    }
+
+    #[test]
+    fn empty_args_default_to_help() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.command, "help");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["scores", "--eps"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn non_flag_token_is_an_error() {
+        assert!(parse(&["scores", "eps"]).unwrap_err().contains("expected --flag"));
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let o = parse(&["scores"]).unwrap();
+        assert!(o.f64_req("eps").unwrap_err().contains("missing required"));
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let o = parse(&["x", "--eps", "abc"]).unwrap();
+        assert!(o.f64_req("eps").is_err());
+        let o = parse(&["x", "--steps", "3.5"]).unwrap();
+        assert!(o.usize_or("steps", 1).is_err());
+        let o = parse(&["x"]).unwrap();
+        assert_eq!(o.usize_or("steps", 30).unwrap(), 30);
+        assert_eq!(o.u64_or("seed", 42).unwrap(), 42);
+        assert_eq!(o.f64_opt("missing").unwrap(), None);
+        assert_eq!(o.str_opt("out"), None);
+    }
+}

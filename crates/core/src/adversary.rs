@@ -1,0 +1,155 @@
+//! The implementable DP adversary A_DI,Gau (paper Algorithm 1).
+
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::StepRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::belief::BeliefTracker;
+
+/// The differential-identifiability adversary against DPSGD with the
+/// Gaussian mechanism.
+///
+/// A_DI,Gau knows both neighbouring datasets, the initial weights θ₀, the
+/// learning rate, the clipping norm and the per-step σᵢ, and observes the
+/// perturbed gradient g̃ᵢ after every step (the federated-learning reading
+/// of §6.1). Per step it computes the two hypothesis gradient sums
+/// ĝᵢ(D), ĝᵢ(D′) and performs the naive-Bayes belief update of Lemma 1;
+/// after k steps it outputs the dataset with the higher posterior.
+///
+/// The harness feeds it [`StepRecord`]s (whose stored gradients are exactly
+/// what the adversary would recompute from the public model state — see
+/// `dpaudit-dpsgd`); `trained_on_d` is used only to orient the stored sums
+/// and never influences the decision rule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiAdversary {
+    tracker: BeliefTracker,
+    mode: NeighborMode,
+}
+
+impl DiAdversary {
+    /// Fresh adversary with the uniform prior of Experiment 2.
+    pub fn new(mode: NeighborMode) -> Self {
+        Self {
+            tracker: BeliefTracker::new(),
+            mode,
+        }
+    }
+
+    /// Observe one DPSGD step.
+    pub fn observe(&mut self, record: &StepRecord, trained_on_d: bool) {
+        let (center_d, center_dp) = record.hypothesis_centers(trained_on_d, self.mode);
+        self.tracker
+            .update_gaussian(&record.noisy_sum, &center_d, &center_dp, record.sigma);
+    }
+
+    /// Observe a step given explicitly computed hypothesis centers (for
+    /// callers that recompute the gradient sums themselves).
+    pub fn observe_centers(
+        &mut self,
+        noisy: &[f64],
+        center_d: &[f64],
+        center_d_prime: &[f64],
+        sigma: f64,
+    ) {
+        self.tracker
+            .update_gaussian(noisy, center_d, center_d_prime, sigma);
+    }
+
+    /// Current posterior belief β_i(D).
+    pub fn belief_d(&self) -> f64 {
+        self.tracker.belief()
+    }
+
+    /// Exact log-odds Λ_i (useful once β saturates at 1.0 in f64).
+    pub fn log_odds(&self) -> f64 {
+        self.tracker.log_odds()
+    }
+
+    /// Belief trajectory β₁, …, β_i.
+    pub fn belief_history(&self) -> &[f64] {
+        self.tracker.history()
+    }
+
+    /// Final decision: `true` ⇔ output D (guess b = 1).
+    pub fn decide_d(&self) -> bool {
+        self.tracker.decide_d()
+    }
+
+    /// The neighbouring relation this adversary assumes.
+    pub fn mode(&self) -> NeighborMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(noisy: Vec<f64>, clean: Vec<f64>, g1: Vec<f64>, sigma: f64) -> StepRecord {
+        StepRecord {
+            step: 0,
+            noisy_sum: noisy,
+            clean_sum: clean,
+            grad_x1: g1,
+            grad_x2: None,
+            local_sensitivity: 1.0,
+            clip_bound: 3.0,
+            sensitivity_used: 1.0,
+            sigma,
+            mean_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn output_near_d_center_raises_belief_in_d() {
+        let mut adv = DiAdversary::new(NeighborMode::Unbounded);
+        // Trained on D: clean sum = [2, 2]; ĝ(D′) = [1, 1] (g1 = [1, 1]).
+        // Observed output right at the D center.
+        let r = record(vec![2.0, 2.0], vec![2.0, 2.0], vec![1.0, 1.0], 1.0);
+        adv.observe(&r, true);
+        assert!(adv.belief_d() > 0.5);
+        assert!(adv.decide_d());
+    }
+
+    #[test]
+    fn output_near_d_prime_center_lowers_belief_in_d() {
+        let mut adv = DiAdversary::new(NeighborMode::Unbounded);
+        // Trained on D′ this time: clean sum is ĝ(D′) = [1, 1],
+        // ĝ(D) = clean + g1 = [2, 2]; output near D′.
+        let r = record(vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0], 1.0);
+        adv.observe(&r, false);
+        assert!(adv.belief_d() < 0.5);
+        assert!(!adv.decide_d());
+    }
+
+    #[test]
+    fn evidence_accumulates_across_steps() {
+        let mut adv = DiAdversary::new(NeighborMode::Unbounded);
+        let r = record(vec![2.0, 2.0], vec![2.0, 2.0], vec![1.0, 1.0], 2.0);
+        adv.observe(&r, true);
+        let b1 = adv.belief_d();
+        adv.observe(&r, true);
+        let b2 = adv.belief_d();
+        assert!(b2 > b1);
+        assert_eq!(adv.belief_history().len(), 2);
+    }
+
+    #[test]
+    fn high_noise_keeps_belief_near_prior() {
+        let mut adv = DiAdversary::new(NeighborMode::Unbounded);
+        let r = record(vec![2.0, 2.0], vec![2.0, 2.0], vec![1.0, 1.0], 1e6);
+        adv.observe(&r, true);
+        assert!((adv.belief_d() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observe_centers_equivalent_to_observe() {
+        let r = record(vec![1.7, 2.3], vec![2.0, 2.0], vec![1.0, 1.0], 1.5);
+        let mut a = DiAdversary::new(NeighborMode::Unbounded);
+        a.observe(&r, true);
+        let mut b = DiAdversary::new(NeighborMode::Unbounded);
+        let (cd, cdp) = r.hypothesis_centers(true, NeighborMode::Unbounded);
+        b.observe_centers(&r.noisy_sum, &cd, &cdp, r.sigma);
+        assert_eq!(a.belief_d(), b.belief_d());
+    }
+}

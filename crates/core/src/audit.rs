@@ -1,0 +1,316 @@
+//! Empirical privacy-loss estimation — the three ε′ estimators of §6.4.
+//!
+//! After training with a target budget ε, a data owner can ask what loss the
+//! concrete run actually realised. If ε′ ≈ ε the noise was no larger than
+//! necessary; ε′ ≪ ε means utility was wasted (the paper's global-sensitivity
+//! runs); ε′ > ε can occur with the probability budgeted by δ (belief
+//! estimator) or by Monte-Carlo error (advantage estimator).
+
+use dpaudit_dp::RdpAccountant;
+use dpaudit_math::logit;
+
+use crate::scores::epsilon_for_rho_alpha;
+
+/// ε′ from the observed per-step noise levels and estimated local
+/// sensitivities (§6.4, first estimator).
+///
+/// Step `i` added noise σᵢ while the realised sensitivity was only `lsᵢ`,
+/// so its *effective* noise multiplier is `zᵢ = σᵢ / lsᵢ`; composing the
+/// heterogeneous steps with the RDP accountant at the target δ yields ε′.
+/// When noise was scaled to the local sensitivity, `zᵢ` equals the planned
+/// multiplier and ε′ recovers ε; when it was scaled to the (larger) global
+/// sensitivity, `zᵢ` is inflated and ε′ < ε.
+///
+/// `ls_floor` guards against a vanishing sensitivity (indistinguishable
+/// hypotheses at a step contribute no privacy loss; the floor keeps the
+/// accountant finite and errs on the conservative side).
+///
+/// # Panics
+/// Panics on empty or mismatched series, a non-positive floor, or δ outside
+/// `(0, 1)`.
+pub fn eps_from_local_sensitivities(
+    sigmas: &[f64],
+    local_sensitivities: &[f64],
+    delta: f64,
+    ls_floor: f64,
+) -> f64 {
+    assert!(!sigmas.is_empty(), "eps_from_local_sensitivities: empty series");
+    assert_eq!(
+        sigmas.len(),
+        local_sensitivities.len(),
+        "eps_from_local_sensitivities: series length mismatch"
+    );
+    assert!(ls_floor > 0.0, "eps_from_local_sensitivities: floor must be positive");
+    let mut acc = RdpAccountant::new();
+    for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
+        assert!(sigma > 0.0, "eps_from_local_sensitivities: non-positive sigma");
+        acc.add_gaussian_step(sigma / ls.max(ls_floor));
+    }
+    acc.epsilon(delta).0
+}
+
+/// ε′ from the maximum posterior belief observed across repeated runs
+/// (§6.4, second estimator — Eq. 10 inverted):
+/// `ε′ = ln(β̂_k / (1 − β̂_k))`.
+///
+/// The paper's text prints `ε′ = β̂/(1−β̂)` without the logarithm; that is
+/// inconsistent with its own Eq. 10 and with the scale of its Figure 9, so
+/// the logarithmic form is implemented (see DESIGN.md).
+///
+/// Returns 0 for β̂ ≤ 1/2 (no evidence beyond the prior) and `+∞` for β̂ = 1.
+///
+/// # Panics
+/// Panics for β̂ outside `[0, 1]`.
+pub fn eps_from_max_belief(max_belief: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&max_belief),
+        "eps_from_max_belief: belief must be in [0, 1], got {max_belief}"
+    );
+    if max_belief <= 0.5 {
+        0.0
+    } else {
+        logit(max_belief)
+    }
+}
+
+/// ε′ from the empirical membership advantage (§6.4, third estimator —
+/// Eq. 15 inverted): `ε′ = √(2·ln(1.25/δ)) · Φ⁻¹((Adv′ + 1)/2)`.
+///
+/// Returns 0 for a non-positive advantage.
+///
+/// # Panics
+/// Panics for an advantage ≥ 1 or δ outside `(0, 1)`.
+pub fn eps_from_advantage(advantage: f64, delta: f64) -> f64 {
+    epsilon_for_rho_alpha(advantage, delta)
+}
+
+/// A complete audit of one experiment batch: the claimed budget, the three
+/// ε′ estimates, and the verdict a data scientist acts on.
+///
+/// Serialisable (serde) so audits can be archived next to model artifacts.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AuditReport {
+    /// The claimed/target total ε.
+    pub target_epsilon: f64,
+    /// The target δ used by the estimators.
+    pub delta: f64,
+    /// Number of challenge trials behind the Monte-Carlo estimators.
+    pub trials: usize,
+    /// ε′ from per-step local sensitivities (mean over trials).
+    pub eps_from_ls: f64,
+    /// ε′ from the maximum observed belief.
+    pub eps_from_belief: f64,
+    /// ε′ from the empirical advantage.
+    pub eps_from_advantage: f64,
+    /// The empirical advantage itself.
+    pub advantage: f64,
+    /// The maximum observed final belief.
+    pub max_belief: f64,
+    /// Fraction of trials whose belief exceeded the ρ_β implied by the
+    /// target ε (must be ≲ δ).
+    pub empirical_delta: f64,
+}
+
+impl AuditReport {
+    /// Build a report from a batch of DI trials against a claimed budget.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or invalid budget.
+    pub fn from_batch(
+        batch: &crate::experiment::DiBatchResult,
+        target_epsilon: f64,
+        delta: f64,
+        ls_floor: f64,
+    ) -> Self {
+        assert!(!batch.trials.is_empty(), "AuditReport: empty batch");
+        assert!(target_epsilon > 0.0, "AuditReport: target epsilon must be positive");
+        let eps_ls = batch
+            .trials
+            .iter()
+            .map(|t| eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, ls_floor))
+            .sum::<f64>()
+            / batch.trials.len() as f64;
+        let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
+        Self {
+            target_epsilon,
+            delta,
+            trials: batch.trials.len(),
+            eps_from_ls: eps_ls,
+            eps_from_belief: eps_from_max_belief(batch.max_belief()),
+            eps_from_advantage: eps_from_advantage(batch.advantage(), delta),
+            advantage: batch.advantage(),
+            max_belief: batch.max_belief(),
+            empirical_delta: batch.empirical_delta(rho_beta_bound),
+        }
+    }
+
+    /// The realised fraction of the claimed budget according to the
+    /// transcript-exact estimator: 1.0 means tight, ≪ 1 means noise was
+    /// oversized and utility wasted.
+    pub fn budget_utilisation(&self) -> f64 {
+        self.eps_from_ls / self.target_epsilon
+    }
+
+    /// Whether any estimator reports a loss meaningfully above the claim
+    /// (beyond `tolerance`, e.g. 0.1 = 10%). The belief/advantage
+    /// estimators may exceed the claim with probability ~δ / Monte-Carlo
+    /// error, so a positive answer calls for more repetitions, not panic.
+    pub fn exceeds_claim(&self, tolerance: f64) -> bool {
+        let limit = self.target_epsilon * (1.0 + tolerance);
+        self.eps_from_ls > limit
+            || self.eps_from_belief > limit
+            || self.eps_from_advantage > limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scores::{rho_alpha, rho_beta};
+    use dpaudit_dp::calibrate_noise_multiplier_closed_form;
+
+    #[test]
+    fn ls_estimator_recovers_target_when_noise_is_tight() {
+        // Plan for ε = 2.2, δ = 1e-3 over 30 steps; scale noise exactly to
+        // the per-step sensitivity → ε′ must come back ≈ ε (the grid
+        // accountant is within a few percent of the closed form).
+        let (eps, delta, k) = (2.2, 1e-3, 30usize);
+        let z = calibrate_noise_multiplier_closed_form(eps, delta, k);
+        let ls: Vec<f64> = (0..k).map(|i| 1.0 + 0.1 * (i as f64)).collect();
+        let sigmas: Vec<f64> = ls.iter().map(|l| z * l).collect();
+        let eps_prime = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+        assert!(
+            (eps_prime - eps).abs() / eps < 0.05,
+            "eps' {eps_prime} vs eps {eps}"
+        );
+    }
+
+    #[test]
+    fn ls_estimator_reports_smaller_eps_for_oversized_noise() {
+        // Noise scaled to 2C = 6 while realised sensitivity is ~1.5 → ε′ ≪ ε.
+        let (eps, delta, k) = (2.2, 1e-3, 30usize);
+        let z = calibrate_noise_multiplier_closed_form(eps, delta, k);
+        let sigma_global = z * 6.0;
+        let ls = vec![1.5; k];
+        let sigmas = vec![sigma_global; k];
+        let eps_prime = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+        assert!(eps_prime < eps * 0.5, "eps' {eps_prime} not ≪ {eps}");
+    }
+
+    #[test]
+    fn ls_estimator_monotone_in_realised_sensitivity() {
+        let sigmas = vec![10.0; 10];
+        let low = eps_from_local_sensitivities(&sigmas, &[1.0; 10], 1e-5, 1e-9);
+        let high = eps_from_local_sensitivities(&sigmas, &[2.0; 10], 1e-5, 1e-9);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ls_estimator_floor_bounds_degenerate_steps() {
+        let sigmas = vec![1.0; 3];
+        let ls = vec![0.0; 3];
+        let eps = eps_from_local_sensitivities(&sigmas, &ls, 1e-5, 1e-6);
+        assert!(eps.is_finite());
+        // The grid conversion cannot report below ln(1/δ)/(α_max − 1); just
+        // require the result to be near that conversion floor.
+        assert!(eps < 0.05, "degenerate steps should contribute ~nothing: {eps}");
+    }
+
+    #[test]
+    fn belief_estimator_inverts_rho_beta() {
+        for &eps in &[0.08, 1.1, 2.2, 4.6] {
+            let beta = rho_beta(eps);
+            let back = eps_from_max_belief(beta);
+            assert!((back - eps).abs() < 1e-9, "{back} vs {eps}");
+        }
+    }
+
+    #[test]
+    fn belief_estimator_edge_cases() {
+        assert_eq!(eps_from_max_belief(0.5), 0.0);
+        assert_eq!(eps_from_max_belief(0.2), 0.0);
+        assert_eq!(eps_from_max_belief(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn advantage_estimator_inverts_rho_alpha() {
+        for &(eps, delta) in &[(1.1, 1e-3), (2.2, 1e-2), (4.6, 1e-3)] {
+            let adv = rho_alpha(eps, delta);
+            let back = eps_from_advantage(adv, delta);
+            assert!((back - eps).abs() < 1e-9, "{back} vs {eps}");
+        }
+    }
+
+    #[test]
+    fn advantage_estimator_zero_for_random_guessing() {
+        assert_eq!(eps_from_advantage(0.0, 1e-3), 0.0);
+        assert_eq!(eps_from_advantage(-0.2, 1e-3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn mismatched_series_rejected() {
+        eps_from_local_sensitivities(&[1.0], &[1.0, 2.0], 1e-5, 1e-9);
+    }
+
+    fn fake_batch(belief: f64, correct: bool) -> crate::experiment::DiBatchResult {
+        crate::experiment::DiBatchResult {
+            trials: vec![crate::experiment::DiTrialResult {
+                b: true,
+                guess: correct,
+                correct,
+                belief_d: belief,
+                belief_trained: belief,
+                belief_history: vec![belief],
+                local_sensitivities: vec![1.0; 5],
+                sigmas: vec![10.0; 5],
+                test_accuracy: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn audit_report_fields_consistent() {
+        let batch = fake_batch(0.8, true);
+        let report = AuditReport::from_batch(&batch, 2.2, 1e-3, 1e-9);
+        assert_eq!(report.trials, 1);
+        assert!((report.max_belief - 0.8).abs() < 1e-12);
+        assert!((report.eps_from_belief - (0.8f64 / 0.2).ln()).abs() < 1e-9);
+        assert_eq!(report.advantage, 1.0);
+        // belief 0.8 < rho_beta(2.2) ≈ 0.9 → no empirical-delta violation.
+        assert_eq!(report.empirical_delta, 0.0);
+        assert!(report.budget_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn audit_report_flags_exceedance() {
+        // Belief 0.999 → eps' ≈ 6.9 ≫ target 2.2.
+        let batch = fake_batch(0.999, true);
+        let report = AuditReport::from_batch(&batch, 2.2, 1e-3, 1e-9);
+        assert!(report.exceeds_claim(0.1));
+        assert!(report.empirical_delta > 0.0);
+        // A modest belief does not trip the flag via the belief estimator,
+        // but σ/ls = 10 over 5 steps still certifies some eps_from_ls; use a
+        // generous claim so no estimator exceeds it.
+        let calm = AuditReport::from_batch(&fake_batch(0.6, false), 5.0, 1e-3, 1e-9);
+        assert!(!calm.exceeds_claim(0.1));
+    }
+
+    #[test]
+    fn audit_report_serialises() {
+        // Use a non-saturating batch: advantage 1.0 would give an infinite
+        // eps_from_advantage, which JSON cannot round-trip.
+        let report = AuditReport::from_batch(&fake_batch(0.7, false), 2.2, 1e-3, 1e-9);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trials, report.trials);
+        assert_eq!(back.max_belief, report.max_belief);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn audit_report_rejects_empty_batch() {
+        let batch = crate::experiment::DiBatchResult { trials: vec![] };
+        AuditReport::from_batch(&batch, 2.2, 1e-3, 1e-9);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Bayesian posterior-belief tracker (paper Lemma 1).
+
+use dpaudit_math::{logit, sigmoid};
+use serde::{Deserialize, Serialize};
+
+/// Tracks the DI adversary's posterior belief β_i(D) across the adaptive
+/// mechanism releases of one training run.
+///
+/// Lemma 1 writes β_k as a product of likelihood ratios; we accumulate the
+/// *log-odds* `Λ_k = ln(β_k/(1−β_k)) = Λ_0 + Σᵢ ln(p(rᵢ|D)/p(rᵢ|D′))`, which
+/// is exact, O(1) per update and immune to the underflow that the literal
+/// product form hits after a handful of high-dimensional Gaussian releases.
+///
+/// ```
+/// use dpaudit_core::BeliefTracker;
+/// let mut tracker = BeliefTracker::new();          // uniform prior
+/// // A Gaussian release lands at the D-hypothesis center:
+/// tracker.update_gaussian(&[0.0, 0.0], &[0.0, 0.0], &[1.0, 1.0], 1.0);
+/// assert!(tracker.belief() > 0.5);
+/// assert!(tracker.decide_d());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeliefTracker {
+    log_odds: f64,
+    history: Vec<f64>,
+}
+
+impl Default for BeliefTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BeliefTracker {
+    /// Start from the uniform prior β₀ = 1/2 (the paper's assumption).
+    pub fn new() -> Self {
+        Self {
+            log_odds: 0.0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Start from an arbitrary prior belief in D.
+    ///
+    /// # Panics
+    /// Panics for a prior outside `(0, 1)`.
+    pub fn with_prior(prior: f64) -> Self {
+        assert!(
+            prior > 0.0 && prior < 1.0,
+            "BeliefTracker: prior must be in (0, 1), got {prior}"
+        );
+        Self {
+            log_odds: logit(prior),
+            history: Vec::new(),
+        }
+    }
+
+    /// Fold in one release's log-likelihood ratio
+    /// `ln p(rᵢ | D) − ln p(rᵢ | D′)` and record the resulting βᵢ.
+    pub fn update_llr(&mut self, llr: f64) {
+        assert!(!llr.is_nan(), "BeliefTracker: NaN log-likelihood ratio");
+        self.log_odds += llr;
+        self.history.push(self.belief());
+    }
+
+    /// Fold in one isotropic-Gaussian release: observed output, the two
+    /// hypothesis centers and the noise σ. This is exactly Algorithm 1's
+    /// belief update specialised to the Gaussian mechanism.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or a non-positive σ.
+    pub fn update_gaussian(&mut self, output: &[f64], center_d: &[f64], center_d_prime: &[f64], sigma: f64) {
+        assert!(sigma > 0.0, "BeliefTracker: sigma must be positive");
+        assert_eq!(output.len(), center_d.len(), "BeliefTracker: center_d length");
+        assert_eq!(
+            output.len(),
+            center_d_prime.len(),
+            "BeliefTracker: center_d_prime length"
+        );
+        // (‖r − c_D′‖² − ‖r − c_D‖²) / (2σ²), fused in one pass.
+        let mut diff = 0.0;
+        for ((&r, &cd), &cdp) in output.iter().zip(center_d).zip(center_d_prime) {
+            diff += (r - cdp) * (r - cdp) - (r - cd) * (r - cd);
+        }
+        self.update_llr(diff / (2.0 * sigma * sigma));
+    }
+
+    /// Current belief in D, `β_i = sigmoid(Λ_i)`.
+    pub fn belief(&self) -> f64 {
+        sigmoid(self.log_odds)
+    }
+
+    /// Current belief in D′, `1 − β_i` (computed stably from the log-odds).
+    pub fn belief_d_prime(&self) -> f64 {
+        sigmoid(-self.log_odds)
+    }
+
+    /// Current log-odds Λ_i — the exact quantity to report when β saturates.
+    pub fn log_odds(&self) -> f64 {
+        self.log_odds
+    }
+
+    /// Number of releases folded in so far.
+    pub fn updates(&self) -> usize {
+        self.history.len()
+    }
+
+    /// β after every release so far, in order (β₁, …, β_i).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The adversary's decision (Algorithm 1 step 14): `true` ⇔ guess D.
+    /// Exact ties (Λ = 0) go to D′, matching the strict inequality
+    /// `β_k(D) > β_k(D′)` in the paper.
+    pub fn decide_d(&self) -> bool {
+        self.log_odds > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_uniform_prior() {
+        let t = BeliefTracker::new();
+        assert_eq!(t.belief(), 0.5);
+        assert_eq!(t.belief_d_prime(), 0.5);
+        assert!(!t.decide_d());
+        assert_eq!(t.updates(), 0);
+    }
+
+    #[test]
+    fn with_prior_round_trips() {
+        let t = BeliefTracker::with_prior(0.8);
+        assert!((t.belief() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llr_updates_accumulate_additively() {
+        let mut t = BeliefTracker::new();
+        t.update_llr(1.0);
+        t.update_llr(0.5);
+        t.update_llr(-0.25);
+        assert!((t.log_odds() - 1.25).abs() < 1e-12);
+        assert_eq!(t.history().len(), 3);
+        assert!((t.belief() - dpaudit_math::sigmoid(1.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn beliefs_sum_to_one() {
+        let mut t = BeliefTracker::new();
+        t.update_llr(3.7);
+        assert!((t.belief() + t.belief_d_prime() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_lemma1_product_form() {
+        // Compare log-odds accumulation against the literal product of
+        // densities for a few scalar Gaussian releases.
+        let sigma = 1.3;
+        let cd = 0.0;
+        let cdp = 1.0;
+        let outputs = [0.2, 0.9, -0.4, 0.55];
+        let mut t = BeliefTracker::new();
+        let mut prod_d = 1.0;
+        let mut prod_dp = 1.0;
+        let dens = |r: f64, c: f64| (-(r - c) * (r - c) / (2.0 * sigma * sigma)).exp();
+        for &r in &outputs {
+            t.update_gaussian(&[r], &[cd], &[cdp], sigma);
+            prod_d *= dens(r, cd);
+            prod_dp *= dens(r, cdp);
+        }
+        let lemma = prod_d / (prod_d + prod_dp);
+        assert!((t.belief() - lemma).abs() < 1e-12, "{} vs {lemma}", t.belief());
+    }
+
+    #[test]
+    fn gaussian_update_multidimensional() {
+        let mut t = BeliefTracker::new();
+        // Output exactly at the D center: belief must move toward D.
+        t.update_gaussian(&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0], 1.0);
+        assert!(t.belief() > 0.5);
+        assert!(t.decide_d());
+        // LLR = (3 − 0)/2 = 1.5.
+        assert!((t.log_odds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_output_is_uninformative() {
+        let mut t = BeliefTracker::new();
+        t.update_gaussian(&[0.5], &[0.0], &[1.0], 2.0);
+        assert_eq!(t.log_odds(), 0.0);
+        assert!(!t.decide_d());
+    }
+
+    #[test]
+    fn no_overflow_under_extreme_evidence() {
+        let mut t = BeliefTracker::new();
+        for _ in 0..10_000 {
+            t.update_llr(100.0);
+        }
+        assert_eq!(t.belief(), 1.0);
+        assert!(t.log_odds().is_finite());
+        assert_eq!(t.log_odds(), 1_000_000.0);
+        // And the complementary belief is exactly representable as 0 without NaN.
+        assert_eq!(t.belief_d_prime(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_evidence_keeps_prior() {
+        let mut t = BeliefTracker::new();
+        t.update_llr(2.5);
+        t.update_llr(-2.5);
+        assert!((t.belief() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_llr_rejected() {
+        BeliefTracker::new().update_llr(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior must be in")]
+    fn degenerate_prior_rejected() {
+        BeliefTracker::with_prior(1.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Exp^DI harness (paper Experiment 2 instantiated for DPSGD).
+
+use dpaudit_datasets::Dataset;
+use dpaudit_dpsgd::{train_dpsgd, DpsgdConfig, NeighborPair};
+use dpaudit_math::{seeded_rng, split_seed};
+use dpaudit_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::DiAdversary;
+use crate::scores::advantage_from_success_rate;
+
+/// How the challenge bit of Experiment 2 is chosen per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChallengeMode {
+    /// Draw b uniformly — the literal Exp^DI (used for advantage).
+    RandomBit,
+    /// Always train on D — the paper's evaluation protocol for the
+    /// belief-distribution figures (β_k(D) with D trained, Figure 6).
+    AlwaysD,
+}
+
+/// Settings shared by every trial of a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSettings {
+    /// The DPSGD configuration (clip norm, η, k, mode, z, scaling).
+    pub dpsgd: DpsgdConfig,
+    /// Challenge-bit protocol.
+    pub challenge: ChallengeMode,
+}
+
+/// Outcome of one challenge trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiTrialResult {
+    /// The challenge bit (true ⇔ D was trained).
+    pub b: bool,
+    /// The adversary's guess (true ⇔ it output D).
+    pub guess: bool,
+    /// Whether the guess matched the bit.
+    pub correct: bool,
+    /// Final posterior belief in D, β_k(D).
+    pub belief_d: f64,
+    /// Final posterior belief in the dataset that was actually trained —
+    /// the quantity whose exceedance of ρ_β is counted as empirical δ.
+    pub belief_trained: f64,
+    /// β_i(D) after every step.
+    pub belief_history: Vec<f64>,
+    /// Estimated local sensitivity L̂S_ĝᵢ per step (Eqs. 17/18).
+    pub local_sensitivities: Vec<f64>,
+    /// Noise σᵢ per step.
+    pub sigmas: Vec<f64>,
+    /// Test accuracy of the final model, when a test set was supplied.
+    pub test_accuracy: Option<f64>,
+}
+
+/// One complete Exp^DI trial: build a model, flip the challenge bit, run
+/// DPSGD with the adversary observing every step, and record the outcome.
+///
+/// `model_builder` constructs the (seeded) initial model — θ₀ is part of the
+/// adversary's assumed knowledge, so both parties share it by construction.
+pub fn run_di_trial(
+    pair: &NeighborPair,
+    settings: &TrialSettings,
+    test_set: Option<&Dataset>,
+    model_builder: impl Fn(&mut StdRng) -> Sequential,
+    seed: u64,
+) -> DiTrialResult {
+    let mut model_rng = seeded_rng(split_seed(seed, 0));
+    let mut noise_rng = seeded_rng(split_seed(seed, 1));
+    let mut challenge_rng = seeded_rng(split_seed(seed, 2));
+
+    let b = match settings.challenge {
+        ChallengeMode::RandomBit => challenge_rng.gen::<bool>(),
+        ChallengeMode::AlwaysD => true,
+    };
+
+    let mut model = model_builder(&mut model_rng);
+    let mut adversary = DiAdversary::new(settings.dpsgd.mode);
+    let mut local_sensitivities = Vec::with_capacity(settings.dpsgd.steps);
+    let mut sigmas = Vec::with_capacity(settings.dpsgd.steps);
+
+    train_dpsgd(&mut model, pair, b, &settings.dpsgd, &mut noise_rng, |record| {
+        adversary.observe(&record, b);
+        local_sensitivities.push(record.local_sensitivity);
+        sigmas.push(record.sigma);
+    });
+
+    let guess = adversary.decide_d();
+    let belief_d = adversary.belief_d();
+    let belief_trained = if b { belief_d } else { 1.0 - belief_d };
+    let test_accuracy = test_set.map(|t| model.accuracy(&t.xs, &t.ys));
+
+    DiTrialResult {
+        b,
+        guess,
+        correct: guess == b,
+        belief_d,
+        belief_trained,
+        belief_history: adversary.belief_history().to_vec(),
+        local_sensitivities,
+        sigmas,
+        test_accuracy,
+    }
+}
+
+/// Aggregate results of a trial batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiBatchResult {
+    /// Per-trial outcomes, in seed order.
+    pub trials: Vec<DiTrialResult>,
+}
+
+impl DiBatchResult {
+    /// Fraction of correct guesses.
+    pub fn success_rate(&self) -> f64 {
+        assert!(!self.trials.is_empty(), "success_rate: no trials");
+        self.trials.iter().filter(|t| t.correct).count() as f64 / self.trials.len() as f64
+    }
+
+    /// Empirical membership advantage `2·Pr(correct) − 1` (Definition 5).
+    pub fn advantage(&self) -> f64 {
+        advantage_from_success_rate(self.success_rate())
+    }
+
+    /// Empirical δ: the fraction of trials whose final belief in the *true*
+    /// dataset exceeded the bound ρ_β (paper §6.2).
+    pub fn empirical_delta(&self, rho_beta_bound: f64) -> f64 {
+        assert!(!self.trials.is_empty(), "empirical_delta: no trials");
+        self.trials
+            .iter()
+            .filter(|t| t.belief_trained > rho_beta_bound)
+            .count() as f64
+            / self.trials.len() as f64
+    }
+
+    /// Final beliefs in the trained dataset across trials (Figure 6 series).
+    pub fn final_beliefs(&self) -> Vec<f64> {
+        self.trials.iter().map(|t| t.belief_trained).collect()
+    }
+
+    /// The maximum observed final belief (input to the ε′-from-β estimator).
+    pub fn max_belief(&self) -> f64 {
+        self.trials
+            .iter()
+            .map(|t| t.belief_trained)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Test accuracies across trials, when recorded (Figure 7 series).
+    pub fn test_accuracies(&self) -> Vec<f64> {
+        self.trials.iter().filter_map(|t| t.test_accuracy).collect()
+    }
+}
+
+/// Run `reps` independent trials with per-trial seeds split from
+/// `master_seed`.
+pub fn run_di_trials(
+    pair: &NeighborPair,
+    settings: &TrialSettings,
+    test_set: Option<&Dataset>,
+    model_builder: impl Fn(&mut StdRng) -> Sequential + Sync,
+    reps: usize,
+    master_seed: u64,
+) -> DiBatchResult {
+    assert!(reps > 0, "run_di_trials: reps must be positive");
+    let trials = (0..reps)
+        .map(|i| {
+            run_di_trial(
+                pair,
+                settings,
+                test_set,
+                &model_builder,
+                split_seed(master_seed, 1000 + i as u64),
+            )
+        })
+        .collect();
+    DiBatchResult { trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_datasets::NeighborSpec;
+    use dpaudit_dp::NeighborMode;
+    use dpaudit_dpsgd::SensitivityScaling;
+    use dpaudit_nn::{Dense, Layer};
+    use dpaudit_tensor::Tensor;
+
+    fn toy_pair() -> NeighborPair {
+        let mut d = Dataset::empty();
+        for i in 0..8 {
+            let x: Vec<f64> = (0..6).map(|j| ((i * 5 + j * 3) % 7) as f64 / 7.0).collect();
+            d.push(Tensor::from_vec(&[6], x), i % 2);
+        }
+        NeighborPair::from_spec(
+            &d,
+            &NeighborSpec::Replace {
+                index: 0,
+                record: Tensor::full(&[6], 1.0),
+                label: 1,
+            },
+        )
+    }
+
+    fn builder(rng: &mut StdRng) -> Sequential {
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(rng, 6, 4)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(rng, 4, 2)),
+        ])
+    }
+
+    fn settings(z: f64, challenge: ChallengeMode) -> TrialSettings {
+        TrialSettings {
+            dpsgd: DpsgdConfig::new(
+                1.0,
+                0.05,
+                4,
+                NeighborMode::Bounded,
+                z,
+                SensitivityScaling::Local,
+            ),
+            challenge,
+        }
+    }
+
+    #[test]
+    fn trial_is_deterministic_per_seed() {
+        let pair = toy_pair();
+        let s = settings(2.0, ChallengeMode::RandomBit);
+        let a = run_di_trial(&pair, &s, None, builder, 42);
+        let b = run_di_trial(&pair, &s, None, builder, 42);
+        assert_eq!(a.b, b.b);
+        assert_eq!(a.belief_d, b.belief_d);
+        assert_eq!(a.belief_history, b.belief_history);
+    }
+
+    #[test]
+    fn trial_records_per_step_series() {
+        let pair = toy_pair();
+        let s = settings(2.0, ChallengeMode::AlwaysD);
+        let t = run_di_trial(&pair, &s, None, builder, 7);
+        assert!(t.b);
+        assert_eq!(t.belief_history.len(), 4);
+        assert_eq!(t.local_sensitivities.len(), 4);
+        assert_eq!(t.sigmas.len(), 4);
+        assert_eq!(t.belief_trained, t.belief_d);
+        assert!(t.test_accuracy.is_none());
+    }
+
+    #[test]
+    fn low_noise_adversary_nearly_always_wins() {
+        let pair = toy_pair();
+        // z = 0.05: essentially no noise relative to the gradient gap.
+        let s = settings(0.05, ChallengeMode::RandomBit);
+        let batch = run_di_trials(&pair, &s, None, builder, 20, 1);
+        assert!(
+            batch.success_rate() > 0.9,
+            "success {}",
+            batch.success_rate()
+        );
+        assert!(batch.advantage() > 0.8);
+    }
+
+    #[test]
+    fn extreme_noise_advantage_near_zero() {
+        let pair = toy_pair();
+        let s = settings(500.0, ChallengeMode::RandomBit);
+        let batch = run_di_trials(&pair, &s, None, builder, 40, 2);
+        assert!(
+            batch.advantage().abs() < 0.4,
+            "advantage {}",
+            batch.advantage()
+        );
+        // Beliefs hover near the prior.
+        for t in &batch.trials {
+            assert!((t.belief_d - 0.5).abs() < 0.2, "belief {}", t.belief_d);
+        }
+    }
+
+    #[test]
+    fn empirical_delta_counts_bound_violations() {
+        let pair = toy_pair();
+        let s = settings(0.05, ChallengeMode::AlwaysD);
+        let batch = run_di_trials(&pair, &s, None, builder, 10, 3);
+        // With almost no noise the belief saturates → every trial exceeds
+        // a 0.9 bound; none exceed a bound of 1.0.
+        assert!(batch.empirical_delta(0.9) > 0.8);
+        assert_eq!(batch.empirical_delta(1.0), 0.0);
+        assert!(batch.max_belief() > 0.99);
+    }
+
+    #[test]
+    fn random_bits_actually_vary() {
+        let pair = toy_pair();
+        let s = settings(2.0, ChallengeMode::RandomBit);
+        let batch = run_di_trials(&pair, &s, None, builder, 30, 4);
+        let ones = batch.trials.iter().filter(|t| t.b).count();
+        assert!(ones > 5 && ones < 25, "challenge bits degenerate: {ones}/30");
+    }
+
+    #[test]
+    fn test_accuracy_recorded_when_requested() {
+        let pair = toy_pair();
+        let test = pair.d.slice(0, 4);
+        let s = settings(2.0, ChallengeMode::AlwaysD);
+        let t = run_di_trial(&pair, &s, Some(&test), builder, 9);
+        let acc = t.test_accuracy.unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "reps must be positive")]
+    fn zero_reps_rejected() {
+        let pair = toy_pair();
+        let s = settings(2.0, ChallengeMode::RandomBit);
+        run_di_trials(&pair, &s, None, builder, 0, 1);
+    }
+}

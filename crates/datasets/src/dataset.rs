@@ -1,0 +1,196 @@
+//! Labelled datasets and neighbouring-dataset construction.
+
+use dpaudit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: feature tensors plus integer class labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature tensors, one per record.
+    pub xs: Vec<Tensor>,
+    /// Class labels, parallel to `xs`.
+    pub ys: Vec<usize>,
+}
+
+/// How a neighbouring dataset `D′` is derived from `D` (paper §2.1 and
+/// Definition 6): bounded DP replaces one record, unbounded DP removes one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NeighborSpec {
+    /// Replace the record at `index` in `D` with `record` (bounded DP).
+    Replace {
+        /// Position in `D` of the record to replace (x̂₁).
+        index: usize,
+        /// The incoming record x̂₂ ∈ U \ D.
+        record: Tensor,
+        /// Label of the incoming record.
+        label: usize,
+    },
+    /// Remove the record at `index` from `D` (unbounded DP; |D′| = |D| − 1).
+    Remove {
+        /// Position in `D` of the record to remove (x̂₁).
+        index: usize,
+    },
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn empty() -> Self {
+        Self { xs: Vec::new(), ys: Vec::new() }
+    }
+
+    /// Build from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn new(xs: Vec<Tensor>, ys: Vec<usize>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "Dataset: xs/ys length mismatch");
+        Self { xs, ys }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, x: Tensor, y: usize) {
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// The records at positions `[lo, hi)` as a new dataset.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or inverted range.
+    pub fn slice(&self, lo: usize, hi: usize) -> Dataset {
+        assert!(lo <= hi && hi <= self.len(), "slice: bad range {lo}..{hi}");
+        Dataset {
+            xs: self.xs[lo..hi].to_vec(),
+            ys: self.ys[lo..hi].to_vec(),
+        }
+    }
+
+    /// Split into `(train, rest)` at `n`.
+    ///
+    /// # Panics
+    /// Panics when `n > len`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split_at: n out of range");
+        (self.slice(0, n), self.slice(n, self.len()))
+    }
+
+    /// Materialise the neighbouring dataset described by `spec`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn neighbor(&self, spec: &NeighborSpec) -> Dataset {
+        match spec {
+            NeighborSpec::Replace { index, record, label } => {
+                assert!(*index < self.len(), "neighbor: replace index out of range");
+                let mut out = self.clone();
+                out.xs[*index] = record.clone();
+                out.ys[*index] = *label;
+                out
+            }
+            NeighborSpec::Remove { index } => {
+                assert!(*index < self.len(), "neighbor: remove index out of range");
+                let mut out = self.clone();
+                out.xs.remove(*index);
+                out.ys.remove(*index);
+                out
+            }
+        }
+    }
+
+    /// Count of records per class, over `n_classes` classes.
+    pub fn class_histogram(&self, n_classes: usize) -> Vec<usize> {
+        let mut h = vec![0usize; n_classes];
+        for &y in &self.ys {
+            assert!(y < n_classes, "class_histogram: label {y} out of range");
+            h[y] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: f64) -> Tensor {
+        Tensor::from_vec(&[2], vec![v, v + 1.0])
+    }
+
+    fn sample() -> Dataset {
+        Dataset::new(vec![rec(0.0), rec(10.0), rec(20.0)], vec![0, 1, 0])
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(Dataset::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        Dataset::new(vec![rec(0.0)], vec![0, 1]);
+    }
+
+    #[test]
+    fn slice_and_split() {
+        let d = sample();
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ys, vec![1, 0]);
+    }
+
+    #[test]
+    fn replace_neighbor_keeps_size() {
+        let d = sample();
+        let spec = NeighborSpec::Replace { index: 1, record: rec(99.0), label: 5 };
+        let n = d.neighbor(&spec);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.ys[1], 5);
+        assert_eq!(n.xs[1].data()[0], 99.0);
+        // Original untouched.
+        assert_eq!(d.ys[1], 1);
+    }
+
+    #[test]
+    fn remove_neighbor_shrinks_by_one() {
+        let d = sample();
+        let n = d.neighbor(&NeighborSpec::Remove { index: 0 });
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.ys, vec![1, 0]);
+        assert_eq!(n.xs[0].data()[0], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_out_of_range_panics() {
+        sample().neighbor(&NeighborSpec::Remove { index: 3 });
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let d = sample();
+        assert_eq!(d.class_histogram(3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut d = sample();
+        d.push(rec(30.0), 2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.ys[3], 2);
+    }
+}

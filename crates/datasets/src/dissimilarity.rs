@@ -1,0 +1,215 @@
+//! Dissimilarity measures for the dataset-sensitivity heuristic.
+//!
+//! The paper uses the *negative structural similarity index* (SSIM) for
+//! images and the *Hamming distance* for binary baskets (§6.2). Definition 6
+//! leaves the measure abstract, so we expose a small trait.
+
+use dpaudit_tensor::Tensor;
+
+/// A dissimilarity measure between two records: larger means more different.
+pub trait Dissimilarity {
+    /// Dissimilarity `d(a, b)`. Must be symmetric; need not satisfy the
+    /// triangle inequality (−SSIM does not).
+    fn d(&self, a: &Tensor, b: &Tensor) -> f64;
+}
+
+/// Mean SSIM between two images over uniform 8×8 windows with stride 4.
+///
+/// SSIM per window with means μ, variances σ², covariance σ_ab and the
+/// standard stabilisers C1 = (0.01·L)², C2 = (0.03·L)² for dynamic range L:
+///
+/// ```text
+/// SSIM = ((2·μa·μb + C1)(2·σ_ab + C2)) / ((μa²+μb²+C1)(σa²+σb²+C2))
+/// ```
+///
+/// Accepts `[H, W]` or `[C, H, W]` tensors with C = 1. SSIM is 1 for
+/// identical images and decreases (possibly below 0) with dissimilarity.
+///
+/// # Panics
+/// Panics on mismatched shapes, multi-channel input, or images smaller than
+/// one window.
+pub fn ssim(a: &Tensor, b: &Tensor, dynamic_range: f64) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "ssim: shape mismatch");
+    let (h, w) = match a.shape() {
+        [h, w] => (*h, *w),
+        [1, h, w] => (*h, *w),
+        s => panic!("ssim: expected a single-channel image, got shape {s:?}"),
+    };
+    const WIN: usize = 8;
+    const STRIDE: usize = 4;
+    assert!(h >= WIN && w >= WIN, "ssim: image smaller than the 8x8 window");
+    let c1 = (0.01 * dynamic_range).powi(2);
+    let c2 = (0.03 * dynamic_range).powi(2);
+    let da = a.data();
+    let db = b.data();
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut top = 0;
+    while top + WIN <= h {
+        let mut left = 0;
+        while left + WIN <= w {
+            let mut sa = 0.0;
+            let mut sb = 0.0;
+            let mut saa = 0.0;
+            let mut sbb = 0.0;
+            let mut sab = 0.0;
+            for i in 0..WIN {
+                let row = (top + i) * w + left;
+                for j in 0..WIN {
+                    let x = da[row + j];
+                    let y = db[row + j];
+                    sa += x;
+                    sb += y;
+                    saa += x * x;
+                    sbb += y * y;
+                    sab += x * y;
+                }
+            }
+            let n = (WIN * WIN) as f64;
+            let mu_a = sa / n;
+            let mu_b = sb / n;
+            let var_a = saa / n - mu_a * mu_a;
+            let var_b = sbb / n - mu_b * mu_b;
+            let cov = sab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s;
+            windows += 1;
+            left += STRIDE;
+        }
+        top += STRIDE;
+    }
+    total / windows as f64
+}
+
+/// Negative SSIM as a dissimilarity (larger = more different), with dynamic
+/// range 1 (images in `[0, 1]`) — the measure the paper uses for MNIST.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NegSsim;
+
+impl Dissimilarity for NegSsim {
+    fn d(&self, a: &Tensor, b: &Tensor) -> f64 {
+        -ssim(a, b, 1.0)
+    }
+}
+
+/// Convenience function form of [`NegSsim`].
+pub fn neg_ssim(a: &Tensor, b: &Tensor) -> f64 {
+    NegSsim.d(a, b)
+}
+
+/// Hamming distance between two (0/1-valued) feature vectors — the measure
+/// the paper uses for Purchase-100. Counts coordinates differing by more
+/// than 0.5 so it is robust to floating-point encodings of bits.
+///
+/// # Panics
+/// Panics on mismatched lengths.
+pub fn hamming_distance(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.len(), b.len(), "hamming_distance: length mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .filter(|(x, y)| (*x - *y).abs() > 0.5)
+        .count() as f64
+}
+
+/// [`Dissimilarity`] implementation for the Hamming distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming;
+
+impl Dissimilarity for Hamming {
+    fn d(&self, a: &Tensor, b: &Tensor) -> f64 {
+        hamming_distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(vals: impl Fn(usize, usize) -> f64) -> Tensor {
+        let mut data = Vec::with_capacity(28 * 28);
+        for i in 0..28 {
+            for j in 0..28 {
+                data.push(vals(i, j));
+            }
+        }
+        Tensor::from_vec(&[1, 28, 28], data)
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let a = img(|i, j| ((i * 7 + j * 3) % 10) as f64 / 10.0);
+        assert!((ssim(&a, &a, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_symmetric() {
+        let a = img(|i, j| ((i + j) % 5) as f64 / 5.0);
+        let b = img(|i, j| ((i * j) % 7) as f64 / 7.0);
+        assert!((ssim(&a, &b, 1.0) - ssim(&b, &a, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let a = img(|i, j| if (8..20).contains(&i) && (8..20).contains(&j) { 1.0 } else { 0.0 });
+        // Slightly perturbed vs strongly perturbed versions of `a`.
+        let slight = img(|i, j| {
+            let base = if (8..20).contains(&i) && (8..20).contains(&j) { 1.0 } else { 0.0 };
+            f64::min(base + if (i * 31 + j * 17) % 13 == 0 { 0.2 } else { 0.0 }, 1.0)
+        });
+        let strong = img(|i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+        let s_slight = ssim(&a, &slight, 1.0);
+        let s_strong = ssim(&a, &strong, 1.0);
+        assert!(s_slight > s_strong, "{s_slight} vs {s_strong}");
+        assert!(s_slight < 1.0);
+    }
+
+    #[test]
+    fn ssim_inverted_image_is_dissimilar() {
+        let a = img(|i, _| if i < 14 { 1.0 } else { 0.0 });
+        let inv = img(|i, _| if i < 14 { 0.0 } else { 1.0 });
+        assert!(ssim(&a, &inv, 1.0) < 0.3);
+    }
+
+    #[test]
+    fn neg_ssim_orders_inversely_to_ssim() {
+        let a = img(|i, j| ((i + j) % 3) as f64 / 3.0);
+        let b = img(|i, j| ((i + 2 * j) % 5) as f64 / 5.0);
+        assert!((neg_ssim(&a, &b) + ssim(&a, &b, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn ssim_shape_checked() {
+        let a = Tensor::zeros(&[1, 28, 28]);
+        let b = Tensor::zeros(&[1, 14, 14]);
+        ssim(&a, &b, 1.0);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let a = Tensor::from_vec(&[5], vec![1.0, 0.0, 1.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(&[5], vec![1.0, 1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(hamming_distance(&a, &b), 2.0);
+        assert_eq!(hamming_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn hamming_symmetric_and_maximal() {
+        let a = Tensor::from_vec(&[4], vec![0.0; 4]);
+        let b = Tensor::from_vec(&[4], vec![1.0; 4]);
+        assert_eq!(hamming_distance(&a, &b), 4.0);
+        assert_eq!(hamming_distance(&b, &a), 4.0);
+    }
+
+    #[test]
+    fn dissimilarity_trait_objects() {
+        let measures: Vec<Box<dyn Dissimilarity>> = vec![Box::new(Hamming), Box::new(NegSsim)];
+        let a = img(|_, _| 0.0);
+        for m in &measures {
+            // d(a, a) should be minimal: 0 for Hamming, −1 for −SSIM.
+            assert!(m.d(&a, &a) <= 0.0);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Reference datasets, dissimilarity measures and the dataset-sensitivity
+//! heuristic (paper Definition 6).
+//!
+//! The paper evaluates on MNIST and Purchase-100. Neither is redistributable
+//! or downloadable in this environment, so this crate generates *synthetic
+//! equivalents* that preserve exactly the structure the experiments exercise:
+//! a 10-class 28×28 grayscale image task with meaningful SSIM variation, and
+//! a 100-class 600-bit binary basket task with meaningful Hamming-distance
+//! variation (see DESIGN.md, "Substitutions"). The dataset-sensitivity
+//! search of Definition 6 — pick the neighbouring dataset D̂′ whose
+//! differing record pair maximises a data-space dissimilarity — is
+//! implemented for both the bounded (replace-one) and unbounded
+//! (remove-one) neighbour relations, with top-k variants for Figure 4.
+
+pub mod dataset;
+pub mod dissimilarity;
+pub mod mnist;
+pub mod purchase;
+pub mod sensitivity;
+
+pub use dataset::{Dataset, NeighborSpec};
+pub use dissimilarity::{hamming_distance, neg_ssim, ssim, Dissimilarity, Hamming, NegSsim};
+pub use mnist::{generate_mnist, render_digit, MNIST_SIDE};
+pub use purchase::generate_purchase;
+pub use sensitivity::{
+    bounded_candidates, dataset_sensitivity_bounded, dataset_sensitivity_unbounded,
+    unbounded_candidates, RankedNeighbor,
+};

@@ -1,0 +1,181 @@
+//! Synthetic MNIST-like digit images.
+//!
+//! Real MNIST is not available in this environment (see DESIGN.md). We
+//! generate 28×28 grayscale images of seven-segment-style digit glyphs with
+//! per-sample translation jitter, intensity scaling, stroke-thickness
+//! variation and pixel noise. The experiments only require (a) a 10-class
+//! image task a small CNN can make progress on within 30 full-batch steps
+//! and (b) images with a meaningful spread of pairwise SSIM values so the
+//! dataset-sensitivity heuristic (Definition 6) has signal — both hold.
+
+use dpaudit_tensor::Tensor;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use dpaudit_math::GaussianSampler;
+
+/// Side length of the generated images.
+pub const MNIST_SIDE: usize = 28;
+
+/// The seven segments of a classic digit display, as (x0, y0, x1, y1)
+/// half-open boxes in a 28×28 canvas (row = y, col = x).
+const SEGMENTS: [(usize, usize, usize, usize); 7] = [
+    (9, 5, 20, 7),   // A: top bar
+    (18, 6, 20, 15), // B: top-right
+    (18, 14, 20, 23), // C: bottom-right
+    (9, 21, 20, 23), // D: bottom bar
+    (9, 14, 11, 23), // E: bottom-left
+    (9, 6, 11, 15),  // F: top-left
+    (9, 13, 20, 15), // G: middle bar
+];
+
+/// Which segments each digit lights (A..G bitmask, bit i = SEGMENTS[i]).
+const DIGIT_SEGMENTS: [u8; 10] = [
+    0b0111111, // 0: A B C D E F
+    0b0000110, // 1: B C
+    0b1011011, // 2: A B D E G
+    0b1001111, // 3: A B C D G
+    0b1100110, // 4: B C F G
+    0b1101101, // 5: A C D F G
+    0b1111101, // 6: A C D E F G
+    0b0000111, // 7: A B C
+    0b1111111, // 8: all
+    0b1101111, // 9: A B C D F G
+];
+
+/// Render one digit glyph with the given jitter parameters.
+///
+/// `dx`/`dy` translate the glyph (clamped to the canvas), `intensity` scales
+/// the stroke value, `thicken` grows each segment box by one pixel on every
+/// side.
+///
+/// # Panics
+/// Panics for `digit > 9`.
+pub fn render_digit(digit: usize, dx: i32, dy: i32, intensity: f64, thicken: bool) -> Tensor {
+    assert!(digit < 10, "render_digit: digit must be 0..=9, got {digit}");
+    let mut data = vec![0.0; MNIST_SIDE * MNIST_SIDE];
+    let mask = DIGIT_SEGMENTS[digit];
+    for (s, &(x0, y0, x1, y1)) in SEGMENTS.iter().enumerate() {
+        if mask & (1 << s) == 0 {
+            continue;
+        }
+        let grow = usize::from(thicken);
+        let (x0, y0) = (x0.saturating_sub(grow), y0.saturating_sub(grow));
+        let (x1, y1) = ((x1 + grow).min(MNIST_SIDE), (y1 + grow).min(MNIST_SIDE));
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let xs = x as i32 + dx;
+                let ys = y as i32 + dy;
+                if (0..MNIST_SIDE as i32).contains(&xs) && (0..MNIST_SIDE as i32).contains(&ys) {
+                    data[ys as usize * MNIST_SIDE + xs as usize] = intensity;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[1, MNIST_SIDE, MNIST_SIDE], data)
+}
+
+/// Generate `n` labelled synthetic digit images with uniformly distributed
+/// classes and per-sample jitter + Gaussian pixel noise (clamped to [0, 1]).
+pub fn generate_mnist<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
+    let mut gs = GaussianSampler::new();
+    let mut out = Dataset::empty();
+    for _ in 0..n {
+        let digit = rng.gen_range(0..10usize);
+        let dx = rng.gen_range(-2..=2);
+        let dy = rng.gen_range(-2..=2);
+        let intensity = rng.gen_range(0.7..1.0);
+        let thicken = rng.gen_bool(0.3);
+        let mut img = render_digit(digit, dx, dy, intensity, thicken);
+        for v in img.data_mut() {
+            *v = (*v + gs.sample(rng, 0.0, 0.05)).clamp(0.0, 1.0);
+        }
+        out.push(img, digit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissimilarity::ssim;
+    use dpaudit_math::seeded_rng;
+
+    #[test]
+    fn render_shapes_and_range() {
+        for d in 0..10 {
+            let img = render_digit(d, 0, 0, 1.0, false);
+            assert_eq!(img.shape(), &[1, MNIST_SIDE, MNIST_SIDE]);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            // Every digit lights at least two segments → some ink.
+            let ink: f64 = img.data().iter().sum();
+            assert!(ink > 10.0, "digit {d} has almost no ink");
+        }
+    }
+
+    #[test]
+    fn digits_are_mutually_distinguishable() {
+        // Every pair of clean digit glyphs must differ in some pixels.
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let ia = render_digit(a, 0, 0, 1.0, false);
+                let ib = render_digit(b, 0, 0, 1.0, false);
+                assert_ne!(ia.data(), ib.data(), "digits {a} and {b} render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn same_digit_more_similar_than_different() {
+        // Average SSIM within a class should dominate across classes.
+        let a1 = render_digit(3, 1, 0, 0.9, false);
+        let a2 = render_digit(3, 1, 0, 0.8, true);
+        let b = render_digit(1, 1, 0, 0.9, false);
+        let within = ssim(&a1, &a2, 1.0);
+        let across = ssim(&a1, &b, 1.0);
+        assert!(within > across, "within {within} vs across {across}");
+    }
+
+    #[test]
+    fn translation_moves_ink() {
+        let base = render_digit(8, 0, 0, 1.0, false);
+        let moved = render_digit(8, 2, 2, 1.0, false);
+        assert_ne!(base.data(), moved.data());
+        // Same amount of ink (nothing clipped at ±2 for the centred glyph).
+        let s1: f64 = base.data().iter().sum();
+        let s2: f64 = moved.data().iter().sum();
+        assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_labelled() {
+        let a = generate_mnist(&mut seeded_rng(5), 20);
+        let b = generate_mnist(&mut seeded_rng(5), 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(a.ys.iter().all(|&y| y < 10));
+        assert!(a.xs.iter().all(|x| x.shape() == [1, MNIST_SIDE, MNIST_SIDE]));
+        assert!(a
+            .xs
+            .iter()
+            .all(|x| x.data().iter().all(|&v| (0.0..=1.0).contains(&v))));
+    }
+
+    #[test]
+    fn classes_roughly_uniform() {
+        let d = generate_mnist(&mut seeded_rng(6), 2000);
+        let h = d.class_histogram(10);
+        for (c, &count) in h.iter().enumerate() {
+            assert!(
+                (120..=280).contains(&count),
+                "class {c} count {count} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digit must be 0..=9")]
+    fn digit_out_of_range_panics() {
+        render_digit(10, 0, 0, 1.0, false);
+    }
+}

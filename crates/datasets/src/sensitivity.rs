@@ -1,0 +1,261 @@
+//! Dataset sensitivity (paper Definition 6).
+//!
+//! The heuristic picks the neighbouring dataset D̂′ whose differing record
+//! pair maximises a data-space dissimilarity, as a cheap stand-in for the
+//! intractable gradient-space local-sensitivity maximisation:
+//!
+//! * **bounded DP** — substitute x̂₁ ∈ D with x̂₂ ∈ U∖D where
+//!   `(x̂₁, x̂₂) = argmax d(x₁, x₂)`;
+//! * **unbounded DP** (Eq. 16) — remove x̂₁ ∈ D where
+//!   `x̂₁ = argmax_{x₁} Σ_{x₂ ∈ D∖x₁} d(x₁, x₂)`.
+//!
+//! Figure 4 also needs the *least*-sensitive choices and the top-3 of each,
+//! so the search functions return ranked candidate lists.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, NeighborSpec};
+use crate::dissimilarity::Dissimilarity;
+
+/// A candidate neighbouring dataset with its dataset-sensitivity score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedNeighbor {
+    /// How to derive D′ from D.
+    pub spec: NeighborSpec,
+    /// The dissimilarity score of the differing pair (bounded) or the
+    /// dissimilarity sum (unbounded, Eq. 16).
+    pub score: f64,
+}
+
+/// Rank bounded-DP neighbour candidates: all pairs `(x₁ ∈ D, x₂ ∈ pool)`
+/// scored by `d(x₁, x₂)`, returning the `k` largest (`largest = true`) or
+/// smallest scores, sorted best-first.
+///
+/// # Panics
+/// Panics when `train` or `pool` is empty or `k` is zero.
+pub fn bounded_candidates<M: Dissimilarity>(
+    train: &Dataset,
+    pool: &Dataset,
+    measure: &M,
+    k: usize,
+    largest: bool,
+) -> Vec<RankedNeighbor> {
+    assert!(!train.is_empty(), "bounded_candidates: empty training set");
+    assert!(!pool.is_empty(), "bounded_candidates: empty pool");
+    assert!(k > 0, "bounded_candidates: k must be positive");
+    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(train.len() * pool.len());
+    for (i, x1) in train.xs.iter().enumerate() {
+        for (j, x2) in pool.xs.iter().enumerate() {
+            scored.push((measure.d(x1, x2), i, j));
+        }
+    }
+    sort_scores(&mut scored, largest);
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(score, i, j)| RankedNeighbor {
+            spec: NeighborSpec::Replace {
+                index: i,
+                record: pool.xs[j].clone(),
+                label: pool.ys[j],
+            },
+            score,
+        })
+        .collect()
+}
+
+/// The single maximising bounded-DP neighbour (Definition 6).
+pub fn dataset_sensitivity_bounded<M: Dissimilarity>(
+    train: &Dataset,
+    pool: &Dataset,
+    measure: &M,
+) -> RankedNeighbor {
+    bounded_candidates(train, pool, measure, 1, true)
+        .pop()
+        .expect("bounded_candidates returned no candidates")
+}
+
+/// Rank unbounded-DP neighbour candidates: every `x₁ ∈ D` scored by
+/// `Σ_{x₂ ∈ D∖x₁} d(x₁, x₂)` (Eq. 16), returning the `k` best.
+///
+/// # Panics
+/// Panics when `train` has fewer than two records or `k` is zero.
+pub fn unbounded_candidates<M: Dissimilarity>(
+    train: &Dataset,
+    measure: &M,
+    k: usize,
+    largest: bool,
+) -> Vec<RankedNeighbor> {
+    assert!(
+        train.len() >= 2,
+        "unbounded_candidates: need at least two records"
+    );
+    assert!(k > 0, "unbounded_candidates: k must be positive");
+    // Symmetric pairwise sums in O(n²/2) measure evaluations.
+    let n = train.len();
+    let mut sums = vec![0.0; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = measure.d(&train.xs[i], &train.xs[j]);
+            sums[i] += d;
+            sums[j] += d;
+        }
+    }
+    let mut scored: Vec<(f64, usize, usize)> =
+        sums.into_iter().enumerate().map(|(i, s)| (s, i, 0)).collect();
+    sort_scores(&mut scored, largest);
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(score, i, _)| RankedNeighbor {
+            spec: NeighborSpec::Remove { index: i },
+            score,
+        })
+        .collect()
+}
+
+/// The single maximising unbounded-DP neighbour (Definition 6 / Eq. 16).
+pub fn dataset_sensitivity_unbounded<M: Dissimilarity>(
+    train: &Dataset,
+    measure: &M,
+) -> RankedNeighbor {
+    unbounded_candidates(train, measure, 1, true)
+        .pop()
+        .expect("unbounded_candidates returned no candidates")
+}
+
+/// Sort scored tuples best-first with deterministic index tie-breaking.
+fn sort_scores(scored: &mut [(f64, usize, usize)], largest: bool) {
+    scored.sort_by(|a, b| {
+        let ord = a.0.partial_cmp(&b.0).expect("NaN dissimilarity score");
+        let ord = if largest { ord.reverse() } else { ord };
+        ord.then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissimilarity::Hamming;
+    use dpaudit_tensor::Tensor;
+
+    fn bits(v: &[u8]) -> Tensor {
+        Tensor::from_vec(&[v.len()], v.iter().map(|&b| f64::from(b)).collect())
+    }
+
+    fn train() -> Dataset {
+        Dataset::new(
+            vec![bits(&[0, 0, 0, 0]), bits(&[1, 1, 0, 0])],
+            vec![0, 1],
+        )
+    }
+
+    fn pool() -> Dataset {
+        Dataset::new(
+            vec![bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
+            vec![2, 3],
+        )
+    }
+
+    #[test]
+    fn bounded_argmax_picks_most_distant_pair() {
+        // Distances: d(t0,p0)=1 d(t0,p1)=4 d(t1,p0)=3 d(t1,p1)=2.
+        let best = dataset_sensitivity_bounded(&train(), &pool(), &Hamming);
+        assert_eq!(best.score, 4.0);
+        match best.spec {
+            NeighborSpec::Replace { index, ref record, label } => {
+                assert_eq!(index, 0);
+                assert_eq!(label, 3);
+                assert_eq!(record.data(), bits(&[1, 1, 1, 1]).data());
+            }
+            _ => panic!("expected Replace"),
+        }
+    }
+
+    #[test]
+    fn bounded_min_picks_least_distant_pair() {
+        let worst = bounded_candidates(&train(), &pool(), &Hamming, 1, false);
+        assert_eq!(worst[0].score, 1.0);
+    }
+
+    #[test]
+    fn bounded_top_k_is_sorted() {
+        let top = bounded_candidates(&train(), &pool(), &Hamming, 3, true);
+        assert_eq!(top.len(), 3);
+        assert_eq!(
+            top.iter().map(|r| r.score).collect::<Vec<_>>(),
+            vec![4.0, 3.0, 2.0]
+        );
+        let bottom = bounded_candidates(&train(), &pool(), &Hamming, 3, false);
+        assert_eq!(
+            bottom.iter().map(|r| r.score).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn bounded_k_larger_than_pairs_returns_all() {
+        let all = bounded_candidates(&train(), &pool(), &Hamming, 100, true);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn unbounded_argmax_is_most_isolated_record() {
+        // Three records: two close together, one far away.
+        let d = Dataset::new(
+            vec![bits(&[0, 0, 0, 0]), bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
+            vec![0, 0, 1],
+        );
+        let best = dataset_sensitivity_unbounded(&d, &Hamming);
+        // Sums: r0: 1+4=5, r1: 1+3=4, r2: 4+3=7 → r2 wins.
+        assert_eq!(best.score, 7.0);
+        assert_eq!(best.spec, NeighborSpec::Remove { index: 2 });
+    }
+
+    #[test]
+    fn unbounded_min_is_most_central_record() {
+        let d = Dataset::new(
+            vec![bits(&[0, 0, 0, 0]), bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
+            vec![0, 0, 1],
+        );
+        let worst = unbounded_candidates(&d, &Hamming, 1, false);
+        assert_eq!(worst[0].spec, NeighborSpec::Remove { index: 1 });
+    }
+
+    #[test]
+    fn neighbor_materialisation_matches_spec() {
+        let best = dataset_sensitivity_bounded(&train(), &pool(), &Hamming);
+        let d_prime = train().neighbor(&best.spec);
+        assert_eq!(d_prime.len(), train().len());
+        // The replaced record is the far pool record.
+        assert_eq!(d_prime.xs[0].data(), bits(&[1, 1, 1, 1]).data());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two identical pool records produce a tie; lowest indices win.
+        let pool = Dataset::new(vec![bits(&[1, 1, 1, 1]), bits(&[1, 1, 1, 1])], vec![0, 1]);
+        let a = bounded_candidates(&train(), &pool, &Hamming, 2, true);
+        assert_eq!(a[0].score, a[1].score);
+        match (&a[0].spec, &a[1].spec) {
+            (
+                NeighborSpec::Replace { label: l0, .. },
+                NeighborSpec::Replace { label: l1, .. },
+            ) => assert!(l0 < l1),
+            _ => panic!("expected Replace specs"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn empty_pool_rejected() {
+        bounded_candidates(&train(), &Dataset::empty(), &Hamming, 1, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two records")]
+    fn unbounded_needs_two_records() {
+        let d = Dataset::new(vec![bits(&[0, 0, 0, 0])], vec![0]);
+        unbounded_candidates(&d, &Hamming, 1, true);
+    }
+}

@@ -1,0 +1,168 @@
+//! Optimal (ε, δ) composition (Kairouz, Oh & Viswanath, ICML 2015) — the
+//! tight-composition result the paper's introduction cites alongside RDP.
+//!
+//! For k-fold homogeneous composition of (ε, δ)-DP mechanisms, the exact
+//! frontier of achievable guarantees is: for every `i ∈ {0, …, ⌊k/2⌋}` the
+//! composition is `(ε_i, 1 − (1−δ)^k·(1−δ̃_i))`-DP with
+//!
+//! ```text
+//! ε_i = (k − 2i)·ε
+//! δ̃_i = Σ_{ℓ=0}^{i−1} C(k,ℓ)·(e^{(k−ℓ)ε} − e^{(k−2i+ℓ)ε}) / (1 + e^ε)^k
+//! ```
+//!
+//! This module evaluates the frontier in log space and answers the practical
+//! question: *given a total δ budget, what is the smallest composed ε?* —
+//! a useful cross-check on the RDP accountant for pure-ε building blocks
+//! (e.g. per-step Laplace releases in the database-query setting).
+
+use dpaudit_math::{log_binomial, log_sum_exp};
+
+/// One point of the KOV composition frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompositionPoint {
+    /// The slack index i (0 ⇒ naive sequential ε).
+    pub i: usize,
+    /// Composed ε = (k − 2i)·ε.
+    pub epsilon: f64,
+    /// Composed δ = 1 − (1−δ)^k·(1−δ̃_i).
+    pub delta: f64,
+}
+
+/// The additive slack δ̃_i of the KOV theorem, computed stably in log space.
+fn kov_delta_tilde(epsilon: f64, k: usize, i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    // log denominator: k·ln(1 + e^ε).
+    let log_denom = k as f64 * softplus(epsilon);
+    // log numerator: logsumexp over ℓ of ln C(k,ℓ) + ln(e^{(k−ℓ)ε} − e^{(k−2i+ℓ)ε}).
+    let mut terms = Vec::with_capacity(i);
+    for l in 0..i {
+        let hi = (k - l) as f64 * epsilon;
+        let lo = (k as isize - 2 * i as isize + l as isize) as f64 * epsilon;
+        // ln(e^hi − e^lo) = hi + ln(1 − e^{lo−hi}); lo < hi always here.
+        let log_diff = hi + (-((lo - hi).exp())).ln_1p();
+        terms.push(log_binomial(k as u64, l as u64) + log_diff);
+    }
+    (log_sum_exp(&terms) - log_denom).exp()
+}
+
+/// Stable `ln(1 + e^x)`.
+fn softplus(x: f64) -> f64 {
+    dpaudit_math::log1p_exp(x)
+}
+
+/// The full KOV frontier for k-fold composition of an (ε, δ)-DP mechanism:
+/// one [`CompositionPoint`] per slack index, ε descending.
+///
+/// # Panics
+/// Panics for non-positive ε, δ outside `[0, 1)`, or `k = 0`.
+pub fn kov_frontier(epsilon: f64, delta: f64, k: usize) -> Vec<CompositionPoint> {
+    assert!(epsilon > 0.0, "kov_frontier: epsilon must be positive");
+    assert!((0.0..1.0).contains(&delta), "kov_frontier: delta must be in [0, 1)");
+    assert!(k > 0, "kov_frontier: k must be positive");
+    let base = (1.0 - delta).powi(k as i32);
+    (0..=k / 2)
+        .map(|i| {
+            let delta_tilde = kov_delta_tilde(epsilon, k, i).min(1.0);
+            CompositionPoint {
+                i,
+                epsilon: (k - 2 * i) as f64 * epsilon,
+                delta: 1.0 - base * (1.0 - delta_tilde),
+            }
+        })
+        .collect()
+}
+
+/// The smallest composed ε certified by KOV at a total δ budget —
+/// the optimal-composition answer to "what does k-fold use of this
+/// mechanism cost me?".
+///
+/// # Panics
+/// Panics on invalid inputs, or when even the i = 0 point (naive kδ-style
+/// total) exceeds the budget.
+pub fn kov_optimal_epsilon(epsilon: f64, delta: f64, k: usize, delta_budget: f64) -> f64 {
+    assert!(
+        delta_budget > 0.0 && delta_budget < 1.0,
+        "kov_optimal_epsilon: delta budget must be in (0, 1)"
+    );
+    let frontier = kov_frontier(epsilon, delta, k);
+    let best = frontier
+        .iter()
+        .filter(|p| p.delta <= delta_budget)
+        .map(|p| p.epsilon)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best.is_finite(),
+        "kov_optimal_epsilon: delta budget {delta_budget} below the floor 1-(1-delta)^k"
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_zero_is_naive_composition() {
+        let f = kov_frontier(0.5, 1e-6, 10);
+        assert_eq!(f[0].i, 0);
+        assert!((f[0].epsilon - 5.0).abs() < 1e-12);
+        // δ at i = 0 is exactly 1 − (1−δ)^k ≈ kδ.
+        assert!((f[0].delta - (1.0 - (1.0 - 1e-6_f64).powi(10))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frontier_trades_epsilon_for_delta() {
+        let f = kov_frontier(0.3, 0.0, 20);
+        for w in f.windows(2) {
+            assert!(w[1].epsilon < w[0].epsilon, "epsilon must decrease along the frontier");
+            assert!(w[1].delta >= w[0].delta, "delta must not decrease along the frontier");
+        }
+        // All deltas valid probabilities.
+        assert!(f.iter().all(|p| (0.0..=1.0).contains(&p.delta)));
+    }
+
+    #[test]
+    fn optimal_beats_naive_for_many_small_steps() {
+        // 100 steps of 0.05-DP: naive gives ε = 5; KOV with a 1e-6 slack
+        // must certify strictly less.
+        let eps = kov_optimal_epsilon(0.05, 0.0, 100, 1e-6);
+        assert!(eps < 5.0, "optimal {eps} not below naive 5.0");
+        // And it can never beat the advanced-composition scale √(2k ln(1/δ))ε.
+        let advanced = (2.0 * 100.0 * (1e6_f64).ln()).sqrt() * 0.05 + 100.0 * 0.05 * (0.05_f64.exp() - 1.0);
+        assert!(eps <= advanced + 1e-9, "optimal {eps} worse than advanced {advanced}");
+    }
+
+    #[test]
+    fn single_step_frontier_is_trivial() {
+        let f = kov_frontier(1.0, 1e-5, 1);
+        assert_eq!(f.len(), 1);
+        assert!((f[0].epsilon - 1.0).abs() < 1e-12);
+        assert!((f[0].delta - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loose_budget_recovers_small_epsilon() {
+        // With a generous δ budget the certified ε collapses toward the
+        // center of the frontier (k even → can reach 0).
+        let tight = kov_optimal_epsilon(0.2, 0.0, 10, 1e-9);
+        let loose = kov_optimal_epsilon(0.2, 0.0, 10, 0.5);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn delta_tilde_increases_with_i() {
+        let a = kov_delta_tilde(0.4, 12, 1);
+        let b = kov_delta_tilde(0.4, 12, 3);
+        let c = kov_delta_tilde(0.4, 12, 6);
+        assert!(0.0 < a && a < b && b < c && c <= 1.0, "{a} {b} {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta budget")]
+    fn impossible_budget_rejected() {
+        // Base failure probability 1 − (1−0.01)^50 ≈ 0.39 exceeds 1e-9.
+        kov_optimal_epsilon(0.1, 0.01, 50, 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Differential-privacy primitives.
+//!
+//! Implements the DP machinery the paper builds on: the Gaussian and Laplace
+//! mechanisms with classic (ε, δ) calibration (Dwork–Roth Eqs. 1–2 of the
+//! paper), the sensitivity notions of Definitions 2/3 plus the clipped
+//! gradient-sum sensitivities DPSGD uses, and a Rényi-DP accountant
+//! (Mironov, CSF 2017) with heterogeneous per-step noise — the engine behind
+//! both noise calibration (§6.1) and the ε′-from-sensitivities auditing
+//! estimator (§6.4).
+
+pub mod analytic;
+pub mod calibration;
+pub mod composition;
+pub mod mechanism;
+pub mod rdp;
+pub mod sensitivity;
+pub mod types;
+
+pub use analytic::{analytic_gaussian_delta, analytic_gaussian_sigma};
+pub use composition::{kov_frontier, kov_optimal_epsilon, CompositionPoint};
+pub use calibration::{
+    calibrate_noise_multiplier_closed_form, calibrate_noise_multiplier_search, NoiseCalibration,
+    NoisePlan,
+};
+pub use mechanism::{GaussianMechanism, LaplaceMechanism};
+pub use rdp::{
+    gaussian_rdp, gaussian_rdp_epsilon_closed_form, laplace_rdp, subsampled_gaussian_rdp_int,
+    subsampled_gaussian_rdp_numeric, RdpAccountant, DEFAULT_ORDERS,
+};
+pub use sensitivity::{gradient_sum_global_sensitivity, Sensitivity};
+pub use types::{DpGuarantee, NeighborMode};

@@ -1,0 +1,252 @@
+//! The Gaussian and Laplace mechanisms.
+
+use dpaudit_math::{squared_l2_distance, GaussianSampler, LaplaceSampler};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::types::DpGuarantee;
+
+/// The Gaussian mechanism `M(D) = f(D) + N(0, σ²·I)` — the mechanism of
+/// DPSGD and the subject of the paper's Theorem 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMechanism {
+    /// Noise standard deviation per coordinate.
+    pub sigma: f64,
+}
+
+impl GaussianMechanism {
+    /// Construct with a positive σ.
+    ///
+    /// # Panics
+    /// Panics when σ is not positive and finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "GaussianMechanism: sigma must be positive, got {sigma}"
+        );
+        Self { sigma }
+    }
+
+    /// Classic calibration (paper Eq. 1): the σ sufficient for (ε, δ)-DP at
+    /// sensitivity `Δf`: `σ = Δf·√(2·ln(1.25/δ)) / ε`.
+    ///
+    /// # Panics
+    /// Panics for δ = 0 (the Gaussian mechanism cannot give pure ε-DP) or a
+    /// non-positive sensitivity.
+    pub fn calibrate(guarantee: DpGuarantee, sensitivity: f64) -> Self {
+        assert!(guarantee.delta > 0.0, "Gaussian mechanism needs delta > 0");
+        assert!(
+            sensitivity > 0.0,
+            "GaussianMechanism::calibrate: sensitivity must be positive"
+        );
+        let sigma =
+            sensitivity * (2.0 * (1.25 / guarantee.delta).ln()).sqrt() / guarantee.epsilon;
+        Self::new(sigma)
+    }
+
+    /// Inverse of [`GaussianMechanism::calibrate`] (paper Eq. 2): the ε this
+    /// σ certifies at sensitivity `Δf` and failure probability δ.
+    pub fn epsilon_for(&self, sensitivity: f64, delta: f64) -> f64 {
+        assert!(delta > 0.0, "epsilon_for: delta must be positive");
+        assert!(sensitivity > 0.0, "epsilon_for: sensitivity must be positive");
+        sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / self.sigma
+    }
+
+    /// Perturb a query result in place.
+    pub fn perturb_in_place<R: Rng + ?Sized>(&self, rng: &mut R, value: &mut [f64]) {
+        let mut gs = GaussianSampler::new();
+        for v in value {
+            *v += gs.sample(rng, 0.0, self.sigma);
+        }
+    }
+
+    /// Perturb a query result, returning a fresh vector.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: &[f64]) -> Vec<f64> {
+        let mut out = value.to_vec();
+        self.perturb_in_place(rng, &mut out);
+        out
+    }
+
+    /// Log-density of observing `output` when the true query value is
+    /// `center` (multivariate isotropic normal).
+    pub fn log_density(&self, output: &[f64], center: &[f64]) -> f64 {
+        let d = output.len() as f64;
+        let sq = squared_l2_distance(output, center);
+        -sq / (2.0 * self.sigma * self.sigma)
+            - 0.5 * d * (2.0 * std::f64::consts::PI * self.sigma * self.sigma).ln()
+    }
+
+    /// Log-likelihood ratio `ln p(output | center1) − ln p(output | center0)`
+    /// — the belief-update increment of the DI adversary (paper Lemma 1),
+    /// computed without the normalisation constants.
+    pub fn log_likelihood_ratio(&self, output: &[f64], center1: &[f64], center0: &[f64]) -> f64 {
+        (squared_l2_distance(output, center0) - squared_l2_distance(output, center1))
+            / (2.0 * self.sigma * self.sigma)
+    }
+}
+
+/// The Laplace mechanism `M(D) = f(D) + Lap(0, b)^d`, used for the paper's
+/// pure-ε illustrations (Figure 1) and the Lee–Clifton baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaplaceMechanism {
+    /// Noise scale per coordinate.
+    pub scale: f64,
+}
+
+impl LaplaceMechanism {
+    /// Construct with a positive scale.
+    ///
+    /// # Panics
+    /// Panics when the scale is not positive and finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "LaplaceMechanism: scale must be positive, got {scale}"
+        );
+        Self { scale }
+    }
+
+    /// Calibrate to pure ε-DP at ℓ1 sensitivity `Δf`: `b = Δf/ε`.
+    pub fn calibrate(epsilon: f64, sensitivity_l1: f64) -> Self {
+        assert!(epsilon > 0.0, "LaplaceMechanism::calibrate: epsilon must be positive");
+        assert!(
+            sensitivity_l1 > 0.0,
+            "LaplaceMechanism::calibrate: sensitivity must be positive"
+        );
+        Self::new(sensitivity_l1 / epsilon)
+    }
+
+    /// Perturb a query result, returning a fresh vector.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: &[f64]) -> Vec<f64> {
+        let ls = LaplaceSampler;
+        value
+            .iter()
+            .map(|&v| ls.sample(rng, v, self.scale))
+            .collect()
+    }
+
+    /// Log-density of `output` when the true value is `center` (product of
+    /// independent Laplace densities).
+    pub fn log_density(&self, output: &[f64], center: &[f64]) -> f64 {
+        assert_eq!(output.len(), center.len(), "log_density: length mismatch");
+        let l1: f64 = output
+            .iter()
+            .zip(center)
+            .map(|(o, c)| (o - c).abs())
+            .sum();
+        -l1 / self.scale - output.len() as f64 * (2.0 * self.scale).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_math::seeded_rng;
+
+    #[test]
+    fn gaussian_calibration_matches_formula() {
+        // ε = 2.2, δ = 1e-3, Δf = 3: σ = 3·√(2 ln 1250)/2.2.
+        let m = GaussianMechanism::calibrate(DpGuarantee::new(2.2, 1e-3), 3.0);
+        let expect = 3.0 * (2.0 * (1250.0_f64).ln()).sqrt() / 2.2;
+        assert!((m.sigma - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_calibration_round_trip() {
+        let g = DpGuarantee::new(1.1, 1e-5);
+        let m = GaussianMechanism::calibrate(g, 2.0);
+        let eps = m.epsilon_for(2.0, 1e-5);
+        assert!((eps - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_privacy_needs_more_noise() {
+        let weak = GaussianMechanism::calibrate(DpGuarantee::new(6.0, 1e-6), 1.0);
+        let strong = GaussianMechanism::calibrate(DpGuarantee::new(3.0, 1e-6), 1.0);
+        assert!(strong.sigma > weak.sigma);
+        assert!((strong.sigma / weak.sigma - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_perturbation_statistics() {
+        let m = GaussianMechanism::new(2.0);
+        let mut rng = seeded_rng(1);
+        let n = 50_000;
+        let center = vec![5.0];
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let out = m.perturb(&mut rng, &center);
+            sum += out[0];
+            sumsq += (out[0] - 5.0) * (out[0] - 5.0);
+        }
+        assert!((sum / n as f64 - 5.0).abs() < 0.05);
+        assert!((sumsq / n as f64 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gaussian_log_density_is_normalized_shape() {
+        let m = GaussianMechanism::new(1.0);
+        // At the center the log-density of a d-dim standard normal is
+        // −d/2·ln(2π).
+        let ld = m.log_density(&[0.0, 0.0], &[0.0, 0.0]);
+        assert!((ld + (2.0 * std::f64::consts::PI).ln()).abs() < 1e-12);
+        // Moving one unit away in one coordinate costs 1/2.
+        let ld1 = m.log_density(&[1.0, 0.0], &[0.0, 0.0]);
+        assert!((ld - ld1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_ratio_consistent_with_densities() {
+        let m = GaussianMechanism::new(1.7);
+        let r = vec![0.3, -0.8, 1.2];
+        let c1 = vec![0.0, 0.0, 1.0];
+        let c0 = vec![0.5, -1.0, 0.5];
+        let llr = m.log_likelihood_ratio(&r, &c1, &c0);
+        let direct = m.log_density(&r, &c1) - m.log_density(&r, &c0);
+        assert!((llr - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llr_positive_when_closer_to_center1() {
+        let m = GaussianMechanism::new(1.0);
+        assert!(m.log_likelihood_ratio(&[0.1], &[0.0], &[1.0]) > 0.0);
+        assert!(m.log_likelihood_ratio(&[0.9], &[0.0], &[1.0]) < 0.0);
+        assert_eq!(m.log_likelihood_ratio(&[0.5], &[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn laplace_calibration_and_density() {
+        let m = LaplaceMechanism::calibrate(0.5, 2.0);
+        assert!((m.scale - 4.0).abs() < 1e-12);
+        // Log-density drop per unit ℓ1 distance is 1/b.
+        let d0 = m.log_density(&[0.0], &[0.0]);
+        let d1 = m.log_density(&[1.0], &[0.0]);
+        assert!((d0 - d1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_guarantee_ratio_bounded_by_exp_eps() {
+        // For any output r and neighbours at distance Δf, the density ratio
+        // must be ≤ e^ε. Check on a grid.
+        let eps = 0.8;
+        let m = LaplaceMechanism::calibrate(eps, 1.0);
+        for i in -50..=50 {
+            let r = i as f64 * 0.2;
+            let ratio = m.log_density(&[r], &[0.0]) - m.log_density(&[r], &[1.0]);
+            assert!(ratio.abs() <= eps + 1e-12, "ratio {ratio} at r={r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta > 0")]
+    fn gaussian_rejects_pure_dp() {
+        GaussianMechanism::calibrate(DpGuarantee::pure(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn gaussian_rejects_bad_sigma() {
+        GaussianMechanism::new(-1.0);
+    }
+}

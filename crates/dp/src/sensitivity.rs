@@ -1,0 +1,110 @@
+//! Sensitivity notions (paper Definitions 2, 3 and §5.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::NeighborMode;
+
+/// Which sensitivity a mechanism's noise is scaled to.
+///
+/// The paper's central empirical finding (Figures 5–10) is that scaling noise
+/// to the *global* sensitivity (the clipping norm) leaves the identifiability
+/// bounds loose, while scaling to the *estimated local* sensitivity of the
+/// actual neighbouring pair makes them tight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Global sensitivity (Definition 2): the worst case over all
+    /// neighbouring pairs. For the clipped-gradient-sum query this is the
+    /// clipping norm `C` (unbounded) or `2C` (bounded).
+    Global(f64),
+    /// Local sensitivity (Definition 3) estimated for the concrete pair
+    /// `(D, D̂′)` selected by dataset sensitivity — Eqs. 17/18.
+    Local(f64),
+}
+
+impl Sensitivity {
+    /// The numeric Δf to scale noise with.
+    ///
+    /// # Panics
+    /// Panics when the value is not positive and finite (a zero local
+    /// sensitivity would mean the two hypotheses are indistinguishable and
+    /// no noise is needed; callers must handle that case explicitly).
+    pub fn value(&self) -> f64 {
+        let v = match self {
+            Sensitivity::Global(v) | Sensitivity::Local(v) => *v,
+        };
+        assert!(v.is_finite() && v > 0.0, "Sensitivity must be positive, got {v}");
+        v
+    }
+
+    /// Raw value without validation (for reporting).
+    pub fn raw(&self) -> f64 {
+        match self {
+            Sensitivity::Global(v) | Sensitivity::Local(v) => *v,
+        }
+    }
+
+    /// True for the `Global` variant.
+    pub fn is_global(&self) -> bool {
+        matches!(self, Sensitivity::Global(_))
+    }
+}
+
+/// Global ℓ2 sensitivity of the clipped per-example gradient *sum*
+/// `f(D) = Σ_{x∈D} clip_C(∇ℓ(x))`:
+///
+/// * unbounded (add/remove one record): one clipped gradient of norm ≤ C
+///   appears or disappears → `GS = C`;
+/// * bounded (replace one record): two clipped gradients of norm ≤ C may
+///   point in opposite directions → `GS = 2C` (paper §6.1, Algorithm 1
+///   adaptation).
+///
+/// # Panics
+/// Panics for a non-positive clipping norm.
+pub fn gradient_sum_global_sensitivity(clip_norm: f64, mode: NeighborMode) -> f64 {
+    assert!(
+        clip_norm.is_finite() && clip_norm > 0.0,
+        "clip norm must be positive, got {clip_norm}"
+    );
+    match mode {
+        NeighborMode::Unbounded => clip_norm,
+        NeighborMode::Bounded => 2.0 * clip_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_value_accessors() {
+        assert_eq!(Sensitivity::Global(3.0).value(), 3.0);
+        assert_eq!(Sensitivity::Local(0.5).value(), 0.5);
+        assert!(Sensitivity::Global(3.0).is_global());
+        assert!(!Sensitivity::Local(3.0).is_global());
+        assert_eq!(Sensitivity::Local(0.0).raw(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sensitivity_value_panics() {
+        Sensitivity::Local(0.0).value();
+    }
+
+    #[test]
+    fn gradient_sum_sensitivities() {
+        assert_eq!(
+            gradient_sum_global_sensitivity(3.0, NeighborMode::Unbounded),
+            3.0
+        );
+        assert_eq!(
+            gradient_sum_global_sensitivity(3.0, NeighborMode::Bounded),
+            6.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clip norm must be positive")]
+    fn bad_clip_norm_panics() {
+        gradient_sum_global_sensitivity(0.0, NeighborMode::Bounded);
+    }
+}

@@ -1,0 +1,126 @@
+//! Core DP value types.
+
+use serde::{Deserialize, Serialize};
+
+/// An (ε, δ) differential-privacy guarantee (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpGuarantee {
+    /// Multiplicative privacy-loss bound; must be positive and finite.
+    pub epsilon: f64,
+    /// Additive failure probability; must lie in `[0, 1)`.
+    pub delta: f64,
+}
+
+impl DpGuarantee {
+    /// Construct with validation.
+    ///
+    /// # Panics
+    /// Panics on a non-positive/non-finite ε or a δ outside `[0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "DpGuarantee: epsilon must be positive and finite, got {epsilon}"
+        );
+        assert!(
+            (0.0..1.0).contains(&delta),
+            "DpGuarantee: delta must be in [0, 1), got {delta}"
+        );
+        Self { epsilon, delta }
+    }
+
+    /// A pure ε-DP guarantee (δ = 0).
+    pub fn pure(epsilon: f64) -> Self {
+        Self::new(epsilon, 0.0)
+    }
+
+    /// Naive sequential composition: `(Σε, Σδ)` (paper §2.1).
+    pub fn compose_sequential(guarantees: &[DpGuarantee]) -> DpGuarantee {
+        assert!(!guarantees.is_empty(), "compose_sequential: empty sequence");
+        DpGuarantee {
+            epsilon: guarantees.iter().map(|g| g.epsilon).sum(),
+            delta: guarantees.iter().map(|g| g.delta).sum::<f64>().min(1.0 - f64::EPSILON),
+        }
+    }
+
+    /// Split into `k` equal per-step guarantees under sequential composition.
+    pub fn split_sequential(&self, k: usize) -> DpGuarantee {
+        assert!(k > 0, "split_sequential: k must be positive");
+        DpGuarantee {
+            epsilon: self.epsilon / k as f64,
+            delta: self.delta / k as f64,
+        }
+    }
+}
+
+/// Which neighbouring-dataset relation is in force (paper §2.1).
+///
+/// Under unbounded DP, `D` and `D'` differ by the *presence* of one record
+/// (|D| = |D′| + 1 in this workspace's convention); under bounded DP they
+/// differ by the *value* of one record (equal sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeighborMode {
+    /// Add/remove one record.
+    Unbounded,
+    /// Replace one record.
+    Bounded,
+}
+
+impl std::fmt::Display for NeighborMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NeighborMode::Unbounded => write!(f, "unbounded"),
+            NeighborMode::Bounded => write!(f, "bounded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_construction() {
+        let g = DpGuarantee::new(1.5, 1e-5);
+        assert_eq!(g.epsilon, 1.5);
+        assert_eq!(g.delta, 1e-5);
+        let p = DpGuarantee::pure(0.1);
+        assert_eq!(p.delta, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        DpGuarantee::new(0.0, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn delta_one_rejected() {
+        DpGuarantee::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn sequential_composition_sums() {
+        let g = DpGuarantee::compose_sequential(&[
+            DpGuarantee::new(0.5, 1e-6),
+            DpGuarantee::new(1.0, 2e-6),
+        ]);
+        assert!((g.epsilon - 1.5).abs() < 1e-12);
+        assert!((g.delta - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn split_then_compose_is_identity() {
+        let g = DpGuarantee::new(2.2, 1e-3);
+        let per = g.split_sequential(30);
+        let back = DpGuarantee::compose_sequential(&vec![per; 30]);
+        assert!((back.epsilon - g.epsilon).abs() < 1e-9);
+        assert!((back.delta - g.delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_mode_display() {
+        assert_eq!(NeighborMode::Bounded.to_string(), "bounded");
+        assert_eq!(NeighborMode::Unbounded.to_string(), "unbounded");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the DP primitives: mechanism guarantees,
+//! accountant monotonicity/additivity, calibration consistency.
+
+use dpaudit_dp::{
+    calibrate_noise_multiplier_closed_form, gaussian_rdp, gaussian_rdp_epsilon_closed_form,
+    subsampled_gaussian_rdp_int, subsampled_gaussian_rdp_numeric, DpGuarantee, GaussianMechanism,
+    LaplaceMechanism, RdpAccountant,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Laplace mechanism's pointwise density ratio respects e^ε — the
+    /// literal Definition 1 for pure ε-DP, checked at random outputs.
+    #[test]
+    fn laplace_density_ratio_bounded(
+        eps in 0.05..5.0f64,
+        sensitivity in 0.1..10.0f64,
+        r in -50.0..50.0f64,
+    ) {
+        let m = LaplaceMechanism::calibrate(eps, sensitivity);
+        // Neighbouring query values at exactly the sensitivity apart.
+        let ratio = m.log_density(&[r], &[0.0]) - m.log_density(&[r], &[sensitivity]);
+        prop_assert!(ratio.abs() <= eps + 1e-9, "log ratio {ratio} vs eps {eps}");
+    }
+
+    /// Gaussian classic calibration is exactly inverted by `epsilon_for`.
+    #[test]
+    fn gaussian_calibration_bijective(
+        eps in 0.05..10.0f64,
+        log_delta in -9.0..-1.5f64,
+        sensitivity in 0.1..10.0f64,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let m = GaussianMechanism::calibrate(DpGuarantee::new(eps, delta), sensitivity);
+        let back = m.epsilon_for(sensitivity, delta);
+        prop_assert!((back - eps).abs() < 1e-9 * (1.0 + eps));
+    }
+
+    /// RDP of the Gaussian is linear in α and inverse-quadratic in z.
+    #[test]
+    fn gaussian_rdp_scaling(alpha in 1.01..100.0f64, z in 0.1..50.0f64) {
+        let r = gaussian_rdp(alpha, z);
+        prop_assert!((gaussian_rdp(2.0 * alpha, z) - 2.0 * r).abs() < 1e-9 * (1.0 + r));
+        prop_assert!((gaussian_rdp(alpha, 2.0 * z) - r / 4.0).abs() < 1e-9 * (1.0 + r));
+    }
+
+    /// Composing k identical steps is additive in the accountant.
+    #[test]
+    fn accountant_additivity(z in 0.3..20.0f64, k in 1usize..50) {
+        let mut one = RdpAccountant::new();
+        one.add_gaussian_steps(z, k);
+        let mut incremental = RdpAccountant::new();
+        for _ in 0..k {
+            incremental.add_gaussian_step(z);
+        }
+        for (a, b) in one.rdp().iter().zip(incremental.rdp()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a));
+        }
+    }
+
+    /// Converted ε is monotone: more steps cost more, more noise costs less.
+    #[test]
+    fn epsilon_monotonicity(z in 0.5..20.0f64, k in 1usize..50) {
+        let eps_at = |zz: f64, kk: usize| {
+            let mut acc = RdpAccountant::new();
+            acc.add_gaussian_steps(zz, kk);
+            acc.epsilon(1e-5).0
+        };
+        prop_assert!(eps_at(z, k + 1) > eps_at(z, k));
+        prop_assert!(eps_at(z * 1.5, k) < eps_at(z, k));
+    }
+
+    /// Subsampled RDP (integer orders) is monotone in q and never exceeds
+    /// the full-batch value.
+    #[test]
+    fn subsampling_monotone_in_rate(
+        alpha in 2u64..32,
+        q in 0.001..0.5f64,
+        z in 0.5..5.0f64,
+    ) {
+        let r_q = subsampled_gaussian_rdp_int(alpha, q, z);
+        let r_2q = subsampled_gaussian_rdp_int(alpha, (2.0 * q).min(1.0), z);
+        prop_assert!(r_q <= r_2q + 1e-12);
+        prop_assert!(r_2q <= gaussian_rdp(alpha as f64, z) + 1e-12);
+        prop_assert!(r_q >= 0.0);
+    }
+
+    /// The numeric fractional-order evaluation agrees with the exact
+    /// binomial formula wherever both are defined.
+    #[test]
+    fn numeric_subsampled_matches_exact(
+        alpha in 2u64..24,
+        q in 0.001..0.3f64,
+        z in 0.6..4.0f64,
+    ) {
+        let exact = subsampled_gaussian_rdp_int(alpha, q, z);
+        let numeric = subsampled_gaussian_rdp_numeric(alpha as f64, q, z);
+        prop_assert!(
+            (exact - numeric).abs() <= 1e-6 * (1.0 + exact),
+            "alpha={alpha} q={q} z={z}: {exact} vs {numeric}"
+        );
+    }
+
+    /// Closed-form calibration always meets its own target exactly.
+    #[test]
+    fn calibration_meets_target(
+        eps in 0.02..20.0f64,
+        log_delta in -9.0..-1.0f64,
+        k in 1usize..300,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let z = calibrate_noise_multiplier_closed_form(eps, delta, k);
+        let achieved = gaussian_rdp_epsilon_closed_form(z, k, delta);
+        prop_assert!((achieved - eps).abs() < 1e-8 * (1.0 + eps));
+    }
+
+    /// Sequential composition of split guarantees reproduces the total.
+    #[test]
+    fn sequential_split_compose_identity(
+        eps in 0.1..10.0f64,
+        log_delta in -8.0..-2.0f64,
+        k in 1usize..100,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let total = DpGuarantee::new(eps, delta);
+        let per = total.split_sequential(k);
+        let back = DpGuarantee::compose_sequential(&vec![per; k]);
+        prop_assert!((back.epsilon - eps).abs() < 1e-9 * (1.0 + eps));
+        prop_assert!((back.delta - delta).abs() < 1e-12);
+    }
+
+    /// Gaussian perturbation preserves the query dimension and is unbiased
+    /// in aggregate (loose statistical check per case).
+    #[test]
+    fn gaussian_perturbation_shape(dim in 1usize..20, sigma in 0.1..5.0f64, seed in 0u64..500) {
+        let m = GaussianMechanism::new(sigma);
+        let value: Vec<f64> = (0..dim).map(|i| i as f64).collect();
+        let mut rng = dpaudit_math::seeded_rng(seed);
+        let out = m.perturb(&mut rng, &value);
+        prop_assert_eq!(out.len(), dim);
+        prop_assert!(out.iter().zip(&value).any(|(o, v)| o != v));
+    }
+}

@@ -1,0 +1,112 @@
+//! Neighbouring-dataset challenge pairs.
+
+use dpaudit_datasets::{Dataset, NeighborSpec};
+use dpaudit_dp::NeighborMode;
+use dpaudit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A fully materialised neighbouring pair `(D, D′)` with the differing
+/// records identified — the shared knowledge of the DI experiment (paper
+/// Experiment 2): both the trainer (challenger) and the adversary hold it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighborPair {
+    /// The full dataset `D`.
+    pub d: Dataset,
+    /// The neighbour `D′` (one record replaced, or one removed).
+    pub d_prime: Dataset,
+    /// Index in `D` of the differing record x̂₁.
+    pub x1_index: usize,
+    /// The record x̂₂ that replaces x̂₁ in `D′` (bounded DP only).
+    pub x2: Option<(Tensor, usize)>,
+    /// Which neighbouring relation this pair instantiates.
+    pub mode: NeighborMode,
+}
+
+impl NeighborPair {
+    /// Materialise a pair from `D` and a [`NeighborSpec`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range spec index.
+    pub fn from_spec(d: &Dataset, spec: &NeighborSpec) -> Self {
+        let d_prime = d.neighbor(spec);
+        match spec {
+            NeighborSpec::Replace { index, record, label } => Self {
+                d: d.clone(),
+                d_prime,
+                x1_index: *index,
+                x2: Some((record.clone(), *label)),
+                mode: NeighborMode::Bounded,
+            },
+            NeighborSpec::Remove { index } => Self {
+                d: d.clone(),
+                d_prime,
+                x1_index: *index,
+                x2: None,
+                mode: NeighborMode::Unbounded,
+            },
+        }
+    }
+
+    /// The differing record x̂₁ ∈ D and its label.
+    pub fn x1(&self) -> (&Tensor, usize) {
+        (&self.d.xs[self.x1_index], self.d.ys[self.x1_index])
+    }
+
+    /// Dataset sizes `(|D|, |D′|)`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.d.len(), self.d_prime.len())
+    }
+
+    /// The dataset the challenger trains on for challenge bit `b`
+    /// (`b = 1 → D`, `b = 0 → D′`, as in Experiment 2).
+    pub fn trained_dataset(&self, b: bool) -> &Dataset {
+        if b {
+            &self.d
+        } else {
+            &self.d_prime
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: f64) -> Tensor {
+        Tensor::from_vec(&[3], vec![v, v, v])
+    }
+
+    fn d() -> Dataset {
+        Dataset::new(vec![rec(0.0), rec(1.0), rec(2.0)], vec![0, 1, 2])
+    }
+
+    #[test]
+    fn bounded_pair_from_replace_spec() {
+        let spec = NeighborSpec::Replace { index: 1, record: rec(9.0), label: 7 };
+        let pair = NeighborPair::from_spec(&d(), &spec);
+        assert_eq!(pair.mode, NeighborMode::Bounded);
+        assert_eq!(pair.sizes(), (3, 3));
+        assert_eq!(pair.x1().1, 1);
+        let (x2, y2) = pair.x2.as_ref().unwrap();
+        assert_eq!(x2.data()[0], 9.0);
+        assert_eq!(*y2, 7);
+        assert_eq!(pair.d_prime.xs[1].data()[0], 9.0);
+    }
+
+    #[test]
+    fn unbounded_pair_from_remove_spec() {
+        let pair = NeighborPair::from_spec(&d(), &NeighborSpec::Remove { index: 0 });
+        assert_eq!(pair.mode, NeighborMode::Unbounded);
+        assert_eq!(pair.sizes(), (3, 2));
+        assert!(pair.x2.is_none());
+        assert_eq!(pair.x1().0.data()[0], 0.0);
+        assert_eq!(pair.d_prime.ys, vec![1, 2]);
+    }
+
+    #[test]
+    fn trained_dataset_selects_by_bit() {
+        let pair = NeighborPair::from_spec(&d(), &NeighborSpec::Remove { index: 0 });
+        assert_eq!(pair.trained_dataset(true).len(), 3);
+        assert_eq!(pair.trained_dataset(false).len(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Numerical substrate for the dp-identifiability workspace.
+//!
+//! The identifiability scores of Bernau et al. (VLDB 2021) are built out of a
+//! small set of numerical primitives: the standard normal CDF `Φ` and its
+//! inverse (Theorem 2 / Eq. 15 of the paper), stable log-space arithmetic for
+//! the posterior-belief likelihood ratios (Lemma 1), Gaussian sampling for the
+//! mechanisms, and descriptive statistics for the empirical evaluation
+//! (Figures 4–10). This crate implements all of them from scratch with f64
+//! precision and no magic third-party numerics.
+
+pub mod linalg;
+pub mod logspace;
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+pub use linalg::{axpy, dot, l2_distance, l2_norm, mahalanobis_iso, scale, squared_l2_distance};
+pub use logspace::{log1p_exp, log_binomial, log_sum_exp, logit, sigmoid};
+pub use rng::{seeded_rng, split_seed, GaussianSampler, LaplaceSampler};
+pub use special::{erf, erfc, inv_phi, ln_gamma, phi, phi_complement, standard_normal_pdf};
+pub use stats::{histogram, quantile, Histogram, Summary, Welford};

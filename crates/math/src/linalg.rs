@@ -1,0 +1,110 @@
+//! Small dense linear-algebra helpers on `&[f64]` slices.
+//!
+//! The gradient vectors of the paper's reference networks are flat f64
+//! slices (tens of thousands of entries); the sensitivity computations
+//! (Definitions 2/3, Eqs. 17/18) and the belief update (Lemma 1) only need
+//! norms, dots and distances, so we keep this deliberately minimal.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (ℓ2) norm.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn squared_l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_l2_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance `‖a − b‖`.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_l2_distance(a, b).sqrt()
+}
+
+/// Mahalanobis distance between two means under isotropic covariance σ²·I:
+/// `Δ = ‖μ₁ − μ₂‖ / σ` (paper Theorem 2 proof).
+///
+/// # Panics
+/// Panics if `sigma <= 0` or slices differ in length.
+pub fn mahalanobis_iso(mu1: &[f64], mu2: &[f64], sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "mahalanobis_iso: sigma must be positive");
+    l2_distance(mu1, mu2) / sigma
+}
+
+/// `y += alpha * x`, the BLAS axpy kernel.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_l2_distance(&[1.0, 1.0], &[4.0, 5.0]), 25.0);
+        assert_eq!(l2_distance(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+        assert_eq!(l2_distance(&[2.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn mahalanobis_scales_with_sigma() {
+        let d1 = mahalanobis_iso(&[0.0, 0.0], &[3.0, 4.0], 1.0);
+        let d2 = mahalanobis_iso(&[0.0, 0.0], &[3.0, 4.0], 2.0);
+        assert_eq!(d1, 5.0);
+        assert_eq!(d2, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn mahalanobis_rejects_zero_sigma() {
+        mahalanobis_iso(&[0.0], &[1.0], 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

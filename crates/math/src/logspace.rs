@@ -1,0 +1,166 @@
+//! Stable log-space arithmetic.
+//!
+//! The posterior belief of the DI adversary (paper Lemma 1) is a product of
+//! thousands of Gaussian likelihood ratios; computed naively it under- and
+//! overflows immediately. Everything in the workspace therefore accumulates
+//! *log-odds* and converts to probabilities through a saturating sigmoid.
+
+use crate::special::ln_gamma;
+
+/// Numerically stable `ln(Σ exp(xᵢ))`.
+///
+/// Returns `-INFINITY` for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if m == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Stable `ln(1 + e^x)` (the softplus function).
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 35.0 {
+        // e^{-x} < 7e-16: ln(1+e^x) = x + ln(1+e^{-x}) ≈ x + e^{-x}.
+        x + (-x).exp()
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + e^{−x})`, saturating without NaN.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The logit `ln(p / (1 − p))`, the inverse of [`sigmoid`].
+///
+/// This is exactly the paper's Eq. 10 mapping a posterior-belief bound ρ_β to
+/// a total privacy budget ε. Returns ±∞ at the endpoints and NaN outside
+/// `[0, 1]`.
+pub fn logit(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    (p / (1.0 - p)).ln()
+}
+
+/// `ln C(n, k)` via log-gamma; exact enough for the subsampled RDP accountant.
+pub fn log_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn log_sum_exp_basic() {
+        assert_close(log_sum_exp(&[0.0, 0.0]), 2.0_f64.ln(), 1e-14);
+        assert_close(
+            log_sum_exp(&[1.0, 2.0, 3.0]),
+            (1.0_f64.exp() + 2.0_f64.exp() + 3.0_f64.exp()).ln(),
+            1e-14,
+        );
+    }
+
+    #[test]
+    fn log_sum_exp_extreme_magnitudes() {
+        // Without the max shift this would overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert_close(v, 1000.0 + 2.0_f64.ln(), 1e-14);
+        // A dominated term changes nothing.
+        assert_close(log_sum_exp(&[0.0, -800.0]), 0.0, 1e-14);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_and_infinite() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[0.0, f64::INFINITY]), f64::INFINITY);
+    }
+
+    #[test]
+    fn sigmoid_logit_round_trip() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert_close(sigmoid(logit(p)), p, 1e-13);
+        }
+        // |x| kept moderate: for large x, 1 − sigmoid(x) cancels in f64 and
+        // the round trip is fundamentally lossy (that is why belief tracking
+        // stores log-odds, never probabilities).
+        for &x in &[-10.0, -3.0, 0.0, 3.0, 10.0] {
+            assert_close(logit(sigmoid(x)), x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_saturation() {
+        assert_eq!(sigmoid(1e6), 1.0);
+        assert_eq!(sigmoid(-1e6), 0.0);
+        assert!(sigmoid(40.0) < 1.0 + 1e-15);
+        assert!(sigmoid(-800.0) >= 0.0);
+    }
+
+    #[test]
+    fn logit_edges() {
+        assert_eq!(logit(0.0), f64::NEG_INFINITY);
+        assert_eq!(logit(1.0), f64::INFINITY);
+        assert!(logit(-0.5).is_nan());
+        assert!(logit(1.5).is_nan());
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for i in -30..=30 {
+            let x = i as f64;
+            assert_close(log1p_exp(x), (1.0 + x.exp()).ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn log1p_exp_large_arguments() {
+        assert_close(log1p_exp(1000.0), 1000.0, 1e-14);
+        assert!(log1p_exp(-1000.0) >= 0.0);
+        assert!(log1p_exp(-1000.0) < 1e-300);
+    }
+
+    #[test]
+    fn log_binomial_small_values_exact() {
+        assert_close(log_binomial(5, 2), 10.0_f64.ln(), 1e-12);
+        assert_close(log_binomial(10, 5), 252.0_f64.ln(), 1e-12);
+        assert_close(log_binomial(52, 5), 2_598_960.0_f64.ln(), 1e-12);
+        assert_close(log_binomial(7, 0), 0.0, 1e-12);
+        assert_close(log_binomial(7, 7), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn log_binomial_out_of_range() {
+        assert_eq!(log_binomial(3, 4), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,355 @@
+//! Descriptive statistics for the empirical evaluation.
+//!
+//! The paper's Figures 4–10 and Table 2 report distributions (histograms,
+//! box-plot style summaries) of sensitivities, posterior beliefs, advantages
+//! and accuracies over hundreds of repeated trainings. This module provides
+//! the streaming and batch statistics used to regenerate those series.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's online algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, `INFINITY` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation, `NEG_INFINITY` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Five-number-plus summary of a sample, used when printing figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile (p25).
+    pub q25: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// Upper quartile (p75).
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Returns a zeroed summary for an empty slice.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                q25: 0.0,
+                median: 0.0,
+                q75: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self {
+            n: xs.len(),
+            mean: w.mean(),
+            std: w.std(),
+            min: sorted[0],
+            q25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q75: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Linear-interpolation quantile of an unsorted sample, `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice, a NaN element or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&sorted, q)
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Fixed-width histogram over `[lo, hi)` with an explicit bin count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin (values == hi land in the last bin).
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Bin edges as `(left, right)` pairs, for printing figure series.
+    pub fn edges(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width))
+            .collect()
+    }
+
+    /// Total number of in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Normalised bin heights (fractions of the in-range total).
+    pub fn density(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+}
+
+/// Build a [`Histogram`] of `xs` over `[lo, hi)` with `bins` bins.
+///
+/// # Panics
+/// Panics when `bins == 0` or `hi <= lo`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0u64; bins];
+    let mut underflow = 0;
+    let mut overflow = 0;
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        if x < lo {
+            underflow += 1;
+        } else if x > hi {
+            overflow += 1;
+        } else {
+            let mut idx = ((x - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1; // x == hi
+            }
+            counts[idx] += 1;
+        }
+    }
+    Histogram {
+        lo,
+        hi,
+        counts,
+        underflow,
+        overflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[42.0], 0.9), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let h = histogram(&[0.0, 0.5, 0.99, 1.0, 2.5, -1.0, 5.0], 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![3, 1, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 5);
+        let edges = h.edges();
+        assert_eq!(edges[0], (0.0, 1.0));
+        assert_eq!(edges[2], (2.0, 3.0));
+    }
+
+    #[test]
+    fn histogram_upper_edge_lands_in_last_bin() {
+        let h = histogram(&[3.0], 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![0, 0, 1]);
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn histogram_density_sums_to_one() {
+        let h = histogram(&[0.1, 0.2, 1.5, 2.9], 0.0, 3.0, 6);
+        let d: f64 = h.density().iter().sum();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the numerical substrate.
+
+use dpaudit_math::{
+    erf, erfc, histogram, inv_phi, l2_distance, l2_norm, ln_gamma, log1p_exp, log_sum_exp, logit,
+    phi, phi_complement, quantile, sigmoid, Summary, Welford,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// erf is odd and bounded by (−1, 1).
+    #[test]
+    fn erf_odd_and_bounded(x in -10.0..10.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    /// erf + erfc ≡ 1.
+    #[test]
+    fn erf_erfc_partition(x in -8.0..8.0f64) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// erf is strictly monotone where f64 can resolve it; in the saturated
+    /// tail erfc (which keeps relative precision) is strictly decreasing.
+    #[test]
+    fn erf_monotone(x in -4.0..4.0f64, d in 0.001..2.0f64) {
+        prop_assert!(erf(x + d) > erf(x));
+    }
+
+    #[test]
+    fn erfc_tail_strictly_decreasing(x in 4.0..20.0f64, d in 0.01..2.0f64) {
+        prop_assert!(erfc(x + d) < erfc(x));
+    }
+
+    /// Φ and its complement partition probability; Φ is monotone.
+    #[test]
+    fn phi_partition_and_monotone(x in -10.0..10.0f64, d in 0.001..2.0f64) {
+        prop_assert!((phi(x) + phi_complement(x) - 1.0).abs() < 1e-12);
+        prop_assert!(phi(x + d) >= phi(x));
+    }
+
+    /// Φ⁻¹ ∘ Φ is the identity away from the saturated tails.
+    #[test]
+    fn probit_round_trip(x in -5.0..5.0f64) {
+        let back = inv_phi(phi(x));
+        prop_assert!((back - x).abs() < 1e-8, "{back} vs {x}");
+    }
+
+    /// log-sum-exp is permutation invariant and dominates the max.
+    #[test]
+    fn log_sum_exp_properties(mut xs in proptest::collection::vec(-100.0..100.0f64, 1..30)) {
+        let a = log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= max);
+        prop_assert!(a <= max + (xs.len() as f64).ln() + 1e-12);
+        xs.reverse();
+        prop_assert!((log_sum_exp(&xs) - a).abs() < 1e-10);
+    }
+
+    /// Adding a constant shifts log-sum-exp by that constant.
+    #[test]
+    fn log_sum_exp_shift(xs in proptest::collection::vec(-50.0..50.0f64, 1..20), c in -100.0..100.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((log_sum_exp(&shifted) - log_sum_exp(&xs) - c).abs() < 1e-9);
+    }
+
+    /// sigmoid/logit are inverse bijections on the comfortable range.
+    #[test]
+    fn sigmoid_logit_bijection(x in -20.0..20.0f64) {
+        let p = sigmoid(x);
+        prop_assert!(p > 0.0 && p < 1.0);
+        prop_assert!((logit(p) - x).abs() < 1e-7 * (1.0 + x.abs()));
+    }
+
+    /// softplus identity: log1p_exp(x) − log1p_exp(−x) = x.
+    #[test]
+    fn softplus_antisymmetry(x in -500.0..500.0f64) {
+        prop_assert!((log1p_exp(x) - log1p_exp(-x) - x).abs() < 1e-9);
+    }
+
+    /// lnΓ satisfies the recurrence lnΓ(x+1) = lnΓ(x) + ln(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1..50.0f64) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Norms: homogeneity and the triangle inequality.
+    #[test]
+    fn norm_properties(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..20),
+        s in -5.0..5.0f64,
+    ) {
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        prop_assert!((l2_norm(&scaled) - s.abs() * l2_norm(&a)).abs() < 1e-9);
+        prop_assert!(l2_distance(&a, &a) == 0.0);
+    }
+
+    /// Welford agrees with the naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e3..1e3f64, 2..100)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-7 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-6 * (1.0 + var.abs()));
+    }
+
+    /// Quantiles are monotone in the level and bracketed by min/max.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+        let q1 = quantile(&xs, 0.25);
+        let q2 = quantile(&xs, 0.5);
+        let q3 = quantile(&xs, 0.75);
+        prop_assert!(q1 <= q2 && q2 <= q3);
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= q1 && q3 <= s.max);
+    }
+
+    /// Histogram counts partition the in-range observations.
+    #[test]
+    fn histogram_partitions(xs in proptest::collection::vec(-2.0..12.0f64, 0..200)) {
+        let h = histogram(&xs, 0.0, 10.0, 7);
+        let in_range = xs.iter().filter(|&&x| (0.0..=10.0).contains(&x)).count() as u64;
+        prop_assert_eq!(h.total(), in_range);
+        prop_assert_eq!(
+            h.total() + h.underflow + h.overflow,
+            xs.len() as u64
+        );
+    }
+}

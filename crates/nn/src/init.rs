@@ -1,0 +1,51 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialisation: samples from
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// Used for every weight tensor in the reference networks; biases start at
+/// zero. Deterministic given the caller's RNG, which is how the DI adversary
+/// is granted its assumed knowledge of the initial weights θ₀ (paper §6.1).
+pub fn glorot_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
+    assert!(fan_in + fan_out > 0, "glorot_uniform: zero fan");
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_math::seeded_rng;
+
+    #[test]
+    fn values_respect_limit() {
+        let mut rng = seeded_rng(1);
+        let limit = (6.0 / 30.0_f64).sqrt();
+        let w = glorot_uniform(&mut rng, 10, 20, 1000);
+        assert_eq!(w.len(), 1000);
+        assert!(w.iter().all(|&x| x > -limit && x < limit));
+    }
+
+    #[test]
+    fn mean_near_zero() {
+        let mut rng = seeded_rng(2);
+        let w = glorot_uniform(&mut rng, 100, 100, 50_000);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = glorot_uniform(&mut seeded_rng(7), 3, 4, 12);
+        let b = glorot_uniform(&mut seeded_rng(7), 3, 4, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fan")]
+    fn zero_fan_rejected() {
+        glorot_uniform(&mut seeded_rng(1), 0, 0, 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! From-scratch neural networks with per-example gradients.
+//!
+//! DPSGD (Abadi et al., CCS 2016) — the mechanism audited throughout the
+//! paper — needs the gradient of the loss *per training example* so it can be
+//! clipped to the norm `C` before aggregation and perturbation. This crate
+//! implements the two reference architectures of the paper's §6.2 (a 2-conv
+//! CNN for 28×28 images and a 600→128→100 MLP for purchase baskets) plus the
+//! layers they are made of, with exact backpropagation returning gradients as
+//! flat `Vec<f64>` aligned with a deterministic parameter layout.
+//!
+//! Batch normalisation is implemented with *frozen statistics*: running
+//! statistics are refreshed from each clean batch (see
+//! [`Sequential::update_norm_stats`]) and the backward pass treats them as
+//! constants, which keeps per-example gradients well defined — the standard
+//! workaround in DP deep-learning stacks.
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod zoo;
+
+pub use init::glorot_uniform;
+pub use layers::{BatchNorm2d, Cache, Conv2d, Dense, Layer, MaxPool2d};
+pub use loss::{cross_entropy_loss, softmax, softmax_cross_entropy};
+pub use model::Sequential;
+pub use zoo::{mnist_cnn, purchase_mlp, MNIST_CLASSES, PURCHASE_CLASSES, PURCHASE_FEATURES};

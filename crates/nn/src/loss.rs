@@ -1,0 +1,103 @@
+//! Softmax cross-entropy loss.
+
+/// Numerically stable softmax of a logit vector.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Cross-entropy loss `−ln p_label` of a probability vector.
+///
+/// # Panics
+/// Panics if `label` is out of range.
+pub fn cross_entropy_loss(probs: &[f64], label: usize) -> f64 {
+    assert!(label < probs.len(), "cross_entropy_loss: label out of range");
+    // Floor avoids −∞ when a probability underflows to exactly zero.
+    -probs[label].max(1e-300).ln()
+}
+
+/// Fused softmax cross-entropy: returns `(loss, d_logits)` where
+/// `d_logits = softmax(logits) − one_hot(label)` — the textbook gradient.
+///
+/// # Panics
+/// Panics if `label` is out of range.
+pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "softmax_cross_entropy: label out of range");
+    let probs = softmax(logits);
+    let loss = cross_entropy_loss(&probs, label);
+    let mut d = probs;
+    d[label] -= 1.0;
+    (loss, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_shift_invariance() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_extreme_logits_no_nan() {
+        let p = softmax(&[-1e308, 0.0, 1e3]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let (loss, _) = softmax_cross_entropy(&[0.0; 10], 4);
+        assert!((loss - 10.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, d) = softmax_cross_entropy(&[0.3, -1.2, 2.0, 0.0], 2);
+        assert!(d.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = vec![0.5, -0.3, 1.2, 0.0, -2.0];
+        let label = 3;
+        let (_, d) = softmax_cross_entropy(&logits, label);
+        let h = 1e-7;
+        for i in 0..logits.len() {
+            let mut p = logits.clone();
+            p[i] += h;
+            let (lp, _) = softmax_cross_entropy(&p, label);
+            let (l0, _) = softmax_cross_entropy(&logits, label);
+            let num = (lp - l0) / h;
+            assert!((num - d[i]).abs() < 1e-5, "d[{i}]: {num} vs {}", d[i]);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-8);
+        let (loss_wrong, _) = softmax_cross_entropy(&[10.0, -10.0], 1);
+        assert!(loss_wrong > 19.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_out_of_range_panics() {
+        softmax_cross_entropy(&[0.0, 0.0], 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Sequential models with flat parameter vectors and per-example gradients.
+
+use dpaudit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Cache, Layer};
+use crate::loss::softmax_cross_entropy;
+
+/// A feed-forward stack of [`Layer`]s.
+///
+/// Parameters are exposed as one flat `Vec<f64>` in layer order (each layer's
+/// canonical internal order), which is the representation DPSGD clips and
+/// perturbs and the DI adversary reasons about: the mechanism output is a
+/// vector in R^d with d = [`Sequential::param_count`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    /// The layers, applied in order.
+    pub layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Build from a layer list.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// Total number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Per-layer parameter counts in flat-vector order, with zero-parameter
+    /// layers (ReLU, pooling, flatten) omitted. This is the segmentation
+    /// per-layer gradient clipping operates on.
+    pub fn param_layout(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .map(Layer::param_count)
+            .filter(|&n| n > 0)
+            .collect()
+    }
+
+    /// Snapshot all parameters as a flat vector.
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.append_params(&mut out);
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != self.param_count()`.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "set_params: expected {} values, got {}",
+            self.param_count(),
+            params.len()
+        );
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.load_params(&params[off..]);
+        }
+    }
+
+    /// Gradient-descent step `θ ← θ − lr·grad` over the flat layout.
+    ///
+    /// # Panics
+    /// Panics if `grad.len() != self.param_count()`.
+    pub fn gradient_step(&mut self, grad: &[f64], lr: f64) {
+        assert_eq!(
+            grad.len(),
+            self.param_count(),
+            "gradient_step: expected {} values, got {}",
+            self.param_count(),
+            grad.len()
+        );
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.apply_step(&grad[off..], lr);
+        }
+    }
+
+    /// Plain forward pass (no caches), producing logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (out, _) = layer.forward(&h);
+            h = out;
+        }
+        h
+    }
+
+    /// Forward pass retaining per-layer caches for backpropagation.
+    pub fn forward_cached(&self, x: &Tensor) -> (Tensor, Vec<Cache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&h);
+            caches.push(cache);
+            h = out;
+        }
+        (h, caches)
+    }
+
+    /// Backpropagate `d_logits` through the cached forward pass, returning
+    /// the flat parameter gradient (same layout as [`Sequential::params`]).
+    pub fn backward(&self, caches: &[Cache], d_logits: Tensor) -> Vec<f64> {
+        assert_eq!(caches.len(), self.layers.len(), "backward: cache count mismatch");
+        // Collect per-layer gradients in reverse, then flatten forward.
+        let mut per_layer: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut d = d_logits;
+        for (layer, cache) in self.layers.iter().zip(caches).rev() {
+            let (d_in, d_params) = layer.backward(&d, cache);
+            per_layer.push(d_params);
+            d = d_in;
+        }
+        per_layer.reverse();
+        let mut flat = Vec::with_capacity(self.param_count());
+        for g in per_layer {
+            flat.extend(g);
+        }
+        flat
+    }
+
+    /// Loss and flat parameter gradient for a single labelled example —
+    /// the per-example gradient DPSGD clips.
+    pub fn per_example_grad(&self, x: &Tensor, label: usize) -> (f64, Vec<f64>) {
+        let (logits, caches) = self.forward_cached(x);
+        let (loss, d_logits) = softmax_cross_entropy(logits.data(), label);
+        let shape = [logits.len()];
+        let grad = self.backward(&caches, Tensor::from_vec(&shape, d_logits));
+        (loss, grad)
+    }
+
+    /// Average cross-entropy loss over a labelled set.
+    pub fn mean_loss(&self, xs: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(xs.len(), labels.len(), "mean_loss: length mismatch");
+        assert!(!xs.is_empty(), "mean_loss: empty set");
+        let total: f64 = xs
+            .iter()
+            .zip(labels)
+            .map(|(x, &y)| {
+                let logits = self.forward(x);
+                let (loss, _) = softmax_cross_entropy(logits.data(), y);
+                loss
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+
+    /// Most likely class for one example.
+    pub fn predict(&self, x: &Tensor) -> usize {
+        let logits = self.forward(x);
+        logits
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+            .map(|(i, _)| i)
+            .expect("predict: empty logits")
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, xs: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(xs.len(), labels.len(), "accuracy: length mismatch");
+        assert!(!xs.is_empty(), "accuracy: empty set");
+        let correct = xs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+
+    /// Refresh the running statistics of every [`Layer::BatchNorm2d`] from a
+    /// clean forward pass over `batch` (the whole training batch), layer by
+    /// layer, as TF/Keras does in training mode.
+    ///
+    /// Must be called before computing per-example gradients for a step so
+    /// that all examples are normalised identically (frozen-stats batch
+    /// norm; see the crate docs).
+    pub fn update_norm_stats(&mut self, batch: &[Tensor]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut activations: Vec<Tensor> = batch.to_vec();
+        for layer in &mut self.layers {
+            if let Layer::BatchNorm2d(bn) = layer {
+                // Per-channel mean/var across the batch and spatial dims.
+                let shape = activations[0].shape().to_vec();
+                assert_eq!(shape.len(), 3, "update_norm_stats: batch norm input must be [C,H,W]");
+                let channels = shape[0];
+                let plane = shape[1] * shape[2];
+                let count = (activations.len() * plane) as f64;
+                let mut mean = vec![0.0; channels];
+                let mut var = vec![0.0; channels];
+                #[allow(clippy::needless_range_loop)] // c addresses offsets too
+                for a in &activations {
+                    for c in 0..channels {
+                        for p in 0..plane {
+                            mean[c] += a.data()[c * plane + p];
+                        }
+                    }
+                }
+                for m in &mut mean {
+                    *m /= count;
+                }
+                for a in &activations {
+                    for c in 0..channels {
+                        for p in 0..plane {
+                            let d = a.data()[c * plane + p] - mean[c];
+                            var[c] += d * d;
+                        }
+                    }
+                }
+                for v in &mut var {
+                    *v /= count;
+                }
+                bn.update_stats(&mean, &var);
+            }
+            // Advance the whole batch through this layer (with the *updated*
+            // stats for batch-norm layers).
+            let frozen = &*layer;
+            activations = activations
+                .iter()
+                .map(|a| frozen.forward(a).0)
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Dense, MaxPool2d};
+    use dpaudit_math::seeded_rng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 6, 5)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(&mut rng, 5, 3)),
+        ])
+    }
+
+    fn tiny_cnn(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(&mut rng, 1, 2, 3)),
+            Layer::BatchNorm2d(BatchNorm2d::new(2)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { pool: 2 }),
+            Layer::Flatten,
+            Layer::Dense(Dense::new(&mut rng, 2 * 3 * 3, 3)),
+        ])
+    }
+
+    fn example(seed: u64, shape: &[usize]) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let n: usize = shape.iter().product();
+        let data: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn param_layout_segments_sum_to_total() {
+        let m = tiny_cnn(20);
+        let layout = m.param_layout();
+        // conv, batchnorm, dense carry parameters; relu/pool/flatten do not.
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout.iter().sum::<usize>(), m.param_count());
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut m = tiny_mlp(1);
+        let p = m.params();
+        assert_eq!(p.len(), m.param_count());
+        assert_eq!(p.len(), 6 * 5 + 5 + 5 * 3 + 3);
+        let doubled: Vec<f64> = p.iter().map(|x| x * 2.0).collect();
+        m.set_params(&doubled);
+        assert_eq!(m.params(), doubled);
+    }
+
+    #[test]
+    fn gradient_step_direction() {
+        let mut m = tiny_mlp(2);
+        let before = m.params();
+        let grad: Vec<f64> = (0..before.len()).map(|i| (i % 3) as f64 - 1.0).collect();
+        m.gradient_step(&grad, 0.5);
+        let after = m.params();
+        for i in 0..before.len() {
+            assert!((after[i] - (before[i] - 0.5 * grad[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_differences() {
+        let m = tiny_mlp(3);
+        let x = example(10, &[6]);
+        let label = 1;
+        let (_, grad) = m.per_example_grad(&x, label);
+        assert_eq!(grad.len(), m.param_count());
+        let base = m.params();
+        let h = 1e-6;
+        let loss_at = |params: &[f64]| {
+            let mut mm = m.clone();
+            mm.set_params(params);
+            let logits = mm.forward(&x);
+            softmax_cross_entropy(logits.data(), label).0
+        };
+        let l0 = loss_at(&base);
+        // Check a spread of parameter coordinates across all layers.
+        for idx in [0usize, 7, 17, 31, 35, 40, base.len() - 1] {
+            let mut p = base.clone();
+            p[idx] += h;
+            let num = (loss_at(&p) - l0) / h;
+            assert!(
+                (num - grad[idx]).abs() < 1e-4,
+                "grad[{idx}]: fd {num} vs bp {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cnn_gradient_matches_finite_differences() {
+        let mut m = tiny_cnn(4);
+        let x = example(11, &[1, 8, 8]);
+        // Give batch norm non-trivial statistics first.
+        m.update_norm_stats(&[x.clone(), example(12, &[1, 8, 8])]);
+        let label = 2;
+        let (_, grad) = m.per_example_grad(&x, label);
+        assert_eq!(grad.len(), m.param_count());
+        let base = m.params();
+        let h = 1e-6;
+        let loss_at = |params: &[f64]| {
+            let mut mm = m.clone();
+            mm.set_params(params);
+            let logits = mm.forward(&x);
+            softmax_cross_entropy(logits.data(), label).0
+        };
+        let l0 = loss_at(&base);
+        let step = base.len() / 11;
+        for k in 0..11 {
+            let idx = k * step;
+            let mut p = base.clone();
+            p[idx] += h;
+            let num = (loss_at(&p) - l0) / h;
+            assert!(
+                (num - grad[idx]).abs() < 1e-4,
+                "grad[{idx}]: fd {num} vs bp {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_tiny_problem() {
+        let mut m = tiny_mlp(5);
+        let xs: Vec<Tensor> = (0..6).map(|i| example(100 + i, &[6])).collect();
+        let ys: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let initial = m.mean_loss(&xs, &ys);
+        for _ in 0..200 {
+            let mut grad = vec![0.0; m.param_count()];
+            for (x, &y) in xs.iter().zip(&ys) {
+                let (_, g) = m.per_example_grad(x, y);
+                for (a, b) in grad.iter_mut().zip(&g) {
+                    *a += b;
+                }
+            }
+            for g in &mut grad {
+                *g /= xs.len() as f64;
+            }
+            m.gradient_step(&grad, 0.5);
+        }
+        let final_loss = m.mean_loss(&xs, &ys);
+        assert!(
+            final_loss < initial * 0.5,
+            "loss did not drop: {initial} -> {final_loss}"
+        );
+        assert!(m.accuracy(&xs, &ys) >= 0.5);
+    }
+
+    #[test]
+    fn update_norm_stats_changes_running_stats() {
+        let mut m = tiny_cnn(6);
+        let stats_before: Vec<(Vec<f64>, Vec<f64>)> = m
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                Layer::BatchNorm2d(b) => Some((b.running_mean.clone(), b.running_var.clone())),
+                _ => None,
+            })
+            .collect();
+        m.update_norm_stats(&[example(20, &[1, 8, 8]), example(21, &[1, 8, 8])]);
+        let stats_after: Vec<(Vec<f64>, Vec<f64>)> = m
+            .layers
+            .iter()
+            .filter_map(|l| match l {
+                Layer::BatchNorm2d(b) => Some((b.running_mean.clone(), b.running_var.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stats_before.len(), 1);
+        assert_ne!(stats_before, stats_after);
+    }
+
+    #[test]
+    fn update_norm_stats_empty_batch_is_noop() {
+        let mut m = tiny_cnn(7);
+        let before = m.params();
+        m.update_norm_stats(&[]);
+        assert_eq!(m.params(), before);
+    }
+
+    #[test]
+    fn predict_returns_argmax_class() {
+        let m = tiny_mlp(8);
+        let x = example(30, &[6]);
+        let logits = m.forward(&x);
+        let pred = m.predict(&x);
+        let max = logits
+            .data()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(logits.data()[pred], max);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn set_params_length_checked() {
+        tiny_mlp(9).set_params(&[0.0]);
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_models() {
+        let a = tiny_cnn(42);
+        let b = tiny_cnn(42);
+        assert_eq!(a.params(), b.params());
+    }
+}

@@ -1,0 +1,278 @@
+//! Valid-mode 2-D convolution, forward and backward, on a single example.
+//!
+//! The paper's MNIST reference network uses two 3×3 convolution layers; the
+//! per-example gradients required by DPSGD clipping are computed one example
+//! at a time, so the kernels here operate on a single `[C, H, W]` volume.
+
+/// Dimensions of one convolution application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dDims {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (number of kernels).
+    pub out_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+}
+
+impl Conv2dDims {
+    /// Output height for valid (no-padding, stride-1) convolution.
+    pub fn out_h(&self) -> usize {
+        self.in_h - self.k_h + 1
+    }
+
+    /// Output width for valid convolution.
+    pub fn out_w(&self) -> usize {
+        self.in_w - self.k_w + 1
+    }
+
+    /// Validate buffer lengths for the forward pass.
+    fn check(&self, input: &[f64], kernels: &[f64], bias: &[f64]) {
+        assert!(
+            self.k_h <= self.in_h && self.k_w <= self.in_w,
+            "conv2d: kernel larger than input"
+        );
+        assert_eq!(
+            input.len(),
+            self.in_channels * self.in_h * self.in_w,
+            "conv2d: input buffer length mismatch"
+        );
+        assert_eq!(
+            kernels.len(),
+            self.out_channels * self.in_channels * self.k_h * self.k_w,
+            "conv2d: kernel buffer length mismatch"
+        );
+        assert_eq!(bias.len(), self.out_channels, "conv2d: bias length mismatch");
+    }
+}
+
+/// Forward valid convolution: `out[oc,i,j] = b[oc] + Σ in[ic,i+u,j+v]·k[oc,ic,u,v]`.
+///
+/// `input` is `[C_in, H, W]`, `kernels` is `[C_out, C_in, kh, kw]`, output is
+/// `[C_out, out_h, out_w]`, all row-major.
+pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+    dims.check(input, kernels, bias);
+    let (oh, ow) = (dims.out_h(), dims.out_w());
+    let mut out = vec![0.0; dims.out_channels * oh * ow];
+    for oc in 0..dims.out_channels {
+        let out_plane = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
+        out_plane.fill(bias[oc]);
+        for ic in 0..dims.in_channels {
+            let in_plane = &input[ic * dims.in_h * dims.in_w..(ic + 1) * dims.in_h * dims.in_w];
+            let k_base = ((oc * dims.in_channels) + ic) * dims.k_h * dims.k_w;
+            for u in 0..dims.k_h {
+                for v in 0..dims.k_w {
+                    let kval = kernels[k_base + u * dims.k_w + v];
+                    if kval == 0.0 {
+                        continue;
+                    }
+                    for i in 0..oh {
+                        let in_row = &in_plane[(i + u) * dims.in_w + v..(i + u) * dims.in_w + v + ow];
+                        let out_row = &mut out_plane[i * ow..(i + 1) * ow];
+                        for (o, x) in out_row.iter_mut().zip(in_row) {
+                            *o += kval * x;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of the valid convolution.
+///
+/// Given the upstream gradient `d_out` (`[C_out, out_h, out_w]`), returns
+/// `(d_input, d_kernels, d_bias)` with the shapes of `input`, `kernels` and
+/// `bias` respectively.
+pub fn conv2d_backward(
+    input: &[f64],
+    kernels: &[f64],
+    d_out: &[f64],
+    dims: &Conv2dDims,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let (oh, ow) = (dims.out_h(), dims.out_w());
+    assert_eq!(
+        d_out.len(),
+        dims.out_channels * oh * ow,
+        "conv2d_backward: d_out length mismatch"
+    );
+    assert_eq!(
+        input.len(),
+        dims.in_channels * dims.in_h * dims.in_w,
+        "conv2d_backward: input length mismatch"
+    );
+    let mut d_input = vec![0.0; input.len()];
+    let mut d_kernels = vec![0.0; kernels.len()];
+    let mut d_bias = vec![0.0; dims.out_channels];
+
+    for oc in 0..dims.out_channels {
+        let d_plane = &d_out[oc * oh * ow..(oc + 1) * oh * ow];
+        d_bias[oc] = d_plane.iter().sum();
+        for ic in 0..dims.in_channels {
+            let in_plane = &input[ic * dims.in_h * dims.in_w..(ic + 1) * dims.in_h * dims.in_w];
+            let di_plane_base = ic * dims.in_h * dims.in_w;
+            let k_base = ((oc * dims.in_channels) + ic) * dims.k_h * dims.k_w;
+            for u in 0..dims.k_h {
+                for v in 0..dims.k_w {
+                    let kval = kernels[k_base + u * dims.k_w + v];
+                    let mut kgrad = 0.0;
+                    for i in 0..oh {
+                        let d_row = &d_plane[i * ow..(i + 1) * ow];
+                        let in_off = (i + u) * dims.in_w + v;
+                        let in_row = &in_plane[in_off..in_off + ow];
+                        for (d, x) in d_row.iter().zip(in_row) {
+                            kgrad += d * x;
+                        }
+                        if kval != 0.0 {
+                            let di_off = di_plane_base + in_off;
+                            let di_row = &mut d_input[di_off..di_off + ow];
+                            for (di, d) in di_row.iter_mut().zip(d_row) {
+                                *di += kval * d;
+                            }
+                        }
+                    }
+                    d_kernels[k_base + u * dims.k_w + v] += kgrad;
+                }
+            }
+        }
+    }
+    (d_input, d_kernels, d_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims_1ch(h: usize, w: usize, k: usize) -> Conv2dDims {
+        Conv2dDims {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: h,
+            in_w: w,
+            k_h: k,
+            k_w: k,
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel of value 1 with zero bias is the identity.
+        let input: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let out = conv2d_forward(&input, &[1.0], &[0.0], &dims_1ch(3, 3, 1));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // Input 3x3 = [1..9], kernel = all ones 2x2, valid output 2x2.
+        let input: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let kernel = vec![1.0; 4];
+        let out = conv2d_forward(&input, &kernel, &[0.0], &dims_1ch(3, 3, 2));
+        // Windows: [1,2,4,5]=12, [2,3,5,6]=16, [4,5,7,8]=24, [5,6,8,9]=28
+        assert_eq!(out, vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = vec![0.0; 9];
+        let dims = Conv2dDims {
+            in_channels: 1,
+            out_channels: 2,
+            in_h: 3,
+            in_w: 3,
+            k_h: 3,
+            k_w: 3,
+        };
+        let out = conv2d_forward(&input, &[0.0; 18], &[1.5, -2.0], &dims);
+        assert_eq!(out, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_input_channels() {
+        // Two input channels with 1x1 kernels k=[2, 3]: out = 2*a + 3*b.
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            k_h: 1,
+            k_w: 1,
+        };
+        let input = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let out = conv2d_forward(&input, &[2.0, 3.0], &[0.0], &dims);
+        assert_eq!(out, vec![32.0, 64.0, 96.0, 128.0]);
+    }
+
+    /// Finite-difference check of all three gradients.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 5,
+            in_w: 4,
+            k_h: 3,
+            k_w: 2,
+        };
+        let input: Vec<f64> = (0..dims.in_channels * dims.in_h * dims.in_w)
+            .map(|i| ((i * 37 % 17) as f64 - 8.0) * 0.1)
+            .collect();
+        let kernels: Vec<f64> = (0..dims.out_channels * dims.in_channels * dims.k_h * dims.k_w)
+            .map(|i| ((i * 53 % 23) as f64 - 11.0) * 0.05)
+            .collect();
+        let bias = vec![0.3, -0.2, 0.1];
+
+        // Scalar loss L = Σ w_ij · out_ij with fixed pseudo-random weights.
+        let out = conv2d_forward(&input, &kernels, &bias, &dims);
+        let weights: Vec<f64> = (0..out.len()).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.25).collect();
+        let d_out = weights.clone();
+        let (d_in, d_k, d_b) = conv2d_backward(&input, &kernels, &d_out, &dims);
+
+        let loss = |inp: &[f64], ker: &[f64], b: &[f64]| -> f64 {
+            conv2d_forward(inp, ker, b, &dims)
+                .iter()
+                .zip(&weights)
+                .map(|(o, w)| o * w)
+                .sum()
+        };
+        let h = 1e-6;
+        // Spot-check a spread of coordinates in each gradient.
+        for idx in [0, 7, 19, input.len() - 1] {
+            let mut p = input.clone();
+            p[idx] += h;
+            let num = (loss(&p, &kernels, &bias) - loss(&input, &kernels, &bias)) / h;
+            assert!((num - d_in[idx]).abs() < 1e-5, "d_input[{idx}]: {num} vs {}", d_in[idx]);
+        }
+        for idx in [0, 5, 17, kernels.len() - 1] {
+            let mut p = kernels.clone();
+            p[idx] += h;
+            let num = (loss(&input, &p, &bias) - loss(&input, &kernels, &bias)) / h;
+            assert!((num - d_k[idx]).abs() < 1e-5, "d_kernels[{idx}]: {num} vs {}", d_k[idx]);
+        }
+        for idx in 0..bias.len() {
+            let mut p = bias.clone();
+            p[idx] += h;
+            let num = (loss(&input, &kernels, &p) - loss(&input, &kernels, &bias)) / h;
+            assert!((num - d_b[idx]).abs() < 1e-5, "d_bias[{idx}]: {num} vs {}", d_b[idx]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn kernel_too_large_panics() {
+        conv2d_forward(&[0.0; 4], &[0.0; 9], &[0.0], &dims_1ch(2, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "input buffer length mismatch")]
+    fn input_length_checked() {
+        conv2d_forward(&[0.0; 8], &[0.0], &[0.0], &dims_1ch(3, 3, 1));
+    }
+}

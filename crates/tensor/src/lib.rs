@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Minimal dense-tensor substrate for the dp-identifiability workspace.
+//!
+//! The paper's evaluation trains two small reference networks (a 2-conv-layer
+//! CNN on 28×28 images and a 2-dense-layer MLP on 600-bit baskets) with
+//! per-example gradients. This crate provides exactly the kernels those
+//! networks need — row-major f64 tensors, matrix/vector products, valid-mode
+//! 2-D convolution with full backward, and 2×2 max pooling — implemented from
+//! scratch so the whole stack is auditable.
+
+pub mod conv;
+pub mod ops;
+pub mod pool;
+pub mod tensor;
+
+pub use conv::{conv2d_backward, conv2d_forward, Conv2dDims};
+pub use ops::{matmul, matvec, matvec_transposed, outer_product};
+pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolDims};
+pub use tensor::Tensor;

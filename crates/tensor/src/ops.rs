@@ -1,0 +1,153 @@
+//! Matrix and vector products on flat row-major buffers.
+
+/// Dense matrix–matrix product: `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// Loop order (i, l, j) keeps the innermost accesses contiguous in both `B`
+/// and `C` — the classic cache-friendly ordering for row-major data.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * k, "matmul: A has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: B has wrong length");
+    let mut c = vec![0.0; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let aval = a[i * k + l];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Matrix–vector product: `y[m] = W[m,n] · x[n]`.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matvec(w: &[f64], x: &[f64], m: usize, n: usize) -> Vec<f64> {
+    assert_eq!(w.len(), m * n, "matvec: W has wrong length");
+    assert_eq!(x.len(), n, "matvec: x has wrong length");
+    (0..m)
+        .map(|i| {
+            let row = &w[i * n..(i + 1) * n];
+            row.iter().zip(x).map(|(wv, xv)| wv * xv).sum()
+        })
+        .collect()
+}
+
+/// Transposed matrix–vector product: `y[n] = Wᵀ[n,m] · x[m]` for row-major
+/// `W[m,n]`. This is the backward pass of a dense layer with respect to its
+/// input, computed without materialising the transpose.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matvec_transposed(w: &[f64], x: &[f64], m: usize, n: usize) -> Vec<f64> {
+    assert_eq!(w.len(), m * n, "matvec_transposed: W has wrong length");
+    assert_eq!(x.len(), m, "matvec_transposed: x has wrong length");
+    let mut y = vec![0.0; n];
+    for i in 0..m {
+        let xv = x[i];
+        if xv == 0.0 {
+            continue;
+        }
+        let row = &w[i * n..(i + 1) * n];
+        for (yv, wv) in y.iter_mut().zip(row) {
+            *yv += xv * wv;
+        }
+    }
+    y
+}
+
+/// Outer product `A[m,n] = x[m] ⊗ y[n]` — the weight gradient of a dense
+/// layer (`dW = δ ⊗ input`).
+pub fn outer_product(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let mut a = Vec::with_capacity(x.len() * y.len());
+    for &xv in x {
+        a.extend(y.iter().map(|&yv| xv * yv));
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1 0 2] (1x3) · [[1],[2],[3]] (3x1) = [7]
+        let c = matmul(&[1.0, 0.0, 2.0], &[1.0, 2.0, 3.0], 1, 3, 1);
+        assert_eq!(c, vec![7.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0, 5.0, 6.0];
+        assert_eq!(matmul(&a, &b, 2, 2, 2), b);
+    }
+
+    #[test]
+    fn matvec_known() {
+        // [1 2; 3 4] · [5, 6] = [17, 39]
+        let y = matvec(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0], 2, 2);
+        assert_eq!(y, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_known() {
+        // Wᵀ · x with W = [1 2; 3 4], x = [5, 6]: [1*5+3*6, 2*5+4*6] = [23, 34]
+        let y = matvec_transposed(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0], 2, 2);
+        assert_eq!(y, vec![23.0, 34.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_agrees_with_explicit_transpose() {
+        let m = 3;
+        let n = 4;
+        let w: Vec<f64> = (0..m * n).map(|i| (i as f64) * 0.7 - 2.0).collect();
+        let x: Vec<f64> = (0..m).map(|i| (i as f64) + 0.5).collect();
+        // Build explicit transpose and use matvec.
+        let mut wt = vec![0.0; n * m];
+        for i in 0..m {
+            for j in 0..n {
+                wt[j * m + i] = w[i * n + j];
+            }
+        }
+        let expect = matvec(&wt, &x, n, m);
+        let got = matvec_transposed(&w, &x, m, n);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outer_product_known() {
+        let a = outer_product(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(a, vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_product_empty() {
+        assert!(outer_product(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn matmul_checks_lengths() {
+        matmul(&[1.0], &[1.0], 2, 2, 2);
+    }
+}

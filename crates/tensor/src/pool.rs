@@ -1,0 +1,178 @@
+//! 2-D max pooling (stride = window), forward with argmax recording and
+//! backward scatter, on a single `[C, H, W]` example.
+
+/// Dimensions of one pooling application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolDims {
+    /// Number of channels (unchanged by pooling).
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Pooling window height (also the vertical stride).
+    pub pool_h: usize,
+    /// Pooling window width (also the horizontal stride).
+    pub pool_w: usize,
+}
+
+impl PoolDims {
+    /// Output height (floor division — trailing rows that don't fill a
+    /// window are dropped, matching Keras' default for `MaxPooling2D`).
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.pool_h
+    }
+
+    /// Output width (floor division).
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.pool_w
+    }
+}
+
+/// Forward max pooling. Returns the pooled output (`[C, out_h, out_w]`) and
+/// the flat input index of each window maximum (same length as the output),
+/// which the backward pass scatters gradients to.
+///
+/// # Panics
+/// Panics on input length mismatch or a degenerate window.
+pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize>) {
+    assert!(dims.pool_h > 0 && dims.pool_w > 0, "maxpool2d: empty window");
+    assert_eq!(
+        input.len(),
+        dims.channels * dims.in_h * dims.in_w,
+        "maxpool2d: input length mismatch"
+    );
+    let (oh, ow) = (dims.out_h(), dims.out_w());
+    let mut out = Vec::with_capacity(dims.channels * oh * ow);
+    let mut argmax = Vec::with_capacity(dims.channels * oh * ow);
+    for c in 0..dims.channels {
+        let plane_base = c * dims.in_h * dims.in_w;
+        for i in 0..oh {
+            for j in 0..ow {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_idx = 0;
+                for u in 0..dims.pool_h {
+                    for v in 0..dims.pool_w {
+                        let idx =
+                            plane_base + (i * dims.pool_h + u) * dims.in_w + j * dims.pool_w + v;
+                        // Strict > keeps the first maximum, making the
+                        // backward scatter deterministic under ties.
+                        if input[idx] > best {
+                            best = input[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out.push(best);
+                argmax.push(best_idx);
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward max pooling: route each upstream gradient to its argmax location.
+///
+/// # Panics
+/// Panics if `d_out` and `argmax` lengths differ or an argmax is out of range.
+pub fn maxpool2d_backward(d_out: &[f64], argmax: &[usize], dims: &PoolDims) -> Vec<f64> {
+    assert_eq!(d_out.len(), argmax.len(), "maxpool2d_backward: length mismatch");
+    let mut d_input = vec![0.0; dims.channels * dims.in_h * dims.in_w];
+    for (&g, &idx) in d_out.iter().zip(argmax) {
+        d_input[idx] += g;
+    }
+    d_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(c: usize, h: usize, w: usize, p: usize) -> PoolDims {
+        PoolDims {
+            channels: c,
+            in_h: h,
+            in_w: w,
+            pool_h: p,
+            pool_w: p,
+        }
+    }
+
+    #[test]
+    fn pool_2x2_known() {
+        // 4x4 plane, 2x2 pooling.
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+            9.0, 10.0, 13.0, 14.0,
+            11.0, 12.0, 15.0, 16.0,
+        ];
+        let (out, argmax) = maxpool2d_forward(&input, &dims(1, 4, 4, 2));
+        assert_eq!(out, vec![4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn odd_sizes_drop_trailing() {
+        // 5x5 with 2x2 pooling → 2x2 output; the last row/col is dropped.
+        let input: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let (out, _) = maxpool2d_forward(&input, &dims(1, 5, 5, 2));
+        assert_eq!(out.len(), 4);
+        assert_eq!(out, vec![6.0, 8.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn ties_pick_first() {
+        let input = vec![7.0, 7.0, 7.0, 7.0];
+        let (out, argmax) = maxpool2d_forward(&input, &dims(1, 2, 2, 2));
+        assert_eq!(out, vec![7.0]);
+        assert_eq!(argmax, vec![0]);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let input = vec![
+            1.0, 2.0, 3.0, 4.0, // channel 0
+            40.0, 30.0, 20.0, 10.0, // channel 1
+        ];
+        let (out, argmax) = maxpool2d_forward(&input, &dims(2, 2, 2, 2));
+        assert_eq!(out, vec![4.0, 40.0]);
+        assert_eq!(argmax, vec![3, 4]);
+    }
+
+    #[test]
+    fn backward_scatters_to_argmax() {
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let d = dims(1, 2, 2, 2);
+        let (_, argmax) = maxpool2d_forward(&input, &d);
+        let d_in = maxpool2d_backward(&[5.0], &argmax, &d);
+        assert_eq!(d_in, vec![0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_finite_difference() {
+        let d = dims(2, 4, 4, 2);
+        let input: Vec<f64> = (0..32).map(|i| ((i * 13 % 29) as f64) * 0.3).collect();
+        let (out, argmax) = maxpool2d_forward(&input, &d);
+        let weights: Vec<f64> = (0..out.len()).map(|i| (i as f64) - 3.0).collect();
+        let d_in = maxpool2d_backward(&weights, &argmax, &d);
+        let loss = |inp: &[f64]| -> f64 {
+            let (o, _) = maxpool2d_forward(inp, &d);
+            o.iter().zip(&weights).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-6;
+        for idx in 0..input.len() {
+            let mut p = input.clone();
+            p[idx] += h;
+            let num = (loss(&p) - loss(&input)) / h;
+            assert!((num - d_in[idx]).abs() < 1e-5, "d_in[{idx}]: {num} vs {}", d_in[idx]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn input_length_checked() {
+        maxpool2d_forward(&[0.0; 5], &dims(1, 2, 2, 2));
+    }
+}

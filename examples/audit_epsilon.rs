@@ -1,0 +1,70 @@
+//! Auditing a claimed ε: did the training *really* spend its budget?
+//!
+//! A vendor claims "this model was trained with (2.2, 1e-3)-DP". Two
+//! different trainings can both satisfy that claim while realising very
+//! different actual privacy loss: one scales noise to the realised local
+//! sensitivity (budget fully used, best utility), the other to the global
+//! clipping bound (noise oversized, utility wasted). This example runs both
+//! and applies all three ε′ estimators of the paper's §6.4 to tell them
+//! apart.
+//!
+//! ```sh
+//! cargo run --release --example audit_epsilon
+//! ```
+
+use dp_identifiability::prelude::*;
+
+fn audit(scaling: SensitivityScaling, label: &str) {
+    let (rho_beta_target, delta, steps, reps) = (0.90, 1e-2, 30, 20);
+    let epsilon = epsilon_for_rho_beta(rho_beta_target);
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, steps);
+
+    // World: synthetic Purchase-100, worst-case bounded neighbour.
+    let mut rng = seeded_rng(23);
+    let data = generate_purchase(&mut rng, 300);
+    let (train, pool) = data.split_at(120);
+    let best = bounded_candidates(&train, &pool, &Hamming, 1, true).remove(0);
+    let pair = NeighborPair::from_spec(&train, &best.spec);
+
+    let settings = TrialSettings {
+        dpsgd: DpsgdConfig::new(3.0, 0.005, steps, NeighborMode::Bounded, z, scaling),
+        challenge: ChallengeMode::RandomBit,
+    };
+    let batch = run_di_trials(&pair, &settings, None, |r| purchase_mlp(r), reps, 31);
+
+    // Estimator 1: from the per-step sensitivities (needs one transcript).
+    let t = &batch.trials[0];
+    let eps_ls = eps_from_local_sensitivities(
+        &t.sigmas,
+        &t.local_sensitivities,
+        delta,
+        settings.dpsgd.ls_floor,
+    );
+    // Estimator 2: from the maximum belief across repetitions.
+    let eps_beta = eps_from_max_belief(batch.max_belief());
+    // Estimator 3: from the empirical advantage across repetitions.
+    let eps_adv = eps_from_advantage(batch.advantage(), delta);
+
+    println!("-- noise scaled to {label} --");
+    println!("   claimed epsilon:                {epsilon:.3}");
+    println!("   eps' from per-step sensitivities: {eps_ls:.3}");
+    println!("   eps' from max belief ({reps} reps):   {eps_beta:.3}");
+    println!("   eps' from advantage  ({reps} reps):   {eps_adv:.3}");
+    println!(
+        "   (advantage {:+.3}, max belief {:.3})\n",
+        batch.advantage(),
+        batch.max_belief()
+    );
+}
+
+fn main() {
+    println!("Auditing a claimed (2.2, 1e-2)-DP training, 20 repetitions each\n");
+    audit(SensitivityScaling::Local, "estimated local sensitivity (Eq. 17)");
+    audit(SensitivityScaling::Global, "global sensitivity 2C");
+    println!("Reading guide: under local scaling the estimators come close to the");
+    println!("claimed budget — the guarantee is tight. Under global scaling they sit");
+    println!("well below it: the training added more noise than the data required,");
+    println!("sacrificing utility without buying additional protection. The");
+    println!("belief/advantage estimators are Monte-Carlo estimates; at 20 reps they");
+    println!("carry visible sampling error (the paper uses 250).");
+}

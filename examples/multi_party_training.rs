@@ -1,0 +1,64 @@
+//! Multi-party (federated) private training with secure aggregation, and
+//! what an honest-but-curious participant can still learn.
+//!
+//! Five hospitals jointly train the Purchase-style MLP. Each round every
+//! hospital submits its clipped per-example gradient sum; the server
+//! aggregates (secure aggregation: individual sums never leave the
+//! clients), perturbs the total with record-level DP noise, and broadcasts
+//! the update. We report the accountant's (ε, δ), translate it to the
+//! identifiability scores, and contrast it with the non-private run.
+//!
+//! ```sh
+//! cargo run --release --example multi_party_training
+//! ```
+
+use dp_identifiability::dpsgd::train_federated;
+use dp_identifiability::prelude::*;
+
+fn main() {
+    let mut rng = seeded_rng(37);
+    let data = generate_purchase(&mut rng, 550);
+    let (shard_data, test) = data.split_at(500);
+
+    // Partition across five hospitals of different sizes.
+    let sizes = [150, 125, 100, 75, 50];
+    let mut shards = Vec::new();
+    let mut offset = 0;
+    for &n in &sizes {
+        shards.push(shard_data.slice(offset, offset + n));
+        offset += n;
+    }
+    println!(
+        "5 parties, {} records total, shard sizes {sizes:?}\n",
+        shard_data.len()
+    );
+
+    let delta = 1e-3;
+    for (label, z) in [("strong privacy (z = 15)", 15.0), ("negligible noise (z = 0.01)", 0.01)] {
+        let cfg = FederatedConfig::new(ClippingStrategy::Flat(3.0), 0.1, 60, z);
+        let mut model = purchase_mlp(&mut seeded_rng(1));
+        let mut last_loss = f64::NAN;
+        let outcome = train_federated(&mut model, &shards, &cfg, &mut seeded_rng(2), |round| {
+            last_loss = round.mean_loss;
+        });
+        let eps = outcome.epsilon(delta);
+        println!("-- {label}: {} rounds --", cfg.rounds);
+        println!("   accountant: eps = {eps:.2} at delta = {delta}");
+        println!(
+            "   identifiability: rho_beta = {:.3}, rho_alpha = {:.3}",
+            rho_beta(eps.min(700.0)),
+            rho_alpha(eps.min(700.0), delta)
+        );
+        println!(
+            "   final training loss {last_loss:.3}, test accuracy {:.3} (chance {:.3})",
+            model.accuracy(&test.xs, &test.ys),
+            1.0 / 100.0
+        );
+        println!();
+    }
+
+    println!("Reading guide: secure aggregation hides who contributed what, but the");
+    println!("broadcast update is exactly the mechanism output the DI adversary of");
+    println!("the paper consumes — the DP noise, not the aggregation, is what caps");
+    println!("an insider's posterior belief at rho_beta.");
+}

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+./target/release/fig10_eps_from_advantage --reps 80 > results/fig10_eps_from_advantage.txt 2>&1 && echo done fig10
+./target/release/fig09_eps_from_belief --reps 40 > results/fig09_eps_from_belief.txt 2>&1 && echo done fig09
+./target/release/table2_empirical_advantage --reps 40 > results/table2_empirical_advantage.txt 2>&1 && echo done table2
+./target/release/extra_mi_vs_di --reps 30 > results/extra_mi_vs_di.txt 2>&1 && echo done mi_vs_di
+./target/release/fig06_belief_distributions --reps 40 > results/fig06_belief_distributions.txt 2>&1 && echo done fig06
+echo RERUN_COMPLETE

@@ -1,0 +1,17 @@
+#!/bin/bash
+set -u
+cd /root/repo
+for bin in table1_parameters fig01_decision_boundary fig02_error_regions fig03_score_curves ablation_composition; do
+  ./target/release/$bin > results/$bin.txt 2>&1 && echo "done $bin"
+done
+./target/release/fig04_ds_vs_ls > results/fig04_ds_vs_ls.txt 2>&1 && echo "done fig04"
+./target/release/fig05_sensitivity_course > results/fig05_sensitivity_course.txt 2>&1 && echo "done fig05"
+./target/release/fig06_belief_distributions > results/fig06_belief_distributions.txt 2>&1 && echo "done fig06"
+./target/release/table2_empirical_advantage > results/table2_empirical_advantage.txt 2>&1 && echo "done table2"
+./target/release/fig07_test_accuracy > results/fig07_test_accuracy.txt 2>&1 && echo "done fig07"
+./target/release/fig08_eps_from_ls > results/fig08_eps_from_ls.txt 2>&1 && echo "done fig08"
+./target/release/fig09_eps_from_belief > results/fig09_eps_from_belief.txt 2>&1 && echo "done fig09"
+./target/release/fig10_eps_from_advantage > results/fig10_eps_from_advantage.txt 2>&1 && echo "done fig10"
+./target/release/extra_mi_vs_di > results/extra_mi_vs_di.txt 2>&1 && echo "done extra_mi_vs_di"
+./target/release/ablation_clipping > results/ablation_clipping.txt 2>&1 && echo "done ablation_clipping"
+echo ALL_RUNS_COMPLETE

@@ -1,0 +1,175 @@
+//! Statistical validation of the paper's bounds on the raw Gaussian
+//! mechanism (no neural network): thousands of simulated Exp^DI runs checked
+//! against ρ_β, the empirical-δ budget, and the expected advantage ρ_α.
+
+use dp_identifiability::prelude::*;
+use dp_identifiability::math::GaussianSampler;
+use rand::Rng;
+
+/// Simulate one Exp^DI run of `k` Gaussian releases in `dim` dimensions with
+/// centers 0 and μ (‖μ‖ = sensitivity), returning (b, guessed_d, β_k(D)).
+fn simulate_trial<R: Rng>(
+    rng: &mut R,
+    k: usize,
+    dim: usize,
+    sensitivity: f64,
+    sigma: f64,
+) -> (bool, bool, f64) {
+    let center_d = vec![0.0; dim];
+    let mut center_dp = vec![0.0; dim];
+    // μ along the diagonal with ‖μ‖ = sensitivity.
+    let per_coord = sensitivity / (dim as f64).sqrt();
+    for c in center_dp.iter_mut() {
+        *c = per_coord;
+    }
+    let b = rng.gen::<bool>();
+    let truth = if b { &center_d } else { &center_dp };
+    let mut tracker = BeliefTracker::new();
+    let mut gs = GaussianSampler::new();
+    for _ in 0..k {
+        let noisy: Vec<f64> = truth.iter().map(|&c| c + gs.sample(rng, 0.0, sigma)).collect();
+        tracker.update_gaussian(&noisy, &center_d, &center_dp, sigma);
+    }
+    let belief_trained = if b {
+        tracker.belief()
+    } else {
+        1.0 - tracker.belief()
+    };
+    (b, tracker.decide_d(), belief_trained)
+}
+
+#[test]
+fn belief_bound_violations_stay_within_delta() {
+    // ρ_β = 0.9 → ε = 2.197, δ = 1e-3, k = 30, tight sensitivity.
+    let (rho_beta_bound, delta, k) = (0.90, 1e-3, 30);
+    let epsilon = epsilon_for_rho_beta(rho_beta_bound);
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, k);
+    let sensitivity = 2.0;
+    let sigma = z * sensitivity;
+    let mut rng = seeded_rng(1);
+    let trials = 20_000;
+    let mut violations = 0;
+    for _ in 0..trials {
+        let (_, _, belief) = simulate_trial(&mut rng, k, 8, sensitivity, sigma);
+        if belief > rho_beta_bound {
+            violations += 1;
+        }
+    }
+    let rate = violations as f64 / trials as f64;
+    // Theorem 1(ii): the bound holds with probability ≥ 1 − δ; allow 3x
+    // slack for Monte-Carlo error at this sample size.
+    assert!(rate <= 3.0 * delta, "violation rate {rate} exceeds delta budget {delta}");
+}
+
+#[test]
+fn advantage_matches_composed_rho_alpha_when_tight() {
+    let (rho_beta_bound, delta, k) = (0.90, 1e-3, 30);
+    let epsilon = epsilon_for_rho_beta(rho_beta_bound);
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, k);
+    let sensitivity = 1.0;
+    let sigma = z * sensitivity;
+    let mut rng = seeded_rng(2);
+    let trials = 20_000;
+    let mut correct = 0;
+    for _ in 0..trials {
+        let (b, guess, _) = simulate_trial(&mut rng, k, 4, sensitivity, sigma);
+        if b == guess {
+            correct += 1;
+        }
+    }
+    let advantage = 2.0 * correct as f64 / trials as f64 - 1.0;
+    let predicted = rho_alpha_composed(z, k);
+    // Monte-Carlo std of the advantage at n = 20000 is about 0.007.
+    assert!(
+        (advantage - predicted).abs() < 0.03,
+        "advantage {advantage} vs composed rho_alpha {predicted}"
+    );
+    // And the Theorem-2 bound at the total (ε, δ) must also hold.
+    assert!(advantage <= rho_alpha(epsilon, delta) + 0.03);
+}
+
+#[test]
+fn advantage_shrinks_when_noise_scaled_to_loose_global_bound() {
+    // Claimed sensitivity 6 (global, bounded), realised distance 2.
+    let (delta, k) = (1e-3, 30);
+    let epsilon = epsilon_for_rho_beta(0.90);
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, k);
+    let realised = 2.0;
+    let sigma_loose = z * 6.0;
+    let sigma_tight = z * realised;
+    let mut rng = seeded_rng(3);
+    let trials = 8_000;
+    let adv = |sigma: f64, rng: &mut rand::rngs::StdRng| {
+        let mut correct = 0;
+        for _ in 0..trials {
+            let (b, guess, _) = simulate_trial(rng, k, 4, realised, sigma);
+            if b == guess {
+                correct += 1;
+            }
+        }
+        2.0 * correct as f64 / trials as f64 - 1.0
+    };
+    let loose = adv(sigma_loose, &mut rng);
+    let tight = adv(sigma_tight, &mut rng);
+    assert!(
+        loose < tight - 0.05,
+        "loose scaling should reduce advantage: loose {loose} vs tight {tight}"
+    );
+}
+
+#[test]
+fn single_release_classic_calibration_respects_bounds() {
+    // One release calibrated by Eq. 1 at (ε, δ) = (1.1, 1e-5): the belief
+    // bound ρ_β(1.1) must hold with probability ≥ 1 − δ and the advantage
+    // must stay below ρ_α(1.1, 1e-5).
+    let g = DpGuarantee::new(1.1, 1e-5);
+    let mech = GaussianMechanism::calibrate(g, 1.0);
+    let bound = rho_beta(1.1);
+    let mut rng = seeded_rng(4);
+    let trials = 30_000;
+    let mut correct = 0;
+    let mut violations = 0;
+    for _ in 0..trials {
+        let (b, guess, belief) = simulate_trial(&mut rng, 1, 1, 1.0, mech.sigma);
+        if b == guess {
+            correct += 1;
+        }
+        if belief > bound {
+            violations += 1;
+        }
+    }
+    assert!(violations as f64 / trials as f64 <= 1e-3);
+    let advantage = 2.0 * correct as f64 / trials as f64 - 1.0;
+    assert!(
+        advantage <= rho_alpha(1.1, 1e-5) + 0.02,
+        "advantage {advantage} above rho_alpha {}",
+        rho_alpha(1.1, 1e-5)
+    );
+}
+
+#[test]
+fn eps_estimators_recover_target_on_raw_mechanism() {
+    // Tight scaling: the ε′-from-LS estimator must reproduce the target ε;
+    // the belief estimator converges toward it from below as reps grow.
+    let (delta, k) = (1e-3, 30);
+    let epsilon = epsilon_for_rho_beta(0.90);
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, k);
+    let sensitivity = 1.5;
+    let sigma = z * sensitivity;
+    let sigmas = vec![sigma; k];
+    let ls = vec![sensitivity; k];
+    let eps_ls = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+    assert!((eps_ls - epsilon).abs() / epsilon < 0.05, "{eps_ls} vs {epsilon}");
+
+    let mut rng = seeded_rng(5);
+    let mut max_belief: f64 = 0.0;
+    for _ in 0..2_000 {
+        let (_, _, belief) = simulate_trial(&mut rng, k, 4, sensitivity, sigma);
+        max_belief = max_belief.max(belief);
+    }
+    let eps_beta = eps_from_max_belief(max_belief);
+    assert!(
+        eps_beta > 0.5 * epsilon && eps_beta < 1.4 * epsilon,
+        "eps from belief {eps_beta} far from target {epsilon}"
+    );
+}

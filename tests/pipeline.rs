@@ -1,0 +1,208 @@
+//! End-to-end integration tests across all crates: dataset generation →
+//! dataset-sensitivity pair selection → noise calibration → DPSGD training →
+//! DI adversary → ε′ auditing. Sizes are kept small so the suite runs in
+//! seconds; the paper-scale shapes are exercised by the bench binaries.
+
+use dp_identifiability::prelude::*;
+
+fn tiny_purchase_world(seed: u64) -> (Dataset, Dataset) {
+    let mut rng = seeded_rng(seed);
+    let data = generate_purchase(&mut rng, 60);
+    data.split_at(30)
+}
+
+#[test]
+fn full_pipeline_bounded_local() {
+    let (train, pool) = tiny_purchase_world(1);
+    let best = bounded_candidates(&train, &pool, &Hamming, 1, true).remove(0);
+    let pair = NeighborPair::from_spec(&train, &best.spec);
+    assert_eq!(pair.mode, NeighborMode::Bounded);
+
+    let delta = 1e-2;
+    let epsilon = epsilon_for_rho_beta(0.90);
+    let steps = 6;
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, steps);
+    let settings = TrialSettings {
+        dpsgd: DpsgdConfig::new(
+            3.0,
+            0.005,
+            steps,
+            NeighborMode::Bounded,
+            z,
+            SensitivityScaling::Local,
+        ),
+        challenge: ChallengeMode::RandomBit,
+    };
+    let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 6, 99);
+    assert_eq!(batch.trials.len(), 6);
+    for t in &batch.trials {
+        assert_eq!(t.belief_history.len(), steps);
+        assert!(t.belief_d > 0.0 && t.belief_d < 1.0);
+        assert!(t.local_sensitivities.iter().all(|&l| (0.0..=6.0 + 1e-9).contains(&l)));
+        // Local scaling: σᵢ = z·max(lsᵢ, floor).
+        for (s, l) in t.sigmas.iter().zip(&t.local_sensitivities) {
+            let expect = z * l.max(settings.dpsgd.ls_floor);
+            assert!((s - expect).abs() < 1e-9);
+        }
+    }
+    // Advantage is a valid number in [-1, 1].
+    assert!(batch.advantage().abs() <= 1.0);
+}
+
+#[test]
+fn full_pipeline_unbounded_global_and_audit() {
+    let (train, _) = tiny_purchase_world(2);
+    let target = dataset_sensitivity_unbounded(&train, &Hamming);
+    let pair = NeighborPair::from_spec(&train, &target.spec);
+    assert_eq!(pair.mode, NeighborMode::Unbounded);
+    assert_eq!(pair.d_prime.len(), pair.d.len() - 1);
+
+    let delta = 1e-2;
+    let epsilon = epsilon_for_rho_beta(0.75);
+    let steps = 5;
+    let z = calibrate_noise_multiplier_closed_form(epsilon, delta, steps);
+    let settings = TrialSettings {
+        dpsgd: DpsgdConfig::new(
+            3.0,
+            0.005,
+            steps,
+            NeighborMode::Unbounded,
+            z,
+            SensitivityScaling::Global,
+        ),
+        challenge: ChallengeMode::AlwaysD,
+    };
+    let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 4, 7);
+    // Global scaling: σ constant = z·C.
+    for t in &batch.trials {
+        for s in &t.sigmas {
+            assert!((s - z * 3.0).abs() < 1e-9);
+        }
+    }
+    // Audit with the LS estimator: realised ls ≤ C, so ε′ ≤ target ε
+    // (up to grid-conversion slack).
+    let t = &batch.trials[0];
+    let eps_prime = eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, 1e-9);
+    assert!(
+        eps_prime <= epsilon * 1.05,
+        "eps' {eps_prime} should not exceed target {epsilon}"
+    );
+}
+
+#[test]
+fn mnist_cnn_pipeline_smoke() {
+    let mut rng = seeded_rng(3);
+    let data = generate_mnist(&mut rng, 24);
+    let (train, pool) = data.split_at(12);
+    let best = bounded_candidates(&train, &pool, &NegSsim, 1, true).remove(0);
+    let pair = NeighborPair::from_spec(&train, &best.spec);
+    let settings = TrialSettings {
+        dpsgd: DpsgdConfig::new(
+            3.0,
+            0.005,
+            2,
+            NeighborMode::Bounded,
+            5.0,
+            SensitivityScaling::Local,
+        ),
+        challenge: ChallengeMode::AlwaysD,
+    };
+    let trial = run_di_trial(&pair, &settings, Some(&pool), mnist_cnn, 13);
+    assert!(trial.b);
+    assert_eq!(trial.belief_history.len(), 2);
+    let acc = trial.test_accuracy.unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn adversary_dominates_under_vanishing_noise() {
+    // With z → 0 the adversary must win essentially every challenge: this
+    // is the ε → ∞ sanity corner of Experiment 2.
+    let (train, pool) = tiny_purchase_world(4);
+    let best = bounded_candidates(&train, &pool, &Hamming, 1, true).remove(0);
+    let pair = NeighborPair::from_spec(&train, &best.spec);
+    let settings = TrialSettings {
+        dpsgd: DpsgdConfig::new(
+            3.0,
+            0.005,
+            3,
+            NeighborMode::Bounded,
+            1e-3,
+            SensitivityScaling::Local,
+        ),
+        challenge: ChallengeMode::RandomBit,
+    };
+    let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 10, 5);
+    assert_eq!(batch.success_rate(), 1.0);
+    assert_eq!(batch.advantage(), 1.0);
+}
+
+#[test]
+fn transcripts_are_deterministic_given_seeds() {
+    let (train, _) = tiny_purchase_world(6);
+    let target = dataset_sensitivity_unbounded(&train, &Hamming);
+    let pair = NeighborPair::from_spec(&train, &target.spec);
+    let cfg = DpsgdConfig::new(
+        3.0,
+        0.005,
+        3,
+        NeighborMode::Unbounded,
+        4.0,
+        SensitivityScaling::Local,
+    );
+    let run = |seed: u64| {
+        let mut model = purchase_mlp(&mut seeded_rng(seed));
+        let mut rng = seeded_rng(seed + 1);
+        train_collect(&mut model, &pair, true, &cfg, &mut rng)
+    };
+    let a = run(10);
+    let b = run(10);
+    assert_eq!(a.steps.len(), b.steps.len());
+    for (sa, sb) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(sa.noisy_sum, sb.noisy_sum);
+        assert_eq!(sa.local_sensitivity, sb.local_sensitivity);
+    }
+    // Different noise seed → different released gradients.
+    let c = run(11);
+    assert_ne!(a.steps[0].noisy_sum, c.steps[0].noisy_sum);
+}
+
+#[test]
+fn mi_adversary_weaker_than_di_on_same_run() {
+    // Proposition 1's direction on a tiny run: the DI adversary decides
+    // from the whole transcript, the MI adversary from the final model.
+    let (train, pool) = tiny_purchase_world(8);
+    let target = dataset_sensitivity_unbounded(&train, &Hamming);
+    let pair = NeighborPair::from_spec(&train, &target.spec);
+    let cfg = DpsgdConfig::new(
+        3.0,
+        0.005,
+        4,
+        NeighborMode::Unbounded,
+        0.5,
+        SensitivityScaling::Local,
+    );
+    let mut di_correct = 0;
+    let mut mi_correct = 0;
+    let reps = 8;
+    for i in 0..reps {
+        let mut model = purchase_mlp(&mut seeded_rng(100 + i));
+        let mut rng = seeded_rng(200 + i);
+        let b = i % 2 == 0;
+        let mut di = DiAdversary::new(NeighborMode::Unbounded);
+        train_dpsgd(&mut model, &pair, b, &cfg, &mut rng, |r| di.observe(&r, b));
+        if di.decide_d() == b {
+            di_correct += 1;
+        }
+        let mi = MiAdversary::calibrated(&model, &pool);
+        let trained = pair.trained_dataset(b);
+        let mi_batch =
+            dp_identifiability::core::run_mi_trials(&mi, &model, trained, &pool, 50, &mut rng);
+        if mi_batch.advantage() > 0.5 {
+            mi_correct += 1;
+        }
+    }
+    // At this noise level DI should be near-perfect; MI rarely confident.
+    assert!(di_correct >= reps - 1, "DI correct {di_correct}/{reps}");
+    assert!(mi_correct <= di_correct);
+}

@@ -1,0 +1,176 @@
+//! Cross-crate property-based tests of the paper's core invariants.
+
+use dp_identifiability::prelude::*;
+use dp_identifiability::math::{phi, sigmoid};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 10 round trip: ε → ρ_β → ε.
+    #[test]
+    fn rho_beta_inversion_round_trip(eps in 0.001..20.0f64) {
+        let rho = rho_beta(eps);
+        prop_assert!(rho > 0.5 && rho < 1.0);
+        let back = epsilon_for_rho_beta(rho);
+        prop_assert!((back - eps).abs() < 1e-6 * (1.0 + eps));
+    }
+
+    /// Theorem 2 round trip: ε → ρ_α → ε, across δ.
+    #[test]
+    fn rho_alpha_inversion_round_trip(
+        eps in 0.01..15.0f64,
+        log_delta in -9.0..-1.0f64,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let rho = rho_alpha(eps, delta);
+        let back = epsilon_for_rho_alpha(rho, delta);
+        prop_assert!((back - eps).abs() < 1e-6 * (1.0 + eps), "{back} vs {eps}");
+    }
+
+    /// ρ_β and ρ_α are monotone in ε.
+    #[test]
+    fn scores_monotone_in_epsilon(eps in 0.01..10.0f64, bump in 0.01..5.0f64) {
+        prop_assert!(rho_beta(eps + bump) > rho_beta(eps));
+        prop_assert!(rho_alpha(eps + bump, 1e-3) > rho_alpha(eps, 1e-3));
+    }
+
+    /// Noise calibration round trip: (ε, δ, k) → z → ε.
+    #[test]
+    fn calibration_round_trip(
+        eps in 0.05..10.0f64,
+        log_delta in -8.0..-1.5f64,
+        k in 1usize..200,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let z = calibrate_noise_multiplier_closed_form(eps, delta, k);
+        prop_assert!(z > 0.0);
+        let back = dp_identifiability::dp::gaussian_rdp_epsilon_closed_form(z, k, delta);
+        prop_assert!((back - eps).abs() / eps < 1e-9, "{back} vs {eps}");
+    }
+
+    /// More steps at fixed (ε, δ) always require more noise per step.
+    #[test]
+    fn more_steps_more_noise(eps in 0.1..5.0f64, k in 1usize..100) {
+        let z1 = calibrate_noise_multiplier_closed_form(eps, 1e-3, k);
+        let z2 = calibrate_noise_multiplier_closed_form(eps, 1e-3, k + 1);
+        prop_assert!(z2 > z1);
+    }
+
+    /// The grid accountant never reports less than the closed-form optimum
+    /// (it minimises over a discrete subset of orders).
+    #[test]
+    fn grid_accountant_dominates_closed_form(
+        z in 0.3..50.0f64,
+        k in 1usize..100,
+        log_delta in -8.0..-1.5f64,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let mut acc = RdpAccountant::new();
+        acc.add_gaussian_steps(z, k);
+        let (grid, _) = acc.epsilon(delta);
+        let closed = dp_identifiability::dp::gaussian_rdp_epsilon_closed_form(z, k, delta);
+        prop_assert!(grid >= closed - 1e-9, "grid {grid} below closed form {closed}");
+        prop_assert!(grid <= closed * 1.10, "grid {grid} too loose vs {closed}");
+    }
+
+    /// Belief tracking is exactly additive in log-odds: folding the same
+    /// evidence in any grouping gives the same posterior.
+    #[test]
+    fn belief_updates_compose(llrs in proptest::collection::vec(-50.0..50.0f64, 1..40)) {
+        let mut one = BeliefTracker::new();
+        for &l in &llrs {
+            one.update_llr(l);
+        }
+        let mut total = BeliefTracker::new();
+        total.update_llr(llrs.iter().sum());
+        prop_assert!((one.log_odds() - total.log_odds()).abs() < 1e-9);
+        prop_assert_eq!(one.belief(), sigmoid(one.log_odds()));
+    }
+
+    /// The Gaussian belief update equals the analytic log-likelihood ratio.
+    #[test]
+    fn gaussian_update_matches_analytic_llr(
+        r in proptest::collection::vec(-5.0..5.0f64, 3),
+        cd in proptest::collection::vec(-5.0..5.0f64, 3),
+        cdp in proptest::collection::vec(-5.0..5.0f64, 3),
+        sigma in 0.1..10.0f64,
+    ) {
+        let mut t = BeliefTracker::new();
+        t.update_gaussian(&r, &cd, &cdp, sigma);
+        let mech = GaussianMechanism::new(sigma);
+        let expect = mech.log_likelihood_ratio(&r, &cd, &cdp);
+        prop_assert!((t.log_odds() - expect).abs() < 1e-9);
+    }
+
+    /// Clipping: never increases a norm, never changes direction, is
+    /// idempotent.
+    #[test]
+    fn clipping_invariants(
+        g in proptest::collection::vec(-10.0..10.0f64, 1..50),
+        c in 0.01..10.0f64,
+    ) {
+        use dp_identifiability::dpsgd::clip_to_norm;
+        use dp_identifiability::math::l2_norm;
+        let mut clipped = g.clone();
+        clip_to_norm(&mut clipped, c);
+        prop_assert!(l2_norm(&clipped) <= c + 1e-9);
+        // Direction preserved: clipped is a non-negative multiple of g.
+        let gn = l2_norm(&g);
+        if gn > 0.0 {
+            let scale = l2_norm(&clipped) / gn;
+            for (a, b) in clipped.iter().zip(&g) {
+                prop_assert!((a - b * scale).abs() < 1e-9);
+            }
+        }
+        let mut twice = clipped.clone();
+        clip_to_norm(&mut twice, c);
+        for (a, b) in twice.iter().zip(&clipped) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// ρ_α under composition is invariant to how the budget is split:
+    /// k steps at z ≡ 1 step at z/√k.
+    #[test]
+    fn rho_alpha_composition_invariance(z in 0.5..50.0f64, k in 1usize..200) {
+        let a = rho_alpha_composed(z, k);
+        let b = rho_alpha_composed(z / (k as f64).sqrt(), 1);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Theorem 2 consistency: the advantage of the midpoint test at the
+    /// classically calibrated σ equals ρ_α exactly.
+    #[test]
+    fn theorem2_midpoint_consistency(eps in 0.05..8.0f64, log_delta in -8.0..-1.5f64) {
+        let delta = 10f64.powf(log_delta);
+        let mech = GaussianMechanism::calibrate(DpGuarantee::new(eps, delta), 1.0);
+        // Adv of the likelihood-ratio test between centers at distance 1:
+        // 2Φ(Δ/2) − 1 with Δ = 1/σ.
+        let adv = 2.0 * phi(1.0 / (2.0 * mech.sigma)) - 1.0;
+        prop_assert!((adv - rho_alpha(eps, delta)).abs() < 1e-12);
+    }
+
+    /// Dataset neighbour construction: bounded keeps the size, unbounded
+    /// shrinks by one, and only the specified index changes.
+    #[test]
+    fn neighbor_construction_invariants(n in 2usize..30, idx in 0usize..30) {
+        let idx = idx % n;
+        let mut rng = seeded_rng(42);
+        let d = generate_purchase(&mut rng, n);
+        let removed = d.neighbor(&NeighborSpec::Remove { index: idx });
+        prop_assert_eq!(removed.len(), n - 1);
+        let replacement = d.xs[(idx + 1) % n].clone();
+        let replaced = d.neighbor(&NeighborSpec::Replace {
+            index: idx,
+            record: replacement,
+            label: 3,
+        });
+        prop_assert_eq!(replaced.len(), n);
+        for i in 0..n {
+            if i != idx {
+                prop_assert_eq!(&replaced.xs[i], &d.xs[i]);
+            }
+        }
+    }
+}
