@@ -11,8 +11,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dpaudit_bench::Workload;
 use dpaudit_core::{
-    eps_from_local_sensitivities, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha,
-    rho_beta, BeliefTracker,
+    eps_from_local_sensitivities, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha, rho_beta,
+    BeliefTracker,
 };
 use dpaudit_datasets::{bounded_candidates, Hamming, NegSsim};
 use dpaudit_dp::{calibrate_noise_multiplier_closed_form, NeighborMode, RdpAccountant};
@@ -96,12 +96,26 @@ fn bench_sensitivity_search(c: &mut Criterion) {
     g.sample_size(10);
     let mnist = Workload::Mnist.world(5, 50);
     g.bench_function("ssim_bounded_search_50x400", |b| {
-        b.iter(|| black_box(bounded_candidates(&mnist.train, &mnist.pool, &NegSsim, 3, true)))
+        b.iter(|| {
+            black_box(bounded_candidates(
+                &mnist.train,
+                &mnist.pool,
+                &NegSsim,
+                3,
+                true,
+            ))
+        })
     });
     let purchase = Workload::Purchase.world(6, 100);
     g.bench_function("hamming_bounded_search_100x400", |b| {
         b.iter(|| {
-            black_box(bounded_candidates(&purchase.train, &purchase.pool, &Hamming, 3, true))
+            black_box(bounded_candidates(
+                &purchase.train,
+                &purchase.pool,
+                &Hamming,
+                3,
+                true,
+            ))
         })
     });
     g.finish();

@@ -7,6 +7,9 @@
 /// * `--seed N`  — master seed (default 42).
 /// * `--json`    — additionally emit a JSON blob of the results.
 /// * `--steps N` — override the number of training steps (default 30).
+/// * `--threads N`   — worker threads for engine-backed batches (default: all cores).
+/// * `--store-dir D` — persist engine-backed batches as resumable trial
+///   stores under directory `D` (see `dpaudit-runtime`).
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Repetition count, if given.
@@ -19,6 +22,10 @@ pub struct Args {
     pub json: bool,
     /// Training-step override.
     pub steps: Option<usize>,
+    /// Worker threads for engine-backed batches (0 = machine parallelism).
+    pub threads: usize,
+    /// Directory for durable, resumable trial stores.
+    pub store_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -29,6 +36,8 @@ impl Default for Args {
             seed: 42,
             json: false,
             steps: None,
+            threads: 0,
+            store_dir: None,
         }
     }
 }
@@ -59,10 +68,17 @@ impl Args {
                     let v = it.next().expect("--steps needs a value");
                     out.steps = Some(v.parse().expect("--steps must be an integer"));
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    out.threads = v.parse().expect("--threads must be an integer");
+                }
+                "--store-dir" => {
+                    out.store_dir = Some(it.next().expect("--store-dir needs a value"));
+                }
                 "--full" => out.full = true,
                 "--json" => out.json = true,
                 other => panic!(
-                    "unknown flag {other}; supported: --reps N --seed N --steps N --full --json"
+                    "unknown flag {other}; supported: --reps N --seed N --steps N --threads N --store-dir D --full --json"
                 ),
             }
         }
@@ -78,6 +94,14 @@ impl Args {
     /// Resolve the step count (default 30, the paper's k).
     pub fn resolve_steps(&self) -> usize {
         self.steps.unwrap_or(crate::STEPS)
+    }
+
+    /// The execution-engine options these flags describe.
+    pub fn engine_opts(&self) -> crate::EngineOpts {
+        crate::EngineOpts {
+            threads: self.threads,
+            store_dir: self.store_dir.clone().map(std::path::PathBuf::from),
+        }
     }
 }
 
@@ -124,5 +148,21 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn threads_and_store_dir_feed_engine_opts() {
+        let a = parse(&["--threads", "4", "--store-dir", "results/stores"]);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.store_dir.as_deref(), Some("results/stores"));
+        let opts = a.engine_opts();
+        assert_eq!(opts.threads, 4);
+        assert_eq!(
+            opts.store_dir.as_deref(),
+            Some(std::path::Path::new("results/stores"))
+        );
+        let d = parse(&[]).engine_opts();
+        assert_eq!(d.threads, 0);
+        assert_eq!(d.store_dir, None);
     }
 }

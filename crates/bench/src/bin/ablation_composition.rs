@@ -18,7 +18,10 @@ fn main() {
     let epsilon = epsilon_for_rho_beta(rho_beta);
     let guarantee = DpGuarantee::new(epsilon, delta);
 
-    println!("Ablation: composition strategy for rho_beta = {rho_beta} (eps = {:.3}, delta = {delta})\n", epsilon);
+    println!(
+        "Ablation: composition strategy for rho_beta = {rho_beta} (eps = {:.3}, delta = {delta})\n",
+        epsilon
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for k in [1usize, 5, 10, 30, 100, 300] {
@@ -39,11 +42,20 @@ fn main() {
         }));
     }
     print_table(
-        &["k", "z (RDP)", "z (sequential)", "seq/RDP noise", "rho_alpha (RDP)", "rho_alpha (seq)"],
+        &[
+            "k",
+            "z (RDP)",
+            "z (sequential)",
+            "seq/RDP noise",
+            "rho_alpha (RDP)",
+            "rho_alpha (seq)",
+        ],
         &rows,
     );
     println!("\nExpected shape: the sequential-composition noise overhead grows with k;");
-    println!("equivalently, at equal noise the sequential bound wastes budget (paper section 5.2).");
+    println!(
+        "equivalently, at equal noise the sequential bound wastes budget (paper section 5.2)."
+    );
 
     // Second view: pure-ε building blocks (Laplace releases) composed
     // naively vs with the optimal Kairouz–Oh–Viswanath theorem — the tight
@@ -63,7 +75,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["k", "eps per step", "naive total", "KOV total", "rho_beta (KOV)"],
+        &[
+            "k",
+            "eps per step",
+            "naive total",
+            "KOV total",
+            "rho_beta (KOV)",
+        ],
         &kov_rows,
     );
     println!("\nExpected shape: KOV matches naive at k = 1 and certifies strictly less");

@@ -61,11 +61,21 @@ fn main() {
     print_table(
         &["adversary", "advantage", "bound"],
         &[
-            vec!["A_DI (gradients + both datasets)".into(), fmt_sig(di_adv), fmt_sig(row.rho_alpha)],
-            vec!["A_MI (final model + 1 point)".into(), fmt_sig(mi_adv), fmt_sig(row.rho_alpha)],
+            vec![
+                "A_DI (gradients + both datasets)".into(),
+                fmt_sig(di_adv),
+                fmt_sig(row.rho_alpha),
+            ],
+            vec![
+                "A_MI (final model + 1 point)".into(),
+                fmt_sig(mi_adv),
+                fmt_sig(row.rho_alpha),
+            ],
         ],
     );
-    println!("\nExpected shape: Adv(DI) >= Adv(MI); both below rho_alpha (plus Monte-Carlo noise).");
+    println!(
+        "\nExpected shape: Adv(DI) >= Adv(MI); both below rho_alpha (plus Monte-Carlo noise)."
+    );
     if args.json {
         println!(
             "{}",

@@ -19,8 +19,14 @@ fn main() {
     let f_dp = [1.0];
     let grid: Vec<f64> = (-30..=40).map(|i| i as f64 / 10.0).collect();
 
-    let dens_d: Vec<f64> = grid.iter().map(|&r| mech.log_density(&[r], &f_d).exp()).collect();
-    let dens_dp: Vec<f64> = grid.iter().map(|&r| mech.log_density(&[r], &f_dp).exp()).collect();
+    let dens_d: Vec<f64> = grid
+        .iter()
+        .map(|&r| mech.log_density(&[r], &f_d).exp())
+        .collect();
+    let dens_dp: Vec<f64> = grid
+        .iter()
+        .map(|&r| mech.log_density(&[r], &f_dp).exp())
+        .collect();
     let beliefs_d: Vec<f64> = grid
         .iter()
         .map(|&r| {
@@ -32,13 +38,37 @@ fn main() {
     let beliefs_dp: Vec<f64> = beliefs_d.iter().map(|b| 1.0 - b).collect();
 
     println!("Figure 1: decision boundary of A_DI (Laplace, eps=1, f(D)=0, f(D')=1)\n");
-    print_series("(a) density g_X1 = p(r | D)", "r", &grid, "density", &dens_d);
+    print_series(
+        "(a) density g_X1 = p(r | D)",
+        "r",
+        &grid,
+        "density",
+        &dens_d,
+    );
     println!();
-    print_series("(a) density g_X0 = p(r | D')", "r", &grid, "density", &dens_dp);
+    print_series(
+        "(a) density g_X0 = p(r | D')",
+        "r",
+        &grid,
+        "density",
+        &dens_dp,
+    );
     println!();
-    print_series("(b) posterior belief beta(D | r)", "r", &grid, "beta", &beliefs_d);
+    print_series(
+        "(b) posterior belief beta(D | r)",
+        "r",
+        &grid,
+        "beta",
+        &beliefs_d,
+    );
     println!();
-    print_series("(b) posterior belief beta(D' | r)", "r", &grid, "beta", &beliefs_dp);
+    print_series(
+        "(b) posterior belief beta(D' | r)",
+        "r",
+        &grid,
+        "beta",
+        &beliefs_dp,
+    );
 
     // The decision boundary: first grid point where the guess flips to D′.
     let flip = grid

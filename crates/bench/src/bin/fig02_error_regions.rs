@@ -27,11 +27,12 @@ fn main() {
             .collect();
         let beliefs: Vec<f64> = grid
             .iter()
-            .map(|&r| {
-                dpaudit_math::sigmoid(mech.log_likelihood_ratio(&[r], &[0.0], &[1.0]))
-            })
+            .map(|&r| dpaudit_math::sigmoid(mech.log_likelihood_ratio(&[r], &[0.0], &[1.0])))
             .collect();
-        println!("\n== ({eps}, 1e-6)-DP Gaussian: sigma = {:.4} ==\n", mech.sigma);
+        println!(
+            "\n== ({eps}, 1e-6)-DP Gaussian: sigma = {:.4} ==\n",
+            mech.sigma
+        );
         print_series(
             &format!("density p(r | D), eps={eps}"),
             "r",
@@ -66,7 +67,13 @@ fn main() {
 
     println!("\nError regions and expected advantage (boundary at r = 1/2):\n");
     print_table(
-        &["epsilon", "sigma", "error mass", "Adv (this pair)", "rho_alpha bound"],
+        &[
+            "epsilon",
+            "sigma",
+            "error mass",
+            "Adv (this pair)",
+            "rho_alpha bound",
+        ],
         &rows,
     );
     println!("\nStronger guarantee (smaller eps) -> wider PDFs -> larger error region -> smaller advantage.");

@@ -35,15 +35,33 @@ fn main() {
     // Shape overview: ρ_β plus ρ_α at the extreme δ values on one grid.
     let a_weak: Vec<f64> = eps_grid.iter().map(|&e| rho_alpha(e, 1e-2)).collect();
     let a_strong: Vec<f64> = eps_grid.iter().map(|&e| rho_alpha(e, 1e-9)).collect();
-    println!("\n{}", line_chart(
-        &[
-            Series { label: "rho_beta", glyph: 'B', xs: &eps_grid, ys: &betas },
-            Series { label: "rho_alpha, delta=1e-2", glyph: 'a', xs: &eps_grid, ys: &a_weak },
-            Series { label: "rho_alpha, delta=1e-9", glyph: '.', xs: &eps_grid, ys: &a_strong },
-        ],
-        70,
-        20,
-    ));
+    println!(
+        "\n{}",
+        line_chart(
+            &[
+                Series {
+                    label: "rho_beta",
+                    glyph: 'B',
+                    xs: &eps_grid,
+                    ys: &betas
+                },
+                Series {
+                    label: "rho_alpha, delta=1e-2",
+                    glyph: 'a',
+                    xs: &eps_grid,
+                    ys: &a_weak
+                },
+                Series {
+                    label: "rho_alpha, delta=1e-9",
+                    glyph: '.',
+                    xs: &eps_grid,
+                    ys: &a_strong
+                },
+            ],
+            70,
+            20,
+        )
+    );
 
     println!("\nShape checks: rho_beta(0)=0.5, rho_beta is delta-free;");
     println!("rho_alpha grows with delta at fixed eps (weaker guarantee, more advantage).");

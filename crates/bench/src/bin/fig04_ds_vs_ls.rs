@@ -52,7 +52,10 @@ fn main() {
                     &settings,
                     None,
                     reps,
-                    split_seed(args.seed, (rank as u64 + 1) * 7 + u64::from(rank_kind == "max DS")),
+                    split_seed(
+                        args.seed,
+                        (rank as u64 + 1) * 7 + u64::from(rank_kind == "max DS"),
+                    ),
                 );
                 let all_ls: Vec<f64> = batch
                     .trials
@@ -77,7 +80,16 @@ fn main() {
             }
         }
         print_table(
-            &["dataset", "D' choice", "DS score", "LS q25", "LS median", "LS q75", "LS mean", "LS max"],
+            &[
+                "dataset",
+                "D' choice",
+                "DS score",
+                "LS q25",
+                "LS median",
+                "LS q75",
+                "LS mean",
+                "LS max",
+            ],
             &rows,
         );
         println!();

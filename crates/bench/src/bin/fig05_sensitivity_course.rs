@@ -77,7 +77,11 @@ fn main() {
             println!("== {} / {mode} DP (GS = {gs}) ==", workload.name());
             print_table(&["step", "LS mean", "LS min", "LS max", "GS"], &rows);
             let overall = means.iter().sum::<f64>() / means.len() as f64;
-            println!("mean LS over training: {} (GS = {gs}, ratio {:.2})\n", fmt_sig(overall), overall / gs);
+            println!(
+                "mean LS over training: {} (GS = {gs}, ratio {:.2})\n",
+                fmt_sig(overall),
+                overall / gs
+            );
             json.push(serde_json::json!({
                 "workload": workload.name(), "mode": mode.to_string(),
                 "gs": gs, "ls_mean_per_step": means,

@@ -8,17 +8,19 @@
 //! keeps beliefs much closer to the prior 0.5. Unbounded GS ≈ unbounded LS
 //! because ‖ḡ(x̂₁)‖ saturates at C.
 
+use dpaudit_bench::chart::bar_chart;
 use dpaudit_bench::{
-    arm_settings, fmt_sig, param_row, print_table, run_batch_parallel, Args, Workload, ARMS,
+    arm_settings, fmt_sig, param_row, print_table, run_batch_engine, Args, EngineBatch, Workload,
+    ARMS,
 };
 use dpaudit_core::ChallengeMode;
-use dpaudit_bench::chart::bar_chart;
 use dpaudit_math::{histogram, split_seed, Summary};
 
 fn main() {
     let args = Args::parse();
     let reps = args.resolve_reps(25, 1000);
     let steps = args.resolve_steps();
+    let engine = args.engine_opts();
     let workloads = if args.full {
         vec![Workload::Mnist, Workload::Purchase]
     } else {
@@ -36,21 +38,25 @@ fn main() {
         for (arm_idx, (scaling, mode)) in ARMS.iter().enumerate() {
             let pair = workload.max_pair(&world, *mode);
             let settings = arm_settings(&row, steps, *scaling, *mode, ChallengeMode::AlwaysD);
-            let batch = run_batch_parallel(
-                workload,
-                &pair,
-                &settings,
-                None,
-                reps,
-                split_seed(args.seed, 61 + arm_idx as u64),
+            let batch = run_batch_engine(
+                &EngineBatch {
+                    workload,
+                    pair: &pair,
+                    settings: &settings,
+                    test_set: None,
+                    reps,
+                    master_seed: split_seed(args.seed, 61 + arm_idx as u64),
+                    world_seed: args.seed,
+                    train_size: workload.default_train_size(),
+                    row,
+                    label: format!("fig06_{}_{scaling}_{mode}", workload.key()),
+                },
+                &engine,
             );
             let beliefs = batch.final_beliefs();
             let s = Summary::of(&beliefs);
             let h = histogram(&beliefs, 0.0, 1.0, 10);
-            println!(
-                "== {} / {scaling} / {mode} DP ==",
-                workload.name()
-            );
+            println!("== {} / {scaling} / {mode} DP ==", workload.name());
             let rows: Vec<Vec<String>> = h
                 .edges()
                 .iter()

@@ -55,7 +55,14 @@ fn main() {
         }));
     }
     print_table(
-        &["Delta f", "DP", "acc min", "acc median", "acc mean", "acc max"],
+        &[
+            "Delta f",
+            "DP",
+            "acc min",
+            "acc median",
+            "acc mean",
+            "acc max",
+        ],
         &rows,
     );
     println!("\n(chance level: 0.1)");

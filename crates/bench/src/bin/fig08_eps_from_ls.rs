@@ -18,7 +18,9 @@ fn main() {
     } else {
         vec![Workload::Mnist]
     };
-    println!("Figure 8: eps' from empirical sensitivities (reps {reps}, steps {steps}; paper: 250)\n");
+    println!(
+        "Figure 8: eps' from empirical sensitivities (reps {reps}, steps {steps}; paper: 250)\n"
+    );
     let mut json = Vec::new();
     for workload in workloads {
         let cells = run_audit_grid(workload, reps, steps, args.seed);

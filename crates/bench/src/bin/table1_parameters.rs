@@ -5,8 +5,8 @@
 //! printed rows should match the paper's Table 1 to its displayed precision.
 
 use dpaudit_bench::{
-    fmt_sig, param_row, print_table, Args, CLIP_NORM, LEARNING_RATE, MNIST_DELTA,
-    MNIST_RHO_BETAS, PURCHASE_DELTA, PURCHASE_RHO_BETAS, STEPS,
+    fmt_sig, param_row, print_table, Args, CLIP_NORM, LEARNING_RATE, MNIST_DELTA, MNIST_RHO_BETAS,
+    PURCHASE_DELTA, PURCHASE_RHO_BETAS, STEPS,
 };
 
 fn main() {
@@ -45,7 +45,17 @@ fn main() {
     }
     println!("Table 1: identifiability scores and derived DP parameters\n");
     print_table(
-        &["dataset", "rho_beta", "rho_alpha", "epsilon", "delta", "k", "eta", "C", "z"],
+        &[
+            "dataset",
+            "rho_beta",
+            "rho_alpha",
+            "epsilon",
+            "delta",
+            "k",
+            "eta",
+            "C",
+            "z",
+        ],
         &rows,
     );
     println!("\n(z is the RDP-calibrated per-step noise multiplier — not in the paper's table)");

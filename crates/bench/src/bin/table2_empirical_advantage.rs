@@ -7,7 +7,8 @@
 //! (C is loose there); empirical δ is zero or a small fraction ≤ δ.
 
 use dpaudit_bench::{
-    arm_settings, fmt_sig, param_row, print_table, run_batch_parallel, Args, Workload, ARMS,
+    arm_settings, fmt_sig, param_row, print_table, run_batch_engine, Args, EngineBatch, Workload,
+    ARMS,
 };
 use dpaudit_core::ChallengeMode;
 use dpaudit_math::split_seed;
@@ -16,6 +17,7 @@ fn main() {
     let args = Args::parse();
     let reps = args.resolve_reps(25, 250);
     let steps = args.resolve_steps();
+    let engine = args.engine_opts();
     let rho_beta_bound = 0.90;
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -33,13 +35,20 @@ fn main() {
             let prow = param_row(rho_beta_bound, workload.delta());
             let pair = workload.max_pair(&world, *mode);
             let settings = arm_settings(&prow, steps, *scaling, *mode, ChallengeMode::RandomBit);
-            let batch = run_batch_parallel(
-                workload,
-                &pair,
-                &settings,
-                None,
-                reps,
-                split_seed(args.seed, 101 + arm_idx as u64),
+            let batch = run_batch_engine(
+                &EngineBatch {
+                    workload,
+                    pair: &pair,
+                    settings: &settings,
+                    test_set: None,
+                    reps,
+                    master_seed: split_seed(args.seed, 101 + arm_idx as u64),
+                    world_seed: args.seed,
+                    train_size: workload.default_train_size(),
+                    row: prow,
+                    label: format!("table2_{}_{scaling}_{mode}", workload.key()),
+                },
+                &engine,
             );
             row.push(fmt_sig(batch.advantage()));
             row.push(fmt_sig(batch.empirical_delta(rho_beta_bound)));
@@ -54,7 +63,14 @@ fn main() {
         json.push(cell_json);
     }
     print_table(
-        &["Delta f", "DP", "MNIST Adv", "MNIST delta", "Purchase Adv", "Purchase delta"],
+        &[
+            "Delta f",
+            "DP",
+            "MNIST Adv",
+            "MNIST delta",
+            "Purchase Adv",
+            "Purchase delta",
+        ],
         &rows,
     );
     let mnist_target = param_row(rho_beta_bound, Workload::Mnist.delta()).rho_alpha;

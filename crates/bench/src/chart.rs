@@ -29,7 +29,12 @@ pub fn line_chart(series: &[Series<'_>], width: usize, height: usize) -> String 
     assert!(!series.is_empty(), "line_chart: no series");
     assert!(width >= 8 && height >= 4, "line_chart: grid too small");
     for s in series {
-        assert_eq!(s.xs.len(), s.ys.len(), "line_chart: ragged series {}", s.label);
+        assert_eq!(
+            s.xs.len(),
+            s.ys.len(),
+            "line_chart: ragged series {}",
+            s.label
+        );
         assert!(!s.xs.is_empty(), "line_chart: empty series {}", s.label);
         assert!(
             s.xs.iter().chain(s.ys).all(|v| v.is_finite()),
@@ -56,8 +61,9 @@ pub fn line_chart(series: &[Series<'_>], width: usize, height: usize) -> String 
 
     let mut grid = vec![vec![' '; width]; height];
     let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
-    let to_row =
-        |y: f64| height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+    let to_row = |y: f64| {
+        height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+    };
 
     for s in series {
         // Plot points and connect consecutive ones with linear interpolation
@@ -124,10 +130,7 @@ pub fn bar_chart(labels: &[String], values: &[f64], width: usize) -> String {
     let mut out = String::new();
     for (label, &v) in labels.iter().zip(values) {
         let bars = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:>label_w$} |{} {v}\n",
-            "#".repeat(bars)
-        ));
+        out.push_str(&format!("{label:>label_w$} |{} {v}\n", "#".repeat(bars)));
     }
     out
 }
@@ -174,7 +177,12 @@ mod tests {
         let xs = [0.0, 1.0, 2.0, 3.0];
         let ys = [0.0, 1.0, 2.0, 3.0];
         let chart = line_chart(
-            &[Series { label: "diag", glyph: '*', xs: &xs, ys: &ys }],
+            &[Series {
+                label: "diag",
+                glyph: '*',
+                xs: &xs,
+                ys: &ys,
+            }],
             20,
             10,
         );
@@ -194,8 +202,18 @@ mod tests {
         let lo = [1.0, 1.0];
         let chart = line_chart(
             &[
-                Series { label: "hi", glyph: 'o', xs: &xs, ys: &hi },
-                Series { label: "lo", glyph: '+', xs: &xs, ys: &lo },
+                Series {
+                    label: "hi",
+                    glyph: 'o',
+                    xs: &xs,
+                    ys: &hi,
+                },
+                Series {
+                    label: "lo",
+                    glyph: '+',
+                    xs: &xs,
+                    ys: &lo,
+                },
             ],
             16,
             8,
@@ -212,7 +230,12 @@ mod tests {
         let xs = [0.0, 1.0, 2.0];
         let ys = [5.0, 5.0, 5.0];
         let chart = line_chart(
-            &[Series { label: "flat", glyph: '#', xs: &xs, ys: &ys }],
+            &[Series {
+                label: "flat",
+                glyph: '#',
+                xs: &xs,
+                ys: &ys,
+            }],
             16,
             6,
         );
@@ -222,7 +245,12 @@ mod tests {
     #[test]
     fn single_point_series_handled() {
         let chart = line_chart(
-            &[Series { label: "pt", glyph: '@', xs: &[1.0], ys: &[2.0] }],
+            &[Series {
+                label: "pt",
+                glyph: '@',
+                xs: &[1.0],
+                ys: &[2.0],
+            }],
             12,
             5,
         );
@@ -233,7 +261,12 @@ mod tests {
     #[should_panic(expected = "ragged series")]
     fn ragged_series_rejected() {
         line_chart(
-            &[Series { label: "bad", glyph: '*', xs: &[1.0, 2.0], ys: &[1.0] }],
+            &[Series {
+                label: "bad",
+                glyph: '*',
+                xs: &[1.0, 2.0],
+                ys: &[1.0],
+            }],
             12,
             5,
         );
@@ -243,7 +276,12 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_rejected() {
         line_chart(
-            &[Series { label: "nan", glyph: '*', xs: &[1.0], ys: &[f64::NAN] }],
+            &[Series {
+                label: "nan",
+                glyph: '*',
+                xs: &[1.0],
+                ys: &[f64::NAN],
+            }],
             12,
             5,
         );

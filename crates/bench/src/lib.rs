@@ -113,6 +113,25 @@ impl Workload {
         }
     }
 
+    /// Stable machine-readable identifier, used in trial-store headers and
+    /// CLI flags.
+    pub fn key(self) -> &'static str {
+        match self {
+            Workload::Mnist => "mnist",
+            Workload::Purchase => "purchase",
+        }
+    }
+
+    /// Inverse of [`Workload::key`] (also accepts the human-readable
+    /// names, case-insensitively).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        match name.to_ascii_lowercase().as_str() {
+            "mnist" => Some(Workload::Mnist),
+            "purchase" | "purchase-100" => Some(Workload::Purchase),
+            _ => None,
+        }
+    }
+
     /// The row δ for this workload (Table 1 as printed).
     pub fn delta(self) -> f64 {
         match self {
@@ -219,13 +238,153 @@ pub fn run_batch_parallel(
     dpaudit_core::DiBatchResult { trials }
 }
 
+/// Execution options for [`run_batch_engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineOpts {
+    /// Worker threads (0 = machine parallelism).
+    pub threads: usize,
+    /// When set, batches persist to `<dir>/<label>.jsonl` trial stores; an
+    /// existing store with a matching header is resumed instead of re-run.
+    pub store_dir: Option<std::path::PathBuf>,
+}
+
+/// One engine-backed batch: everything `dpaudit-runtime` needs to execute
+/// it now and to rebuild it from the store header on a later resume.
+pub struct EngineBatch<'a> {
+    /// Which workload's model builder (and, on resume, world) to use.
+    pub workload: Workload,
+    /// The neighbouring pair under challenge.
+    pub pair: &'a NeighborPair,
+    /// Trial settings (DPSGD config + challenge protocol).
+    pub settings: &'a dpaudit_core::TrialSettings,
+    /// Optional held-out test set for accuracy tracking.
+    pub test_set: Option<&'a Dataset>,
+    /// Number of trials.
+    pub reps: usize,
+    /// Master seed (trial `i` uses `trial_seed(master_seed, i)`).
+    pub master_seed: u64,
+    /// Seed the workload world was built from (header metadata for resume).
+    pub world_seed: u64,
+    /// Training-set size the world was built with (header metadata).
+    pub train_size: usize,
+    /// The parameter row being audited (supplies ε, δ, ρ_β).
+    pub row: ParamRow,
+    /// Store/file label, e.g. `"table2_mnist_ls_bounded"`.
+    pub label: String,
+}
+
+/// Run a batch on the `dpaudit-runtime` engine and reassemble the result as
+/// a [`dpaudit_core::DiBatchResult`] in trial-index order.
+///
+/// Seed-for-seed identical to [`run_batch_parallel`] (both derive trial `i`
+/// from `trial_seed(master_seed, i)`), but adds a bounded worker pool,
+/// durable trial stores, and crash-safe resume: with a `store_dir`, a batch
+/// interrupted mid-run picks up from the completed trials on the next
+/// invocation, and a finished store is replayed without re-training.
+///
+/// # Panics
+/// Panics on store I/O failures (these binaries fail fast) or invalid
+/// settings.
+pub fn run_batch_engine(batch: &EngineBatch<'_>, opts: &EngineOpts) -> dpaudit_core::DiBatchResult {
+    use dpaudit_runtime::{AuditSession, Seed, StoreHeader, SCHEMA_VERSION};
+
+    let header = StoreHeader {
+        schema_version: SCHEMA_VERSION,
+        label: batch.label.clone(),
+        workload: batch.workload.key().to_string(),
+        train_size: batch.train_size,
+        world_seed: Seed(batch.world_seed),
+        reps: batch.reps,
+        master_seed: Seed(batch.master_seed),
+        target_epsilon: batch.row.epsilon,
+        delta: batch.row.delta,
+        rho_beta_bound: batch.row.rho_beta,
+        detail: dpaudit_core::RecordDetail::Summary,
+        settings: batch.settings.clone(),
+    };
+
+    let mut session = match &opts.store_dir {
+        None => AuditSession::in_memory(header),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create --store-dir");
+            let path = dir.join(format!("{}.jsonl", sanitize_label(&batch.label)));
+            match AuditSession::resume(&path) {
+                Ok(resumed) if *resumed.header() == header => {
+                    let done = batch.reps - resumed.missing_indices().len();
+                    if done > 0 {
+                        eprintln!(
+                            "  [{}] resuming store {}: {done}/{} trials present",
+                            batch.label,
+                            path.display(),
+                            batch.reps
+                        );
+                    }
+                    resumed
+                }
+                // Missing, incompatible, or corrupt beyond the torn tail:
+                // start the store over.
+                _ => AuditSession::create(&path, header).expect("create trial store"),
+            }
+        }
+    };
+
+    let total = session.missing_indices().len();
+    let workload = batch.workload;
+    let mut records = Vec::with_capacity(batch.reps);
+    let outcome = session
+        .run(
+            batch.pair,
+            batch.test_set,
+            |rng| workload.build_model(rng),
+            opts.threads,
+            |p| {
+                // One throughput line per batch; per-trial progress is the
+                // CLI's job (`dpaudit audit run`).
+                if p.completed == total {
+                    eprintln!("  [{}] {}", batch.label, p.render());
+                }
+            },
+            Some(&mut records),
+        )
+        .expect("trial store append failed");
+    debug_assert_eq!(outcome.report.trials, batch.reps);
+    dpaudit_core::DiBatchResult {
+        trials: records.into_iter().map(|r| r.trial).collect(),
+    }
+}
+
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// The four experimental arms of Figures 5–7 / Table 2:
 /// {local, global} sensitivity scaling × {bounded, unbounded} DP.
 pub const ARMS: [(dpaudit_dpsgd::SensitivityScaling, NeighborMode); 4] = [
-    (dpaudit_dpsgd::SensitivityScaling::Local, NeighborMode::Bounded),
-    (dpaudit_dpsgd::SensitivityScaling::Local, NeighborMode::Unbounded),
-    (dpaudit_dpsgd::SensitivityScaling::Global, NeighborMode::Bounded),
-    (dpaudit_dpsgd::SensitivityScaling::Global, NeighborMode::Unbounded),
+    (
+        dpaudit_dpsgd::SensitivityScaling::Local,
+        NeighborMode::Bounded,
+    ),
+    (
+        dpaudit_dpsgd::SensitivityScaling::Local,
+        NeighborMode::Unbounded,
+    ),
+    (
+        dpaudit_dpsgd::SensitivityScaling::Global,
+        NeighborMode::Bounded,
+    ),
+    (
+        dpaudit_dpsgd::SensitivityScaling::Global,
+        NeighborMode::Unbounded,
+    ),
 ];
 
 /// Assemble the [`dpaudit_core::TrialSettings`] for one arm at a Table-1 row.
@@ -321,10 +480,7 @@ pub fn run_audit_grid(workload: Workload, reps: usize, steps: usize, seed: u64) 
                 scaling: scaling.to_string(),
                 eps_from_ls: eps_ls,
                 eps_from_belief: dpaudit_core::eps_from_max_belief(batch.max_belief()),
-                eps_from_advantage: dpaudit_core::eps_from_advantage(
-                    batch.advantage(),
-                    row.delta,
-                ),
+                eps_from_advantage: dpaudit_core::eps_from_advantage(batch.advantage(), row.delta),
                 advantage: batch.advantage(),
                 max_belief: batch.max_belief(),
             });
@@ -370,9 +526,24 @@ pub fn print_audit_grid(
             "\n{}",
             chart::line_chart(
                 &[
-                    chart::Series { label: "target eps (identity)", glyph: '-', xs: &x_ls, ys: &ident },
-                    chart::Series { label: "eps' with Delta f = LS", glyph: 'L', xs: &x_ls, ys: &y_ls },
-                    chart::Series { label: "eps' with Delta f = GS", glyph: 'G', xs: &x_gs, ys: &y_gs },
+                    chart::Series {
+                        label: "target eps (identity)",
+                        glyph: '-',
+                        xs: &x_ls,
+                        ys: &ident
+                    },
+                    chart::Series {
+                        label: "eps' with Delta f = LS",
+                        glyph: 'L',
+                        xs: &x_ls,
+                        ys: &y_ls
+                    },
+                    chart::Series {
+                        label: "eps' with Delta f = GS",
+                        glyph: 'G',
+                        xs: &x_gs,
+                        ys: &y_gs
+                    },
                 ],
                 64,
                 18,

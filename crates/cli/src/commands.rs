@@ -6,7 +6,9 @@ use dpaudit_core::{
     epsilon_for_rho_beta, rho_alpha, rho_alpha_composed, rho_beta, run_di_trials, AuditReport,
     ChallengeMode, TrialSettings,
 };
-use dpaudit_datasets::{dataset_sensitivity_unbounded, generate_mnist, generate_purchase, Hamming, NegSsim};
+use dpaudit_datasets::{
+    dataset_sensitivity_unbounded, generate_mnist, generate_purchase, Hamming, NegSsim,
+};
 use dpaudit_dp::{
     analytic_gaussian_sigma, calibrate_noise_multiplier_closed_form, DpGuarantee,
     GaussianMechanism, NeighborMode, RdpAccountant,
@@ -25,6 +27,12 @@ USAGE:
   dpaudit calibrate --eps E --delta D --steps K [--sensitivity S] [--classic | --analytic]
   dpaudit compose   --noise-multiplier Z --steps K --delta D [--sampling-rate Q]
   dpaudit audit     --transcript FILE --delta D
+  dpaudit audit run    --workload mnist|purchase --out STORE.jsonl [--reps N] [--steps K]
+                       [--rho-beta B] [--scaling ls|gs] [--mode bounded|unbounded]
+                       [--challenge random|always-d] [--detail summary|full]
+                       [--seed S] [--threads N] [--train-size N] [--label L] [--fresh]
+  dpaudit audit resume --store STORE.jsonl [--threads N]
+  dpaudit audit report --store STORE.jsonl
   dpaudit demo      [--workload purchase|mnist] [--reps N] [--steps K] [--seed S] [--out FILE]
   dpaudit help
 
@@ -34,7 +42,10 @@ calibrate  per-step Gaussian noise for a k-step budget (RDP closed form by
            default; --classic = Dwork-Roth Eq. 1 per step, --analytic =
            Balle-Wang exact single-release sigma)
 compose    query the RDP accountant (optionally Poisson-subsampled)
-audit      compute the empirical epsilon estimators for a saved transcript
+audit      compute the empirical epsilon estimators for a saved transcript;
+           the run/resume/report sub-actions drive the parallel, resumable
+           audit engine over a durable trial store (kill it any time and
+           `audit resume` finishes the missing trials bit-identically)
 demo       run a small DI experiment end-to-end and print the audit report
 ";
 
@@ -43,6 +54,14 @@ demo       run a small DI experiment end-to-end and print the audit report
 /// # Errors
 /// A human-readable message for bad flags, bad values or I/O failures.
 pub fn run(opts: &Opts) -> Result<String, String> {
+    if let Some(sub) = &opts.subaction {
+        return match opts.command.as_str() {
+            "audit" => crate::engine::run_subaction(sub, opts),
+            other => Err(format!(
+                "`{other}` takes no sub-action (got `{sub}`)\n\n{USAGE}"
+            )),
+        };
+    }
     match opts.command.as_str() {
         "scores" => cmd_scores(opts),
         "calibrate" => cmd_calibrate(opts),
@@ -89,10 +108,25 @@ fn cmd_scores(opts: &Opts) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "epsilon            = {eps:.6}");
     let _ = writeln!(out, "delta              = {delta}");
-    let _ = writeln!(out, "rho_beta           = {:.6}   (max posterior belief, Thm 1)", rho_beta(eps));
-    let _ = writeln!(out, "rho_alpha          = {:.6}   (expected advantage, Thm 2)", rho_alpha(eps, delta));
-    let _ = writeln!(out, "noise multiplier z = {z:.4}     (RDP, k = {steps} steps)");
-    let _ = writeln!(out, "rho_alpha composed = {:.6}   (2*Phi(sqrt(k)/2z) - 1)", rho_alpha_composed(z, steps));
+    let _ = writeln!(
+        out,
+        "rho_beta           = {:.6}   (max posterior belief, Thm 1)",
+        rho_beta(eps)
+    );
+    let _ = writeln!(
+        out,
+        "rho_alpha          = {:.6}   (expected advantage, Thm 2)",
+        rho_alpha(eps, delta)
+    );
+    let _ = writeln!(
+        out,
+        "noise multiplier z = {z:.4}     (RDP, k = {steps} steps)"
+    );
+    let _ = writeln!(
+        out,
+        "rho_alpha composed = {:.6}   (2*Phi(sqrt(k)/2z) - 1)",
+        rho_alpha_composed(z, steps)
+    );
     Ok(out)
 }
 
@@ -108,8 +142,16 @@ fn cmd_calibrate(opts: &Opts) -> Result<String, String> {
     if opts.flag("classic") {
         let per = DpGuarantee::new(eps, delta).split_sequential(steps);
         let m = GaussianMechanism::calibrate(per, sensitivity);
-        let _ = writeln!(out, "classic per-step calibration (Eq. 1, sequential split):");
-        let _ = writeln!(out, "sigma = {:.6}  (z = {:.4})", m.sigma, m.sigma / sensitivity);
+        let _ = writeln!(
+            out,
+            "classic per-step calibration (Eq. 1, sequential split):"
+        );
+        let _ = writeln!(
+            out,
+            "sigma = {:.6}  (z = {:.4})",
+            m.sigma,
+            m.sigma / sensitivity
+        );
     } else if opts.flag("analytic") {
         if steps != 1 {
             return Err("--analytic calibrates a single release; use --steps 1".into());
@@ -121,7 +163,11 @@ fn cmd_calibrate(opts: &Opts) -> Result<String, String> {
         let z = calibrate_noise_multiplier_closed_form(eps, delta, steps);
         let _ = writeln!(out, "RDP closed-form calibration over {steps} steps:");
         let _ = writeln!(out, "noise multiplier z = {z:.6}");
-        let _ = writeln!(out, "sigma = {:.6}  (at sensitivity {sensitivity})", z * sensitivity);
+        let _ = writeln!(
+            out,
+            "sigma = {:.6}  (at sensitivity {sensitivity})",
+            z * sensitivity
+        );
     }
     Ok(out)
 }
@@ -148,7 +194,10 @@ fn cmd_compose(opts: &Opts) -> Result<String, String> {
     }
     let (eps, order) = acc.epsilon(delta);
     let mut out = String::new();
-    let _ = writeln!(out, "composed epsilon = {eps:.6} at delta = {delta} (best order {order})");
+    let _ = writeln!(
+        out,
+        "composed epsilon = {eps:.6} at delta = {delta} (best order {order})"
+    );
     let _ = writeln!(out, "rho_beta  = {:.6}", rho_beta(eps));
     let _ = writeln!(out, "rho_alpha = {:.6}", rho_alpha(eps, delta));
     Ok(out)
@@ -171,7 +220,9 @@ fn cmd_audit(opts: &Opts) -> Result<String, String> {
     let ls = transcript.local_sensitivities();
     let eps_ls = eps_from_local_sensitivities(&sigmas, &ls, delta, transcript.config.ls_floor);
     let mut out = String::new();
-    let _ = writeln!(out, "transcript: {} steps, {} scaling, {} DP",
+    let _ = writeln!(
+        out,
+        "transcript: {} steps, {} scaling, {} DP",
         transcript.steps.len(),
         transcript.config.scaling,
         transcript.config.mode
@@ -183,7 +234,10 @@ fn cmd_audit(opts: &Opts) -> Result<String, String> {
         ls.iter().sum::<f64>() / ls.len() as f64,
         sigmas.iter().sum::<f64>() / sigmas.len() as f64,
     );
-    let _ = writeln!(out, "(belief/advantage estimators need repeated trials; see `dpaudit demo`)");
+    let _ = writeln!(
+        out,
+        "(belief/advantage estimators need repeated trials; see `dpaudit demo`)"
+    );
     Ok(out)
 }
 
@@ -198,24 +252,26 @@ fn cmd_demo(opts: &Opts) -> Result<String, String> {
     let z = calibrate_noise_multiplier_closed_form(eps, delta, steps);
     let mut rng = dpaudit_math::seeded_rng(seed);
 
-    let (pair, model_builder): (NeighborPair, fn(&mut rand::rngs::StdRng) -> dpaudit_nn::Sequential) =
-        match workload {
-            "purchase" => {
-                let data = generate_purchase(&mut rng, 60);
-                let target = dataset_sensitivity_unbounded(&data, &Hamming);
-                (NeighborPair::from_spec(&data, &target.spec), |r| {
-                    dpaudit_nn::purchase_mlp(r)
-                })
-            }
-            "mnist" => {
-                let data = generate_mnist(&mut rng, 40);
-                let target = dataset_sensitivity_unbounded(&data, &NegSsim);
-                (NeighborPair::from_spec(&data, &target.spec), |r| {
-                    dpaudit_nn::mnist_cnn(r)
-                })
-            }
-            other => return Err(format!("unknown --workload `{other}` (purchase|mnist)")),
-        };
+    let (pair, model_builder): (
+        NeighborPair,
+        fn(&mut rand::rngs::StdRng) -> dpaudit_nn::Sequential,
+    ) = match workload {
+        "purchase" => {
+            let data = generate_purchase(&mut rng, 60);
+            let target = dataset_sensitivity_unbounded(&data, &Hamming);
+            (NeighborPair::from_spec(&data, &target.spec), |r| {
+                dpaudit_nn::purchase_mlp(r)
+            })
+        }
+        "mnist" => {
+            let data = generate_mnist(&mut rng, 40);
+            let target = dataset_sensitivity_unbounded(&data, &NegSsim);
+            (NeighborPair::from_spec(&data, &target.spec), |r| {
+                dpaudit_nn::mnist_cnn(r)
+            })
+        }
+        other => return Err(format!("unknown --workload `{other}` (purchase|mnist)")),
+    };
 
     let settings = TrialSettings {
         dpsgd: DpsgdConfig::new(
@@ -243,11 +299,18 @@ fn cmd_demo(opts: &Opts) -> Result<String, String> {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "workload {workload}: {reps} challenge trials, {steps} steps, target eps {eps:.3}");
+    let _ = writeln!(
+        out,
+        "workload {workload}: {reps} challenge trials, {steps} steps, target eps {eps:.3}"
+    );
     let _ = writeln!(out, "empirical advantage      = {:+.4}", report.advantage);
     let _ = writeln!(out, "max observed belief      = {:.4}", report.max_belief);
     let _ = writeln!(out, "eps' from sensitivities  = {:.4}", report.eps_from_ls);
-    let _ = writeln!(out, "eps' from max belief     = {:.4}", report.eps_from_belief);
+    let _ = writeln!(
+        out,
+        "eps' from max belief     = {:.4}",
+        report.eps_from_belief
+    );
     let _ = writeln!(
         out,
         "eps' from advantage      = {}",
@@ -257,8 +320,16 @@ fn cmd_demo(opts: &Opts) -> Result<String, String> {
             "inf (advantage saturated at this rep count)".to_string()
         }
     );
-    let _ = writeln!(out, "empirical delta          = {:.4}", report.empirical_delta);
-    let _ = writeln!(out, "budget utilisation       = {:.1}%", report.budget_utilisation() * 100.0);
+    let _ = writeln!(
+        out,
+        "empirical delta          = {:.4}",
+        report.empirical_delta
+    );
+    let _ = writeln!(
+        out,
+        "budget utilisation       = {:.1}%",
+        report.budget_utilisation() * 100.0
+    );
     let _ = writeln!(
         out,
         "verdict: {}",
@@ -285,7 +356,9 @@ mod tests {
     #[test]
     fn help_and_unknown_command() {
         assert!(run_line(&["help"]).unwrap().contains("USAGE"));
-        assert!(run_line(&["bogus"]).unwrap_err().contains("unknown command"));
+        assert!(run_line(&["bogus"])
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
@@ -312,28 +385,66 @@ mod tests {
     fn scores_requires_exactly_one_input() {
         let err = run_line(&["scores", "--delta", "1e-3"]).unwrap_err();
         assert!(err.contains("exactly one"));
-        let err =
-            run_line(&["scores", "--eps", "1", "--rho-beta", "0.9", "--delta", "1e-3"]).unwrap_err();
+        let err = run_line(&[
+            "scores",
+            "--eps",
+            "1",
+            "--rho-beta",
+            "0.9",
+            "--delta",
+            "1e-3",
+        ])
+        .unwrap_err();
         assert!(err.contains("exactly one"));
     }
 
     #[test]
     fn calibrate_rdp_and_classic_and_analytic() {
-        let rdp = run_line(&["calibrate", "--eps", "2.2", "--delta", "1e-3", "--steps", "30"]).unwrap();
+        let rdp = run_line(&[
+            "calibrate",
+            "--eps",
+            "2.2",
+            "--delta",
+            "1e-3",
+            "--steps",
+            "30",
+        ])
+        .unwrap();
         assert!(rdp.contains("noise multiplier z = 9.93"), "{rdp}");
         let classic = run_line(&[
-            "calibrate", "--eps", "2.2", "--delta", "1e-3", "--steps", "30", "--classic",
+            "calibrate",
+            "--eps",
+            "2.2",
+            "--delta",
+            "1e-3",
+            "--steps",
+            "30",
+            "--classic",
         ])
         .unwrap();
         assert!(classic.contains("classic per-step"));
         let analytic = run_line(&[
-            "calibrate", "--eps", "1.0", "--delta", "1e-5", "--steps", "1", "--analytic",
+            "calibrate",
+            "--eps",
+            "1.0",
+            "--delta",
+            "1e-5",
+            "--steps",
+            "1",
+            "--analytic",
         ])
         .unwrap();
         assert!(analytic.contains("analytic Gaussian"));
         // Analytic with multiple steps is rejected.
         assert!(run_line(&[
-            "calibrate", "--eps", "1.0", "--delta", "1e-5", "--steps", "5", "--analytic",
+            "calibrate",
+            "--eps",
+            "1.0",
+            "--delta",
+            "1e-5",
+            "--steps",
+            "5",
+            "--analytic",
         ])
         .is_err());
     }
@@ -341,13 +452,26 @@ mod tests {
     #[test]
     fn compose_full_batch_and_subsampled() {
         let full = run_line(&[
-            "compose", "--noise-multiplier", "9.952", "--steps", "30", "--delta", "1e-3",
+            "compose",
+            "--noise-multiplier",
+            "9.952",
+            "--steps",
+            "30",
+            "--delta",
+            "1e-3",
         ])
         .unwrap();
         assert!(full.contains("composed epsilon = 2.19"), "{full}");
         let sub = run_line(&[
-            "compose", "--noise-multiplier", "1.1", "--steps", "100", "--delta", "1e-5",
-            "--sampling-rate", "0.01",
+            "compose",
+            "--noise-multiplier",
+            "1.1",
+            "--steps",
+            "100",
+            "--delta",
+            "1e-5",
+            "--sampling-rate",
+            "0.01",
         ])
         .unwrap();
         // Amplified epsilon (1.32, dominated by the conversion term) is far
@@ -362,7 +486,15 @@ mod tests {
         let path = dir.join("demo_transcript.json");
         let path_s = path.to_str().unwrap();
         let demo = run_line(&[
-            "demo", "--workload", "purchase", "--reps", "3", "--steps", "3", "--out", path_s,
+            "demo",
+            "--workload",
+            "purchase",
+            "--reps",
+            "3",
+            "--steps",
+            "3",
+            "--out",
+            path_s,
         ])
         .unwrap();
         assert!(demo.contains("eps' from sensitivities"), "{demo}");
@@ -374,23 +506,160 @@ mod tests {
 
     #[test]
     fn audit_reports_missing_file() {
-        let err = run_line(&["audit", "--transcript", "/nonexistent/x.json", "--delta", "1e-2"])
-            .unwrap_err();
+        let err = run_line(&[
+            "audit",
+            "--transcript",
+            "/nonexistent/x.json",
+            "--delta",
+            "1e-2",
+        ])
+        .unwrap_err();
         assert!(err.contains("cannot load transcript"));
     }
 
     #[test]
     fn demo_rejects_unknown_workload() {
-        let err = run_line(&["demo", "--workload", "imagenet", "--reps", "1", "--steps", "1"])
-            .unwrap_err();
+        let err = run_line(&[
+            "demo",
+            "--workload",
+            "imagenet",
+            "--reps",
+            "1",
+            "--steps",
+            "1",
+        ])
+        .unwrap_err();
         assert!(err.contains("unknown --workload"));
+    }
+
+    #[test]
+    fn audit_run_resume_report_round_trip() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("run.jsonl");
+        let _ = std::fs::remove_file(&store);
+        let store_s = store.to_str().unwrap();
+        let line = [
+            "audit",
+            "run",
+            "--workload",
+            "purchase",
+            "--reps",
+            "3",
+            "--steps",
+            "3",
+            "--threads",
+            "2",
+            "--train-size",
+            "30",
+            "--out",
+            store_s,
+        ];
+        let out = run_line(&line).unwrap();
+        assert!(
+            out.contains("3 trials (3 executed, 0 replayed from store)"),
+            "{out}"
+        );
+        assert!(out.contains("eps' from LS"), "{out}");
+
+        // Running again without --fresh refuses to clobber the store...
+        let err = run_line(&line).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        // ...but resume replays it without re-executing anything,
+        let resumed = run_line(&["audit", "resume", "--store", store_s]).unwrap();
+        assert!(
+            resumed.contains("(0 executed, 3 replayed from store)"),
+            "{resumed}"
+        );
+        // and both paths agree with the offline report.
+        let report = run_line(&["audit", "report", "--store", store_s]).unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("audit:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&resumed), tail(&report));
+        assert_eq!(tail(&out), tail(&report));
+        std::fs::remove_file(&store).unwrap();
+    }
+
+    #[test]
+    fn audit_report_flags_incomplete_store() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-engine-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("partial.jsonl");
+        let _ = std::fs::remove_file(&store);
+        let store_s = store.to_str().unwrap();
+        run_line(&[
+            "audit",
+            "run",
+            "--workload",
+            "purchase",
+            "--reps",
+            "2",
+            "--steps",
+            "2",
+            "--train-size",
+            "30",
+            "--out",
+            store_s,
+        ])
+        .unwrap();
+        // Drop the last record to simulate an interrupted run.
+        let text = std::fs::read_to_string(&store).unwrap();
+        let keep: Vec<&str> = text.lines().take(2).collect();
+        std::fs::write(&store, keep.join("\n") + "\n").unwrap();
+        let report = run_line(&["audit", "report", "--store", store_s]).unwrap();
+        assert!(report.contains("incomplete"), "{report}");
+        assert!(report.contains("1/2 trials stored"), "{report}");
+        std::fs::remove_file(&store).unwrap();
+    }
+
+    #[test]
+    fn audit_subaction_validation() {
+        assert!(run_line(&["audit", "frobnicate"])
+            .unwrap_err()
+            .contains("sub-action"));
+        assert!(run_line(&["scores", "run"])
+            .unwrap_err()
+            .contains("no sub-action"));
+        assert!(run_line(&[
+            "audit",
+            "run",
+            "--workload",
+            "imagenet",
+            "--out",
+            "/tmp/x.jsonl"
+        ])
+        .unwrap_err()
+        .contains("unknown workload"));
+        assert!(run_line(&["audit", "run", "--workload", "mnist"])
+            .unwrap_err()
+            .contains("--out"));
+        assert!(run_line(&["audit", "resume"])
+            .unwrap_err()
+            .contains("--store"));
+        assert!(
+            run_line(&["audit", "report", "--store", "/nonexistent/x.jsonl"])
+                .unwrap_err()
+                .contains("cannot replay store")
+        );
     }
 
     #[test]
     fn validation_errors_are_friendly() {
         assert!(run_line(&["scores", "--eps", "-1", "--delta", "1e-3"]).is_err());
         assert!(run_line(&["scores", "--eps", "1", "--delta", "2"]).is_err());
-        assert!(run_line(&["compose", "--noise-multiplier", "1", "--delta", "1e-3",
-            "--sampling-rate", "1.5"]).is_err());
+        assert!(run_line(&[
+            "compose",
+            "--noise-multiplier",
+            "1",
+            "--delta",
+            "1e-3",
+            "--sampling-rate",
+            "1.5"
+        ])
+        .is_err());
     }
 }

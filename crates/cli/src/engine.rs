@@ -1,0 +1,194 @@
+//! The engine-backed `audit run` / `audit resume` / `audit report`
+//! sub-actions: durable, parallel, resumable Exp^DI audits driven by
+//! `dpaudit-runtime` on the bench workloads.
+
+use crate::opts::Opts;
+use dpaudit_bench::{arm_settings, param_row, Workload};
+use dpaudit_core::{ChallengeMode, RecordDetail};
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
+use dpaudit_runtime::{
+    render_partial, render_report, replay_store, AuditSession, Progress, Seed, StoreHeader,
+    SCHEMA_VERSION,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Dispatch `audit <sub-action>`.
+///
+/// # Errors
+/// A human-readable message for bad flags, bad values or I/O failures.
+pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
+    match sub {
+        "run" => cmd_run(opts),
+        "resume" => cmd_resume(opts),
+        "report" => cmd_report(opts),
+        other => Err(format!(
+            "unknown audit sub-action `{other}` (run | resume | report)"
+        )),
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<String, String> {
+    let out_path = opts.str_opt("out").ok_or("missing required --out FILE")?;
+    let workload = parse_workload(
+        opts.str_opt("workload")
+            .ok_or("missing required --workload")?,
+    )?;
+    let reps = opts.usize_or("reps", 25)?;
+    if reps == 0 {
+        return Err("--reps must be positive".into());
+    }
+    let steps = opts.usize_or("steps", 30)?;
+    let rho_beta = opts.f64_opt("rho-beta")?.unwrap_or(0.90);
+    if !(0.5..1.0).contains(&rho_beta) || rho_beta == 0.5 {
+        return Err("--rho-beta must be in (0.5, 1)".into());
+    }
+    let scaling = parse_scaling(opts.str_opt("scaling").unwrap_or("ls"))?;
+    let mode = parse_mode(opts.str_opt("mode").unwrap_or("bounded"))?;
+    let challenge = parse_challenge(opts.str_opt("challenge").unwrap_or("random"))?;
+    let detail = parse_detail(opts.str_opt("detail").unwrap_or("summary"))?;
+    let seed = opts.u64_or("seed", 42)?;
+    let threads = opts.usize_or("threads", 0)?;
+    let train_size = opts.usize_or("train-size", workload.default_train_size())?;
+    let label = opts
+        .str_opt("label")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}_{scaling}_{mode}_rb{rho_beta}", workload.key()));
+
+    let row = param_row(rho_beta, workload.delta());
+    let settings = arm_settings(&row, steps, scaling, mode, challenge);
+    let header = StoreHeader {
+        schema_version: SCHEMA_VERSION,
+        label,
+        workload: workload.key().to_string(),
+        train_size,
+        world_seed: Seed(seed),
+        reps,
+        master_seed: Seed(seed),
+        target_epsilon: row.epsilon,
+        delta: row.delta,
+        rho_beta_bound: row.rho_beta,
+        detail,
+        settings,
+    };
+
+    let path = Path::new(out_path);
+    if path.exists() && !opts.flag("fresh") {
+        return Err(format!(
+            "store {out_path} already exists; continue it with `dpaudit audit resume --store {out_path}` or overwrite with --fresh"
+        ));
+    }
+    let session =
+        AuditSession::create(path, header).map_err(|e| format!("cannot create store: {e}"))?;
+    execute(session, threads)
+}
+
+fn cmd_resume(opts: &Opts) -> Result<String, String> {
+    let store = opts
+        .str_opt("store")
+        .ok_or("missing required --store FILE")?;
+    let threads = opts.usize_or("threads", 0)?;
+    let session =
+        AuditSession::resume(Path::new(store)).map_err(|e| format!("cannot resume store: {e}"))?;
+    let done = session.header().reps - session.missing_indices().len();
+    eprintln!(
+        "resuming {}: {done}/{} trials already stored",
+        store,
+        session.header().reps
+    );
+    execute(session, threads)
+}
+
+fn cmd_report(opts: &Opts) -> Result<String, String> {
+    let store = opts
+        .str_opt("store")
+        .ok_or("missing required --store FILE")?;
+    let replayed =
+        replay_store(Path::new(store)).map_err(|e| format!("cannot replay store: {e}"))?;
+    match replayed.report {
+        Some(report) => Ok(render_report(&replayed.header, &report)),
+        None => Ok(render_partial(
+            &replayed.header,
+            replayed.completed,
+            &replayed.missing,
+        )),
+    }
+}
+
+/// Rebuild the workload objects a header describes and run the missing
+/// trials, streaming progress to stderr.
+fn execute(mut session: AuditSession, threads: usize) -> Result<String, String> {
+    let header = session.header().clone();
+    let (workload, pair) = rebuild_workload(&header)?;
+    let total = session.missing_indices().len();
+    let step = (total / 20).max(1);
+    let on_progress = move |p: Progress| {
+        if p.completed.is_multiple_of(step) || p.completed == total {
+            eprintln!("  {}", p.render());
+        }
+    };
+    let outcome = session
+        .run(
+            &pair,
+            None,
+            |rng| workload.build_model(rng),
+            threads,
+            on_progress,
+            None,
+        )
+        .map_err(|e| format!("store append failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} trials ({} executed, {} replayed from store)",
+        header.reps, outcome.executed, outcome.replayed
+    );
+    out.push_str(&render_report(&header, &outcome.report));
+    Ok(out)
+}
+
+/// Deterministically rebuild the neighbouring pair from header metadata:
+/// same workload + world seed + train size + neighbour mode ⇒ same pair.
+fn rebuild_workload(header: &StoreHeader) -> Result<(Workload, NeighborPair), String> {
+    let workload = parse_workload(&header.workload)?;
+    let world = workload.world(header.world_seed.0, header.train_size);
+    let pair = workload.max_pair(&world, header.settings.dpsgd.mode);
+    Ok((workload, pair))
+}
+
+fn parse_workload(name: &str) -> Result<Workload, String> {
+    Workload::from_name(name).ok_or_else(|| format!("unknown workload `{name}` (mnist|purchase)"))
+}
+
+fn parse_scaling(name: &str) -> Result<SensitivityScaling, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ls" | "local" => Ok(SensitivityScaling::Local),
+        "gs" | "global" => Ok(SensitivityScaling::Global),
+        other => Err(format!("unknown --scaling `{other}` (ls|gs)")),
+    }
+}
+
+fn parse_mode(name: &str) -> Result<NeighborMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "bounded" => Ok(NeighborMode::Bounded),
+        "unbounded" => Ok(NeighborMode::Unbounded),
+        other => Err(format!("unknown --mode `{other}` (bounded|unbounded)")),
+    }
+}
+
+fn parse_challenge(name: &str) -> Result<ChallengeMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "random" => Ok(ChallengeMode::RandomBit),
+        "always-d" => Ok(ChallengeMode::AlwaysD),
+        other => Err(format!("unknown --challenge `{other}` (random|always-d)")),
+    }
+}
+
+fn parse_detail(name: &str) -> Result<RecordDetail, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "full" => Ok(RecordDetail::Full),
+        "summary" => Ok(RecordDetail::Summary),
+        other => Err(format!("unknown --detail `{other}` (full|summary)")),
+    }
+}

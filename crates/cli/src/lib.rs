@@ -7,6 +7,7 @@
 //! so it is unit-testable; `main.rs` only forwards `std::env::args`.
 
 pub mod commands;
+pub mod engine;
 pub mod opts;
 
 pub use commands::run;

@@ -2,11 +2,15 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+/// Parsed command line: a subcommand, an optional sub-action (a second
+/// positional, e.g. `audit run`), plus `--key value` / `--flag` options.
 #[derive(Debug, Clone, Default)]
 pub struct Opts {
     /// The subcommand name (first positional argument).
     pub command: String,
+    /// A second positional argument, when the command has sub-actions
+    /// (e.g. `run` / `resume` / `report` under `audit`).
+    pub subaction: Option<String>,
     /// `--key value` pairs.
     values: BTreeMap<String, String>,
     /// Bare `--flag`s.
@@ -14,7 +18,7 @@ pub struct Opts {
 }
 
 /// Keys that are bare flags (no value).
-const BARE_FLAGS: &[&str] = &["json", "classic", "analytic", "help"];
+const BARE_FLAGS: &[&str] = &["json", "classic", "analytic", "help", "fresh"];
 
 impl Opts {
     /// Parse an argument list (without the program name).
@@ -25,8 +29,13 @@ impl Opts {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut it = args.into_iter().peekable();
         let command = it.next().unwrap_or_else(|| "help".to_string());
+        let subaction = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => it.next(),
+            _ => None,
+        };
         let mut out = Opts {
             command,
+            subaction,
             ..Opts::default()
         };
         while let Some(tok) = it.next() {
@@ -37,9 +46,7 @@ impl Opts {
             if BARE_FLAGS.contains(&key.as_str()) {
                 out.flags.push(key);
             } else {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 out.values.insert(key, value);
             }
         }
@@ -132,12 +139,26 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(parse(&["scores", "--eps"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["scores", "--eps"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]
-    fn non_flag_token_is_an_error() {
-        assert!(parse(&["scores", "eps"]).unwrap_err().contains("expected --flag"));
+    fn second_positional_becomes_subaction() {
+        let o = parse(&["audit", "run", "--workload", "mnist"]).unwrap();
+        assert_eq!(o.command, "audit");
+        assert_eq!(o.subaction.as_deref(), Some("run"));
+        assert_eq!(o.str_opt("workload"), Some("mnist"));
+        let o = parse(&["audit", "--transcript", "t.json"]).unwrap();
+        assert_eq!(o.subaction, None);
+    }
+
+    #[test]
+    fn non_flag_token_after_subaction_is_an_error() {
+        assert!(parse(&["audit", "run", "mnist"])
+            .unwrap_err()
+            .contains("expected --flag"));
     }
 
     #[test]

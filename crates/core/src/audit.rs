@@ -34,16 +34,25 @@ pub fn eps_from_local_sensitivities(
     delta: f64,
     ls_floor: f64,
 ) -> f64 {
-    assert!(!sigmas.is_empty(), "eps_from_local_sensitivities: empty series");
+    assert!(
+        !sigmas.is_empty(),
+        "eps_from_local_sensitivities: empty series"
+    );
     assert_eq!(
         sigmas.len(),
         local_sensitivities.len(),
         "eps_from_local_sensitivities: series length mismatch"
     );
-    assert!(ls_floor > 0.0, "eps_from_local_sensitivities: floor must be positive");
+    assert!(
+        ls_floor > 0.0,
+        "eps_from_local_sensitivities: floor must be positive"
+    );
     let mut acc = RdpAccountant::new();
     for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
-        assert!(sigma > 0.0, "eps_from_local_sensitivities: non-positive sigma");
+        assert!(
+            sigma > 0.0,
+            "eps_from_local_sensitivities: non-positive sigma"
+        );
         acc.add_gaussian_step(sigma / ls.max(ls_floor));
     }
     acc.epsilon(delta).0
@@ -123,11 +132,16 @@ impl AuditReport {
         ls_floor: f64,
     ) -> Self {
         assert!(!batch.trials.is_empty(), "AuditReport: empty batch");
-        assert!(target_epsilon > 0.0, "AuditReport: target epsilon must be positive");
+        assert!(
+            target_epsilon > 0.0,
+            "AuditReport: target epsilon must be positive"
+        );
         let eps_ls = batch
             .trials
             .iter()
-            .map(|t| eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, ls_floor))
+            .map(|t| {
+                eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, ls_floor)
+            })
             .sum::<f64>()
             / batch.trials.len() as f64;
         let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
@@ -157,9 +171,7 @@ impl AuditReport {
     /// error, so a positive answer calls for more repetitions, not panic.
     pub fn exceeds_claim(&self, tolerance: f64) -> bool {
         let limit = self.target_epsilon * (1.0 + tolerance);
-        self.eps_from_ls > limit
-            || self.eps_from_belief > limit
-            || self.eps_from_advantage > limit
+        self.eps_from_ls > limit || self.eps_from_belief > limit || self.eps_from_advantage > limit
     }
 }
 
@@ -213,7 +225,10 @@ mod tests {
         assert!(eps.is_finite());
         // The grid conversion cannot report below ln(1/δ)/(α_max − 1); just
         // require the result to be near that conversion floor.
-        assert!(eps < 0.05, "degenerate steps should contribute ~nothing: {eps}");
+        assert!(
+            eps < 0.05,
+            "degenerate steps should contribute ~nothing: {eps}"
+        );
     }
 
     #[test]

@@ -69,9 +69,19 @@ impl BeliefTracker {
     ///
     /// # Panics
     /// Panics on length mismatches or a non-positive σ.
-    pub fn update_gaussian(&mut self, output: &[f64], center_d: &[f64], center_d_prime: &[f64], sigma: f64) {
+    pub fn update_gaussian(
+        &mut self,
+        output: &[f64],
+        center_d: &[f64],
+        center_d_prime: &[f64],
+        sigma: f64,
+    ) {
         assert!(sigma > 0.0, "BeliefTracker: sigma must be positive");
-        assert_eq!(output.len(), center_d.len(), "BeliefTracker: center_d length");
+        assert_eq!(
+            output.len(),
+            center_d.len(),
+            "BeliefTracker: center_d length"
+        );
         assert_eq!(
             output.len(),
             center_d_prime.len(),
@@ -173,7 +183,11 @@ mod tests {
             prod_dp *= dens(r, cdp);
         }
         let lemma = prod_d / (prod_d + prod_dp);
-        assert!((t.belief() - lemma).abs() < 1e-12, "{} vs {lemma}", t.belief());
+        assert!(
+            (t.belief() - lemma).abs() < 1e-12,
+            "{} vs {lemma}",
+            t.belief()
+        );
     }
 
     #[test]

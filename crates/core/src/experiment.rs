@@ -30,8 +30,34 @@ pub struct TrialSettings {
     pub challenge: ChallengeMode,
 }
 
+/// How much of a trial's outcome is kept when it is recorded.
+///
+/// A `Full` record keeps the per-step series (`belief_history`,
+/// `local_sensitivities`, `sigmas`) — O(k) numbers per trial. A `Summary`
+/// record drops them, keeping only the scalar outcome; at paper scale
+/// (1000 reps × 30 steps) this shrinks a durable trial store by ~30×.
+/// Derived ε′ values that need the series must then be computed *at
+/// execution time*, before the record is stripped (the runtime engine does
+/// this for the local-sensitivity estimator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RecordDetail {
+    /// Keep the per-step series.
+    #[default]
+    Full,
+    /// Keep only scalar outcomes.
+    Summary,
+}
+
+/// The per-trial seed convention shared by [`run_di_trials`], the bench
+/// harness, and the `dpaudit-runtime` execution engine: trial `i` of a batch
+/// uses `split_seed(master_seed, 1000 + i)`. Keeping this in one place is
+/// what makes a resumed run bit-identical to an uninterrupted one.
+pub fn trial_seed(master_seed: u64, idx: usize) -> u64 {
+    split_seed(master_seed, 1000 + idx as u64)
+}
+
 /// Outcome of one challenge trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiTrialResult {
     /// The challenge bit (true ⇔ D was trained).
     pub b: bool,
@@ -52,6 +78,20 @@ pub struct DiTrialResult {
     pub sigmas: Vec<f64>,
     /// Test accuracy of the final model, when a test set was supplied.
     pub test_accuracy: Option<f64>,
+}
+
+impl DiTrialResult {
+    /// Strip the record to the requested [`RecordDetail`]: `Summary` drops
+    /// the per-step series, `Full` is the identity.
+    #[must_use]
+    pub fn with_detail(mut self, detail: RecordDetail) -> Self {
+        if detail == RecordDetail::Summary {
+            self.belief_history = Vec::new();
+            self.local_sensitivities = Vec::new();
+            self.sigmas = Vec::new();
+        }
+        self
+    }
 }
 
 /// One complete Exp^DI trial: build a model, flip the challenge bit, run
@@ -80,11 +120,18 @@ pub fn run_di_trial(
     let mut local_sensitivities = Vec::with_capacity(settings.dpsgd.steps);
     let mut sigmas = Vec::with_capacity(settings.dpsgd.steps);
 
-    train_dpsgd(&mut model, pair, b, &settings.dpsgd, &mut noise_rng, |record| {
-        adversary.observe(&record, b);
-        local_sensitivities.push(record.local_sensitivity);
-        sigmas.push(record.sigma);
-    });
+    train_dpsgd(
+        &mut model,
+        pair,
+        b,
+        &settings.dpsgd,
+        &mut noise_rng,
+        |record| {
+            adversary.observe(&record, b);
+            local_sensitivities.push(record.local_sensitivity);
+            sigmas.push(record.sigma);
+        },
+    );
 
     let guess = adversary.decide_d();
     let belief_d = adversary.belief_d();
@@ -171,7 +218,7 @@ pub fn run_di_trials(
                 settings,
                 test_set,
                 &model_builder,
-                split_seed(master_seed, 1000 + i as u64),
+                trial_seed(master_seed, i),
             )
         })
         .collect();
@@ -297,7 +344,10 @@ mod tests {
         let s = settings(2.0, ChallengeMode::RandomBit);
         let batch = run_di_trials(&pair, &s, None, builder, 30, 4);
         let ones = batch.trials.iter().filter(|t| t.b).count();
-        assert!(ones > 5 && ones < 25, "challenge bits degenerate: {ones}/30");
+        assert!(
+            ones > 5 && ones < 25,
+            "challenge bits degenerate: {ones}/30"
+        );
     }
 
     #[test]

@@ -35,10 +35,13 @@ pub mod scalar;
 pub mod scores;
 
 pub use adversary::DiAdversary;
-pub use audit::{eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief, AuditReport};
+pub use audit::{
+    eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief, AuditReport,
+};
 pub use belief::BeliefTracker;
 pub use experiment::{
-    run_di_trial, run_di_trials, ChallengeMode, DiBatchResult, DiTrialResult, TrialSettings,
+    run_di_trial, run_di_trials, trial_seed, ChallengeMode, DiBatchResult, DiTrialResult,
+    RecordDetail, TrialSettings,
 };
 pub use mi::{run_mi_trials, MiAdversary, MiBatchResult};
 pub use scalar::{run_scalar_di_trials, ScalarMechanism, ScalarQuery};

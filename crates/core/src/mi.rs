@@ -82,7 +82,10 @@ pub fn run_mi_trials<R: Rng + ?Sized>(
 ) -> MiBatchResult {
     assert!(reps > 0, "run_mi_trials: reps must be positive");
     assert!(!train.is_empty(), "run_mi_trials: empty training set");
-    assert!(!dist_pool.is_empty(), "run_mi_trials: empty distribution pool");
+    assert!(
+        !dist_pool.is_empty(),
+        "run_mi_trials: empty distribution pool"
+    );
     let trials = (0..reps)
         .map(|_| {
             let b = rng.gen::<bool>();
@@ -120,7 +123,9 @@ mod tests {
         let mut train = Dataset::empty();
         let mut pool = Dataset::empty();
         for i in 0..8 {
-            let x: Vec<f64> = (0..4).map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0).collect();
+            let x: Vec<f64> = (0..4)
+                .map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0)
+                .collect();
             train.push(Tensor::from_vec(&[4], x.clone()), i % 2);
             pool.push(Tensor::from_vec(&[4], x), (i + 1) % 2);
         }
@@ -159,7 +164,8 @@ mod tests {
     fn attack_beats_random_guessing_on_overfit_model() {
         let (model, train, pool) = overfit_setup();
         // Threshold halfway between member and non-member mean loss.
-        let tau = (model.mean_loss(&train.xs, &train.ys) + model.mean_loss(&pool.xs, &pool.ys)) / 2.0;
+        let tau =
+            (model.mean_loss(&train.xs, &train.ys) + model.mean_loss(&pool.xs, &pool.ys)) / 2.0;
         let adv = MiAdversary { threshold: tau };
         let result = run_mi_trials(&adv, &model, &train, &pool, 400, &mut seeded_rng(2));
         assert!(

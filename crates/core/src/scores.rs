@@ -24,7 +24,10 @@ use dpaudit_math::{inv_phi, logit, phi, sigmoid};
 /// # Panics
 /// Panics for a negative ε.
 pub fn rho_beta(total_epsilon: f64) -> f64 {
-    assert!(total_epsilon >= 0.0, "rho_beta: epsilon must be non-negative");
+    assert!(
+        total_epsilon >= 0.0,
+        "rho_beta: epsilon must be non-negative"
+    );
     sigmoid(total_epsilon)
 }
 
@@ -48,7 +51,10 @@ pub fn rho_beta_sequential(step_epsilons: &[f64]) -> f64 {
 /// Panics for `α ≤ 1`, a negative RDP total, δ outside `(0, 1)` or `k = 0`.
 pub fn rho_beta_rdp_composed(rdp_total: f64, alpha: f64, delta_per_step: f64, k: usize) -> f64 {
     assert!(alpha > 1.0, "rho_beta_rdp_composed: order must exceed 1");
-    assert!(rdp_total >= 0.0, "rho_beta_rdp_composed: negative RDP budget");
+    assert!(
+        rdp_total >= 0.0,
+        "rho_beta_rdp_composed: negative RDP budget"
+    );
     assert!(
         delta_per_step > 0.0 && delta_per_step < 1.0,
         "rho_beta_rdp_composed: delta must be in (0, 1)"
@@ -95,7 +101,10 @@ pub fn epsilon_for_rho_beta(rho: f64) -> f64 {
 /// Panics for a negative ε or δ outside `(0, 1)`.
 pub fn rho_alpha(epsilon: f64, delta: f64) -> f64 {
     assert!(epsilon >= 0.0, "rho_alpha: epsilon must be non-negative");
-    assert!(delta > 0.0 && delta < 1.0, "rho_alpha: delta must be in (0, 1)");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "rho_alpha: delta must be in (0, 1)"
+    );
     2.0 * phi(epsilon / (2.0 * (2.0 * (1.25 / delta).ln()).sqrt())) - 1.0
 }
 
@@ -154,7 +163,10 @@ pub fn rho_alpha_composed(noise_multiplier: f64, k: usize) -> f64 {
 /// # Panics
 /// Panics for a negative ε or a false-positive rate outside `[0, 1]`.
 pub fn generic_advantage_bound(epsilon: f64, false_positive_rate: f64) -> f64 {
-    assert!(epsilon >= 0.0, "generic_advantage_bound: epsilon must be non-negative");
+    assert!(
+        epsilon >= 0.0,
+        "generic_advantage_bound: epsilon must be non-negative"
+    );
     assert!(
         (0.0..=1.0).contains(&false_positive_rate),
         "generic_advantage_bound: rate must be in [0, 1]"
@@ -251,7 +263,11 @@ mod tests {
     fn composed_rho_alpha_is_order_free_and_correct() {
         // 2Φ(√k/2z) − 1, k = 30, z = 10 → 2Φ(0.27386) − 1.
         let v = rho_alpha_composed(10.0, 30);
-        close(v, 2.0 * dpaudit_math::phi(30.0_f64.sqrt() / 20.0) - 1.0, 1e-15);
+        close(
+            v,
+            2.0 * dpaudit_math::phi(30.0_f64.sqrt() / 20.0) - 1.0,
+            1e-15,
+        );
         // Invariance: k steps at multiplier z equals 1 step at z/√k.
         close(
             rho_alpha_composed(10.0, 30),
@@ -293,7 +309,11 @@ mod tests {
 
     #[test]
     fn generic_bound_scales_with_fpr() {
-        close(generic_advantage_bound(1.0, 0.5), (1.0_f64.exp() - 1.0) * 0.5, 1e-12);
+        close(
+            generic_advantage_bound(1.0, 0.5),
+            (1.0_f64.exp() - 1.0) * 0.5,
+            1e-12,
+        );
         assert_eq!(generic_advantage_bound(1.0, 0.0), 0.0);
     }
 

@@ -35,7 +35,10 @@ pub enum NeighborSpec {
 impl Dataset {
     /// Empty dataset.
     pub fn empty() -> Self {
-        Self { xs: Vec::new(), ys: Vec::new() }
+        Self {
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
     }
 
     /// Build from parallel vectors.
@@ -90,7 +93,11 @@ impl Dataset {
     /// Panics on an out-of-range index.
     pub fn neighbor(&self, spec: &NeighborSpec) -> Dataset {
         match spec {
-            NeighborSpec::Replace { index, record, label } => {
+            NeighborSpec::Replace {
+                index,
+                record,
+                label,
+            } => {
                 assert!(*index < self.len(), "neighbor: replace index out of range");
                 let mut out = self.clone();
                 out.xs[*index] = record.clone();
@@ -156,7 +163,11 @@ mod tests {
     #[test]
     fn replace_neighbor_keeps_size() {
         let d = sample();
-        let spec = NeighborSpec::Replace { index: 1, record: rec(99.0), label: 5 };
+        let spec = NeighborSpec::Replace {
+            index: 1,
+            record: rec(99.0),
+            label: 5,
+        };
         let n = d.neighbor(&spec);
         assert_eq!(n.len(), 3);
         assert_eq!(n.ys[1], 5);

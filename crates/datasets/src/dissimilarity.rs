@@ -37,7 +37,10 @@ pub fn ssim(a: &Tensor, b: &Tensor, dynamic_range: f64) -> f64 {
     };
     const WIN: usize = 8;
     const STRIDE: usize = 4;
-    assert!(h >= WIN && w >= WIN, "ssim: image smaller than the 8x8 window");
+    assert!(
+        h >= WIN && w >= WIN,
+        "ssim: image smaller than the 8x8 window"
+    );
     let c1 = (0.01 * dynamic_range).powi(2);
     let c2 = (0.03 * dynamic_range).powi(2);
     let da = a.data();
@@ -152,11 +155,28 @@ mod tests {
 
     #[test]
     fn ssim_decreases_with_noise() {
-        let a = img(|i, j| if (8..20).contains(&i) && (8..20).contains(&j) { 1.0 } else { 0.0 });
+        let a = img(|i, j| {
+            if (8..20).contains(&i) && (8..20).contains(&j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
         // Slightly perturbed vs strongly perturbed versions of `a`.
         let slight = img(|i, j| {
-            let base = if (8..20).contains(&i) && (8..20).contains(&j) { 1.0 } else { 0.0 };
-            f64::min(base + if (i * 31 + j * 17) % 13 == 0 { 0.2 } else { 0.0 }, 1.0)
+            let base = if (8..20).contains(&i) && (8..20).contains(&j) {
+                1.0
+            } else {
+                0.0
+            };
+            f64::min(
+                base + if (i * 31 + j * 17) % 13 == 0 {
+                    0.2
+                } else {
+                    0.0
+                },
+                1.0,
+            )
         });
         let strong = img(|i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
         let s_slight = ssim(&a, &slight, 1.0);

@@ -20,13 +20,13 @@ pub const MNIST_SIDE: usize = 28;
 /// The seven segments of a classic digit display, as (x0, y0, x1, y1)
 /// half-open boxes in a 28×28 canvas (row = y, col = x).
 const SEGMENTS: [(usize, usize, usize, usize); 7] = [
-    (9, 5, 20, 7),   // A: top bar
-    (18, 6, 20, 15), // B: top-right
+    (9, 5, 20, 7),    // A: top bar
+    (18, 6, 20, 15),  // B: top-right
     (18, 14, 20, 23), // C: bottom-right
-    (9, 21, 20, 23), // D: bottom bar
-    (9, 14, 11, 23), // E: bottom-left
-    (9, 6, 11, 15),  // F: top-left
-    (9, 13, 20, 15), // G: middle bar
+    (9, 21, 20, 23),  // D: bottom bar
+    (9, 14, 11, 23),  // E: bottom-left
+    (9, 6, 11, 15),   // F: top-left
+    (9, 13, 20, 15),  // G: middle bar
 ];
 
 /// Which segments each digit lights (A..G bitmask, bit i = SEGMENTS[i]).
@@ -120,7 +120,11 @@ mod tests {
             for b in (a + 1)..10 {
                 let ia = render_digit(a, 0, 0, 1.0, false);
                 let ib = render_digit(b, 0, 0, 1.0, false);
-                assert_ne!(ia.data(), ib.data(), "digits {a} and {b} render identically");
+                assert_ne!(
+                    ia.data(),
+                    ib.data(),
+                    "digits {a} and {b} render identically"
+                );
             }
         }
     }
@@ -154,7 +158,10 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 20);
         assert!(a.ys.iter().all(|&y| y < 10));
-        assert!(a.xs.iter().all(|x| x.shape() == [1, MNIST_SIDE, MNIST_SIDE]));
+        assert!(a
+            .xs
+            .iter()
+            .all(|x| x.shape() == [1, MNIST_SIDE, MNIST_SIDE]));
         assert!(a
             .xs
             .iter()

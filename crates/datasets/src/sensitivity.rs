@@ -101,8 +101,11 @@ pub fn unbounded_candidates<M: Dissimilarity>(
             sums[j] += d;
         }
     }
-    let mut scored: Vec<(f64, usize, usize)> =
-        sums.into_iter().enumerate().map(|(i, s)| (s, i, 0)).collect();
+    let mut scored: Vec<(f64, usize, usize)> = sums
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i, 0))
+        .collect();
     sort_scores(&mut scored, largest);
     scored
         .into_iter()
@@ -144,17 +147,11 @@ mod tests {
     }
 
     fn train() -> Dataset {
-        Dataset::new(
-            vec![bits(&[0, 0, 0, 0]), bits(&[1, 1, 0, 0])],
-            vec![0, 1],
-        )
+        Dataset::new(vec![bits(&[0, 0, 0, 0]), bits(&[1, 1, 0, 0])], vec![0, 1])
     }
 
     fn pool() -> Dataset {
-        Dataset::new(
-            vec![bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
-            vec![2, 3],
-        )
+        Dataset::new(vec![bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])], vec![2, 3])
     }
 
     #[test]
@@ -163,7 +160,11 @@ mod tests {
         let best = dataset_sensitivity_bounded(&train(), &pool(), &Hamming);
         assert_eq!(best.score, 4.0);
         match best.spec {
-            NeighborSpec::Replace { index, ref record, label } => {
+            NeighborSpec::Replace {
+                index,
+                ref record,
+                label,
+            } => {
                 assert_eq!(index, 0);
                 assert_eq!(label, 3);
                 assert_eq!(record.data(), bits(&[1, 1, 1, 1]).data());
@@ -203,7 +204,11 @@ mod tests {
     fn unbounded_argmax_is_most_isolated_record() {
         // Three records: two close together, one far away.
         let d = Dataset::new(
-            vec![bits(&[0, 0, 0, 0]), bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
+            vec![
+                bits(&[0, 0, 0, 0]),
+                bits(&[0, 0, 0, 1]),
+                bits(&[1, 1, 1, 1]),
+            ],
             vec![0, 0, 1],
         );
         let best = dataset_sensitivity_unbounded(&d, &Hamming);
@@ -215,7 +220,11 @@ mod tests {
     #[test]
     fn unbounded_min_is_most_central_record() {
         let d = Dataset::new(
-            vec![bits(&[0, 0, 0, 0]), bits(&[0, 0, 0, 1]), bits(&[1, 1, 1, 1])],
+            vec![
+                bits(&[0, 0, 0, 0]),
+                bits(&[0, 0, 0, 1]),
+                bits(&[1, 1, 1, 1]),
+            ],
             vec![0, 0, 1],
         );
         let worst = unbounded_candidates(&d, &Hamming, 1, false);
@@ -238,10 +247,9 @@ mod tests {
         let a = bounded_candidates(&train(), &pool, &Hamming, 2, true);
         assert_eq!(a[0].score, a[1].score);
         match (&a[0].spec, &a[1].spec) {
-            (
-                NeighborSpec::Replace { label: l0, .. },
-                NeighborSpec::Replace { label: l1, .. },
-            ) => assert!(l0 < l1),
+            (NeighborSpec::Replace { label: l0, .. }, NeighborSpec::Replace { label: l1, .. }) => {
+                assert!(l0 < l1)
+            }
             _ => panic!("expected Replace specs"),
         }
     }

@@ -23,9 +23,18 @@ use dpaudit_math::phi;
 /// # Panics
 /// Panics for non-positive σ/Δ or a negative ε.
 pub fn analytic_gaussian_delta(epsilon: f64, sigma: f64, sensitivity: f64) -> f64 {
-    assert!(epsilon >= 0.0, "analytic_gaussian_delta: epsilon must be non-negative");
-    assert!(sigma > 0.0, "analytic_gaussian_delta: sigma must be positive");
-    assert!(sensitivity > 0.0, "analytic_gaussian_delta: sensitivity must be positive");
+    assert!(
+        epsilon >= 0.0,
+        "analytic_gaussian_delta: epsilon must be non-negative"
+    );
+    assert!(
+        sigma > 0.0,
+        "analytic_gaussian_delta: sigma must be positive"
+    );
+    assert!(
+        sensitivity > 0.0,
+        "analytic_gaussian_delta: sensitivity must be positive"
+    );
     let a = sensitivity / (2.0 * sigma);
     let b = epsilon * sigma / sensitivity;
     (phi(a - b) - epsilon.exp() * phi(-a - b)).max(0.0)
@@ -38,12 +47,18 @@ pub fn analytic_gaussian_delta(epsilon: f64, sigma: f64, sensitivity: f64) -> f6
 /// # Panics
 /// Panics for a non-positive ε/Δ or δ outside `(0, 1)`.
 pub fn analytic_gaussian_sigma(epsilon: f64, delta: f64, sensitivity: f64) -> f64 {
-    assert!(epsilon > 0.0, "analytic_gaussian_sigma: epsilon must be positive");
+    assert!(
+        epsilon > 0.0,
+        "analytic_gaussian_sigma: epsilon must be positive"
+    );
     assert!(
         delta > 0.0 && delta < 1.0,
         "analytic_gaussian_sigma: delta must be in (0, 1)"
     );
-    assert!(sensitivity > 0.0, "analytic_gaussian_sigma: sensitivity must be positive");
+    assert!(
+        sensitivity > 0.0,
+        "analytic_gaussian_sigma: sensitivity must be positive"
+    );
     // Bracket: tiny σ → δ near 1; huge σ → δ near 0.
     let mut lo = 1e-10 * sensitivity;
     let mut hi = 1e10 * sensitivity / epsilon.min(1.0);

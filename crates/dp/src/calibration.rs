@@ -31,7 +31,10 @@ pub enum NoiseCalibration {
 /// Panics for a non-positive ε, δ outside `(0, 1)` or `k = 0`.
 pub fn calibrate_noise_multiplier_closed_form(epsilon: f64, delta: f64, k: usize) -> f64 {
     assert!(epsilon > 0.0, "calibrate: epsilon must be positive");
-    assert!(delta > 0.0 && delta < 1.0, "calibrate: delta must be in (0,1)");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "calibrate: delta must be in (0,1)"
+    );
     assert!(k > 0, "calibrate: k must be positive");
     let l = (1.0 / delta).ln();
     let u = (2.0 * l + 2.0 * epsilon).sqrt() - (2.0 * l).sqrt();
@@ -45,7 +48,10 @@ pub fn calibrate_noise_multiplier_closed_form(epsilon: f64, delta: f64, k: usize
 /// Same contract as [`calibrate_noise_multiplier_closed_form`].
 pub fn calibrate_noise_multiplier_search(epsilon: f64, delta: f64, k: usize) -> f64 {
     assert!(epsilon > 0.0, "calibrate: epsilon must be positive");
-    assert!(delta > 0.0 && delta < 1.0, "calibrate: delta must be in (0,1)");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "calibrate: delta must be in (0,1)"
+    );
     assert!(k > 0, "calibrate: k must be positive");
     let eps_at = |z: f64| {
         let mut acc = RdpAccountant::new();

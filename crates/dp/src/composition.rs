@@ -59,7 +59,10 @@ fn softplus(x: f64) -> f64 {
 /// Panics for non-positive ε, δ outside `[0, 1)`, or `k = 0`.
 pub fn kov_frontier(epsilon: f64, delta: f64, k: usize) -> Vec<CompositionPoint> {
     assert!(epsilon > 0.0, "kov_frontier: epsilon must be positive");
-    assert!((0.0..1.0).contains(&delta), "kov_frontier: delta must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&delta),
+        "kov_frontier: delta must be in [0, 1)"
+    );
     assert!(k > 0, "kov_frontier: k must be positive");
     let base = (1.0 - delta).powi(k as i32);
     (0..=k / 2)
@@ -116,8 +119,14 @@ mod tests {
     fn frontier_trades_epsilon_for_delta() {
         let f = kov_frontier(0.3, 0.0, 20);
         for w in f.windows(2) {
-            assert!(w[1].epsilon < w[0].epsilon, "epsilon must decrease along the frontier");
-            assert!(w[1].delta >= w[0].delta, "delta must not decrease along the frontier");
+            assert!(
+                w[1].epsilon < w[0].epsilon,
+                "epsilon must decrease along the frontier"
+            );
+            assert!(
+                w[1].delta >= w[0].delta,
+                "delta must not decrease along the frontier"
+            );
         }
         // All deltas valid probabilities.
         assert!(f.iter().all(|p| (0.0..=1.0).contains(&p.delta)));
@@ -130,8 +139,12 @@ mod tests {
         let eps = kov_optimal_epsilon(0.05, 0.0, 100, 1e-6);
         assert!(eps < 5.0, "optimal {eps} not below naive 5.0");
         // And it can never beat the advanced-composition scale √(2k ln(1/δ))ε.
-        let advanced = (2.0 * 100.0 * (1e6_f64).ln()).sqrt() * 0.05 + 100.0 * 0.05 * (0.05_f64.exp() - 1.0);
-        assert!(eps <= advanced + 1e-9, "optimal {eps} worse than advanced {advanced}");
+        let advanced =
+            (2.0 * 100.0 * (1e6_f64).ln()).sqrt() * 0.05 + 100.0 * 0.05 * (0.05_f64.exp() - 1.0);
+        assert!(
+            eps <= advanced + 1e-9,
+            "optimal {eps} worse than advanced {advanced}"
+        );
     }
 
     #[test]

@@ -18,11 +18,11 @@ pub mod sensitivity;
 pub mod types;
 
 pub use analytic::{analytic_gaussian_delta, analytic_gaussian_sigma};
-pub use composition::{kov_frontier, kov_optimal_epsilon, CompositionPoint};
 pub use calibration::{
     calibrate_noise_multiplier_closed_form, calibrate_noise_multiplier_search, NoiseCalibration,
     NoisePlan,
 };
+pub use composition::{kov_frontier, kov_optimal_epsilon, CompositionPoint};
 pub use mechanism::{GaussianMechanism, LaplaceMechanism};
 pub use rdp::{
     gaussian_rdp, gaussian_rdp_epsilon_closed_form, laplace_rdp, subsampled_gaussian_rdp_int,

@@ -39,8 +39,7 @@ impl GaussianMechanism {
             sensitivity > 0.0,
             "GaussianMechanism::calibrate: sensitivity must be positive"
         );
-        let sigma =
-            sensitivity * (2.0 * (1.25 / guarantee.delta).ln()).sqrt() / guarantee.epsilon;
+        let sigma = sensitivity * (2.0 * (1.25 / guarantee.delta).ln()).sqrt() / guarantee.epsilon;
         Self::new(sigma)
     }
 
@@ -48,7 +47,10 @@ impl GaussianMechanism {
     /// σ certifies at sensitivity `Δf` and failure probability δ.
     pub fn epsilon_for(&self, sensitivity: f64, delta: f64) -> f64 {
         assert!(delta > 0.0, "epsilon_for: delta must be positive");
-        assert!(sensitivity > 0.0, "epsilon_for: sensitivity must be positive");
+        assert!(
+            sensitivity > 0.0,
+            "epsilon_for: sensitivity must be positive"
+        );
         sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / self.sigma
     }
 
@@ -108,7 +110,10 @@ impl LaplaceMechanism {
 
     /// Calibrate to pure ε-DP at ℓ1 sensitivity `Δf`: `b = Δf/ε`.
     pub fn calibrate(epsilon: f64, sensitivity_l1: f64) -> Self {
-        assert!(epsilon > 0.0, "LaplaceMechanism::calibrate: epsilon must be positive");
+        assert!(
+            epsilon > 0.0,
+            "LaplaceMechanism::calibrate: epsilon must be positive"
+        );
         assert!(
             sensitivity_l1 > 0.0,
             "LaplaceMechanism::calibrate: sensitivity must be positive"
@@ -129,11 +134,7 @@ impl LaplaceMechanism {
     /// independent Laplace densities).
     pub fn log_density(&self, output: &[f64], center: &[f64]) -> f64 {
         assert_eq!(output.len(), center.len(), "log_density: length mismatch");
-        let l1: f64 = output
-            .iter()
-            .zip(center)
-            .map(|(o, c)| (o - c).abs())
-            .sum();
+        let l1: f64 = output.iter().zip(center).map(|(o, c)| (o - c).abs()).sum();
         -l1 / self.scale - output.len() as f64 * (2.0 * self.scale).ln()
     }
 }

@@ -17,9 +17,9 @@ use serde::{Deserialize, Serialize};
 /// The default Rényi-order grid, matching the spirit of tensorflow-privacy:
 /// a fine sweep of small orders plus exponentially spaced large ones.
 pub const DEFAULT_ORDERS: &[f64] = &[
-    1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0,
-    11.0, 12.0, 14.0, 16.0, 20.0, 24.0, 28.0, 32.0, 40.0, 48.0, 56.0, 64.0, 96.0, 128.0, 192.0,
-    256.0, 384.0, 512.0, 768.0, 1024.0,
+    1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0,
+    12.0, 14.0, 16.0, 20.0, 24.0, 28.0, 32.0, 40.0, 48.0, 56.0, 64.0, 96.0, 128.0, 192.0, 256.0,
+    384.0, 512.0, 768.0, 1024.0,
 ];
 
 /// RDP of one full-batch Gaussian release at order `α` and noise multiplier
@@ -28,7 +28,10 @@ pub const DEFAULT_ORDERS: &[f64] = &[
 /// # Panics
 /// Panics for `α ≤ 1` or a non-positive `z`.
 pub fn gaussian_rdp(alpha: f64, noise_multiplier: f64) -> f64 {
-    assert!(alpha > 1.0, "gaussian_rdp: order must exceed 1, got {alpha}");
+    assert!(
+        alpha > 1.0,
+        "gaussian_rdp: order must exceed 1, got {alpha}"
+    );
     assert!(
         noise_multiplier.is_finite() && noise_multiplier > 0.0,
         "gaussian_rdp: noise multiplier must be positive, got {noise_multiplier}"
@@ -51,7 +54,10 @@ pub fn gaussian_rdp(alpha: f64, noise_multiplier: f64) -> f64 {
 /// Panics for `α < 2`, `q` outside `[0, 1]` or a non-positive `z`.
 pub fn subsampled_gaussian_rdp_int(alpha: u64, q: f64, noise_multiplier: f64) -> f64 {
     assert!(alpha >= 2, "subsampled RDP: integer order must be ≥ 2");
-    assert!((0.0..=1.0).contains(&q), "subsampled RDP: q must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "subsampled RDP: q must be in [0, 1]"
+    );
     assert!(
         noise_multiplier.is_finite() && noise_multiplier > 0.0,
         "subsampled RDP: noise multiplier must be positive"
@@ -96,8 +102,14 @@ pub fn subsampled_gaussian_rdp_int(alpha: u64, q: f64, noise_multiplier: f64) ->
 /// # Panics
 /// Panics for `α ≤ 1`, `q` outside `[0, 1]` or a non-positive `z`.
 pub fn subsampled_gaussian_rdp_numeric(alpha: f64, q: f64, noise_multiplier: f64) -> f64 {
-    assert!(alpha > 1.0, "subsampled RDP: order must exceed 1, got {alpha}");
-    assert!((0.0..=1.0).contains(&q), "subsampled RDP: q must be in [0, 1]");
+    assert!(
+        alpha > 1.0,
+        "subsampled RDP: order must exceed 1, got {alpha}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "subsampled RDP: q must be in [0, 1]"
+    );
     assert!(
         noise_multiplier.is_finite() && noise_multiplier > 0.0,
         "subsampled RDP: noise multiplier must be positive"
@@ -185,7 +197,10 @@ pub fn gaussian_rdp_epsilon_closed_form(noise_multiplier: f64, k: usize, delta: 
         noise_multiplier.is_finite() && noise_multiplier > 0.0,
         "closed form: noise multiplier must be positive"
     );
-    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "closed form: delta in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "closed form: delta in (0,1)"
+    );
     let z = noise_multiplier;
     let kf = k as f64;
     let l = (1.0 / delta).ln();
@@ -304,7 +319,10 @@ impl RdpAccountant {
     /// # Panics
     /// Panics for δ outside `(0, 1)`.
     pub fn epsilon(&self, delta: f64) -> (f64, f64) {
-        assert!(delta > 0.0 && delta < 1.0, "epsilon: delta must be in (0,1)");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "epsilon: delta must be in (0,1)"
+        );
         let log_inv_delta = (1.0 / delta).ln();
         let mut best = (f64::INFINITY, self.orders[0]);
         for (&a, &r) in self.orders.iter().zip(&self.rdp) {
@@ -365,7 +383,9 @@ mod tests {
     fn dense_grid_converges_to_closed_form() {
         let (z, k, delta) = (3.0, 30usize, 1e-3);
         let opt_alpha = 1.0 + z * (2.0 * (1.0f64 / delta).ln() / k as f64).sqrt();
-        let orders: Vec<f64> = (1..4000).map(|i| 1.0 + i as f64 * opt_alpha / 1000.0).collect();
+        let orders: Vec<f64> = (1..4000)
+            .map(|i| 1.0 + i as f64 * opt_alpha / 1000.0)
+            .collect();
         let mut acc = RdpAccountant::with_orders(&orders);
         acc.add_gaussian_steps(z, k);
         let (grid, best) = acc.epsilon(delta);
@@ -496,7 +516,11 @@ mod tests {
         // α → ∞ recovers the pure-DP ε = 1/b; large α approximates it.
         let b = 2.0;
         let near_inf = laplace_rdp(1e6, b);
-        assert!((near_inf - 1.0 / b).abs() < 1e-3, "{near_inf} vs {}", 1.0 / b);
+        assert!(
+            (near_inf - 1.0 / b).abs() < 1e-3,
+            "{near_inf} vs {}",
+            1.0 / b
+        );
         // RDP is non-decreasing in α and bounded by ε = 1/b.
         let r2 = laplace_rdp(2.0, b);
         let r8 = laplace_rdp(8.0, b);

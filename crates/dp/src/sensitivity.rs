@@ -32,7 +32,10 @@ impl Sensitivity {
         let v = match self {
             Sensitivity::Global(v) | Sensitivity::Local(v) => *v,
         };
-        assert!(v.is_finite() && v > 0.0, "Sensitivity must be positive, got {v}");
+        assert!(
+            v.is_finite() && v > 0.0,
+            "Sensitivity must be positive, got {v}"
+        );
         v
     }
 

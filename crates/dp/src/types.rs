@@ -38,7 +38,11 @@ impl DpGuarantee {
         assert!(!guarantees.is_empty(), "compose_sequential: empty sequence");
         DpGuarantee {
             epsilon: guarantees.iter().map(|g| g.epsilon).sum(),
-            delta: guarantees.iter().map(|g| g.delta).sum::<f64>().min(1.0 - f64::EPSILON),
+            delta: guarantees
+                .iter()
+                .map(|g| g.delta)
+                .sum::<f64>()
+                .min(1.0 - f64::EPSILON),
         }
     }
 

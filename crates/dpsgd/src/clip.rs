@@ -64,7 +64,10 @@ impl ClippingStrategy {
     pub fn total_bound(&self) -> f64 {
         match self {
             ClippingStrategy::Flat(c) => {
-                assert!(c.is_finite() && *c > 0.0, "ClippingStrategy: C must be positive");
+                assert!(
+                    c.is_finite() && *c > 0.0,
+                    "ClippingStrategy: C must be positive"
+                );
                 *c
             }
             ClippingStrategy::PerLayer(cs) => {
@@ -138,7 +141,10 @@ impl AdaptiveClipConfig {
             learning_rate > 0.0,
             "AdaptiveClipConfig: learning rate must be positive"
         );
-        Self { target_quantile, learning_rate }
+        Self {
+            target_quantile,
+            learning_rate,
+        }
     }
 
     /// One update: `C ← C·exp(−η·(b̄ − γ))` where `b̄` is the observed
@@ -228,7 +234,10 @@ mod tests {
             let unclipped = norms.iter().filter(|&&n| n <= c).count() as f64 / norms.len() as f64;
             c = a.updated_norm(c, unclipped);
         }
-        assert!((1.5..=2.6).contains(&c), "C did not converge near the median: {c}");
+        assert!(
+            (1.5..=2.6).contains(&c),
+            "C did not converge near the median: {c}"
+        );
     }
 
     #[test]

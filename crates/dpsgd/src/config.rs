@@ -92,7 +92,10 @@ impl DpsgdConfig {
         scaling: SensitivityScaling,
     ) -> Self {
         let bound = clipping.total_bound(); // validates the norms
-        assert!(learning_rate > 0.0, "DpsgdConfig: learning rate must be positive");
+        assert!(
+            learning_rate > 0.0,
+            "DpsgdConfig: learning rate must be positive"
+        );
         assert!(steps > 0, "DpsgdConfig: steps must be positive");
         assert!(
             noise_multiplier.is_finite() && noise_multiplier > 0.0,
@@ -224,6 +227,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "steps must be positive")]
     fn zero_steps_rejected() {
-        DpsgdConfig::new(3.0, 0.005, 0, NeighborMode::Bounded, 1.0, SensitivityScaling::Global);
+        DpsgdConfig::new(
+            3.0,
+            0.005,
+            0,
+            NeighborMode::Bounded,
+            1.0,
+            SensitivityScaling::Global,
+        );
     }
 }

@@ -54,7 +54,10 @@ impl FederatedConfig {
         noise_multiplier: f64,
     ) -> Self {
         clipping.total_bound();
-        assert!(learning_rate > 0.0, "FederatedConfig: learning rate must be positive");
+        assert!(
+            learning_rate > 0.0,
+            "FederatedConfig: learning rate must be positive"
+        );
         assert!(rounds > 0, "FederatedConfig: rounds must be positive");
         assert!(
             noise_multiplier.is_finite() && noise_multiplier > 0.0,
@@ -127,10 +130,7 @@ pub fn train_federated<R: Rng + ?Sized>(
     let mut accountant = RdpAccountant::new();
 
     // Union view for the (simulated) normalisation-statistics refresh.
-    let union: Vec<_> = clients
-        .iter()
-        .flat_map(|c| c.xs.iter().cloned())
-        .collect();
+    let union: Vec<_> = clients.iter().flat_map(|c| c.xs.iter().cloned()).collect();
 
     for round in 0..cfg.rounds {
         model.update_norm_stats(&union);
@@ -157,7 +157,10 @@ pub fn train_federated<R: Rng + ?Sized>(
             *v += gauss.sample(rng, 0.0, sigma);
         }
 
-        let update: Vec<f64> = noisy_total.iter().map(|v| v / total_records as f64).collect();
+        let update: Vec<f64> = noisy_total
+            .iter()
+            .map(|v| v / total_records as f64)
+            .collect();
         model.gradient_step(&update, cfg.learning_rate);
         accountant.add_gaussian_step(cfg.noise_multiplier);
 
@@ -232,13 +235,17 @@ mod tests {
         let shards = vec![records(3, 0), records(3, 3)];
         let mut model = tiny_model(3);
         let mut rec = Vec::new();
-        train_federated(&mut model, &shards, &cfg(2), &mut seeded_rng(4), |r| rec.push(r));
+        train_federated(&mut model, &shards, &cfg(2), &mut seeded_rng(4), |r| {
+            rec.push(r)
+        });
         assert!(rec.iter().all(|r| r.client_sums.is_empty()));
         let mut open = cfg(2);
         open.retain_client_sums = true;
         let mut model2 = tiny_model(3);
         let mut rec2 = Vec::new();
-        train_federated(&mut model2, &shards, &open, &mut seeded_rng(4), |r| rec2.push(r));
+        train_federated(&mut model2, &shards, &open, &mut seeded_rng(4), |r| {
+            rec2.push(r)
+        });
         assert!(rec2.iter().all(|r| r.client_sums.len() == 2));
         // Client sums add up to the clean total.
         for r in &rec2 {
@@ -272,7 +279,9 @@ mod tests {
         let run = |shard: Dataset| {
             let mut model = tiny_model(7);
             let mut out = Vec::new();
-            train_federated(&mut model, &[shard], &c, &mut seeded_rng(8), |r| out.push(r));
+            train_federated(&mut model, &[shard], &c, &mut seeded_rng(8), |r| {
+                out.push(r)
+            });
             out.remove(0).clean_total
         };
         let diff = l2_distance(&run(base), &run(plus));
@@ -301,6 +310,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "no clients")]
     fn empty_client_list_rejected() {
-        train_federated(&mut tiny_model(11), &[], &cfg(1), &mut seeded_rng(12), |_| {});
+        train_federated(
+            &mut tiny_model(11),
+            &[],
+            &cfg(1),
+            &mut seeded_rng(12),
+            |_| {},
+        );
     }
 }

@@ -47,7 +47,10 @@ impl MinibatchConfig {
         noise_multiplier: f64,
     ) -> Self {
         clipping.total_bound(); // validate
-        assert!(learning_rate > 0.0, "MinibatchConfig: learning rate must be positive");
+        assert!(
+            learning_rate > 0.0,
+            "MinibatchConfig: learning rate must be positive"
+        );
         assert!(steps > 0, "MinibatchConfig: steps must be positive");
         assert!(
             sampling_rate > 0.0 && sampling_rate <= 1.0,

@@ -132,7 +132,10 @@ mod tests {
         OptimizerState::new(Optimizer::adam(), m.param_count()).apply(&mut m, &g, 0.01);
         for ((a, b), gi) in m.params().iter().zip(&before).zip(&g) {
             let step = a - b;
-            assert!((step + 0.01 * gi.signum()).abs() < 1e-4, "step {step} for g {gi}");
+            assert!(
+                (step + 0.01 * gi.signum()).abs() < 1e-4,
+                "step {step} for g {gi}"
+            );
         }
     }
 
@@ -179,7 +182,11 @@ mod tests {
     #[should_panic(expected = "beta1 must be in")]
     fn bad_beta_rejected() {
         OptimizerState::new(
-            Optimizer::Adam { beta1: 1.0, beta2: 0.999, eps: 1e-8 },
+            Optimizer::Adam {
+                beta1: 1.0,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
             4,
         );
     }

@@ -30,7 +30,11 @@ impl NeighborPair {
     pub fn from_spec(d: &Dataset, spec: &NeighborSpec) -> Self {
         let d_prime = d.neighbor(spec);
         match spec {
-            NeighborSpec::Replace { index, record, label } => Self {
+            NeighborSpec::Replace {
+                index,
+                record,
+                label,
+            } => Self {
                 d: d.clone(),
                 d_prime,
                 x1_index: *index,
@@ -82,7 +86,11 @@ mod tests {
 
     #[test]
     fn bounded_pair_from_replace_spec() {
-        let spec = NeighborSpec::Replace { index: 1, record: rec(9.0), label: 7 };
+        let spec = NeighborSpec::Replace {
+            index: 1,
+            record: rec(9.0),
+            label: 7,
+        };
         let pair = NeighborPair::from_spec(&d(), &spec);
         assert_eq!(pair.mode, NeighborMode::Bounded);
         assert_eq!(pair.sizes(), (3, 3));

@@ -174,7 +174,13 @@ mod tests {
     #[test]
     fn transcript_has_one_record_per_step() {
         let (mut model, pair) = tiny_setup(1);
-        let t = train_collect(&mut model, &pair, true, &cfg(SensitivityScaling::Global), &mut seeded_rng(2));
+        let t = train_collect(
+            &mut model,
+            &pair,
+            true,
+            &cfg(SensitivityScaling::Global),
+            &mut seeded_rng(2),
+        );
         assert_eq!(t.steps.len(), 5);
         assert!(t.trained_on_d);
         for (i, s) in t.steps.iter().enumerate() {
@@ -205,7 +211,10 @@ mod tests {
         let t = train_collect(&mut model, &pair, true, &c, &mut seeded_rng(6));
         for s in &t.steps {
             assert!((s.sigma - 2.0 * s.sensitivity_used).abs() < 1e-12);
-            assert!((s.sensitivity_used - s.local_sensitivity).abs() < 1e-12 || s.local_sensitivity < c.ls_floor);
+            assert!(
+                (s.sensitivity_used - s.local_sensitivity).abs() < 1e-12
+                    || s.local_sensitivity < c.ls_floor
+            );
         }
     }
 
@@ -237,7 +246,11 @@ mod tests {
         for r in &records {
             model2.update_norm_stats(&pair.d.xs);
             states.push(model2.clone());
-            let update: Vec<f64> = r.noisy_sum.iter().map(|v| v / pair.d.len() as f64).collect();
+            let update: Vec<f64> = r
+                .noisy_sum
+                .iter()
+                .map(|v| v / pair.d.len() as f64)
+                .collect();
             model2.gradient_step(&update, c.learning_rate);
         }
         for (r, state) in records.iter().zip(&states) {
@@ -281,7 +294,13 @@ mod tests {
     #[test]
     fn noise_perturbs_the_sum() {
         let (mut model, pair) = tiny_setup(13);
-        let t = train_collect(&mut model, &pair, true, &cfg(SensitivityScaling::Global), &mut seeded_rng(14));
+        let t = train_collect(
+            &mut model,
+            &pair,
+            true,
+            &cfg(SensitivityScaling::Global),
+            &mut seeded_rng(14),
+        );
         let s = &t.steps[0];
         assert!(l2_distance(&s.noisy_sum, &s.clean_sum) > 0.0);
     }
@@ -294,7 +313,10 @@ mod tests {
         let bounds: Vec<f64> = t.steps.iter().map(|s| s.clip_bound).collect();
         assert_eq!(bounds[0], 1.0);
         // The bound must actually evolve across steps.
-        assert!(bounds.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12), "{bounds:?}");
+        assert!(
+            bounds.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12),
+            "{bounds:?}"
+        );
         // And σ follows the evolving GS = 2·bound.
         for s in &t.steps {
             assert!((s.sigma - 2.0 * 2.0 * s.clip_bound).abs() < 1e-12);

@@ -43,7 +43,11 @@ impl StepRecord {
     /// from the stored sum via the differing-record identity:
     /// bounded: `Σ(D′) = Σ(D) − ḡ(x̂₁) + ḡ(x̂₂)`; unbounded:
     /// `Σ(D′) = Σ(D) − ḡ(x̂₁)`.
-    pub fn hypothesis_centers(&self, trained_on_d: bool, mode: NeighborMode) -> (Vec<f64>, Vec<f64>) {
+    pub fn hypothesis_centers(
+        &self,
+        trained_on_d: bool,
+        mode: NeighborMode,
+    ) -> (Vec<f64>, Vec<f64>) {
         let other: Vec<f64> = match (mode, &self.grad_x2) {
             (NeighborMode::Bounded, Some(g2)) => {
                 if trained_on_d {

@@ -8,7 +8,12 @@ use rand::Rng;
 /// Used for every weight tensor in the reference networks; biases start at
 /// zero. Deterministic given the caller's RNG, which is how the DI adversary
 /// is granted its assumed knowledge of the initial weights θ₀ (paper §6.1).
-pub fn glorot_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, n: usize) -> Vec<f64> {
+pub fn glorot_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    n: usize,
+) -> Vec<f64> {
     assert!(fan_in + fan_out > 0, "glorot_uniform: zero fan");
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
     (0..n).map(|_| rng.gen_range(-limit..limit)).collect()

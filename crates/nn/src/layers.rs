@@ -176,7 +176,11 @@ impl BatchNorm2d {
 
     /// Fold a batch's per-channel mean/variance into the running statistics.
     pub fn update_stats(&mut self, batch_mean: &[f64], batch_var: &[f64]) {
-        assert_eq!(batch_mean.len(), self.channels(), "update_stats: mean length");
+        assert_eq!(
+            batch_mean.len(),
+            self.channels(),
+            "update_stats: mean length"
+        );
         assert_eq!(batch_var.len(), self.channels(), "update_stats: var length");
         for c in 0..self.channels() {
             self.running_mean[c] =
@@ -197,7 +201,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     fn dims_for(&self, input: &Tensor) -> PoolDims {
         let is = input.shape();
-        assert_eq!(is.len(), 3, "MaxPool2d expects a [C, H, W] input, got {is:?}");
+        assert_eq!(
+            is.len(),
+            3,
+            "MaxPool2d expects a [C, H, W] input, got {is:?}"
+        );
         PoolDims {
             channels: is[0],
             in_h: is[1],
@@ -332,13 +340,20 @@ impl Layer {
                     input.len(),
                     d.in_features()
                 );
-                let mut y = matvec(d.weight.data(), input.data(), d.out_features(), d.in_features());
+                let mut y = matvec(
+                    d.weight.data(),
+                    input.data(),
+                    d.out_features(),
+                    d.in_features(),
+                );
                 for (yi, bi) in y.iter_mut().zip(d.bias.data()) {
                     *yi += bi;
                 }
                 (
                     Tensor::from_vec(&[d.out_features()], y),
-                    Cache::Dense { input: input.clone() },
+                    Cache::Dense {
+                        input: input.clone(),
+                    },
                 )
             }
             Layer::Conv2d(c) => {
@@ -346,7 +361,10 @@ impl Layer {
                 let out = conv2d_forward(input.data(), c.kernels.data(), c.bias.data(), &dims);
                 (
                     Tensor::from_vec(&[dims.out_channels, dims.out_h(), dims.out_w()], out),
-                    Cache::Conv2d { input: input.clone(), dims },
+                    Cache::Conv2d {
+                        input: input.clone(),
+                        dims,
+                    },
                 )
             }
             Layer::BatchNorm2d(b) => {
@@ -400,10 +418,7 @@ impl Layer {
             Layer::Flatten => {
                 let shape = input.shape().to_vec();
                 let n = input.len();
-                (
-                    input.clone().reshape(&[n]),
-                    Cache::Flatten { shape },
-                )
+                (input.clone().reshape(&[n]), Cache::Flatten { shape })
             }
         }
     }
@@ -430,7 +445,13 @@ impl Layer {
                     d_params,
                 )
             }
-            (Layer::BatchNorm2d(b), Cache::BatchNorm2d { normalized, inv_std }) => {
+            (
+                Layer::BatchNorm2d(b),
+                Cache::BatchNorm2d {
+                    normalized,
+                    inv_std,
+                },
+            ) => {
                 let is = normalized.shape();
                 let plane = is[1] * is[2];
                 let mut d_in = vec![0.0; normalized.len()];

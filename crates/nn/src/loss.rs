@@ -13,7 +13,10 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `label` is out of range.
 pub fn cross_entropy_loss(probs: &[f64], label: usize) -> f64 {
-    assert!(label < probs.len(), "cross_entropy_loss: label out of range");
+    assert!(
+        label < probs.len(),
+        "cross_entropy_loss: label out of range"
+    );
     // Floor avoids −∞ when a probability underflows to exactly zero.
     -probs[label].max(1e-300).ln()
 }
@@ -24,7 +27,10 @@ pub fn cross_entropy_loss(probs: &[f64], label: usize) -> f64 {
 /// # Panics
 /// Panics if `label` is out of range.
 pub fn softmax_cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
-    assert!(label < logits.len(), "softmax_cross_entropy: label out of range");
+    assert!(
+        label < logits.len(),
+        "softmax_cross_entropy: label out of range"
+    );
     let probs = softmax(logits);
     let loss = cross_entropy_loss(&probs, label);
     let mut d = probs;

@@ -110,7 +110,11 @@ impl Sequential {
     /// Backpropagate `d_logits` through the cached forward pass, returning
     /// the flat parameter gradient (same layout as [`Sequential::params`]).
     pub fn backward(&self, caches: &[Cache], d_logits: Tensor) -> Vec<f64> {
-        assert_eq!(caches.len(), self.layers.len(), "backward: cache count mismatch");
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "backward: cache count mismatch"
+        );
         // Collect per-layer gradients in reverse, then flatten forward.
         let mut per_layer: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
         let mut d = d_logits;
@@ -193,7 +197,11 @@ impl Sequential {
             if let Layer::BatchNorm2d(bn) = layer {
                 // Per-channel mean/var across the batch and spatial dims.
                 let shape = activations[0].shape().to_vec();
-                assert_eq!(shape.len(), 3, "update_norm_stats: batch norm input must be [C,H,W]");
+                assert_eq!(
+                    shape.len(),
+                    3,
+                    "update_norm_stats: batch norm input must be [C,H,W]"
+                );
                 let channels = shape[0];
                 let plane = shape[1] * shape[2];
                 let count = (activations.len() * plane) as f64;
@@ -226,10 +234,7 @@ impl Sequential {
             // Advance the whole batch through this layer (with the *updated*
             // stats for batch-norm layers).
             let frozen = &*layer;
-            activations = activations
-                .iter()
-                .map(|a| frozen.forward(a).0)
-                .collect();
+            activations = activations.iter().map(|a| frozen.forward(a).0).collect();
         }
     }
 }
@@ -264,7 +269,9 @@ mod tests {
     fn example(seed: u64, shape: &[usize]) -> Tensor {
         let mut rng = seeded_rng(seed);
         let n: usize = shape.iter().product();
-        let data: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+        let data: Vec<f64> = (0..n)
+            .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+            .collect();
         Tensor::from_vec(shape, data)
     }
 

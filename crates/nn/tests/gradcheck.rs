@@ -4,9 +4,7 @@
 //! combination used by the reference architectures.
 
 use dpaudit_math::seeded_rng;
-use dpaudit_nn::{
-    softmax_cross_entropy, BatchNorm2d, Conv2d, Dense, Layer, MaxPool2d, Sequential,
-};
+use dpaudit_nn::{softmax_cross_entropy, BatchNorm2d, Conv2d, Dense, Layer, MaxPool2d, Sequential};
 use dpaudit_tensor::Tensor;
 use proptest::prelude::*;
 use rand::Rng;

@@ -1,0 +1,115 @@
+//! Progress and throughput reporting for long audit runs.
+
+use std::time::Instant;
+
+/// A snapshot of run progress, delivered to the caller's callback after
+/// every completed trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Progress {
+    /// Trials completed in this run (excluding any replayed from a store).
+    pub completed: usize,
+    /// Trials this run was asked to execute.
+    pub total: usize,
+    /// Trials already present before the run (non-zero on resume).
+    pub replayed: usize,
+    /// Seconds since the run started.
+    pub elapsed_secs: f64,
+    /// Completion throughput, trials per second.
+    pub trials_per_sec: f64,
+    /// Estimated seconds until the remaining trials complete.
+    pub eta_secs: f64,
+}
+
+impl Progress {
+    /// One-line human rendering, e.g.
+    /// `"  17/250 trials · 3.2 trials/s · ETA 73s"`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>5}/{} trials · {:.1} trials/s · ETA {:.0}s",
+            self.completed + self.replayed,
+            self.total + self.replayed,
+            self.trials_per_sec,
+            self.eta_secs
+        )
+    }
+}
+
+/// Wall-clock meter producing [`Progress`] snapshots.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    start: Instant,
+    total: usize,
+    replayed: usize,
+    completed: usize,
+}
+
+impl ProgressMeter {
+    /// Start timing a run of `total` trials, `replayed` of which were
+    /// recovered from a store rather than executed.
+    pub fn new(total: usize, replayed: usize) -> Self {
+        ProgressMeter {
+            start: Instant::now(),
+            total,
+            replayed,
+            completed: 0,
+        }
+    }
+
+    /// Record one completed trial and return the updated snapshot.
+    pub fn tick(&mut self) -> Progress {
+        self.completed += 1;
+        self.snapshot()
+    }
+
+    /// The current snapshot without recording a completion.
+    pub fn snapshot(&self) -> Progress {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.completed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(self.completed);
+        let eta = if rate > 0.0 {
+            remaining as f64 / rate
+        } else {
+            f64::INFINITY
+        };
+        Progress {
+            completed: self.completed,
+            total: self.total,
+            replayed: self.replayed,
+            elapsed_secs: elapsed,
+            trials_per_sec: rate,
+            eta_secs: eta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate_and_eta_shrinks_to_zero() {
+        let mut meter = ProgressMeter::new(3, 2);
+        for expect in 1..=3usize {
+            let p = meter.tick();
+            assert_eq!(p.completed, expect);
+            assert_eq!(p.total, 3);
+            assert_eq!(p.replayed, 2);
+        }
+        let done = meter.snapshot();
+        assert_eq!(done.completed, 3);
+        assert_eq!(done.eta_secs, 0.0);
+        assert!(done.render().contains("5/5 trials"));
+    }
+
+    #[test]
+    fn zero_rate_yields_infinite_eta() {
+        let meter = ProgressMeter::new(10, 0);
+        let p = meter.snapshot();
+        assert_eq!(p.completed, 0);
+        assert!(p.eta_secs.is_infinite());
+    }
+}

@@ -1,0 +1,278 @@
+//! The audit session: one batch of Exp^DI trials, optionally backed by a
+//! durable trial store, with crash-safe resume.
+//!
+//! Lifecycle:
+//!
+//! 1. [`AuditSession::create`] (fresh store), [`AuditSession::resume`]
+//!    (replay an existing store, truncating a crash-torn tail), or
+//!    [`AuditSession::in_memory`] (no durability).
+//! 2. The caller rebuilds the workload (neighbouring pair, model builder)
+//!    from the header's `workload`/`train_size`/`world_seed` fields.
+//! 3. [`AuditSession::run`] executes exactly the missing trial indices in
+//!    parallel, appending each record durably before it is aggregated, and
+//!    returns the final [`AuditReport`].
+//!
+//! Because every trial is a pure function of `trial_seed(master_seed, idx)`
+//! and aggregates fold in index order, a killed-and-resumed run produces
+//! bit-identical aggregate output to an uninterrupted one, at any worker
+//! count.
+
+use crate::aggregate::{StreamingAggregates, TrialOutcome};
+use crate::executor::{run_trials, ExecPlan};
+use crate::progress::{Progress, ProgressMeter};
+use crate::store::{read_store, StoreHeader, TrialRecord, TrialStore};
+use dpaudit_core::AuditReport;
+use dpaudit_datasets::Dataset;
+use dpaudit_dpsgd::NeighborPair;
+use dpaudit_nn::Sequential;
+use rand::rngs::StdRng;
+use std::path::Path;
+
+/// Outcome of [`AuditSession::run`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The final aggregate report over all `reps` trials.
+    pub report: AuditReport,
+    /// Trials executed by this run.
+    pub executed: usize,
+    /// Trials replayed from the store (non-zero only on resume).
+    pub replayed: usize,
+}
+
+/// A batch of trials bound to (optionally) a durable store.
+pub struct AuditSession {
+    header: StoreHeader,
+    store: Option<TrialStore>,
+    existing: Vec<TrialRecord>,
+}
+
+impl AuditSession {
+    /// A session with no durable store: results live only in memory.
+    pub fn in_memory(header: StoreHeader) -> Self {
+        AuditSession {
+            header,
+            store: None,
+            existing: Vec::new(),
+        }
+    }
+
+    /// Create a fresh store at `path` (truncating any existing file) and
+    /// durably write the header.
+    ///
+    /// # Errors
+    /// I/O errors from store creation.
+    pub fn create(path: &Path, header: StoreHeader) -> std::io::Result<Self> {
+        let store = TrialStore::create(path, &header)?;
+        Ok(AuditSession {
+            header,
+            store: Some(store),
+            existing: Vec::new(),
+        })
+    }
+
+    /// Resume from an existing store: validate the header, replay all
+    /// complete records, and cut off a crash-torn partial tail so appends
+    /// continue from a clean line boundary.
+    ///
+    /// # Errors
+    /// I/O errors, corrupt stores, or schema-version mismatches.
+    pub fn resume(path: &Path) -> std::io::Result<Self> {
+        let contents = read_store(path)?;
+        let store = TrialStore::open_append(path, contents.keep_bytes)?;
+        Ok(AuditSession {
+            header: contents.header,
+            store: Some(store),
+            existing: contents.records,
+        })
+    }
+
+    /// The batch description this session was created or resumed with.
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// Trial indices not yet present — exactly what [`Self::run`] will
+    /// execute.
+    pub fn missing_indices(&self) -> Vec<usize> {
+        let mut have = vec![false; self.header.reps];
+        for record in &self.existing {
+            if record.idx < self.header.reps {
+                have[record.idx] = true;
+            }
+        }
+        (0..self.header.reps).filter(|&i| !have[i]).collect()
+    }
+
+    /// Run the missing trials on `threads` workers (0 = machine
+    /// parallelism) and aggregate the full batch.
+    ///
+    /// `on_progress` fires on the coordinating thread after every
+    /// completed trial. When `sink` is provided it receives every record
+    /// of the batch (replayed and executed), sorted by trial index — used
+    /// by callers that need per-trial series, at the cost of O(reps)
+    /// memory; pass `None` for the O(1) aggregate-only path.
+    ///
+    /// # Errors
+    /// The first store-append failure, reported after the batch finishes.
+    ///
+    /// # Panics
+    /// Propagates trial-execution panics (invalid settings).
+    pub fn run(
+        &mut self,
+        pair: &NeighborPair,
+        test_set: Option<&Dataset>,
+        model_builder: impl Fn(&mut StdRng) -> Sequential + Sync,
+        threads: usize,
+        mut on_progress: impl FnMut(Progress),
+        mut sink: Option<&mut Vec<TrialRecord>>,
+    ) -> std::io::Result<RunOutcome> {
+        let header = &self.header;
+        let mut aggregates = StreamingAggregates::new(
+            header.reps,
+            header.target_epsilon,
+            header.delta,
+            header.rho_beta_bound,
+        );
+        for record in &self.existing {
+            aggregates.push(record.idx, TrialOutcome::from(record));
+            if let Some(out) = sink.as_deref_mut() {
+                out.push(record.clone());
+            }
+        }
+        let replayed = self.existing.len();
+        let missing = self.missing_indices();
+        let plan = ExecPlan {
+            master_seed: header.master_seed.0,
+            threads,
+            detail: header.detail,
+            delta: header.delta,
+        };
+
+        let mut meter = ProgressMeter::new(missing.len(), replayed);
+        let mut io_error: Option<std::io::Error> = None;
+        let store = &mut self.store;
+        run_trials(
+            pair,
+            &header.settings,
+            test_set,
+            model_builder,
+            &plan,
+            &missing,
+            |record| {
+                if io_error.is_none() {
+                    if let Some(store) = store.as_mut() {
+                        if let Err(e) = store.append(&record) {
+                            io_error = Some(e);
+                        }
+                    }
+                }
+                aggregates.push(record.idx, TrialOutcome::from(&record));
+                if let Some(out) = sink.as_deref_mut() {
+                    out.push(record);
+                }
+                on_progress(meter.tick());
+            },
+        );
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        if let Some(out) = sink {
+            out.sort_by_key(|r| r.idx);
+        }
+        Ok(RunOutcome {
+            report: aggregates.finish(),
+            executed: missing.len(),
+            replayed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Seed, SCHEMA_VERSION};
+    use crate::testkit;
+    use dpaudit_core::{rho_beta, RecordDetail};
+
+    fn toy_header(reps: usize, detail: RecordDetail) -> StoreHeader {
+        StoreHeader {
+            schema_version: SCHEMA_VERSION,
+            label: "session-test".into(),
+            workload: "toy".into(),
+            train_size: 8,
+            world_seed: Seed(0),
+            reps,
+            master_seed: Seed(42),
+            target_epsilon: 2.0,
+            delta: 1e-3,
+            rho_beta_bound: rho_beta(2.0),
+            detail,
+            settings: testkit::toy_settings(3),
+        }
+    }
+
+    #[test]
+    fn in_memory_session_matches_batch_harness() {
+        let pair = testkit::toy_pair();
+        let header = toy_header(5, RecordDetail::Full);
+        let batch = dpaudit_core::run_di_trials(
+            &pair,
+            &header.settings,
+            None,
+            testkit::toy_model,
+            header.reps,
+            header.master_seed.0,
+        );
+        let expected = AuditReport::from_batch(
+            &batch,
+            header.target_epsilon,
+            header.delta,
+            header.settings.dpsgd.ls_floor,
+        );
+
+        let mut session = AuditSession::in_memory(header);
+        let mut records = Vec::new();
+        let outcome = session
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                2,
+                |_| {},
+                Some(&mut records),
+            )
+            .unwrap();
+        assert_eq!(outcome.executed, 5);
+        assert_eq!(outcome.replayed, 0);
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            outcome.report.eps_from_ls.to_bits(),
+            expected.eps_from_ls.to_bits()
+        );
+        assert_eq!(
+            outcome.report.advantage.to_bits(),
+            expected.advantage.to_bits()
+        );
+        assert_eq!(
+            outcome.report.max_belief.to_bits(),
+            expected.max_belief.to_bits()
+        );
+        assert_eq!(
+            outcome.report.empirical_delta.to_bits(),
+            expected.empirical_delta.to_bits()
+        );
+    }
+
+    #[test]
+    fn progress_callback_counts_every_executed_trial() {
+        let pair = testkit::toy_pair();
+        let mut session = AuditSession::in_memory(toy_header(4, RecordDetail::Summary));
+        let mut ticks = Vec::new();
+        session
+            .run(&pair, None, testkit::toy_model, 2, |p| ticks.push(p), None)
+            .unwrap();
+        assert_eq!(ticks.len(), 4);
+        assert_eq!(ticks.last().unwrap().completed, 4);
+        assert!(ticks.last().unwrap().trials_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Tiny deterministic fixtures shared by the runtime's unit, property, and
+//! integration tests: a 8-record toy neighbouring pair and a 6→4→2 MLP,
+//! small enough that a full multi-trial batch runs in milliseconds.
+
+use dpaudit_core::experiment::{ChallengeMode, TrialSettings};
+use dpaudit_datasets::{Dataset, NeighborSpec};
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::{DpsgdConfig, NeighborPair, SensitivityScaling};
+use dpaudit_nn::{Dense, Layer, Sequential};
+use dpaudit_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A deterministic 8-record dataset and its `Replace`-neighbour.
+pub fn toy_pair() -> NeighborPair {
+    let mut d = Dataset::empty();
+    for i in 0..8 {
+        let x: Vec<f64> = (0..6).map(|j| ((i * 5 + j * 3) % 7) as f64 / 7.0).collect();
+        d.push(Tensor::from_vec(&[6], x), i % 2);
+    }
+    NeighborPair::from_spec(
+        &d,
+        &NeighborSpec::Replace {
+            index: 0,
+            record: Tensor::full(&[6], 1.0),
+            label: 1,
+        },
+    )
+}
+
+/// A 6→4→2 ReLU MLP built from the given RNG.
+pub fn toy_model(rng: &mut StdRng) -> Sequential {
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(rng, 6, 4)),
+        Layer::Relu,
+        Layer::Dense(Dense::new(rng, 4, 2)),
+    ])
+}
+
+/// Local-sensitivity-scaled bounded DPSGD for `steps` steps with z = 2,
+/// random challenge bits.
+pub fn toy_settings(steps: usize) -> TrialSettings {
+    TrialSettings {
+        dpsgd: DpsgdConfig::new(
+            1.0,
+            0.05,
+            steps,
+            NeighborMode::Bounded,
+            2.0,
+            SensitivityScaling::Local,
+        ),
+        challenge: ChallengeMode::RandomBit,
+    }
+}

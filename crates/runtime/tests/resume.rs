@@ -1,0 +1,160 @@
+//! End-to-end resume and determinism guarantees of the audit engine:
+//!
+//! * a killed-and-resumed run produces bit-identical aggregate output to an
+//!   uninterrupted run with the same seed;
+//! * `--threads 8` and `--threads 1` produce identical aggregates.
+
+use dpaudit_core::{rho_beta, RecordDetail};
+use dpaudit_runtime::store::Seed;
+use dpaudit_runtime::testkit;
+use dpaudit_runtime::{read_store, replay_store, AuditSession, StoreHeader, SCHEMA_VERSION};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+fn toy_header(reps: usize, detail: RecordDetail) -> StoreHeader {
+    StoreHeader {
+        schema_version: SCHEMA_VERSION,
+        label: "resume-test".into(),
+        workload: "toy".into(),
+        train_size: 8,
+        world_seed: Seed(0),
+        reps,
+        master_seed: Seed(1234),
+        target_epsilon: 2.0,
+        delta: 1e-3,
+        rho_beta_bound: rho_beta(2.0),
+        detail,
+        settings: testkit::toy_settings(3),
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dpaudit_resume_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn report_bits(report: &dpaudit_core::AuditReport) -> [u64; 6] {
+    [
+        report.eps_from_ls.to_bits(),
+        report.eps_from_belief.to_bits(),
+        report.eps_from_advantage.to_bits(),
+        report.advantage.to_bits(),
+        report.max_belief.to_bits(),
+        report.empirical_delta.to_bits(),
+    ]
+}
+
+#[test]
+fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
+    let pair = testkit::toy_pair();
+    let header = toy_header(8, RecordDetail::Full);
+
+    // Reference: uninterrupted run.
+    let clean_path = temp_path("clean.jsonl");
+    let mut clean = AuditSession::create(&clean_path, header.clone()).unwrap();
+    let clean_outcome = clean
+        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .unwrap();
+
+    // Interrupted run: same header, then simulate a crash by truncating the
+    // store inside the last appended record.
+    let torn_path = temp_path("torn.jsonl");
+    let mut first = AuditSession::create(&torn_path, header.clone()).unwrap();
+    first
+        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .unwrap();
+    drop(first);
+    let full_len = std::fs::metadata(&torn_path).unwrap().len();
+    // Cut off roughly the last third of the file: kills whole records plus
+    // leaves a torn partial line at the new end.
+    let file = OpenOptions::new().write(true).open(&torn_path).unwrap();
+    file.set_len(full_len * 2 / 3).unwrap();
+    drop(file);
+
+    let mut resumed = AuditSession::resume(&torn_path).unwrap();
+    let missing = resumed.missing_indices();
+    assert!(
+        !missing.is_empty(),
+        "truncation should have destroyed at least one record"
+    );
+    let resumed_outcome = resumed
+        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .unwrap();
+    assert_eq!(resumed_outcome.executed, missing.len());
+    assert_eq!(resumed_outcome.replayed, 8 - missing.len());
+
+    assert_eq!(
+        report_bits(&clean_outcome.report),
+        report_bits(&resumed_outcome.report),
+        "resumed aggregates differ from the uninterrupted run"
+    );
+
+    // The stores themselves hold identical records (modulo completion order).
+    let mut clean_records = read_store(&clean_path).unwrap().records;
+    let mut torn_records = read_store(&torn_path).unwrap().records;
+    clean_records.sort_by_key(|r| r.idx);
+    torn_records.sort_by_key(|r| r.idx);
+    assert_eq!(clean_records, torn_records);
+
+    // Offline replay reproduces the same report again.
+    let replayed = replay_store(&torn_path).unwrap();
+    assert!(replayed.missing.is_empty());
+    assert_eq!(
+        report_bits(&replayed.report.unwrap()),
+        report_bits(&clean_outcome.report)
+    );
+
+    std::fs::remove_file(&clean_path).unwrap();
+    std::fs::remove_file(&torn_path).unwrap();
+}
+
+#[test]
+fn thread_count_does_not_change_aggregates() {
+    let pair = testkit::toy_pair();
+    let run_with = |threads: usize| {
+        let mut session = AuditSession::in_memory(toy_header(6, RecordDetail::Summary));
+        session
+            .run(&pair, None, testkit::toy_model, threads, |_| {}, None)
+            .unwrap()
+            .report
+    };
+    let single = run_with(1);
+    let eight = run_with(8);
+    assert_eq!(report_bits(&single), report_bits(&eight));
+}
+
+#[test]
+fn summary_detail_store_still_replays_every_aggregate() {
+    // The Summary store drops the per-step series; the ε′-from-LS estimate
+    // must survive because it was computed at execution time.
+    let pair = testkit::toy_pair();
+    let full_path = temp_path("detail_full.jsonl");
+    let summary_path = temp_path("detail_summary.jsonl");
+
+    let mut full = AuditSession::create(&full_path, toy_header(4, RecordDetail::Full)).unwrap();
+    let full_report = full
+        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .unwrap()
+        .report;
+    let mut summary =
+        AuditSession::create(&summary_path, toy_header(4, RecordDetail::Summary)).unwrap();
+    let summary_report = summary
+        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .unwrap()
+        .report;
+    assert_eq!(report_bits(&full_report), report_bits(&summary_report));
+
+    // The summary store is materially smaller yet replays identically.
+    let full_len = std::fs::metadata(&full_path).unwrap().len();
+    let summary_len = std::fs::metadata(&summary_path).unwrap().len();
+    assert!(
+        summary_len < full_len,
+        "summary store ({summary_len} B) not smaller than full ({full_len} B)"
+    );
+    let replayed = replay_store(&summary_path).unwrap().report.unwrap();
+    assert_eq!(report_bits(&replayed), report_bits(&full_report));
+
+    std::fs::remove_file(&full_path).unwrap();
+    std::fs::remove_file(&summary_path).unwrap();
+}

@@ -48,7 +48,11 @@ impl Conv2dDims {
             self.out_channels * self.in_channels * self.k_h * self.k_w,
             "conv2d: kernel buffer length mismatch"
         );
-        assert_eq!(bias.len(), self.out_channels, "conv2d: bias length mismatch");
+        assert_eq!(
+            bias.len(),
+            self.out_channels,
+            "conv2d: bias length mismatch"
+        );
     }
 }
 
@@ -73,7 +77,8 @@ pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2
                         continue;
                     }
                     for i in 0..oh {
-                        let in_row = &in_plane[(i + u) * dims.in_w + v..(i + u) * dims.in_w + v + ow];
+                        let in_row =
+                            &in_plane[(i + u) * dims.in_w + v..(i + u) * dims.in_w + v + ow];
                         let out_row = &mut out_plane[i * ow..(i + 1) * ow];
                         for (o, x) in out_row.iter_mut().zip(in_row) {
                             *o += kval * x;
@@ -231,7 +236,9 @@ mod tests {
 
         // Scalar loss L = Σ w_ij · out_ij with fixed pseudo-random weights.
         let out = conv2d_forward(&input, &kernels, &bias, &dims);
-        let weights: Vec<f64> = (0..out.len()).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.25).collect();
+        let weights: Vec<f64> = (0..out.len())
+            .map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.25)
+            .collect();
         let d_out = weights.clone();
         let (d_in, d_k, d_b) = conv2d_backward(&input, &kernels, &d_out, &dims);
 
@@ -248,19 +255,31 @@ mod tests {
             let mut p = input.clone();
             p[idx] += h;
             let num = (loss(&p, &kernels, &bias) - loss(&input, &kernels, &bias)) / h;
-            assert!((num - d_in[idx]).abs() < 1e-5, "d_input[{idx}]: {num} vs {}", d_in[idx]);
+            assert!(
+                (num - d_in[idx]).abs() < 1e-5,
+                "d_input[{idx}]: {num} vs {}",
+                d_in[idx]
+            );
         }
         for idx in [0, 5, 17, kernels.len() - 1] {
             let mut p = kernels.clone();
             p[idx] += h;
             let num = (loss(&input, &p, &bias) - loss(&input, &kernels, &bias)) / h;
-            assert!((num - d_k[idx]).abs() < 1e-5, "d_kernels[{idx}]: {num} vs {}", d_k[idx]);
+            assert!(
+                (num - d_k[idx]).abs() < 1e-5,
+                "d_kernels[{idx}]: {num} vs {}",
+                d_k[idx]
+            );
         }
         for idx in 0..bias.len() {
             let mut p = bias.clone();
             p[idx] += h;
             let num = (loss(&input, &kernels, &p) - loss(&input, &kernels, &bias)) / h;
-            assert!((num - d_b[idx]).abs() < 1e-5, "d_bias[{idx}]: {num} vs {}", d_b[idx]);
+            assert!(
+                (num - d_b[idx]).abs() < 1e-5,
+                "d_bias[{idx}]: {num} vs {}",
+                d_b[idx]
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl PoolDims {
 /// # Panics
 /// Panics on input length mismatch or a degenerate window.
 pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize>) {
-    assert!(dims.pool_h > 0 && dims.pool_w > 0, "maxpool2d: empty window");
+    assert!(
+        dims.pool_h > 0 && dims.pool_w > 0,
+        "maxpool2d: empty window"
+    );
     assert_eq!(
         input.len(),
         dims.channels * dims.in_h * dims.in_w,
@@ -76,7 +79,11 @@ pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize
 /// # Panics
 /// Panics if `d_out` and `argmax` lengths differ or an argmax is out of range.
 pub fn maxpool2d_backward(d_out: &[f64], argmax: &[usize], dims: &PoolDims) -> Vec<f64> {
-    assert_eq!(d_out.len(), argmax.len(), "maxpool2d_backward: length mismatch");
+    assert_eq!(
+        d_out.len(),
+        argmax.len(),
+        "maxpool2d_backward: length mismatch"
+    );
     let mut d_input = vec![0.0; dims.channels * dims.in_h * dims.in_w];
     for (&g, &idx) in d_out.iter().zip(argmax) {
         d_input[idx] += g;
@@ -166,7 +173,11 @@ mod tests {
             let mut p = input.clone();
             p[idx] += h;
             let num = (loss(&p) - loss(&input)) / h;
-            assert!((num - d_in[idx]).abs() < 1e-5, "d_in[{idx}]: {num} vs {}", d_in[idx]);
+            assert!(
+                (num - d_in[idx]).abs() < 1e-5,
+                "d_in[{idx}]: {num} vs {}",
+                d_in[idx]
+            );
         }
     }
 

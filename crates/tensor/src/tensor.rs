@@ -111,7 +111,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(i < s, "offset: index {i} out of bounds for dim {d} (size {s})");
+            assert!(
+                i < s,
+                "offset: index {i} out of bounds for dim {d} (size {s})"
+            );
             off = off * s + i;
         }
         off

@@ -30,7 +30,7 @@ fn audit(scaling: SensitivityScaling, label: &str) {
         dpsgd: DpsgdConfig::new(3.0, 0.005, steps, NeighborMode::Bounded, z, scaling),
         challenge: ChallengeMode::RandomBit,
     };
-    let batch = run_di_trials(&pair, &settings, None, |r| purchase_mlp(r), reps, 31);
+    let batch = run_di_trials(&pair, &settings, None, purchase_mlp, reps, 31);
 
     // Estimator 1: from the per-step sensitivities (needs one transcript).
     let t = &batch.trials[0];
@@ -59,7 +59,10 @@ fn audit(scaling: SensitivityScaling, label: &str) {
 
 fn main() {
     println!("Auditing a claimed (2.2, 1e-2)-DP training, 20 repetitions each\n");
-    audit(SensitivityScaling::Local, "estimated local sensitivity (Eq. 17)");
+    audit(
+        SensitivityScaling::Local,
+        "estimated local sensitivity (Eq. 17)",
+    );
     audit(SensitivityScaling::Global, "global sensitivity 2C");
     println!("Reading guide: under local scaling the estimators come close to the");
     println!("claimed budget — the guarantee is tight. Under global scaling they sit");

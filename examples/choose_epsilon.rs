@@ -17,7 +17,10 @@ fn main() {
     let delta = 1e-3;
 
     println!("== From identifiability to epsilon (Eq. 10 / Theorem 2, delta = {delta}) ==\n");
-    println!("{:>28}  {:>8}  {:>10}  {:>12}", "policy statement", "rho_beta", "epsilon", "rho_alpha");
+    println!(
+        "{:>28}  {:>8}  {:>10}  {:>12}",
+        "policy statement", "rho_beta", "epsilon", "rho_alpha"
+    );
     for (label, rho_beta_target) in [
         ("barely beats a coin flip", 0.55),
         ("plausible deniability", 0.75),
@@ -53,7 +56,10 @@ fn main() {
     }
 
     println!("\n== Reverse direction: a tolerable re-identification rate picks epsilon ==\n");
-    println!("{:>22}  {:>10}  {:>9}", "max advantage rho_a", "epsilon", "rho_beta");
+    println!(
+        "{:>22}  {:>10}  {:>9}",
+        "max advantage rho_a", "epsilon", "rho_beta"
+    );
     for adv in [0.01, 0.05, 0.12, 0.23, 0.5] {
         let eps = epsilon_for_rho_alpha(adv, delta);
         println!("{adv:>22.2}  {eps:>10.3}  {:>9.3}", rho_beta(eps));

@@ -44,7 +44,10 @@ fn main() {
             premium: i % 5 == 0,
         })
         .collect();
-    rows.push(Row { spend: 95.0, premium: true });
+    rows.push(Row {
+        spend: 95.0,
+        premium: true,
+    });
     let rows_without: Vec<Row> = rows[..rows.len() - 1].to_vec();
 
     // Budget: posterior belief capped at 0.75 over the whole query session.
@@ -61,7 +64,10 @@ fn main() {
 
     // The adversary tracks its belief across releases (Lemma 1).
     let mut tracker = BeliefTracker::new();
-    println!("{:>3}  {:>14}  {:>10}  {:>10}  {:>8}", "i", "query", "truth", "released", "belief");
+    println!(
+        "{:>3}  {:>14}  {:>10}  {:>10}  {:>8}",
+        "i", "query", "truth", "released", "belief"
+    );
     for i in 0..releases {
         let (name, truth_with, truth_without, mech) = if i % 2 == 0 {
             (

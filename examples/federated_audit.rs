@@ -53,7 +53,11 @@ fn run_round_trip(rho_beta_target: f64, train: &Dataset, seed: u64) {
         "  final certainty: {:.1}% (bound: {:.1}%) -> target record {}\n",
         insider.belief_d() * 100.0,
         rho_beta_target * 100.0,
-        if insider.decide_d() { "EXPOSED (guess: present)" } else { "deniable (guess: absent)" },
+        if insider.decide_d() {
+            "EXPOSED (guess: present)"
+        } else {
+            "deniable (guess: absent)"
+        },
     );
 }
 

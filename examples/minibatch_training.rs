@@ -26,7 +26,10 @@ fn main() {
     let steps = 60;
     let q = 0.1; // expected batch: 30 of 300 records
 
-    println!("synthetic MNIST, |D| = {}, z = {z}, {steps} steps\n", train.len());
+    println!(
+        "synthetic MNIST, |D| = {}, z = {z}, {steps} steps\n",
+        train.len()
+    );
 
     // -- mini-batch with Poisson subsampling ------------------------------
     let cfg = MinibatchConfig::new(ClippingStrategy::Flat(3.0), 0.05, steps, q, z);

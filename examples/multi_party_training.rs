@@ -34,7 +34,10 @@ fn main() {
     );
 
     let delta = 1e-3;
-    for (label, z) in [("strong privacy (z = 15)", 15.0), ("negligible noise (z = 0.01)", 0.01)] {
+    for (label, z) in [
+        ("strong privacy (z = 15)", 15.0),
+        ("negligible noise (z = 0.01)", 0.01),
+    ] {
         let cfg = FederatedConfig::new(ClippingStrategy::Flat(3.0), 0.1, 60, z);
         let mut model = purchase_mlp(&mut seeded_rng(1));
         let mut last_loss = f64::NAN;

@@ -63,7 +63,10 @@ fn main() {
     // empirical epsilon estimators of section 6.4 report the realised loss.
     let belief = adversary.belief_d();
     println!("\nadversary's final belief in D: {belief:.3} (bound: {rho_beta_target})");
-    println!("adversary decides: {}", if adversary.decide_d() { "D" } else { "D'" });
+    println!(
+        "adversary decides: {}",
+        if adversary.decide_d() { "D" } else { "D'" }
+    );
 
     let eps_ls = eps_from_local_sensitivities(&sigmas, &local_sens, delta, cfg.ls_floor);
     let eps_beta = eps_from_max_belief(belief);

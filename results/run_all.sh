@@ -6,8 +6,23 @@ for bin in table1_parameters fig01_decision_boundary fig02_error_regions fig03_s
 done
 ./target/release/fig04_ds_vs_ls > results/fig04_ds_vs_ls.txt 2>&1 && echo "done fig04"
 ./target/release/fig05_sensitivity_course > results/fig05_sensitivity_course.txt 2>&1 && echo "done fig05"
-./target/release/fig06_belief_distributions > results/fig06_belief_distributions.txt 2>&1 && echo "done fig06"
-./target/release/table2_empirical_advantage > results/table2_empirical_advantage.txt 2>&1 && echo "done table2"
+# Figure 6 and Table 2 run on the dpaudit-runtime audit engine: each arm is
+# persisted as a resumable trial store under results/stores/ (an interrupted
+# run can be finished with `dpaudit audit resume --store <file>`), and the
+# per-store reports are appended via the `dpaudit audit report` subcommand.
+mkdir -p results/stores
+./target/release/fig06_belief_distributions --store-dir results/stores > results/fig06_belief_distributions.txt 2>&1 && echo "done fig06"
+for store in results/stores/fig06_*.jsonl; do
+  echo "" >> results/fig06_belief_distributions.txt
+  echo "== dpaudit audit report --store $store ==" >> results/fig06_belief_distributions.txt
+  ./target/release/dpaudit audit report --store "$store" >> results/fig06_belief_distributions.txt 2>&1
+done
+./target/release/table2_empirical_advantage --store-dir results/stores > results/table2_empirical_advantage.txt 2>&1 && echo "done table2"
+for store in results/stores/table2_*.jsonl; do
+  echo "" >> results/table2_empirical_advantage.txt
+  echo "== dpaudit audit report --store $store ==" >> results/table2_empirical_advantage.txt
+  ./target/release/dpaudit audit report --store "$store" >> results/table2_empirical_advantage.txt 2>&1
+done
 ./target/release/fig07_test_accuracy > results/fig07_test_accuracy.txt 2>&1 && echo "done fig07"
 ./target/release/fig08_eps_from_ls > results/fig08_eps_from_ls.txt 2>&1 && echo "done fig08"
 ./target/release/fig09_eps_from_belief > results/fig09_eps_from_belief.txt 2>&1 && echo "done fig09"

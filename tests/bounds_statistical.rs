@@ -2,8 +2,8 @@
 //! mechanism (no neural network): thousands of simulated Exp^DI runs checked
 //! against ρ_β, the empirical-δ budget, and the expected advantage ρ_α.
 
-use dp_identifiability::prelude::*;
 use dp_identifiability::math::GaussianSampler;
+use dp_identifiability::prelude::*;
 use rand::Rng;
 
 /// Simulate one Exp^DI run of `k` Gaussian releases in `dim` dimensions with
@@ -27,7 +27,10 @@ fn simulate_trial<R: Rng>(
     let mut tracker = BeliefTracker::new();
     let mut gs = GaussianSampler::new();
     for _ in 0..k {
-        let noisy: Vec<f64> = truth.iter().map(|&c| c + gs.sample(rng, 0.0, sigma)).collect();
+        let noisy: Vec<f64> = truth
+            .iter()
+            .map(|&c| c + gs.sample(rng, 0.0, sigma))
+            .collect();
         tracker.update_gaussian(&noisy, &center_d, &center_dp, sigma);
     }
     let belief_trained = if b {
@@ -58,7 +61,10 @@ fn belief_bound_violations_stay_within_delta() {
     let rate = violations as f64 / trials as f64;
     // Theorem 1(ii): the bound holds with probability ≥ 1 − δ; allow 3x
     // slack for Monte-Carlo error at this sample size.
-    assert!(rate <= 3.0 * delta, "violation rate {rate} exceeds delta budget {delta}");
+    assert!(
+        rate <= 3.0 * delta,
+        "violation rate {rate} exceeds delta budget {delta}"
+    );
 }
 
 #[test]
@@ -159,7 +165,10 @@ fn eps_estimators_recover_target_on_raw_mechanism() {
     let sigmas = vec![sigma; k];
     let ls = vec![sensitivity; k];
     let eps_ls = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
-    assert!((eps_ls - epsilon).abs() / epsilon < 0.05, "{eps_ls} vs {epsilon}");
+    assert!(
+        (eps_ls - epsilon).abs() / epsilon < 0.05,
+        "{eps_ls} vs {epsilon}"
+    );
 
     let mut rng = seeded_rng(5);
     let mut max_belief: f64 = 0.0;

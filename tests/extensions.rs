@@ -133,7 +133,12 @@ fn federated_insider_is_the_di_adversary() {
         // noisy total against a synthetic shifted center at distance C.
         let mut shifted = round.clean_total.clone();
         shifted[0] += 3.0;
-        tracker.update_gaussian(&round.noisy_total, &round.clean_total, &shifted, round.sigma);
+        tracker.update_gaussian(
+            &round.noisy_total,
+            &round.clean_total,
+            &shifted,
+            round.sigma,
+        );
     });
     let eps = out.epsilon(1e-3);
     // Worst-case belief bound for the composed budget must hold.
@@ -164,7 +169,14 @@ fn audit_report_round_trips_through_json() {
     let target = dataset_sensitivity_unbounded(&data, &Hamming);
     let pair = NeighborPair::from_spec(&data, &target.spec);
     let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(3.0, 0.005, 2, NeighborMode::Unbounded, 5.0, SensitivityScaling::Local),
+        dpsgd: DpsgdConfig::new(
+            3.0,
+            0.005,
+            2,
+            NeighborMode::Unbounded,
+            5.0,
+            SensitivityScaling::Local,
+        ),
         challenge: ChallengeMode::RandomBit,
     };
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 4, 9);

@@ -2,8 +2,8 @@
 //! malformed inputs rather than propagate silent numerical corruption —
 //! wrong privacy parameters are worse than crashes in this domain.
 
-use dp_identifiability::prelude::*;
 use dp_identifiability::dpsgd::MinibatchConfig;
+use dp_identifiability::prelude::*;
 
 #[test]
 #[should_panic(expected = "epsilon must be positive")]
@@ -49,7 +49,14 @@ fn training_on_empty_dataset_panics() {
         x2: None,
         mode: NeighborMode::Unbounded,
     };
-    let cfg = DpsgdConfig::new(3.0, 0.01, 1, NeighborMode::Unbounded, 1.0, SensitivityScaling::Local);
+    let cfg = DpsgdConfig::new(
+        3.0,
+        0.01,
+        1,
+        NeighborMode::Unbounded,
+        1.0,
+        SensitivityScaling::Local,
+    );
     let mut model = purchase_mlp(&mut seeded_rng(1));
     train_dpsgd(&mut model, &pair, false, &cfg, &mut seeded_rng(2), |_| {});
 }

@@ -38,7 +38,10 @@ fn full_pipeline_bounded_local() {
     for t in &batch.trials {
         assert_eq!(t.belief_history.len(), steps);
         assert!(t.belief_d > 0.0 && t.belief_d < 1.0);
-        assert!(t.local_sensitivities.iter().all(|&l| (0.0..=6.0 + 1e-9).contains(&l)));
+        assert!(t
+            .local_sensitivities
+            .iter()
+            .all(|&l| (0.0..=6.0 + 1e-9).contains(&l)));
         // Local scaling: σᵢ = z·max(lsᵢ, floor).
         for (s, l) in t.sigmas.iter().zip(&t.local_sensitivities) {
             let expect = z * l.max(settings.dpsgd.ls_floor);

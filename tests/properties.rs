@@ -1,7 +1,7 @@
 //! Cross-crate property-based tests of the paper's core invariants.
 
-use dp_identifiability::prelude::*;
 use dp_identifiability::math::{phi, sigmoid};
+use dp_identifiability::prelude::*;
 use proptest::prelude::*;
 
 proptest! {

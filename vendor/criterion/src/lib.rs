@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape:
+//! groups, `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a short
+//! warm-up then `sample_size` timed samples, and reports the median
+//! per-iteration time. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` (which receives a [`Bencher`]) and print the median sample.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up and calibration: grow iteration count until one sample
+        // takes ≳1 ms so cheap kernels aren't dominated by timer overhead.
+        loop {
+            bencher.samples.clear();
+            f(&mut bencher);
+            let per_sample = bencher.samples.first().copied().unwrap_or_default();
+            if per_sample >= Duration::from_millis(1) || bencher.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            bencher.iters_per_sample *= 8;
+        }
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+        eprintln!(
+            "  {}/{id}: median {:.3} µs/iter ({} samples × {} iters)",
+            self.name,
+            median * 1e6,
+            self.sample_size,
+            bencher.iters_per_sample,
+        );
+        self
+    }
+
+    /// End the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine `iters_per_sample` times and record one sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Bundle benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut count = 0u64;
+        g.bench_function("noop", |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact `usize` or a half-open range.
+pub trait IntoLenRange {
+    /// Convert to `(min, max_exclusive)`.
+    fn into_len_range(self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn into_len_range(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (min_len, max_len) = len.into_len_range();
+    assert!(min_len < max_len, "empty length range for collection::vec");
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.min_len + 1 == self.max_len {
+            self.min_len
+        } else {
+            rng.gen_range(self.min_len..self.max_len)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fixed = vec(0.0..1.0f64, 5).sample(&mut rng);
+        assert_eq!(fixed.len(), 5);
+        for _ in 0..100 {
+            let v = vec(0usize..3, 2..7).sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random testing without shrinking: each test case draws its inputs from
+//! [`Strategy`] samplers seeded deterministically per case index, so failures
+//! reproduce exactly on re-run. The API subset matches what this workspace
+//! uses — range strategies, `proptest::collection::vec`, the `proptest!`
+//! macro with `#![proptest_config(ProptestConfig::with_cases(n))]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng =
+                        $crate::test_runner::rng_for_case(stringify!($name), case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )*
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(failure) = outcome {
+                        panic!("proptest case {case} of {}: {failure}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn f64_range_respected(x in -2.0..3.0f64) {
+            prop_assert!((-2.0..3.0).contains(&x));
+        }
+
+        fn usize_range_respected(n in 1usize..10) {
+            prop_assert!((1..10).contains(&n));
+        }
+
+        fn vec_fixed_and_ranged_lengths(
+            fixed in crate::collection::vec(0.0..1.0f64, 4),
+            ranged in crate::collection::vec(-1.0..1.0f64, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((2..6).contains(&ranged.len()));
+        }
+
+        fn mut_pattern_allowed(mut xs in crate::collection::vec(0.0..1.0f64, 1..5)) {
+            xs.push(0.5);
+            prop_assert!(!xs.is_empty());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::rng_for_case("t", 3);
+        let b = crate::test_runner::rng_for_case("t", 3);
+        assert_eq!(a, b);
+        let c = crate::test_runner::rng_for_case("t", 4);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,73 @@
+//! Input samplers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(f64, f32, usize, u64, u32, i64, i32);
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let x = (1.5..2.5f64).sample(&mut rng);
+            assert!((1.5..2.5).contains(&x));
+            let n = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&n));
+            let k = (2u64..32).sample(&mut rng);
+            assert!((2..32).contains(&k));
+        }
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Just(41i32).sample(&mut rng), 41);
+    }
+}

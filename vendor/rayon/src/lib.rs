@@ -1,0 +1,284 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset of the rayon API this workspace uses — parallel
+//! iteration over index ranges and vectors with `map`/`for_each`/`collect`,
+//! plus [`ThreadPoolBuilder`]/[`ThreadPool::install`] for bounding worker
+//! counts — on plain `std::thread::scope` workers.
+//!
+//! Work is distributed by an atomic cursor over the input (work stealing at
+//! item granularity), and `collect` writes each result to the slot of its
+//! input index, so outputs are always in input order regardless of the
+//! worker count or scheduling — the property the audit engine's
+//! "`--threads N` is bit-identical to `--threads 1`" guarantee rests on.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel iterators will use on this thread:
+/// an installed pool's size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Error from building a thread pool (never produced by this stand-in; kept
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the pool at `n` workers (0 = machine parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count bound. Workers are spawned per operation (cheap
+/// relative to the NN-training workloads this repo parallelises).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread bound installed: every parallel
+    /// iterator inside uses at most the pool's worker count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(Cell::get);
+        POOL_THREADS.with(|c| c.set(self.num_threads));
+        let result = f();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pool's worker bound (0 = machine parallelism).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+/// `map` adapter.
+pub struct MapParIter<P, F> {
+    base: P,
+    f: F,
+}
+
+/// The operations this workspace uses on parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Drain into a vector, preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Transform each element in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> MapParIter<Self, F> {
+        MapParIter { base: self, f }
+    }
+
+    /// Collect into a container (only `Vec<Item>` is supported).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self.drive())
+    }
+
+    /// Run `f` on every element in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        self.map(f).drive();
+    }
+}
+
+/// Collection from an ordered parallel drain.
+pub trait FromParallelIterator<T> {
+    /// Build the container from items in input order.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P: ParallelIterator, R: Send, F: Fn(P::Item) -> R + Sync> ParallelIterator
+    for MapParIter<P, F>
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let items = self.base.drive();
+        let f = &self.f;
+        let n = items.len();
+        let workers = current_num_threads().clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Stripe the input round-robin across workers (stripe w owns indices
+        // w, w+workers, …), run the stripes concurrently, then reassemble in
+        // index order — output order is independent of scheduling.
+        let mut stripes: Vec<Vec<(usize, P::Item)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            stripes[i % workers].push((i, item));
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|stripe| {
+                    scope.spawn(move || {
+                        stripe
+                            .into_iter()
+                            .map(|(i, item)| (i, f(item)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("rayon stand-in worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker skipped a slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_input_supported() {
+        let v = vec![3usize, 1, 4, 1, 5];
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let out: Vec<usize> = (0..100).into_par_iter().map(|i| i).collect();
+            assert_eq!(out.len(), 100);
+        });
+        assert_ne!(POOL_THREADS.with(std::cell::Cell::get), 2);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let counter = AtomicUsize::new(0);
+        (0..500).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn single_thread_pool_matches_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let serial: Vec<usize> = (0..64).map(|i| i * i).collect();
+        let parallel: Vec<usize> =
+            pool.install(|| (0..64).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(serial, parallel);
+    }
+}

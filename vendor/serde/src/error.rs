@@ -1,0 +1,41 @@
+//! The deserialisation/serialisation error type.
+
+/// A (de)serialisation failure with a human-readable path description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build from any message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// A value had the wrong JSON type.
+    pub fn type_mismatch(expected: &str, got: &crate::Value) -> Self {
+        Error(format!("expected {expected}, got {}", got.kind()))
+    }
+
+    /// A struct field was absent from the object.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` for {type_name}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(type_name: &str, tag: &str) -> Self {
+        Error(format!("unknown variant `{tag}` for {type_name}"))
+    }
+
+    /// Prefix the message with more context (used while unwinding nesting).
+    #[must_use]
+    pub fn context(self, what: &str) -> Self {
+        Error(format!("{what}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so serialisation is
+//! vendored: this crate defines a JSON-shaped data model ([`Value`]) and the
+//! [`Serialize`]/[`Deserialize`] traits as direct conversions to and from
+//! it, and re-exports derive macros (from the sibling `serde_derive`
+//! proc-macro crate) that generate those conversions for structs and enums.
+//!
+//! The encoding mirrors upstream serde's JSON defaults so archived
+//! transcripts remain human-readable and stable:
+//!
+//! * struct → object with one key per field, in declaration order;
+//! * unit enum variant → string `"Variant"`;
+//! * newtype/tuple variant → object `{"Variant": value}` / `{"Variant": [..]}`;
+//! * struct variant → object `{"Variant": {..}}`;
+//! * `Option::None` → `null`; missing object keys deserialise as `None`;
+//! * `#[serde(default)]` fields fall back to `Default::default()`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+#[doc(hidden)]
+pub use value::write_json_string;
+pub use value::Value;
+
+/// Conversion into the self-describing [`Value`] data model.
+pub trait Serialize {
+    /// Represent `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the self-describing [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    /// A typed [`Error`] naming the mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}

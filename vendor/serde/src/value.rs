@@ -1,0 +1,242 @@
+//! The self-describing data model shared by `serde` and `serde_json`.
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (like `serde_json` with its
+/// `preserve_order` feature), which keeps serialised structs in field
+/// declaration order — important for stable, diffable archives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`; integers up to 2^53 are exact).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map with string keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The JSON type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a key in an object.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self {
+            Value::Object(entries) => {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key, value));
+                }
+            }
+            other => panic!("Value::insert on a {}", other.kind()),
+        }
+    }
+
+    /// The value as an `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` as a JSON string literal (with the mandatory escapes) to any
+/// `fmt::Write` sink. Shared by the `Display` impl here and the pretty
+/// printer in `serde_json`.
+#[doc(hidden)]
+pub fn write_json_string<W: std::fmt::Write>(out: &mut W, s: &str) -> std::fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON text. Numbers use Rust's shortest round-trip `Display`
+    /// (integral values print without a fractional part); non-finite numbers
+    /// print `null`, matching upstream serde_json.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{item}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifying object indexing, as in `serde_json`: assigning to a
+    /// missing key inserts it.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(entries) => {
+                if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[i].1
+                } else {
+                    entries.push((key.to_string(), Value::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("Value index `{key}` on a {}", other.kind()),
+        }
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::IndexMut<String> for Value {
+    fn index_mut(&mut self, key: String) -> &mut Value {
+        self.index_mut(key.as_str())
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => &items[i],
+            other => panic!("Value index [{i}] on a {}", other.kind()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_get_and_insert() {
+        let mut v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Number(1.0)));
+        assert_eq!(v.get("b"), None);
+        v.insert("b", Value::Bool(true));
+        v.insert("a", Value::Number(2.0));
+        assert_eq!(v.get("a"), Some(&Value::Number(2.0)));
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn index_mut_auto_vivifies() {
+        let mut v = Value::Object(vec![]);
+        v["x".to_string()] = Value::Number(3.0);
+        assert_eq!(v["x"], Value::Number(3.0));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Number(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.as_f64().is_none());
+        assert_eq!(Value::Array(vec![Value::Null]).as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls (direct
+//! conversions to/from `serde::Value`) for the shapes this workspace uses:
+//! structs with named fields, and enums with unit / tuple / struct variants.
+//! The input item is parsed directly from the raw `TokenStream` — the build
+//! environment has no crates.io access, so `syn`/`quote` are unavailable.
+//!
+//! Supported attributes: `#[serde(default)]` on a named field (missing key →
+//! `Default::default()`). All other attributes (doc comments, `#[default]`,
+//! derive lists) are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field of a struct or struct variant.
+struct Field {
+    name: String,
+    serde_default: bool,
+}
+
+/// The body shape of one enum variant.
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn ident_text(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip a leading run of `#[...]` attributes; returns the index after them
+/// and whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut serde_default = false;
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") && text.contains("default") {
+                serde_default = true;
+            }
+        }
+        i += 2;
+    }
+    (i, serde_default)
+}
+
+/// Skip `pub` / `pub(crate)` / `pub(super)` visibility.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = ident_text(&tokens[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&tokens[i]).expect("expected item name");
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde_derive stand-in supports only brace-bodied, non-generic items: {name}"),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive serde traits for `{other}` item {name}"),
+    }
+}
+
+/// Parse `name: Type, ...` named fields, tolerating attributes, visibility,
+/// generic types with top-level commas in angle brackets, and a trailing comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, serde_default) = skip_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]).expect("expected field name");
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected `:` after field {name}");
+        i += 1;
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                angle_depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                angle_depth -= 1;
+            } else if is_punct(&tokens[i], ',') && angle_depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            serde_default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]).expect("expected variant name");
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(tt) if is_punct(tt, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Count the fields of a tuple variant: top-level commas (outside angle
+/// brackets and nested groups) separate them; a trailing comma is tolerated.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if is_punct(&tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(&tt, '>') {
+            angle_depth -= 1;
+        } else if is_punct(&tt, ',') && angle_depth == 0 {
+            count += 1;
+            saw_token = false;
+            continue;
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                f.name
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression rebuilding one named field from object `{src}` (an expression
+/// of type `&Value`), honouring `#[serde(default)]` and Option-as-missing.
+fn field_expr(context: &str, src: &str, f: &Field) -> String {
+    let fallback = if f.serde_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        // Try Null first so Option fields treat a missing key as None; any
+        // other type reports a proper missing-field error.
+        format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                 .map_err(|_| ::serde::Error::missing_field(\"{context}\", \"{0}\"))?",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match {src}.get(\"{0}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)\n\
+                 .map_err(|e| e.context(\"{context}.{0}\"))?,\n\
+             None => {fallback},\n\
+         }},",
+        f.name
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let field_exprs: String = fields
+        .iter()
+        .map(|f| field_expr(name, "value", f))
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return Err(::serde::Error::type_mismatch(\"object\", value));\n\
+                 }}\n\
+                 Ok({name} {{ {field_exprs} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let tag = &v.name;
+            match &v.kind {
+                VariantKind::Unit => {
+                    format!("{name}::{tag} => ::serde::Value::String(String::from(\"{tag}\")),")
+                }
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{tag}(f0) => ::serde::Value::Object(vec![(\n\
+                         String::from(\"{tag}\"), ::serde::Serialize::to_value(f0),\n\
+                     )]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                    let items: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{tag}({binds}) => ::serde::Value::Object(vec![(\n\
+                             String::from(\"{tag}\"), ::serde::Value::Array(vec![{items}]),\n\
+                         )]),",
+                        binds = binders.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{0}\"), ::serde::Serialize::to_value({0})),",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{tag} {{ {binders} }} => ::serde::Value::Object(vec![(\n\
+                             String::from(\"{tag}\"), ::serde::Value::Object(vec![{entries}]),\n\
+                         )]),",
+                        binders = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let tag = &v.name;
+            let context = format!("{name}::{tag}");
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{tag}\" => Ok({name}::{tag}(\n\
+                         ::serde::Deserialize::from_value(_inner)\n\
+                             .map_err(|e| e.context(\"{context}\"))?,\n\
+                     )),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_value(&items[{k}usize])\n\
+                                     .map_err(|e| e.context(\"{context}.{k}\"))?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{tag}\" => match _inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n}usize =>\n\
+                                 Ok({name}::{tag}({items})),\n\
+                             other => Err(::serde::Error::type_mismatch(\n\
+                                 \"{n}-element array\", other)),\n\
+                         }},"
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let field_exprs: String = fields
+                        .iter()
+                        .map(|f| field_expr(&context, "_inner", f))
+                        .collect();
+                    Some(format!(
+                        "\"{tag}\" => Ok({name}::{tag} {{ {field_exprs} }}),"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, _inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::type_mismatch(\n\
+                         \"variant tag string or single-key object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

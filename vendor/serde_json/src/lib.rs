@@ -1,0 +1,134 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Prints and parses the JSON text form of the [`Value`] data model defined
+//! in the vendored `serde` crate. The output conventions:
+//!
+//! * compact form has no whitespace; pretty form indents by two spaces;
+//! * numbers print with Rust's shortest round-trip `Display`; integral
+//!   values print without a fractional part; non-finite values print `null`
+//!   (as upstream serde_json does);
+//! * object keys keep insertion order.
+
+pub use serde::{Error, Value};
+
+mod de;
+mod ser;
+
+pub use de::parse_value;
+
+/// Convert any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuild a deserialisable type from a [`Value`] tree.
+///
+/// # Errors
+/// A typed [`Error`] naming the mismatch.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serialise to compact JSON text.
+///
+/// # Errors
+/// Never fails in this stand-in; the `Result` keeps upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    ser::write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serialise to pretty JSON text (two-space indent).
+///
+/// # Errors
+/// Never fails in this stand-in; the `Result` keeps upstream's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    ser::write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a deserialisable type.
+///
+/// # Errors
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = de::parse_value(text)?;
+    T::from_value(&value)
+}
+
+/// Build a [`Value`] from an object literal with string keys, an array
+/// literal, `null`, or any serialisable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$val))),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$item)),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1.5, "b": "s", "flag": true });
+        assert_eq!(v["a"], Value::Number(1.5));
+        assert_eq!(v["b"], Value::String("s".into()));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(
+            json!([1.0, 2.0]),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+        let xs = vec![1.0f64, 2.0];
+        assert_eq!(json!(xs)[1], Value::Number(2.0));
+    }
+
+    #[test]
+    fn round_trip_compact_and_pretty() {
+        let v = json!({ "name": "mnist", "n": 3, "xs": vec![0.5f64, -1.0] });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        // Shortest round-trip: the printed text parses back bit-identically.
+        for x in [1.0 / 3.0, 2f64.sqrt(), 1e-12, -0.007, 123456789.123] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\t\"quoted\" \\ \u{1}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = json!({ "a": 1, "b": vec![2.0f64] });
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}"
+        );
+    }
+}

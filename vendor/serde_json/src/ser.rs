@@ -1,0 +1,52 @@
+//! JSON text emission. Compact printing lives on `Value`'s `Display` impl
+//! (in the vendored `serde` crate); this module adds the pretty printer.
+
+use serde::{write_json_string, Value};
+use std::fmt::Write;
+
+/// Append `value` with no whitespace.
+pub fn write_compact(out: &mut String, value: &Value) {
+    write!(out, "{value}").expect("fmt::Write on String cannot fail");
+}
+
+/// Append `value` pretty-printed with two-space indentation, starting at
+/// nesting depth `indent`.
+pub fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_json_string(out, key).expect("fmt::Write on String cannot fail");
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        leaf => write_compact(out, leaf),
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
