@@ -11,8 +11,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dpaudit_bench::Workload;
 use dpaudit_core::{
-    eps_from_local_sensitivities, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha, rho_beta,
-    BeliefTracker,
+    epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha, rho_beta, BeliefTracker,
+    LocalSensitivityEstimator,
 };
 use dpaudit_datasets::{bounded_candidates, Hamming, NegSsim};
 use dpaudit_dp::{calibrate_noise_multiplier_closed_form, NeighborMode, RdpAccountant};
@@ -48,7 +48,11 @@ fn bench_accountant(c: &mut Criterion) {
     g.bench_function("heterogeneous_30_steps", |b| {
         let sigmas: Vec<f64> = (0..30).map(|i| 20.0 + i as f64).collect();
         let ls: Vec<f64> = (0..30).map(|i| 2.0 + 0.05 * i as f64).collect();
-        b.iter(|| black_box(eps_from_local_sensitivities(&sigmas, &ls, 1e-3, 1e-9)))
+        b.iter(|| {
+            black_box(LocalSensitivityEstimator::per_trial(
+                &sigmas, &ls, 1e-3, 1e-9,
+            ))
+        })
     });
     g.bench_function("calibrate_closed_form", |b| {
         b.iter(|| black_box(calibrate_noise_multiplier_closed_form(2.2, 1e-3, 30)))

@@ -10,7 +10,7 @@
 use dpaudit_bench::{fmt_sig, param_row, print_table, run_batch_parallel, Args, Workload};
 use dpaudit_core::{ChallengeMode, TrialSettings};
 use dpaudit_dp::{calibrate_noise_multiplier_closed_form, NeighborMode};
-use dpaudit_dpsgd::{DpsgdConfig, SensitivityScaling};
+use dpaudit_dpsgd::SensitivityScaling;
 use dpaudit_math::{split_seed, Summary};
 
 fn main() {
@@ -29,17 +29,16 @@ fn main() {
     let mut json = Vec::new();
     for (ci, &clip) in [0.5, 1.0, 3.0, 6.0, 10.0].iter().enumerate() {
         let z = calibrate_noise_multiplier_closed_form(row.epsilon, row.delta, steps);
-        let settings = TrialSettings {
-            dpsgd: DpsgdConfig::new(
-                clip,
-                dpaudit_bench::LEARNING_RATE,
-                steps,
-                NeighborMode::Bounded,
-                z,
-                SensitivityScaling::Local,
-            ),
-            challenge: ChallengeMode::RandomBit,
-        };
+        let settings = TrialSettings::builder()
+            .clip_norm(clip)
+            .learning_rate(dpaudit_bench::LEARNING_RATE)
+            .steps(steps)
+            .mode(NeighborMode::Bounded)
+            .noise_multiplier(z)
+            .scaling(SensitivityScaling::Local)
+            .challenge(ChallengeMode::RandomBit)
+            .build()
+            .expect("valid trial settings");
         let batch = run_batch_parallel(
             workload,
             &pair,

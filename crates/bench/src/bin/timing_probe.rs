@@ -4,7 +4,7 @@
 use dpaudit_bench::{param_row, Workload};
 use dpaudit_core::{run_di_trial, ChallengeMode, TrialSettings};
 use dpaudit_dp::NeighborMode;
-use dpaudit_dpsgd::{DpsgdConfig, SensitivityScaling};
+use dpaudit_dpsgd::SensitivityScaling;
 use std::time::Instant;
 
 fn main() {
@@ -18,17 +18,16 @@ fn main() {
         let ds_t = t0.elapsed();
 
         let row = param_row(0.90, workload.delta());
-        let settings = TrialSettings {
-            dpsgd: DpsgdConfig::new(
-                3.0,
-                0.005,
-                30,
-                NeighborMode::Bounded,
-                row.noise_multiplier,
-                SensitivityScaling::Local,
-            ),
-            challenge: ChallengeMode::RandomBit,
-        };
+        let settings = TrialSettings::builder()
+            .clip_norm(3.0)
+            .learning_rate(0.005)
+            .steps(30)
+            .mode(NeighborMode::Bounded)
+            .noise_multiplier(row.noise_multiplier)
+            .scaling(SensitivityScaling::Local)
+            .challenge(ChallengeMode::RandomBit)
+            .build()
+            .expect("valid trial settings");
         let t0 = Instant::now();
         let trial = run_di_trial(&pair, &settings, None, |rng| workload.build_model(rng), 7);
         let trial_t = t0.elapsed();

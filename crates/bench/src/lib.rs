@@ -398,10 +398,16 @@ pub fn arm_settings(
     // The noise multiplier is re-derived at the requested step count so that
     // `--steps` overrides stay correctly calibrated.
     let z = calibrate_noise_multiplier_closed_form(row.epsilon, row.delta, steps);
-    dpaudit_core::TrialSettings {
-        dpsgd: dpaudit_dpsgd::DpsgdConfig::new(CLIP_NORM, LEARNING_RATE, steps, mode, z, scaling),
-        challenge,
-    }
+    dpaudit_core::TrialSettings::builder()
+        .clip_norm(CLIP_NORM)
+        .learning_rate(LEARNING_RATE)
+        .steps(steps)
+        .mode(mode)
+        .noise_multiplier(z)
+        .scaling(scaling)
+        .challenge(challenge)
+        .build()
+        .expect("valid trial settings")
 }
 
 /// One cell of the §6.4 auditing grid: a target ε, a sensitivity-scaling
@@ -465,7 +471,7 @@ pub fn run_audit_grid(workload: Workload, reps: usize, steps: usize, seed: u64) 
                 .trials
                 .iter()
                 .map(|t| {
-                    dpaudit_core::eps_from_local_sensitivities(
+                    dpaudit_core::LocalSensitivityEstimator::per_trial(
                         &t.sigmas,
                         &t.local_sensitivities,
                         row.delta,
@@ -479,8 +485,13 @@ pub fn run_audit_grid(workload: Workload, reps: usize, steps: usize, seed: u64) 
                 target_epsilon: row.epsilon,
                 scaling: scaling.to_string(),
                 eps_from_ls: eps_ls,
-                eps_from_belief: dpaudit_core::eps_from_max_belief(batch.max_belief()),
-                eps_from_advantage: dpaudit_core::eps_from_advantage(batch.advantage(), row.delta),
+                eps_from_belief: dpaudit_core::MaxBeliefEstimator::from_max_belief(
+                    batch.max_belief(),
+                ),
+                eps_from_advantage: dpaudit_core::AdvantageEstimator::from_advantage(
+                    batch.advantage(),
+                    row.delta,
+                ),
                 advantage: batch.advantage(),
                 max_belief: batch.max_belief(),
             });

@@ -1,0 +1,5 @@
+//! Regenerate the README's CLI-reference block:
+//! `cargo run -p dpaudit-cli --example gen_cli_reference`
+fn main() {
+    print!("{}", dpaudit_cli::spec::render_markdown());
+}

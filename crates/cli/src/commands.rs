@@ -2,9 +2,9 @@
 //! logic is unit-testable without capturing stdout.
 
 use dpaudit_core::{
-    eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief, epsilon_for_rho_alpha,
-    epsilon_for_rho_beta, rho_alpha, rho_alpha_composed, rho_beta, run_di_trials, AuditReport,
-    ChallengeMode, TrialSettings,
+    epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha, rho_alpha_composed, rho_beta,
+    run_di_trials, AdvantageEstimator, AuditReport, ChallengeMode, LocalSensitivityEstimator,
+    MaxBeliefEstimator, TrialSettings,
 };
 use dpaudit_datasets::{
     dataset_sensitivity_unbounded, generate_mnist, generate_purchase, Hamming, NegSsim,
@@ -13,52 +13,39 @@ use dpaudit_dp::{
     analytic_gaussian_sigma, calibrate_noise_multiplier_closed_form, DpGuarantee,
     GaussianMechanism, NeighborMode, RdpAccountant,
 };
-use dpaudit_dpsgd::{DpsgdConfig, NeighborPair, SensitivityScaling, Transcript};
+use dpaudit_dpsgd::{NeighborPair, SensitivityScaling, Transcript};
 use std::fmt::Write as _;
 
 use crate::opts::Opts;
 
-/// Usage text.
-pub const USAGE: &str = "\
-dpaudit — identifiability-based choice and auditing of epsilon (Bernau et al., VLDB 2021)
-
-USAGE:
-  dpaudit scores    (--eps E | --rho-beta B | --rho-alpha A) --delta D [--steps K]
-  dpaudit calibrate --eps E --delta D --steps K [--sensitivity S] [--classic | --analytic]
-  dpaudit compose   --noise-multiplier Z --steps K --delta D [--sampling-rate Q]
-  dpaudit audit     --transcript FILE --delta D
-  dpaudit audit run    --workload mnist|purchase --out STORE.jsonl [--reps N] [--steps K]
-                       [--rho-beta B] [--scaling ls|gs] [--mode bounded|unbounded]
-                       [--challenge random|always-d] [--detail summary|full]
-                       [--seed S] [--threads N] [--train-size N] [--label L] [--fresh]
-  dpaudit audit resume --store STORE.jsonl [--threads N]
-  dpaudit audit report --store STORE.jsonl
-  dpaudit demo      [--workload purchase|mnist] [--reps N] [--steps K] [--seed S] [--out FILE]
-  dpaudit help
-
-scores     translate between epsilon, rho_beta (max posterior belief) and
-           rho_alpha (expected membership advantage)
-calibrate  per-step Gaussian noise for a k-step budget (RDP closed form by
-           default; --classic = Dwork-Roth Eq. 1 per step, --analytic =
-           Balle-Wang exact single-release sigma)
-compose    query the RDP accountant (optionally Poisson-subsampled)
-audit      compute the empirical epsilon estimators for a saved transcript;
-           the run/resume/report sub-actions drive the parallel, resumable
-           audit engine over a durable trial store (kill it any time and
-           `audit resume` finishes the missing trials bit-identically)
-demo       run a small DI experiment end-to-end and print the audit report
-";
+/// Usage text, rendered from the declarative command table in
+/// [`crate::spec`].
+pub fn usage() -> String {
+    crate::spec::render_usage()
+}
 
 /// Dispatch a parsed command line.
 ///
 /// # Errors
 /// A human-readable message for bad flags, bad values or I/O failures.
 pub fn run(opts: &Opts) -> Result<String, String> {
+    // `--help` anywhere prints the command's generated help (or the full
+    // usage when the command itself is unknown).
+    if opts.flag("help") {
+        return Ok(
+            match crate::spec::find(&opts.command, opts.subaction.as_deref()) {
+                Some(spec) => crate::spec::render_help(spec),
+                None => usage(),
+            },
+        );
+    }
     if let Some(sub) = &opts.subaction {
         return match opts.command.as_str() {
             "audit" => crate::engine::run_subaction(sub, opts),
+            "metrics" => crate::metrics::run_subaction(sub, opts),
             other => Err(format!(
-                "`{other}` takes no sub-action (got `{sub}`)\n\n{USAGE}"
+                "`{other}` takes no sub-action (got `{sub}`)\n\n{}",
+                usage()
             )),
         };
     }
@@ -67,9 +54,10 @@ pub fn run(opts: &Opts) -> Result<String, String> {
         "calibrate" => cmd_calibrate(opts),
         "compose" => cmd_compose(opts),
         "audit" => cmd_audit(opts),
+        "metrics" => Err("`metrics` needs a sub-action: `dpaudit metrics report`".to_string()),
         "demo" => cmd_demo(opts),
-        "help" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        "help" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
 }
 
@@ -218,7 +206,8 @@ fn cmd_audit(opts: &Opts) -> Result<String, String> {
     }
     let sigmas = transcript.sigmas();
     let ls = transcript.local_sensitivities();
-    let eps_ls = eps_from_local_sensitivities(&sigmas, &ls, delta, transcript.config.ls_floor);
+    let eps_ls =
+        LocalSensitivityEstimator::per_trial(&sigmas, &ls, delta, transcript.config.ls_floor);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -273,17 +262,16 @@ fn cmd_demo(opts: &Opts) -> Result<String, String> {
         other => return Err(format!("unknown --workload `{other}` (purchase|mnist)")),
     };
 
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            steps,
-            NeighborMode::Unbounded,
-            z,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::RandomBit,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(steps)
+        .mode(NeighborMode::Unbounded)
+        .noise_multiplier(z)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::RandomBit)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, model_builder, reps, seed);
     let report = AuditReport::from_batch(&batch, eps, delta, settings.dpsgd.ls_floor);
 
@@ -340,7 +328,10 @@ fn cmd_demo(opts: &Opts) -> Result<String, String> {
         }
     );
     // Keep the unused estimator helpers referenced for doc discoverability.
-    let _ = (eps_from_max_belief(0.6), eps_from_advantage(0.1, delta));
+    let _ = (
+        MaxBeliefEstimator::from_max_belief(0.6),
+        AdvantageEstimator::from_advantage(0.1, delta),
+    );
     Ok(out)
 }
 
@@ -582,6 +573,73 @@ mod tests {
         assert_eq!(tail(&resumed), tail(&report));
         assert_eq!(tail(&out), tail(&report));
         std::fs::remove_file(&store).unwrap();
+    }
+
+    #[test]
+    fn metrics_snapshot_is_byte_stable_across_thread_counts() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-metrics-stability");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_with = |threads: &str| {
+            let store = dir.join(format!("store-t{threads}.jsonl"));
+            let metrics = dir.join(format!("metrics-t{threads}.json"));
+            let trace = dir.join(format!("trace-t{threads}.jsonl"));
+            let _ = std::fs::remove_file(&store);
+            run_line(&[
+                "audit",
+                "run",
+                "--workload",
+                "purchase",
+                "--reps",
+                "4",
+                "--steps",
+                "2",
+                "--train-size",
+                "30",
+                "--threads",
+                threads,
+                "--out",
+                store.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap();
+            let bytes = std::fs::read(&metrics).unwrap();
+            std::fs::remove_file(&store).ok();
+            std::fs::remove_file(&metrics).ok();
+            (bytes, trace)
+        };
+        let (serial, trace_path) = run_with("1");
+        let (parallel, trace_path_4) = run_with("4");
+        // The snapshot holds only deterministic folds (integer counters,
+        // max gauges, histogram bucket counts) — identical bytes at any
+        // worker count.
+        assert_eq!(serial, parallel);
+        assert!(!serial.is_empty());
+
+        // The trace is not byte-stable (wall clock), but it must replay
+        // into the same counters, and `metrics report` must render the
+        // timing table and throughput from it.
+        let report =
+            run_line(&["metrics", "report", "--trace", trace_path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("per-stage timing:"), "{report}");
+        assert!(report.contains("audit.run"), "{report}");
+        assert!(report.contains("trial"), "{report}");
+        assert!(report.contains("trials/s"), "{report}");
+        assert!(report.contains("histogram di.belief"), "{report}");
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&trace_path_4).ok();
+    }
+
+    #[test]
+    fn help_flag_renders_generated_per_command_help() {
+        let help = run_line(&["audit", "run", "--help"]).unwrap();
+        assert!(help.contains("USAGE:"), "{help}");
+        assert!(help.contains("--metrics FILE"), "{help}");
+        assert!(help.contains("--fresh"), "{help}");
+        let top = run_line(&["help"]).unwrap();
+        assert!(top.contains("metrics report"), "{top}");
     }
 
     #[test]

@@ -7,12 +7,14 @@ use dpaudit_bench::{arm_settings, param_row, Workload};
 use dpaudit_core::{ChallengeMode, RecordDetail};
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
+use dpaudit_obs::{self as obs, JsonlSink, MetricsRegistry, MultiSink, Sink};
 use dpaudit_runtime::{
     render_partial, render_report, replay_store, AuditSession, Progress, Seed, StoreHeader,
     SCHEMA_VERSION,
 };
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Dispatch `audit <sub-action>`.
 ///
@@ -81,7 +83,7 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
     }
     let session =
         AuditSession::create(path, header).map_err(|e| format!("cannot create store: {e}"))?;
-    execute(session, threads)
+    execute(session, threads, opts)
 }
 
 fn cmd_resume(opts: &Opts) -> Result<String, String> {
@@ -97,7 +99,7 @@ fn cmd_resume(opts: &Opts) -> Result<String, String> {
         store,
         session.header().reps
     );
-    execute(session, threads)
+    execute(session, threads, opts)
 }
 
 fn cmd_report(opts: &Opts) -> Result<String, String> {
@@ -116,9 +118,72 @@ fn cmd_report(opts: &Opts) -> Result<String, String> {
     }
 }
 
+/// Observability sinks requested on the command line (`--metrics` /
+/// `--trace`), installed for the duration of one engine run.
+struct ObsSetup {
+    /// Keeps the global sink installed; dropping uninstalls and flushes.
+    _guard: obs::InstallGuard,
+    /// In-memory registry backing `--metrics`, if requested.
+    registry: Option<Arc<MetricsRegistry>>,
+    /// Where to write the deterministic snapshot after the run.
+    metrics_path: Option<String>,
+}
+
+/// Build and install the requested sinks. Returns `None` (and installs
+/// nothing — the no-op fast path) when neither flag was given.
+fn install_obs(opts: &Opts) -> Result<Option<ObsSetup>, String> {
+    let metrics_path = opts.str_opt("metrics").map(str::to_string);
+    let trace_path = opts.str_opt("trace");
+    if metrics_path.is_none() && trace_path.is_none() {
+        return Ok(None);
+    }
+    let registry = metrics_path
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(registry) = &registry {
+        sinks.push(registry.clone());
+    }
+    if let Some(path) = trace_path {
+        let sink =
+            JsonlSink::create(Path::new(path)).map_err(|e| format!("cannot create trace: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    let sink: Arc<dyn Sink> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(MultiSink::new(sinks))
+    };
+    Ok(Some(ObsSetup {
+        _guard: obs::install(sink),
+        registry,
+        metrics_path,
+    }))
+}
+
+impl ObsSetup {
+    /// Uninstall the sinks (flushing the trace) and write the metrics
+    /// snapshot. The snapshot holds only deterministic folds, so its bytes
+    /// are identical across worker counts for the same audit.
+    fn finish(self) -> Result<(), String> {
+        let ObsSetup {
+            _guard,
+            registry,
+            metrics_path,
+        } = self;
+        drop(_guard);
+        if let (Some(registry), Some(path)) = (registry, metrics_path) {
+            let json = serde_json::to_value(&registry.snapshot()).to_string();
+            std::fs::write(Path::new(&path), json + "\n")
+                .map_err(|e| format!("cannot write metrics snapshot: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// Rebuild the workload objects a header describes and run the missing
 /// trials, streaming progress to stderr.
-fn execute(mut session: AuditSession, threads: usize) -> Result<String, String> {
+fn execute(mut session: AuditSession, threads: usize, opts: &Opts) -> Result<String, String> {
     let header = session.header().clone();
     let (workload, pair) = rebuild_workload(&header)?;
     let total = session.missing_indices().len();
@@ -128,6 +193,7 @@ fn execute(mut session: AuditSession, threads: usize) -> Result<String, String> 
             eprintln!("  {}", p.render());
         }
     };
+    let observability = install_obs(opts)?;
     let outcome = session
         .run(
             &pair,
@@ -138,6 +204,9 @@ fn execute(mut session: AuditSession, threads: usize) -> Result<String, String> 
             None,
         )
         .map_err(|e| format!("store append failed: {e}"))?;
+    if let Some(observability) = observability {
+        observability.finish()?;
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,

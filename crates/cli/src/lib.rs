@@ -8,7 +8,9 @@
 
 pub mod commands;
 pub mod engine;
+pub mod metrics;
 pub mod opts;
+pub mod spec;
 
 pub use commands::run;
 pub use opts::Opts;

@@ -1,0 +1,245 @@
+//! The `dpaudit metrics report` sub-action: render the observability
+//! artefacts written by `audit run --metrics/--trace` as human-readable
+//! tables — counters, gauges, histograms, per-stage timings, throughput.
+
+use crate::opts::Opts;
+use dpaudit_obs::{names, read_events, Event, MetricsRegistry, MetricsSnapshot, SpanStat};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Dispatch `metrics <sub-action>`.
+///
+/// # Errors
+/// A human-readable message for bad flags, bad values or I/O failures.
+pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
+    match sub {
+        "report" => cmd_report(opts),
+        other => Err(format!("unknown metrics sub-action `{other}` (report)")),
+    }
+}
+
+fn cmd_report(opts: &Opts) -> Result<String, String> {
+    let metrics_path = opts.str_opt("metrics");
+    let trace_path = opts.str_opt("trace");
+    if metrics_path.is_none() && trace_path.is_none() {
+        return Err("give --metrics FILE and/or --trace FILE".into());
+    }
+
+    // A trace carries every event, so it can reproduce the snapshot *and*
+    // the wall-clock span stats; a snapshot file carries only the
+    // deterministic folds.
+    let mut snapshot: Option<MetricsSnapshot> = None;
+    let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+    if let Some(path) = trace_path {
+        let (_, events) =
+            read_events(Path::new(path)).map_err(|e| format!("cannot read trace: {e}"))?;
+        let registry = MetricsRegistry::new();
+        registry.absorb(&events);
+        spans = registry.span_stats();
+        snapshot = Some(registry.snapshot());
+    }
+    if let Some(path) = metrics_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read metrics snapshot: {e}"))?;
+        let loaded: MetricsSnapshot = serde_json::from_str(text.trim())
+            .map_err(|e| format!("invalid metrics snapshot: {e}"))?;
+        snapshot = Some(loaded);
+    }
+    let snapshot = snapshot.expect("one of the sources was given");
+
+    let mut out = String::new();
+    render_counters(&mut out, &snapshot);
+    render_histograms(&mut out, &snapshot);
+    render_spans(&mut out, &spans);
+    render_throughput(&mut out, &snapshot, &spans);
+    Ok(out)
+}
+
+fn render_counters(out: &mut String, snapshot: &MetricsSnapshot) {
+    if snapshot.counters.is_empty() && snapshot.gauges.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "counters:");
+    let width = name_width(snapshot.counters.keys().chain(snapshot.gauges.keys()));
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {name:<width$}  {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "  {name:<width$}  {value:.6} (max)");
+    }
+}
+
+fn render_histograms(out: &mut String, snapshot: &MetricsSnapshot) {
+    for (name, hist) in &snapshot.histograms {
+        let total = hist.total();
+        let _ = writeln!(out, "histogram {name} ({total} observations):");
+        let mut printed = false;
+        for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+            if *count > 0 {
+                let _ = writeln!(out, "  <= {bound:<12}  {count}");
+                printed = true;
+            }
+        }
+        let overflow = hist.counts.last().copied().unwrap_or(0);
+        if hist.counts.len() > hist.bounds.len() && overflow > 0 {
+            let _ = writeln!(out, "  >  {:<12}  {overflow}", hist.bounds.last().unwrap());
+            printed = true;
+        }
+        if !printed {
+            let _ = writeln!(out, "  (empty)");
+        }
+    }
+}
+
+fn render_spans(out: &mut String, spans: &BTreeMap<String, SpanStat>) {
+    if spans.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "per-stage timing:");
+    let width = name_width(spans.keys());
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>9}  {:>12}  {:>12}",
+        "stage", "count", "total s", "mean ms"
+    );
+    for (name, stat) in spans {
+        let _ = writeln!(
+            out,
+            "  {name:<width$}  {:>9}  {:>12.3}  {:>12.3}",
+            stat.count,
+            stat.total_secs(),
+            stat.mean_ms(),
+        );
+    }
+}
+
+fn render_throughput(
+    out: &mut String,
+    snapshot: &MetricsSnapshot,
+    spans: &BTreeMap<String, SpanStat>,
+) {
+    let Some(run) = spans.get(names::RUN_SPAN) else {
+        return;
+    };
+    let secs = run.total_secs();
+    if secs <= 0.0 {
+        return;
+    }
+    let _ = writeln!(out, "throughput:");
+    if let Some(trials) = snapshot.counters.get(names::TRIALS_EXECUTED) {
+        let _ = writeln!(out, "  trials/s  {:.3}", *trials as f64 / secs);
+    }
+    if let Some(steps) = snapshot.counters.get(names::STEPS) {
+        let _ = writeln!(out, "  steps/s   {:.3}", *steps as f64 / secs);
+    }
+}
+
+fn name_width<'a>(names: impl Iterator<Item = &'a String>) -> usize {
+    names.map(String::len).max().unwrap_or(0)
+}
+
+/// Fold a slice of events for tests and external tools.
+pub fn absorb_to_snapshot(events: &[Event]) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    registry.absorb(events);
+    registry.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_obs::{JsonlSink, Sink};
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpaudit-cli-metrics-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let opts = Opts::parse(line.iter().map(|s| s.to_string()))?;
+        crate::commands::run(&opts)
+    }
+
+    #[test]
+    fn report_requires_a_source() {
+        let err = run_line(&["metrics", "report"]).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        assert!(err.contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn report_renders_a_trace_with_timings_and_throughput() {
+        let path = temp_path("render.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::Counter {
+            name: names::TRIALS_EXECUTED.into(),
+            delta: 4,
+        });
+        sink.record(&Event::Counter {
+            name: names::STEPS.into(),
+            delta: 12,
+        });
+        sink.record(&Event::SpanEnd {
+            name: names::RUN_SPAN.into(),
+            nanos: 2_000_000_000,
+        });
+        sink.record(&Event::SpanEnd {
+            name: names::TRIAL_SPAN.into(),
+            nanos: 500_000_000,
+        });
+        sink.record(&Event::Observe {
+            name: names::BELIEF_HIST.into(),
+            value: 0.42,
+        });
+        sink.flush().unwrap();
+        let out = run_line(&["metrics", "report", "--trace", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("executor.trials_executed"), "{out}");
+        assert!(out.contains("per-stage timing:"), "{out}");
+        assert!(out.contains("audit.run"), "{out}");
+        assert!(out.contains("histogram di.belief"), "{out}");
+        // 4 trials over a 2 s run span.
+        assert!(out.contains("trials/s  2.000"), "{out}");
+        assert!(out.contains("steps/s   6.000"), "{out}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_reads_a_snapshot_file() {
+        let path = temp_path("snapshot.json");
+        let events = [
+            Event::Counter {
+                name: "dpsgd.steps".into(),
+                delta: 30,
+            },
+            Event::GaugeMax {
+                name: "di.max_belief".into(),
+                value: 0.93,
+            },
+        ];
+        let snapshot = absorb_to_snapshot(&events);
+        fs::write(&path, serde_json::to_value(&snapshot).to_string()).unwrap();
+        let out = run_line(&["metrics", "report", "--metrics", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("dpsgd.steps"), "{out}");
+        assert!(out.contains("30"), "{out}");
+        assert!(out.contains("di.max_belief"), "{out}");
+        // No trace ⇒ no timing table or throughput.
+        assert!(!out.contains("per-stage timing"), "{out}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_rejects_garbage_inputs() {
+        let path = temp_path("garbage.json");
+        fs::write(&path, "not json at all").unwrap();
+        let err =
+            run_line(&["metrics", "report", "--metrics", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("invalid metrics snapshot"), "{err}");
+        let err = run_line(&["metrics", "report", "--trace", "/nonexistent/t.jsonl"]).unwrap_err();
+        assert!(err.contains("cannot read trace"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,5 +1,8 @@
-//! Flag parsing for the `dpaudit` subcommands.
+//! Flag parsing for the `dpaudit` subcommands, validated against the
+//! declarative command table in [`crate::spec`]: unknown flags are rejected
+//! at parse time with a did-you-mean suggestion.
 
+use crate::spec;
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand, an optional sub-action (a second
@@ -17,15 +20,18 @@ pub struct Opts {
     flags: Vec<String>,
 }
 
-/// Keys that are bare flags (no value).
-const BARE_FLAGS: &[&str] = &["json", "classic", "analytic", "help", "fresh"];
-
 impl Opts {
     /// Parse an argument list (without the program name).
     ///
+    /// When the `(command, subaction)` pair resolves in [`spec::COMMANDS`],
+    /// every flag is checked against that command's declared flags; an
+    /// unknown flag is an error carrying a did-you-mean suggestion. For an
+    /// unknown command the flags pass through unchecked so the dispatcher
+    /// can report the command itself.
+    ///
     /// # Errors
     /// Returns a message for malformed input (missing values, non-flag
-    /// tokens in option position).
+    /// tokens in option position, flags the command does not accept).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut it = args.into_iter().peekable();
         let command = it.next().unwrap_or_else(|| "help".to_string());
@@ -33,6 +39,7 @@ impl Opts {
             Some(tok) if !tok.starts_with("--") => it.next(),
             _ => None,
         };
+        let known = spec::find(&command, subaction.as_deref());
         let mut out = Opts {
             command,
             subaction,
@@ -43,7 +50,18 @@ impl Opts {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got `{tok}`"))?
                 .to_string();
-            if BARE_FLAGS.contains(&key.as_str()) {
+            // `--help` is accepted everywhere, even on commands whose spec
+            // does not list it.
+            if key == "help" {
+                out.flags.push(key);
+                continue;
+            }
+            if let Some(spec) = known {
+                if !spec.flags.iter().any(|f| f.name == key) {
+                    return Err(unknown_flag_message(spec, &key));
+                }
+            }
+            if spec::is_bare_flag(known, &key) {
                 out.flags.push(key);
             } else {
                 let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
@@ -54,6 +72,7 @@ impl Opts {
     }
 
     /// Whether a bare flag was given.
+    #[must_use]
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
@@ -113,6 +132,23 @@ impl Opts {
     }
 }
 
+/// `unknown flag --foo for \`dpaudit audit run\` (did you mean --out?)`
+fn unknown_flag_message(spec: &spec::CommandSpec, key: &str) -> String {
+    let name = match spec.subaction {
+        Some(sub) => format!("{} {sub}", spec.command),
+        None => spec.command.to_string(),
+    };
+    let mut msg = format!("unknown flag --{key} for `dpaudit {name}`");
+    if let Some(best) = spec::suggest(key, spec.flags.iter().map(|f| f.name)) {
+        let _ = std::fmt::Write::write_fmt(&mut msg, format_args!(" (did you mean --{best}?)"));
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut msg,
+        format_args!("; run `dpaudit {name} --help` for the flag list"),
+    );
+    msg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,12 +159,32 @@ mod tests {
 
     #[test]
     fn parses_command_values_and_flags() {
-        let o = parse(&["scores", "--eps", "2.2", "--delta", "1e-3", "--json"]).unwrap();
-        assert_eq!(o.command, "scores");
+        let o = parse(&["calibrate", "--eps", "2.2", "--delta", "1e-3", "--classic"]).unwrap();
+        assert_eq!(o.command, "calibrate");
         assert_eq!(o.f64_req("eps").unwrap(), 2.2);
         assert_eq!(o.f64_req("delta").unwrap(), 1e-3);
-        assert!(o.flag("json"));
-        assert!(!o.flag("classic"));
+        assert!(o.flag("classic"));
+        assert!(!o.flag("analytic"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_a_suggestion() {
+        let err = parse(&["audit", "run", "--workload", "mnist", "--rep", "5"]).unwrap_err();
+        assert!(err.contains("unknown flag --rep"), "{err}");
+        assert!(err.contains("did you mean --reps?"), "{err}");
+        assert!(err.contains("`dpaudit audit run --help`"), "{err}");
+        // Far-off typos get no suggestion but still point at --help.
+        let err = parse(&["scores", "--frobnicate", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn help_flag_is_accepted_everywhere() {
+        assert!(parse(&["scores", "--help"]).unwrap().flag("help"));
+        assert!(parse(&["audit", "run", "--help"]).unwrap().flag("help"));
+        // Even for commands the spec table does not know.
+        assert!(parse(&["bogus", "--help"]).unwrap().flag("help"));
     }
 
     #[test]

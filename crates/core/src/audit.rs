@@ -1,96 +1,354 @@
-//! Empirical privacy-loss estimation — the three ε′ estimators of §6.4.
+//! Empirical privacy-loss estimation — the ε′ estimators of §6.4 behind a
+//! common [`EpsEstimator`] interface.
 //!
 //! After training with a target budget ε, a data owner can ask what loss the
 //! concrete run actually realised. If ε′ ≈ ε the noise was no larger than
 //! necessary; ε′ ≪ ε means utility was wasted (the paper's global-sensitivity
 //! runs); ε′ > ε can occur with the probability budgeted by δ (belief
 //! estimator) or by Monte-Carlo error (advantage estimator).
+//!
+//! Every estimator consumes the same order-insensitive batch summary,
+//! [`EstimatorInputs`], and produces a named [`EpsEstimate`]. The batch path
+//! ([`AuditReport::from_batch`]) and the runtime's streaming aggregator both
+//! build the report through [`AuditReport::from_inputs`], which routes each
+//! field through the corresponding estimator — so the two paths are
+//! bit-identical by construction, and additional estimators (e.g. the
+//! confidence-interval-aware [`BinomialCiEstimator`]) plug in without
+//! touching either pipeline.
 
 use dpaudit_dp::RdpAccountant;
-use dpaudit_math::logit;
+use dpaudit_math::{inv_phi, logit};
+use serde::{Deserialize, Serialize};
 
-use crate::scores::epsilon_for_rho_alpha;
+use crate::scores::{advantage_from_success_rate, epsilon_for_rho_alpha};
 
-/// ε′ from the observed per-step noise levels and estimated local
-/// sensitivities (§6.4, first estimator).
+/// The order-insensitive batch summary every [`EpsEstimator`] consumes.
 ///
-/// Step `i` added noise σᵢ while the realised sensitivity was only `lsᵢ`,
-/// so its *effective* noise multiplier is `zᵢ = σᵢ / lsᵢ`; composing the
-/// heterogeneous steps with the RDP accountant at the target δ yields ε′.
-/// When noise was scaled to the local sensitivity, `zᵢ` equals the planned
-/// multiplier and ε′ recovers ε; when it was scaled to the (larger) global
-/// sensitivity, `zᵢ` is inflated and ε′ < ε.
+/// These five numbers are a sufficient statistic for all shipped
+/// estimators; they are cheap to stream (the runtime folds them in O(1)
+/// memory) and cheap to archive next to an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorInputs {
+    /// Number of Exp^DI challenge trials behind the Monte-Carlo estimators.
+    pub trials: usize,
+    /// Trials whose adversary guessed the challenge bit correctly.
+    pub successes: usize,
+    /// Maximum final posterior belief in the trained dataset.
+    pub max_belief: f64,
+    /// Mean over trials of the per-trial ε′-from-local-sensitivities
+    /// (each computed by [`LocalSensitivityEstimator::per_trial`]).
+    pub mean_eps_ls: f64,
+    /// The δ of the (ε, δ) claim under audit.
+    pub delta: f64,
+}
+
+impl EstimatorInputs {
+    /// Summarise a completed batch. The per-trial ε′-from-LS values are
+    /// computed here (they need the per-step series) and averaged in trial
+    /// order, matching the streaming aggregator's fold bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on an empty batch (and propagates per-trial estimator
+    /// panics for degenerate series).
+    pub fn from_batch(batch: &crate::experiment::DiBatchResult, delta: f64, ls_floor: f64) -> Self {
+        assert!(!batch.trials.is_empty(), "EstimatorInputs: empty batch");
+        let mean_eps_ls = batch
+            .trials
+            .iter()
+            .map(|t| {
+                LocalSensitivityEstimator::per_trial(
+                    &t.sigmas,
+                    &t.local_sensitivities,
+                    delta,
+                    ls_floor,
+                )
+            })
+            .sum::<f64>()
+            / batch.trials.len() as f64;
+        EstimatorInputs {
+            trials: batch.trials.len(),
+            successes: batch.trials.iter().filter(|t| t.correct).count(),
+            max_belief: batch.max_belief(),
+            mean_eps_ls,
+            delta,
+        }
+    }
+
+    /// Fraction of correct guesses.
+    pub fn success_rate(&self) -> f64 {
+        assert!(self.trials > 0, "EstimatorInputs: no trials");
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Empirical membership advantage `2·Pr(correct) − 1` (Definition 5).
+    pub fn advantage(&self) -> f64 {
+        advantage_from_success_rate(self.success_rate())
+    }
+}
+
+/// One named ε′ estimate, carrying the inputs it was computed from so an
+/// archived estimate is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpsEstimate {
+    /// The estimator's stable name (see [`EpsEstimator::name`]).
+    pub estimator: String,
+    /// The estimated realised privacy loss ε′.
+    pub eps: f64,
+    /// The batch summary the estimate was computed from.
+    pub inputs: EstimatorInputs,
+}
+
+/// An empirical ε′ estimator over a batch summary.
 ///
-/// `ls_floor` guards against a vanishing sensitivity (indistinguishable
-/// hypotheses at a step contribute no privacy loss; the floor keeps the
-/// accountant finite and errs on the conservative side).
+/// Implementations must be pure functions of [`EstimatorInputs`]: the
+/// runtime calls them once per finished batch from either the batch or the
+/// streaming path and relies on identical results.
+pub trait EpsEstimator {
+    /// Stable kebab-case identifier (used in reports and archives).
+    fn name(&self) -> &'static str;
+
+    /// The point estimate ε′ for this batch summary.
+    fn eps(&self, inputs: &EstimatorInputs) -> f64;
+
+    /// [`Self::eps`] packaged with provenance.
+    fn estimate(&self, inputs: &EstimatorInputs) -> EpsEstimate {
+        EpsEstimate {
+            estimator: self.name().to_string(),
+            eps: self.eps(inputs),
+            inputs: *inputs,
+        }
+    }
+}
+
+/// §6.4, first estimator: ε′ from observed per-step noise levels and
+/// estimated local sensitivities, composed with the RDP accountant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSensitivityEstimator;
+
+impl LocalSensitivityEstimator {
+    /// ε′ of a *single* trial from its per-step series.
+    ///
+    /// Step `i` added noise σᵢ while the realised sensitivity was only
+    /// `lsᵢ`, so its *effective* noise multiplier is `zᵢ = σᵢ / lsᵢ`;
+    /// composing the heterogeneous steps with the RDP accountant at the
+    /// target δ yields ε′. When noise was scaled to the local sensitivity,
+    /// `zᵢ` equals the planned multiplier and ε′ recovers ε; when it was
+    /// scaled to the (larger) global sensitivity, `zᵢ` is inflated and
+    /// ε′ < ε.
+    ///
+    /// `ls_floor` guards against a vanishing sensitivity
+    /// (indistinguishable hypotheses at a step contribute no privacy loss;
+    /// the floor keeps the accountant finite and errs on the conservative
+    /// side).
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched series, a non-positive floor, or δ
+    /// outside `(0, 1)`.
+    pub fn per_trial(
+        sigmas: &[f64],
+        local_sensitivities: &[f64],
+        delta: f64,
+        ls_floor: f64,
+    ) -> f64 {
+        assert!(
+            !sigmas.is_empty(),
+            "eps_from_local_sensitivities: empty series"
+        );
+        assert_eq!(
+            sigmas.len(),
+            local_sensitivities.len(),
+            "eps_from_local_sensitivities: series length mismatch"
+        );
+        assert!(
+            ls_floor > 0.0,
+            "eps_from_local_sensitivities: floor must be positive"
+        );
+        let mut acc = RdpAccountant::new();
+        for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
+            assert!(
+                sigma > 0.0,
+                "eps_from_local_sensitivities: non-positive sigma"
+            );
+            acc.add_gaussian_step(sigma / ls.max(ls_floor));
+        }
+        acc.epsilon(delta).0
+    }
+}
+
+impl EpsEstimator for LocalSensitivityEstimator {
+    fn name(&self) -> &'static str {
+        "local-sensitivity"
+    }
+
+    /// The batch-level estimate is the mean of the per-trial values, which
+    /// the inputs already carry (series are not part of the summary).
+    fn eps(&self, inputs: &EstimatorInputs) -> f64 {
+        inputs.mean_eps_ls
+    }
+}
+
+/// §6.4, second estimator: ε′ from the maximum posterior belief observed
+/// across repeated runs (Eq. 10 inverted): `ε′ = ln(β̂_k / (1 − β̂_k))`.
 ///
-/// # Panics
-/// Panics on empty or mismatched series, a non-positive floor, or δ outside
-/// `(0, 1)`.
+/// The paper's text prints `ε′ = β̂/(1−β̂)` without the logarithm; that is
+/// inconsistent with its own Eq. 10 and with the scale of its Figure 9, so
+/// the logarithmic form is implemented (see DESIGN.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxBeliefEstimator;
+
+impl MaxBeliefEstimator {
+    /// The inversion itself: 0 for β̂ ≤ 1/2 (no evidence beyond the
+    /// prior), `+∞` for β̂ = 1.
+    ///
+    /// # Panics
+    /// Panics for β̂ outside `[0, 1]`.
+    pub fn from_max_belief(max_belief: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&max_belief),
+            "eps_from_max_belief: belief must be in [0, 1], got {max_belief}"
+        );
+        if max_belief <= 0.5 {
+            0.0
+        } else {
+            logit(max_belief)
+        }
+    }
+}
+
+impl EpsEstimator for MaxBeliefEstimator {
+    fn name(&self) -> &'static str {
+        "max-belief"
+    }
+
+    fn eps(&self, inputs: &EstimatorInputs) -> f64 {
+        Self::from_max_belief(inputs.max_belief)
+    }
+}
+
+/// §6.4, third estimator: ε′ from the empirical membership advantage
+/// (Eq. 15 inverted): `ε′ = √(2·ln(1.25/δ)) · Φ⁻¹((Adv′ + 1)/2)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvantageEstimator;
+
+impl AdvantageEstimator {
+    /// The inversion itself: 0 for a non-positive advantage.
+    ///
+    /// # Panics
+    /// Panics for an advantage ≥ 1 or δ outside `(0, 1)`.
+    pub fn from_advantage(advantage: f64, delta: f64) -> f64 {
+        epsilon_for_rho_alpha(advantage, delta)
+    }
+}
+
+impl EpsEstimator for AdvantageEstimator {
+    fn name(&self) -> &'static str {
+        "advantage"
+    }
+
+    fn eps(&self, inputs: &EstimatorInputs) -> f64 {
+        Self::from_advantage(inputs.advantage(), inputs.delta)
+    }
+}
+
+/// A Monte-Carlo-aware lower bound on ε′: instead of the point success
+/// rate, use the lower edge of a Wilson score interval on Pr(correct) at
+/// the configured confidence, then invert the randomized-response relation
+/// `Pr(correct) = e^ε / (1 + e^ε)`, i.e. `ε′ = logit(p_lo)`.
+///
+/// With few trials the interval is wide and the bound drops toward 0 —
+/// exactly the behaviour the point estimators lack (they can report a
+/// large ε′ from a lucky handful of trials). This estimator is not part of
+/// [`AuditReport`]'s fixed fields; it demonstrates how third-party
+/// estimators plug into the same pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct BinomialCiEstimator {
+    /// One-sided confidence level of the lower bound, in `(0, 1)`
+    /// (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl Default for BinomialCiEstimator {
+    fn default() -> Self {
+        BinomialCiEstimator { confidence: 0.95 }
+    }
+}
+
+impl EpsEstimator for BinomialCiEstimator {
+    fn name(&self) -> &'static str {
+        "binomial-ci"
+    }
+
+    /// # Panics
+    /// Panics for a confidence outside `(0, 1)` or an empty batch.
+    fn eps(&self, inputs: &EstimatorInputs) -> f64 {
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "BinomialCiEstimator: confidence must be in (0, 1)"
+        );
+        let n = inputs.trials as f64;
+        let p_hat = inputs.success_rate();
+        let z = inv_phi(self.confidence);
+        // Wilson score interval, lower edge.
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = p_hat + z2 / (2.0 * n);
+        let margin = z * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+        let p_lo = ((centre - margin) / denom).clamp(0.0, 1.0);
+        if p_lo <= 0.5 {
+            0.0
+        } else {
+            logit(p_lo)
+        }
+    }
+}
+
+/// The three estimators of §6.4, in [`AuditReport`] field order.
+pub fn standard_estimators() -> Vec<Box<dyn EpsEstimator>> {
+    vec![
+        Box::new(LocalSensitivityEstimator),
+        Box::new(MaxBeliefEstimator),
+        Box::new(AdvantageEstimator),
+    ]
+}
+
+/// Run every estimator over one batch summary.
+pub fn run_estimators(
+    estimators: &[Box<dyn EpsEstimator>],
+    inputs: &EstimatorInputs,
+) -> Vec<EpsEstimate> {
+    estimators.iter().map(|e| e.estimate(inputs)).collect()
+}
+
+/// ε′ from per-step noise levels and local sensitivities.
+#[deprecated(
+    since = "0.1.0",
+    note = "use LocalSensitivityEstimator::per_trial (EpsEstimator API)"
+)]
 pub fn eps_from_local_sensitivities(
     sigmas: &[f64],
     local_sensitivities: &[f64],
     delta: f64,
     ls_floor: f64,
 ) -> f64 {
-    assert!(
-        !sigmas.is_empty(),
-        "eps_from_local_sensitivities: empty series"
-    );
-    assert_eq!(
-        sigmas.len(),
-        local_sensitivities.len(),
-        "eps_from_local_sensitivities: series length mismatch"
-    );
-    assert!(
-        ls_floor > 0.0,
-        "eps_from_local_sensitivities: floor must be positive"
-    );
-    let mut acc = RdpAccountant::new();
-    for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
-        assert!(
-            sigma > 0.0,
-            "eps_from_local_sensitivities: non-positive sigma"
-        );
-        acc.add_gaussian_step(sigma / ls.max(ls_floor));
-    }
-    acc.epsilon(delta).0
+    LocalSensitivityEstimator::per_trial(sigmas, local_sensitivities, delta, ls_floor)
 }
 
-/// ε′ from the maximum posterior belief observed across repeated runs
-/// (§6.4, second estimator — Eq. 10 inverted):
-/// `ε′ = ln(β̂_k / (1 − β̂_k))`.
-///
-/// The paper's text prints `ε′ = β̂/(1−β̂)` without the logarithm; that is
-/// inconsistent with its own Eq. 10 and with the scale of its Figure 9, so
-/// the logarithmic form is implemented (see DESIGN.md).
-///
-/// Returns 0 for β̂ ≤ 1/2 (no evidence beyond the prior) and `+∞` for β̂ = 1.
-///
-/// # Panics
-/// Panics for β̂ outside `[0, 1]`.
+/// ε′ from the maximum posterior belief.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MaxBeliefEstimator::from_max_belief (EpsEstimator API)"
+)]
 pub fn eps_from_max_belief(max_belief: f64) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&max_belief),
-        "eps_from_max_belief: belief must be in [0, 1], got {max_belief}"
-    );
-    if max_belief <= 0.5 {
-        0.0
-    } else {
-        logit(max_belief)
-    }
+    MaxBeliefEstimator::from_max_belief(max_belief)
 }
 
-/// ε′ from the empirical membership advantage (§6.4, third estimator —
-/// Eq. 15 inverted): `ε′ = √(2·ln(1.25/δ)) · Φ⁻¹((Adv′ + 1)/2)`.
-///
-/// Returns 0 for a non-positive advantage.
-///
-/// # Panics
-/// Panics for an advantage ≥ 1 or δ outside `(0, 1)`.
+/// ε′ from the empirical membership advantage.
+#[deprecated(
+    since = "0.1.0",
+    note = "use AdvantageEstimator::from_advantage (EpsEstimator API)"
+)]
 pub fn eps_from_advantage(advantage: f64, delta: f64) -> f64 {
-    epsilon_for_rho_alpha(advantage, delta)
+    AdvantageEstimator::from_advantage(advantage, delta)
 }
 
 /// A complete audit of one experiment batch: the claimed budget, the three
@@ -132,29 +390,46 @@ impl AuditReport {
         ls_floor: f64,
     ) -> Self {
         assert!(!batch.trials.is_empty(), "AuditReport: empty batch");
+        let inputs = EstimatorInputs::from_batch(batch, delta, ls_floor);
+        let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
+        Self::from_inputs(
+            &inputs,
+            target_epsilon,
+            batch.empirical_delta(rho_beta_bound),
+        )
+    }
+
+    /// Build a report from a streamed batch summary — the single
+    /// construction path shared by [`Self::from_batch`] and the runtime's
+    /// streaming aggregator, so both are bit-identical by construction.
+    /// Each ε′ field is routed through its [`EpsEstimator`].
+    ///
+    /// `empirical_delta` is the fraction of trials whose final belief in
+    /// the trained dataset exceeded ρ_β(`target_epsilon`); it is counted
+    /// per-trial upstream (it is not a function of the summary).
+    ///
+    /// # Panics
+    /// Panics on zero trials or a non-positive budget.
+    pub fn from_inputs(
+        inputs: &EstimatorInputs,
+        target_epsilon: f64,
+        empirical_delta: f64,
+    ) -> Self {
+        assert!(inputs.trials > 0, "AuditReport: empty batch");
         assert!(
             target_epsilon > 0.0,
             "AuditReport: target epsilon must be positive"
         );
-        let eps_ls = batch
-            .trials
-            .iter()
-            .map(|t| {
-                eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, ls_floor)
-            })
-            .sum::<f64>()
-            / batch.trials.len() as f64;
-        let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
         Self {
             target_epsilon,
-            delta,
-            trials: batch.trials.len(),
-            eps_from_ls: eps_ls,
-            eps_from_belief: eps_from_max_belief(batch.max_belief()),
-            eps_from_advantage: eps_from_advantage(batch.advantage(), delta),
-            advantage: batch.advantage(),
-            max_belief: batch.max_belief(),
-            empirical_delta: batch.empirical_delta(rho_beta_bound),
+            delta: inputs.delta,
+            trials: inputs.trials,
+            eps_from_ls: LocalSensitivityEstimator.eps(inputs),
+            eps_from_belief: MaxBeliefEstimator.eps(inputs),
+            eps_from_advantage: AdvantageEstimator.eps(inputs),
+            advantage: inputs.advantage(),
+            max_belief: inputs.max_belief,
+            empirical_delta,
         }
     }
 
@@ -190,7 +465,7 @@ mod tests {
         let z = calibrate_noise_multiplier_closed_form(eps, delta, k);
         let ls: Vec<f64> = (0..k).map(|i| 1.0 + 0.1 * (i as f64)).collect();
         let sigmas: Vec<f64> = ls.iter().map(|l| z * l).collect();
-        let eps_prime = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+        let eps_prime = LocalSensitivityEstimator::per_trial(&sigmas, &ls, delta, 1e-9);
         assert!(
             (eps_prime - eps).abs() / eps < 0.05,
             "eps' {eps_prime} vs eps {eps}"
@@ -205,15 +480,15 @@ mod tests {
         let sigma_global = z * 6.0;
         let ls = vec![1.5; k];
         let sigmas = vec![sigma_global; k];
-        let eps_prime = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+        let eps_prime = LocalSensitivityEstimator::per_trial(&sigmas, &ls, delta, 1e-9);
         assert!(eps_prime < eps * 0.5, "eps' {eps_prime} not ≪ {eps}");
     }
 
     #[test]
     fn ls_estimator_monotone_in_realised_sensitivity() {
         let sigmas = vec![10.0; 10];
-        let low = eps_from_local_sensitivities(&sigmas, &[1.0; 10], 1e-5, 1e-9);
-        let high = eps_from_local_sensitivities(&sigmas, &[2.0; 10], 1e-5, 1e-9);
+        let low = LocalSensitivityEstimator::per_trial(&sigmas, &[1.0; 10], 1e-5, 1e-9);
+        let high = LocalSensitivityEstimator::per_trial(&sigmas, &[2.0; 10], 1e-5, 1e-9);
         assert!(high > low);
     }
 
@@ -221,7 +496,7 @@ mod tests {
     fn ls_estimator_floor_bounds_degenerate_steps() {
         let sigmas = vec![1.0; 3];
         let ls = vec![0.0; 3];
-        let eps = eps_from_local_sensitivities(&sigmas, &ls, 1e-5, 1e-6);
+        let eps = LocalSensitivityEstimator::per_trial(&sigmas, &ls, 1e-5, 1e-6);
         assert!(eps.is_finite());
         // The grid conversion cannot report below ln(1/δ)/(α_max − 1); just
         // require the result to be near that conversion floor.
@@ -235,37 +510,115 @@ mod tests {
     fn belief_estimator_inverts_rho_beta() {
         for &eps in &[0.08, 1.1, 2.2, 4.6] {
             let beta = rho_beta(eps);
-            let back = eps_from_max_belief(beta);
+            let back = MaxBeliefEstimator::from_max_belief(beta);
             assert!((back - eps).abs() < 1e-9, "{back} vs {eps}");
         }
     }
 
     #[test]
     fn belief_estimator_edge_cases() {
-        assert_eq!(eps_from_max_belief(0.5), 0.0);
-        assert_eq!(eps_from_max_belief(0.2), 0.0);
-        assert_eq!(eps_from_max_belief(1.0), f64::INFINITY);
+        assert_eq!(MaxBeliefEstimator::from_max_belief(0.5), 0.0);
+        assert_eq!(MaxBeliefEstimator::from_max_belief(0.2), 0.0);
+        assert_eq!(MaxBeliefEstimator::from_max_belief(1.0), f64::INFINITY);
     }
 
     #[test]
     fn advantage_estimator_inverts_rho_alpha() {
         for &(eps, delta) in &[(1.1, 1e-3), (2.2, 1e-2), (4.6, 1e-3)] {
             let adv = rho_alpha(eps, delta);
-            let back = eps_from_advantage(adv, delta);
+            let back = AdvantageEstimator::from_advantage(adv, delta);
             assert!((back - eps).abs() < 1e-9, "{back} vs {eps}");
         }
     }
 
     #[test]
     fn advantage_estimator_zero_for_random_guessing() {
-        assert_eq!(eps_from_advantage(0.0, 1e-3), 0.0);
-        assert_eq!(eps_from_advantage(-0.2, 1e-3), 0.0);
+        assert_eq!(AdvantageEstimator::from_advantage(0.0, 1e-3), 0.0);
+        assert_eq!(AdvantageEstimator::from_advantage(-0.2, 1e-3), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "series length mismatch")]
     fn mismatched_series_rejected() {
-        eps_from_local_sensitivities(&[1.0], &[1.0, 2.0], 1e-5, 1e-9);
+        LocalSensitivityEstimator::per_trial(&[1.0], &[1.0, 2.0], 1e-5, 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_estimators() {
+        let sigmas = vec![4.0; 6];
+        let ls = vec![1.0; 6];
+        assert_eq!(
+            eps_from_local_sensitivities(&sigmas, &ls, 1e-4, 1e-9).to_bits(),
+            LocalSensitivityEstimator::per_trial(&sigmas, &ls, 1e-4, 1e-9).to_bits()
+        );
+        assert_eq!(
+            eps_from_max_belief(0.87).to_bits(),
+            MaxBeliefEstimator::from_max_belief(0.87).to_bits()
+        );
+        assert_eq!(
+            eps_from_advantage(0.42, 1e-3).to_bits(),
+            AdvantageEstimator::from_advantage(0.42, 1e-3).to_bits()
+        );
+    }
+
+    fn inputs(trials: usize, successes: usize, max_belief: f64) -> EstimatorInputs {
+        EstimatorInputs {
+            trials,
+            successes,
+            max_belief,
+            mean_eps_ls: 1.3,
+            delta: 1e-3,
+        }
+    }
+
+    #[test]
+    fn estimate_carries_name_and_inputs() {
+        let inp = inputs(100, 80, 0.9);
+        for est in standard_estimators() {
+            let e = est.estimate(&inp);
+            assert_eq!(e.estimator, est.name());
+            assert_eq!(e.eps.to_bits(), est.eps(&inp).to_bits());
+            assert_eq!(e.inputs, inp);
+        }
+        let all = run_estimators(&standard_estimators(), &inp);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].estimator, "local-sensitivity");
+        assert!((all[0].eps - 1.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn binomial_ci_is_more_conservative_than_the_point_estimate() {
+        // 80/100 correct: the point advantage estimator sees Adv′ = 0.6;
+        // the CI lower bound shrinks the certified success rate, so the
+        // logit bound stays below logit(0.8).
+        let inp = inputs(100, 80, 0.9);
+        let ci = BinomialCiEstimator::default().eps(&inp);
+        assert!(ci > 0.0);
+        assert!(ci < logit(0.8), "ci {ci} vs logit {}", logit(0.8));
+        // More trials at the same rate → tighter interval → larger bound.
+        let more = BinomialCiEstimator::default().eps(&inputs(10_000, 8_000, 0.9));
+        assert!(more > ci);
+        // A coin-flip adversary certifies nothing.
+        assert_eq!(
+            BinomialCiEstimator::default().eps(&inputs(100, 50, 0.5)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn from_inputs_matches_from_batch_bit_for_bit() {
+        let batch = fake_batch(0.8, true);
+        let report = AuditReport::from_batch(&batch, 2.2, 1e-3, 1e-9);
+        let inputs = EstimatorInputs::from_batch(&batch, 1e-3, 1e-9);
+        let routed = AuditReport::from_inputs(&inputs, 2.2, report.empirical_delta);
+        assert_eq!(report.eps_from_ls.to_bits(), routed.eps_from_ls.to_bits());
+        assert_eq!(
+            report.eps_from_belief.to_bits(),
+            routed.eps_from_belief.to_bits()
+        );
+        assert_eq!(report.advantage.to_bits(), routed.advantage.to_bits());
+        assert_eq!(report.max_belief.to_bits(), routed.max_belief.to_bits());
     }
 
     fn fake_batch(belief: f64, correct: bool) -> crate::experiment::DiBatchResult {

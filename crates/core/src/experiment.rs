@@ -1,9 +1,14 @@
 //! The Exp^DI harness (paper Experiment 2 instantiated for DPSGD).
 
 use dpaudit_datasets::Dataset;
-use dpaudit_dpsgd::{train_dpsgd, DpsgdConfig, NeighborPair};
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::{
+    train_dpsgd, AdaptiveClipConfig, ClippingStrategy, DpsgdConfig, NeighborPair, Optimizer,
+    SensitivityScaling,
+};
 use dpaudit_math::{seeded_rng, split_seed};
 use dpaudit_nn::Sequential;
+use dpaudit_obs as obs;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -28,6 +33,235 @@ pub struct TrialSettings {
     pub dpsgd: DpsgdConfig,
     /// Challenge-bit protocol.
     pub challenge: ChallengeMode,
+}
+
+impl TrialSettings {
+    /// A validating builder, preloaded with the paper's MNIST/Purchase
+    /// defaults (`C = 3`, `η = 0.005`, `k = 30`, bounded DP, LS scaling,
+    /// random challenge bits). Unlike `DpsgdConfig::new`, invalid values
+    /// surface as a [`SettingsError`] from [`TrialSettingsBuilder::build`]
+    /// instead of a panic, so CLI and config layers can report them.
+    pub fn builder() -> TrialSettingsBuilder {
+        TrialSettingsBuilder::default()
+    }
+}
+
+/// A rejected trial configuration, naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettingsError(String);
+
+impl SettingsError {
+    fn new(msg: impl Into<String>) -> Self {
+        SettingsError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SettingsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid trial settings: {}", self.0)
+    }
+}
+
+impl std::error::Error for SettingsError {}
+
+/// Validate a δ for an (ε, δ) claim: must lie strictly inside `(0, 1)`.
+/// Shared by [`TrialSettingsBuilder`] consumers (CLI, bench args) so every
+/// entry point rejects a nonsensical δ the same way.
+///
+/// # Errors
+/// A [`SettingsError`] naming the offending value.
+pub fn validate_delta(delta: f64) -> Result<f64, SettingsError> {
+    if delta.is_finite() && delta > 0.0 && delta < 1.0 {
+        Ok(delta)
+    } else {
+        Err(SettingsError::new(format!(
+            "delta must be in (0, 1), got {delta}"
+        )))
+    }
+}
+
+/// Builder for [`TrialSettings`]; see [`TrialSettings::builder`].
+#[derive(Debug, Clone)]
+pub struct TrialSettingsBuilder {
+    clipping: ClippingStrategy,
+    adaptive: Option<AdaptiveClipConfig>,
+    learning_rate: f64,
+    steps: usize,
+    mode: NeighborMode,
+    noise_multiplier: f64,
+    scaling: SensitivityScaling,
+    optimizer: Optimizer,
+    ls_floor: Option<f64>,
+    challenge: ChallengeMode,
+}
+
+impl Default for TrialSettingsBuilder {
+    fn default() -> Self {
+        TrialSettingsBuilder {
+            clipping: ClippingStrategy::Flat(3.0),
+            adaptive: None,
+            learning_rate: 0.005,
+            steps: 30,
+            mode: NeighborMode::Bounded,
+            noise_multiplier: 1.0,
+            scaling: SensitivityScaling::Local,
+            optimizer: Optimizer::Sgd,
+            ls_floor: None,
+            challenge: ChallengeMode::RandomBit,
+        }
+    }
+}
+
+impl TrialSettingsBuilder {
+    /// Flat per-example clipping at `norm` (the paper's setup).
+    #[must_use]
+    pub fn clip_norm(mut self, norm: f64) -> Self {
+        self.clipping = ClippingStrategy::Flat(norm);
+        self
+    }
+
+    /// An arbitrary [`ClippingStrategy`] (e.g. per-layer norms).
+    #[must_use]
+    pub fn clipping(mut self, clipping: ClippingStrategy) -> Self {
+        self.clipping = clipping;
+        self
+    }
+
+    /// Adaptive-clipping controller (§7 extension; flat clipping only).
+    #[must_use]
+    pub fn adaptive(mut self, adaptive: AdaptiveClipConfig) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Learning rate η.
+    #[must_use]
+    pub fn learning_rate(mut self, learning_rate: f64) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Number of full-batch steps k.
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Neighbouring-dataset relation.
+    #[must_use]
+    pub fn mode(mut self, mode: NeighborMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Noise multiplier z.
+    #[must_use]
+    pub fn noise_multiplier(mut self, z: f64) -> Self {
+        self.noise_multiplier = z;
+        self
+    }
+
+    /// Global- vs local-sensitivity noise scaling.
+    #[must_use]
+    pub fn scaling(mut self, scaling: SensitivityScaling) -> Self {
+        self.scaling = scaling;
+        self
+    }
+
+    /// Update rule applied to the released gradient.
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Override the local-sensitivity floor (default `1e-6 ·` clip bound).
+    #[must_use]
+    pub fn ls_floor(mut self, ls_floor: f64) -> Self {
+        self.ls_floor = Some(ls_floor);
+        self
+    }
+
+    /// Challenge-bit protocol.
+    #[must_use]
+    pub fn challenge(mut self, challenge: ChallengeMode) -> Self {
+        self.challenge = challenge;
+        self
+    }
+
+    /// Validate and assemble the settings.
+    ///
+    /// # Errors
+    /// A [`SettingsError`] naming the first offending field: non-positive
+    /// steps, clip norm, learning rate, noise multiplier or floor, or an
+    /// adaptive controller combined with per-layer clipping.
+    pub fn build(self) -> Result<TrialSettings, SettingsError> {
+        if self.steps == 0 {
+            return Err(SettingsError::new("steps must be positive"));
+        }
+        let bound = match &self.clipping {
+            ClippingStrategy::Flat(c) => {
+                if !(c.is_finite() && *c > 0.0) {
+                    return Err(SettingsError::new(format!(
+                        "clip norm must be positive, got {c}"
+                    )));
+                }
+                *c
+            }
+            ClippingStrategy::PerLayer(norms) => {
+                if norms.is_empty() {
+                    return Err(SettingsError::new("per-layer clip norms are empty"));
+                }
+                if let Some(c) = norms.iter().find(|c| !(c.is_finite() && **c > 0.0)) {
+                    return Err(SettingsError::new(format!(
+                        "clip norm must be positive, got {c}"
+                    )));
+                }
+                norms.iter().map(|c| c * c).sum::<f64>().sqrt()
+            }
+        };
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(SettingsError::new(format!(
+                "learning rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        if !(self.noise_multiplier.is_finite() && self.noise_multiplier > 0.0) {
+            return Err(SettingsError::new(format!(
+                "noise multiplier must be positive, got {}",
+                self.noise_multiplier
+            )));
+        }
+        if self.adaptive.is_some() && !matches!(self.clipping, ClippingStrategy::Flat(_)) {
+            return Err(SettingsError::new(
+                "adaptive clipping requires a flat clipping norm",
+            ));
+        }
+        let ls_floor = match self.ls_floor {
+            Some(floor) if floor.is_finite() && floor > 0.0 => floor,
+            Some(floor) => {
+                return Err(SettingsError::new(format!(
+                    "ls floor must be positive, got {floor}"
+                )));
+            }
+            None => 1e-6 * bound,
+        };
+        Ok(TrialSettings {
+            dpsgd: DpsgdConfig {
+                clipping: self.clipping,
+                adaptive: self.adaptive,
+                learning_rate: self.learning_rate,
+                steps: self.steps,
+                mode: self.mode,
+                noise_multiplier: self.noise_multiplier,
+                scaling: self.scaling,
+                optimizer: self.optimizer,
+                ls_floor,
+            },
+            challenge: self.challenge,
+        })
+    }
 }
 
 /// How much of a trial's outcome is kept when it is recorded.
@@ -127,7 +361,9 @@ pub fn run_di_trial(
         &settings.dpsgd,
         &mut noise_rng,
         |record| {
+            let belief_span = obs::span(obs::names::BELIEF_SPAN);
             adversary.observe(&record, b);
+            drop(belief_span);
             local_sensitivities.push(record.local_sensitivity);
             sigmas.push(record.sigma);
         },
@@ -137,6 +373,20 @@ pub fn run_di_trial(
     let belief_d = adversary.belief_d();
     let belief_trained = if b { belief_d } else { 1.0 - belief_d };
     let test_accuracy = test_set.map(|t| model.accuracy(&t.xs, &t.ys));
+
+    if obs::enabled() {
+        // Per-step posterior in the *trained* dataset, plus the step-to-step
+        // movement of that posterior (prior β₀ = ½ starts the chain).
+        let mut prev = 0.5;
+        for &belief_in_d in adversary.belief_history() {
+            let belief = if b { belief_in_d } else { 1.0 - belief_in_d };
+            obs::observe(obs::names::BELIEF_HIST, belief);
+            obs::observe(obs::names::BELIEF_UPDATE_HIST, (belief - prev).abs());
+            prev = belief;
+        }
+        obs::gauge_max(obs::names::MAX_BELIEF_GAUGE, belief_trained);
+        obs::counter(obs::names::TRIALS, 1);
+    }
 
     DiTrialResult {
         b,
@@ -259,16 +509,71 @@ mod tests {
     }
 
     fn settings(z: f64, challenge: ChallengeMode) -> TrialSettings {
-        TrialSettings {
+        TrialSettings::builder()
+            .clip_norm(1.0)
+            .learning_rate(0.05)
+            .steps(4)
+            .mode(NeighborMode::Bounded)
+            .noise_multiplier(z)
+            .scaling(SensitivityScaling::Local)
+            .challenge(challenge)
+            .build()
+            .expect("valid test settings")
+    }
+
+    #[test]
+    fn builder_matches_the_legacy_constructor() {
+        let built = settings(2.0, ChallengeMode::RandomBit);
+        let legacy = TrialSettings {
             dpsgd: DpsgdConfig::new(
                 1.0,
                 0.05,
                 4,
                 NeighborMode::Bounded,
-                z,
+                2.0,
                 SensitivityScaling::Local,
             ),
-            challenge,
+            challenge: ChallengeMode::RandomBit,
+        };
+        assert_eq!(built, legacy);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fields() {
+        let err = |b: TrialSettingsBuilder| b.build().unwrap_err().to_string();
+        assert!(err(TrialSettings::builder().steps(0)).contains("steps"));
+        assert!(err(TrialSettings::builder().clip_norm(0.0)).contains("clip norm"));
+        assert!(err(TrialSettings::builder().clip_norm(f64::NAN)).contains("clip norm"));
+        assert!(err(TrialSettings::builder().learning_rate(-0.1)).contains("learning rate"));
+        assert!(err(TrialSettings::builder().noise_multiplier(0.0)).contains("noise multiplier"));
+        assert!(err(TrialSettings::builder().ls_floor(-1.0)).contains("ls floor"));
+        assert!(err(
+            TrialSettings::builder().clipping(dpaudit_dpsgd::ClippingStrategy::PerLayer(vec![]))
+        )
+        .contains("per-layer"));
+        assert!(err(TrialSettings::builder()
+            .clipping(dpaudit_dpsgd::ClippingStrategy::PerLayer(vec![1.0, 2.0]))
+            .adaptive(AdaptiveClipConfig::new(0.5, 0.2)))
+        .contains("adaptive"));
+    }
+
+    #[test]
+    fn builder_defaults_ls_floor_from_the_clip_bound() {
+        let s = TrialSettings::builder().clip_norm(2.0).build().unwrap();
+        assert!((s.dpsgd.ls_floor - 2e-6).abs() < 1e-18);
+        let s = TrialSettings::builder()
+            .clip_norm(2.0)
+            .ls_floor(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(s.dpsgd.ls_floor, 0.5);
+    }
+
+    #[test]
+    fn delta_validation_accepts_only_the_open_interval() {
+        assert_eq!(validate_delta(1e-3).unwrap(), 1e-3);
+        for bad in [0.0, 1.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(validate_delta(bad).is_err(), "delta {bad} should fail");
         }
     }
 

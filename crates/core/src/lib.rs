@@ -22,9 +22,10 @@
 //!   empirically.
 //! * [`experiment`] — the Exp^DI harness: repeated challenge trials
 //!   producing empirical advantages, belief distributions and empirical δ.
-//! * [`audit`] — the three ε′ estimators of §6.4 (from per-step local
+//! * [`audit`] — the ε′ estimators of §6.4 (from per-step local
 //!   sensitivities via RDP, from the maximum observed belief, from the
-//!   empirical advantage).
+//!   empirical advantage) behind the pluggable [`EpsEstimator`] trait,
+//!   plus a confidence-interval-aware binomial estimator.
 
 pub mod adversary;
 pub mod audit;
@@ -35,13 +36,16 @@ pub mod scalar;
 pub mod scores;
 
 pub use adversary::DiAdversary;
+#[allow(deprecated)]
+pub use audit::{eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief};
 pub use audit::{
-    eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief, AuditReport,
+    run_estimators, standard_estimators, AdvantageEstimator, AuditReport, BinomialCiEstimator,
+    EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,
 };
 pub use belief::BeliefTracker;
 pub use experiment::{
-    run_di_trial, run_di_trials, trial_seed, ChallengeMode, DiBatchResult, DiTrialResult,
-    RecordDetail, TrialSettings,
+    run_di_trial, run_di_trials, trial_seed, validate_delta, ChallengeMode, DiBatchResult,
+    DiTrialResult, RecordDetail, SettingsError, TrialSettings, TrialSettingsBuilder,
 };
 pub use mi::{run_mi_trials, MiAdversary, MiBatchResult};
 pub use scalar::{run_scalar_di_trials, ScalarMechanism, ScalarQuery};

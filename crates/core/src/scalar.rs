@@ -141,7 +141,7 @@ pub fn run_scalar_di_trials(queries: &[ScalarQuery], reps: usize, seed: u64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::audit::eps_from_local_sensitivities;
+    use crate::audit::LocalSensitivityEstimator;
     use crate::scores::{rho_alpha_composed, rho_beta};
     use dpaudit_dp::DpGuarantee;
 
@@ -212,7 +212,8 @@ mod tests {
         let t = &batch.trials[0];
         assert_eq!(t.sigmas.len(), 1);
         assert_eq!(t.local_sensitivities, vec![1.0]);
-        let eps = eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, 1e-5, 1e-9);
+        let eps =
+            LocalSensitivityEstimator::per_trial(&t.sigmas, &t.local_sensitivities, 1e-5, 1e-9);
         // The RDP view of the classically calibrated σ is in the right
         // ballpark of the classic ε = 1 (it differs by construction).
         assert!(eps > 0.2 && eps < 2.0, "eps' {eps}");

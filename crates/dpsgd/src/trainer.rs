@@ -2,6 +2,7 @@
 
 use dpaudit_math::{axpy, l2_distance, l2_norm, GaussianSampler};
 use dpaudit_nn::Sequential;
+use dpaudit_obs as obs;
 use rand::Rng;
 
 use crate::clip::ClippingStrategy;
@@ -50,6 +51,7 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
         model.update_norm_stats(&data.xs);
         let bound = clipping.total_bound();
 
+        let clip_span = obs::span(obs::names::CLIP_SPAN);
         let mut clean_sum = vec![0.0; dim];
         let mut loss_total = 0.0;
         let mut unclipped = 0usize;
@@ -62,7 +64,9 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
             loss_total += loss;
             axpy(1.0, &g, &mut clean_sum);
         }
+        drop(clip_span);
 
+        let noise_span = obs::span(obs::names::NOISE_SPAN);
         // Differing-record gradients at the current public state.
         let (x1, y1) = pair.x1();
         let (_, mut grad_x1) = model.per_example_grad(x1, y1);
@@ -84,7 +88,9 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
         for v in &mut noisy_sum {
             *v += gauss.sample(rng, 0.0, sigma);
         }
+        drop(noise_span);
 
+        let update_span = obs::span(obs::names::UPDATE_SPAN);
         // θ updated from g̃/|D| (public divisor; see function docs) via the
         // configured optimizer — post-processing of the released gradient.
         let update: Vec<f64> = noisy_sum.iter().map(|v| v / public_n).collect();
@@ -95,6 +101,16 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
             if let ClippingStrategy::Flat(c) = &mut clipping {
                 *c = adaptive.updated_norm(*c, unclipped as f64 / data.len() as f64);
             }
+        }
+        drop(update_span);
+
+        if obs::enabled() {
+            obs::counter(obs::names::STEPS, 1);
+            obs::counter(obs::names::EXAMPLES_SEEN, data.len() as u64);
+            obs::counter(
+                obs::names::EXAMPLES_CLIPPED,
+                (data.len() - unclipped) as u64,
+            );
         }
 
         observer(StepRecord {

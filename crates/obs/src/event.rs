@@ -1,0 +1,179 @@
+//! The observability data model: one [`Event`] per recorded fact.
+//!
+//! Events are deliberately scalar — a name plus one number — so that every
+//! sink can fold them commutatively. Everything the engine records reduces
+//! to four shapes:
+//!
+//! * `Counter` — a monotone count (trials executed, steps trained, …).
+//! * `GaugeMax` — a running maximum (max observed belief). Max is
+//!   commutative and associative, so the fold is order-independent.
+//! * `Observe` — one sample for a fixed-bucket histogram (beliefs,
+//!   per-step updates).
+//! * `SpanEnd` — a completed timed span with its monotonic duration in
+//!   nanoseconds. Durations are wall-clock facts and therefore the *only*
+//!   non-deterministic event kind; deterministic snapshots exclude them.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded observability fact. See the module docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Increment the named monotone counter by `delta`.
+    Counter {
+        /// Metric name (dot-separated, see [`crate::names`]).
+        name: String,
+        /// Increment (≥ 1 in practice; 0 is folded as a no-op).
+        delta: u64,
+    },
+    /// Raise the named running-maximum gauge to at least `value`.
+    GaugeMax {
+        /// Metric name.
+        name: String,
+        /// Candidate maximum.
+        value: f64,
+    },
+    /// One sample for the named fixed-bucket histogram.
+    Observe {
+        /// Metric name; bucket bounds come from [`crate::bucket_bounds`].
+        name: String,
+        /// The sampled value.
+        value: f64,
+    },
+    /// A completed timed span.
+    SpanEnd {
+        /// Span name (one per instrumented stage, see [`crate::names`]).
+        name: String,
+        /// Monotonic duration in nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// The metric/span name this event targets.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Counter { name, .. }
+            | Event::GaugeMax { name, .. }
+            | Event::Observe { name, .. }
+            | Event::SpanEnd { name, .. } => name,
+        }
+    }
+
+    /// Whether the event is deterministic under re-execution — everything
+    /// except wall-clock span durations.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, Event::SpanEnd { .. })
+    }
+}
+
+/// Canonical metric and span names used by the instrumented crates.
+///
+/// Keeping the taxonomy in one module means sinks, reports, and tests agree
+/// on spelling without string literals scattered through the hot paths.
+pub mod names {
+    /// Span: one full Exp^DI trial, training included (runtime executor).
+    pub const TRIAL_SPAN: &str = "trial";
+    /// Span: time a scheduled trial waited before a worker picked it up.
+    pub const QUEUE_WAIT_SPAN: &str = "executor.queue_wait";
+    /// Span: one whole `AuditSession::run` (store replay + execution).
+    pub const RUN_SPAN: &str = "audit.run";
+    /// Span: per-step clipped per-example gradient accumulation.
+    pub const CLIP_SPAN: &str = "dpsgd.clip";
+    /// Span: per-step sensitivity estimation + Gaussian perturbation.
+    pub const NOISE_SPAN: &str = "dpsgd.noise";
+    /// Span: per-step optimizer update (+ adaptive-clip steering).
+    pub const UPDATE_SPAN: &str = "dpsgd.update";
+    /// Span: posterior belief update over one released gradient.
+    pub const BELIEF_SPAN: &str = "adversary.belief_update";
+
+    /// Counter: trials executed by the engine (excludes store replays).
+    pub const TRIALS_EXECUTED: &str = "executor.trials_executed";
+    /// Counter: trials replayed from a durable store instead of re-run.
+    pub const TRIALS_REPLAYED: &str = "executor.trials_replayed";
+    /// Counter: DPSGD steps trained.
+    pub const STEPS: &str = "dpsgd.steps";
+    /// Counter: per-example gradients whose norm exceeded the clip bound.
+    pub const EXAMPLES_CLIPPED: &str = "dpsgd.examples_clipped";
+    /// Counter: per-example gradients processed.
+    pub const EXAMPLES_SEEN: &str = "dpsgd.examples_seen";
+    /// Counter: Exp^DI trials observed end-to-end by the harness.
+    pub const TRIALS: &str = "di.trials";
+
+    /// Histogram: every per-step posterior belief β_i(trained) of a trial.
+    pub const BELIEF_HIST: &str = "di.belief";
+    /// Histogram: per-step belief *updates* |β_i − β_{i−1}|.
+    pub const BELIEF_UPDATE_HIST: &str = "di.belief_update";
+    /// Gauge (max): maximum final belief in the trained dataset.
+    pub const MAX_BELIEF_GAUGE: &str = "di.max_belief";
+}
+
+/// The fixed bucket bounds for a histogram metric.
+///
+/// Beliefs live on [0, 1] and get decile buckets; belief updates are small
+/// and get a geometric ladder; anything unknown gets the geometric default.
+/// Bounds are upper edges: a sample lands in the first bucket whose bound
+/// is ≥ the value, or in the overflow bucket past the last bound.
+pub fn bucket_bounds(name: &str) -> &'static [f64] {
+    const DECILES: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    const GEOMETRIC: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+    match name {
+        names::BELIEF_HIST => DECILES,
+        names::BELIEF_UPDATE_HIST => GEOMETRIC,
+        _ => GEOMETRIC,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::Counter {
+                name: names::STEPS.into(),
+                delta: 30,
+            },
+            Event::GaugeMax {
+                name: names::MAX_BELIEF_GAUGE.into(),
+                value: 0.93,
+            },
+            Event::Observe {
+                name: names::BELIEF_HIST.into(),
+                value: 0.55,
+            },
+            Event::SpanEnd {
+                name: names::TRIAL_SPAN.into(),
+                nanos: 1_234_567,
+            },
+        ];
+        for event in events {
+            let text = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn determinism_classification() {
+        let span = Event::SpanEnd {
+            name: "x".into(),
+            nanos: 1,
+        };
+        let counter = Event::Counter {
+            name: "x".into(),
+            delta: 1,
+        };
+        assert!(!span.is_deterministic());
+        assert!(counter.is_deterministic());
+        assert_eq!(span.name(), "x");
+    }
+
+    #[test]
+    fn belief_buckets_cover_the_unit_interval() {
+        let bounds = bucket_bounds(names::BELIEF_HIST);
+        assert_eq!(bounds.first(), Some(&0.1));
+        assert_eq!(bounds.last(), Some(&1.0));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

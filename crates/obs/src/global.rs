@@ -1,0 +1,206 @@
+//! The global dispatch layer: a process-wide sink behind one atomic flag.
+//!
+//! Instrumented code calls the free functions here ([`counter`], [`span`],
+//! …) rather than threading a sink through every signature. The design
+//! follows the `log` crate: a `static` holds the installed sink, and a
+//! separate relaxed [`AtomicBool`] answers "is anything listening?" so that
+//! with no sink installed every call site costs **one relaxed load** — no
+//! clock read, no allocation, no lock.
+//!
+//! [`install`] returns a guard that holds a process-wide mutex for its
+//! lifetime, so concurrent tests (cargo runs them on many threads) that
+//! each install a sink serialise instead of clobbering each other.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether a live sink is installed. One relaxed atomic load; instrumented
+/// code checks this before building events or reading the clock.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Keeps the installed sink alive and exclusive; uninstalls on drop.
+///
+/// Holding this guard is what makes the global sink yours: a second
+/// [`install`] on another thread blocks until this guard drops.
+#[must_use = "dropping the guard uninstalls the sink immediately"]
+pub struct InstallGuard {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        let previous = SINK.write().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(sink) = previous {
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// Install `sink` as the process-wide event destination until the returned
+/// guard is dropped. If the sink reports itself disabled (e.g.
+/// [`crate::NoopSink`]), recording stays off and call sites keep their
+/// near-zero cost.
+pub fn install(sink: Arc<dyn Sink>) -> InstallGuard {
+    let exclusive = INSTALL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let live = sink.enabled();
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+    ENABLED.store(live, Ordering::Relaxed);
+    InstallGuard {
+        _exclusive: exclusive,
+    }
+}
+
+/// Deliver one event to the installed sink, if any.
+pub fn record(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    let guard = SINK.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sink) = guard.as_ref() {
+        sink.record(event);
+    }
+}
+
+/// Increment the named monotone counter.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    record(&Event::Counter {
+        name: name.to_string(),
+        delta,
+    });
+}
+
+/// Raise the named running-maximum gauge to at least `value`.
+#[inline]
+pub fn gauge_max(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(&Event::GaugeMax {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Record one histogram sample under the named metric.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(&Event::Observe {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// An in-flight timed span; records an [`Event::SpanEnd`] with the elapsed
+/// monotonic nanoseconds when dropped. When no sink is installed the guard
+/// is inert (no clock read at either end).
+#[must_use = "a span measures until the guard drops; binding to _ ends it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Elapsed nanoseconds so far, when the span is live.
+    pub fn elapsed_nanos(&self) -> Option<u64> {
+        self.start
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(nanos) = self.elapsed_nanos() {
+            record(&Event::SpanEnd {
+                name: self.name.to_string(),
+                nanos,
+            });
+        }
+    }
+}
+
+/// Start a timed span; the returned guard records on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Record an already-measured duration as a completed span. For timings
+/// that cannot be expressed as a guard's lexical scope (e.g. queue wait
+/// measured across a channel).
+#[inline]
+pub fn span_nanos(name: &'static str, nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    record(&Event::SpanEnd {
+        name: name.to_string(),
+        nanos,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::sink::NoopSink;
+
+    #[test]
+    fn nothing_recorded_without_a_sink() {
+        // No install in scope: counters must be dropped on the floor.
+        // (INSTALL_LOCK serialises against the other tests here.)
+        let _exclusive = INSTALL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(!enabled());
+        counter("x", 1);
+        let _span = span("s");
+    }
+
+    #[test]
+    fn install_routes_events_and_uninstalls_on_drop() {
+        let registry = Arc::new(MetricsRegistry::new());
+        {
+            let _guard = install(registry.clone());
+            assert!(enabled());
+            counter("c", 3);
+            gauge_max("g", 0.7);
+            observe("h", 0.2);
+            drop(span("s"));
+        }
+        assert!(!enabled());
+        counter("c", 100); // after uninstall: dropped
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&3));
+        assert_eq!(snap.gauges.get("g"), Some(&0.7));
+        assert_eq!(snap.histograms["h"].total(), 1);
+        let spans = registry.span_stats();
+        assert_eq!(spans["s"].count, 1);
+    }
+
+    #[test]
+    fn installing_a_noop_sink_keeps_recording_off() {
+        let _guard = install(Arc::new(NoopSink));
+        assert!(!enabled());
+        let span = span("s");
+        assert!(span.elapsed_nanos().is_none());
+    }
+}

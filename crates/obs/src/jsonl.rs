@@ -1,0 +1,223 @@
+//! The append-only JSONL event sink, mirroring the trial-store format:
+//! one header line, then one JSON object per recorded [`Event`].
+//!
+//! ```text
+//! {"schema_version":1,"kind":"dpaudit-obs-trace"}      ← header
+//! {"Counter":{"name":"dpsgd.steps","delta":1}}         ← event
+//! {"SpanEnd":{"name":"trial","nanos":8123456}}         ← event
+//! ```
+//!
+//! Like the trial store, [`read_events`] tolerates a truncated *final* line
+//! (a crash mid-append) by dropping it; an unparsable line anywhere else is
+//! corruption and an error.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Trace file format version; bump on incompatible line-format changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Discriminator string stored in the header's `kind` field.
+pub const TRACE_KIND: &str = "dpaudit-obs-trace";
+
+/// The first line of every trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsHeader {
+    /// Trace format version; see [`SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Always [`TRACE_KIND`]; distinguishes traces from trial stores.
+    pub kind: String,
+}
+
+impl ObsHeader {
+    /// The header this build writes.
+    pub fn current() -> Self {
+        ObsHeader {
+            schema_version: SCHEMA_VERSION,
+            kind: TRACE_KIND.to_string(),
+        }
+    }
+}
+
+/// A [`Sink`] appending every event as one JSON line. Writes are buffered;
+/// call [`Sink::flush`] (the engine does, at run end) to push them out.
+/// Unlike the trial store there is no per-line fsync — a trace is
+/// diagnostic, not the source of truth, and a torn tail is recoverable.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create a trace at `path` (truncating any existing file) and write
+    /// the header line.
+    ///
+    /// # Errors
+    /// I/O errors creating or writing the file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        writeln!(writer, "{}", serde_json::to_value(&ObsHeader::current()))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(writer),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<File>> {
+        self.writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        // Serialise outside the lock; hold it only for the single write so
+        // concurrent workers never interleave partial lines.
+        let line = serde_json::to_value(event).to_string();
+        let _ = writeln!(self.lock(), "{line}");
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        self.lock().flush()
+    }
+}
+
+/// Read a trace file back: header plus every parsable event line.
+///
+/// A final line that fails to parse is treated as a crash-truncated tail
+/// and dropped; a bad line anywhere else is an error.
+///
+/// # Errors
+/// I/O errors, a missing/invalid header, a schema-version mismatch, or a
+/// corrupt non-final line.
+pub fn read_events(path: &Path) -> std::io::Result<(ObsHeader, Vec<Event>)> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines
+        .next()
+        .ok_or_else(|| bad("empty trace file".to_string()))?;
+    let header: ObsHeader =
+        serde_json::from_str(header_line).map_err(|e| bad(format!("invalid trace header: {e}")))?;
+    if header.schema_version != SCHEMA_VERSION {
+        return Err(bad(format!(
+            "trace schema version {} unsupported (expected {SCHEMA_VERSION})",
+            header.schema_version
+        )));
+    }
+    if header.kind != TRACE_KIND {
+        return Err(bad(format!(
+            "not an obs trace (kind `{}`, expected `{TRACE_KIND}`)",
+            header.kind
+        )));
+    }
+
+    let remaining: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut events = Vec::with_capacity(remaining.len());
+    let last = remaining.len().saturating_sub(1);
+    for (pos, (line_no, line)) in remaining.into_iter().enumerate() {
+        match serde_json::from_str::<Event>(line) {
+            Ok(event) => events.push(event),
+            // Torn tail from a crash mid-append: drop and carry on.
+            Err(_) if pos == last => break,
+            Err(e) => {
+                return Err(bad(format!("corrupt trace line {}: {e}", line_no + 1)));
+            }
+        }
+    }
+    Ok((header, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpaudit-obs-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Counter {
+                name: "a".into(),
+                delta: 2,
+            },
+            Event::SpanEnd {
+                name: "s".into(),
+                nanos: 99,
+            },
+            Event::Observe {
+                name: "h".into(),
+                value: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let path = temp_path("round_trip.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        sink.flush().unwrap();
+        let (header, events) = read_events(&path).unwrap();
+        assert_eq!(header, ObsHeader::current());
+        assert_eq!(events, sample_events());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let path = temp_path("torn_tail.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        sink.flush().unwrap();
+        drop(sink);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"Counter\":{\"name\":\"torn");
+        fs::write(&path, &text).unwrap();
+        let (_, events) = read_events(&path).unwrap();
+        assert_eq!(events, sample_events());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_path("corrupt.jsonl");
+        let header = serde_json::to_value(&ObsHeader::current()).to_string();
+        let good = serde_json::to_value(&Event::Counter {
+            name: "a".into(),
+            delta: 1,
+        })
+        .to_string();
+        fs::write(&path, format!("{header}\nnot json\n{good}\n")).unwrap();
+        let err = read_events(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt trace line 2"));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let path = temp_path("wrong_kind.jsonl");
+        fs::write(
+            &path,
+            "{\"schema_version\":1,\"kind\":\"dpaudit-trial-store\"}\n",
+        )
+        .unwrap();
+        assert!(read_events(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+}

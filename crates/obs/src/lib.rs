@@ -1,0 +1,64 @@
+//! `dpaudit-obs`: the audit engine's lightweight observability layer.
+//!
+//! The engine wants to answer two operational questions — *where does the
+//! wall-clock go?* and *what did the run actually do?* — without dragging a
+//! tracing framework into a dependency-free workspace. This crate provides
+//! the minimum machinery for both:
+//!
+//! * a scalar [`Event`] model (counters, running maxima, histogram samples,
+//!   completed spans) whose folds are all commutative;
+//! * a pluggable [`Sink`] trait with three implementations — [`NoopSink`]
+//!   (off), [`MetricsRegistry`] (in-memory aggregation), and [`JsonlSink`]
+//!   (append-only trace file in the trial-store JSONL style);
+//! * a `log`-crate-style global dispatch ([`install`], [`counter`],
+//!   [`span`], …) so hot paths stay signature-clean.
+//!
+//! # Determinism contract
+//!
+//! A [`MetricsSnapshot`] contains only integer counters, max-folded gauges,
+//! and integer histogram bucket counts. Every fold is exact and
+//! order-independent, so the snapshot of a given trial batch is
+//! byte-identical under any worker count or completion order — this is the
+//! artefact `dpaudit audit run --metrics` persists and what regression
+//! tests compare. Wall-clock span durations are inherently
+//! non-deterministic and live only in [`SpanStat`]s and trace files.
+//!
+//! # Overhead budget
+//!
+//! With no sink installed every instrumentation call is one relaxed atomic
+//! load and a branch; spans skip the clock read entirely. The target is
+//! < 2% wall-clock on the table2 benchmark with sinks disabled; with sinks
+//! enabled, events are per-step and per-trial (never per-example), keeping
+//! the enabled cost proportional to step count, not data size.
+//!
+//! # Example
+//!
+//! ```
+//! use dpaudit_obs as obs;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(obs::MetricsRegistry::new());
+//! {
+//!     let _guard = obs::install(registry.clone());
+//!     obs::counter(obs::names::STEPS, 1);
+//!     let _span = obs::span(obs::names::TRIAL_SPAN);
+//! } // guard drop uninstalls + flushes
+//! assert_eq!(registry.snapshot().counters[obs::names::STEPS], 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod global;
+mod jsonl;
+mod registry;
+mod sink;
+
+pub use event::{bucket_bounds, names, Event};
+pub use global::{
+    counter, enabled, gauge_max, install, observe, record, span, span_nanos, InstallGuard,
+    SpanGuard,
+};
+pub use jsonl::{read_events, JsonlSink, ObsHeader, SCHEMA_VERSION, TRACE_KIND};
+pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, SpanStat};
+pub use sink::{MultiSink, NoopSink, Sink};

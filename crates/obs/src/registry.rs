@@ -1,0 +1,267 @@
+//! The in-memory [`MetricsRegistry`] sink and its serialisable snapshot.
+
+use crate::event::{bucket_bounds, Event};
+use crate::sink::Sink;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A fixed-bucket histogram: `counts[i]` samples fell at or below
+/// `bounds[i]`; `counts[bounds.len()]` is the overflow bucket.
+///
+/// Only integer bucket counts are kept — no floating-point sum — so folding
+/// the same multiset of samples in any order produces identical state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bucket edges, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket edges.
+    ///
+    /// # Panics
+    /// Panics on empty or non-increasing bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "Histogram: no bucket bounds");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "Histogram: bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl SpanStat {
+    /// Mean duration per span in milliseconds (0 when no spans).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// Total duration in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+}
+
+/// The deterministic part of a registry: counters, running maxima, and
+/// histogram bucket counts. Because every fold is commutative and
+/// associative in exact integer/max arithmetic, a snapshot of the same
+/// trial set is **byte-identical regardless of worker count or completion
+/// order** — this is what `dpaudit audit run --metrics` persists.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Running-maximum gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    snapshot: MetricsSnapshot,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// The in-memory sink: folds events into counters, gauges, histograms, and
+/// span timing stats, all behind one mutex (events are coarse-grained —
+/// per step and per trial, not per example — so contention is negligible).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deterministic snapshot (counters, gauges, histograms).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().snapshot.clone()
+    }
+
+    /// Wall-clock span statistics (non-deterministic; excluded from
+    /// [`MetricsSnapshot`]).
+    pub fn span_stats(&self) -> BTreeMap<String, SpanStat> {
+        self.lock().spans.clone()
+    }
+
+    /// Fold a batch of events (e.g. replayed from a JSONL trace).
+    pub fn absorb<'a>(&self, events: impl IntoIterator<Item = &'a Event>) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Sink for MetricsRegistry {
+    fn record(&self, event: &Event) {
+        let mut inner = self.lock();
+        match event {
+            Event::Counter { name, delta } => {
+                *inner.snapshot.counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            Event::GaugeMax { name, value } => {
+                let slot = inner
+                    .snapshot
+                    .gauges
+                    .entry(name.clone())
+                    .or_insert(f64::NEG_INFINITY);
+                *slot = slot.max(*value);
+            }
+            Event::Observe { name, value } => {
+                inner
+                    .snapshot
+                    .histograms
+                    .entry(name.clone())
+                    .or_insert_with(|| Histogram::new(bucket_bounds(name)))
+                    .observe(*value);
+            }
+            Event::SpanEnd { name, nanos } => {
+                let stat = inner.spans.entry(name.clone()).or_default();
+                stat.count += 1;
+                stat.total_nanos += nanos;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::names;
+
+    fn counter(name: &str, delta: u64) -> Event {
+        Event::Counter {
+            name: name.into(),
+            delta,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let registry = MetricsRegistry::new();
+        registry.record(&counter("a", 2));
+        registry.record(&counter("a", 3));
+        registry.record(&counter("b", 1));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("a"), Some(&5));
+        assert_eq!(snap.counters.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn gauge_keeps_the_maximum() {
+        let registry = MetricsRegistry::new();
+        for v in [0.4, 0.9, 0.2] {
+            registry.record(&Event::GaugeMax {
+                name: "g".into(),
+                value: v,
+            });
+        }
+        assert_eq!(registry.snapshot().gauges.get("g"), Some(&0.9));
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_edge() {
+        let mut h = Histogram::new(&[0.5, 1.0]);
+        h.observe(0.5); // first bucket (inclusive edge)
+        h.observe(0.75);
+        h.observe(2.0); // overflow
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn observe_uses_canonical_bounds() {
+        let registry = MetricsRegistry::new();
+        registry.record(&Event::Observe {
+            name: names::BELIEF_HIST.into(),
+            value: 0.55,
+        });
+        let snap = registry.snapshot();
+        let h = &snap.histograms[names::BELIEF_HIST];
+        assert_eq!(h.bounds, bucket_bounds(names::BELIEF_HIST));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn span_stats_fold_count_and_total() {
+        let registry = MetricsRegistry::new();
+        for nanos in [1_000_000, 3_000_000] {
+            registry.record(&Event::SpanEnd {
+                name: "s".into(),
+                nanos,
+            });
+        }
+        let stats = registry.span_stats();
+        let s = &stats["s"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, 4_000_000);
+        assert!((s.mean_ms() - 2.0).abs() < 1e-12);
+        // Spans do not leak into the deterministic snapshot.
+        assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serialises_and_round_trips() {
+        let registry = MetricsRegistry::new();
+        registry.absorb(&[
+            counter("a", 1),
+            Event::Observe {
+                name: "h".into(),
+                value: 0.3,
+            },
+            Event::GaugeMax {
+                name: "g".into(),
+                value: 1.5,
+            },
+        ]);
+        let snap = registry.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,104 @@
+//! The pluggable [`Sink`] trait and its trivial implementations.
+
+use crate::event::Event;
+
+/// Where recorded events go. Implementations must be thread-safe: the
+/// engine records from rayon worker threads concurrently.
+pub trait Sink: Send + Sync {
+    /// Whether recording does anything at all. The global dispatch checks
+    /// this once at install time and caches it in an atomic, so a disabled
+    /// sink costs one relaxed load per call site — no `Instant::now`, no
+    /// event construction.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&self, event: &Event);
+
+    /// Flush any buffered state (file sinks). Default: no-op.
+    ///
+    /// # Errors
+    /// I/O errors from the underlying writer.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The do-nothing sink: `enabled()` is `false`, so instrumented code skips
+/// all work before an event is even built.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// Fan-out to several sinks (e.g. an in-memory registry plus a JSONL
+/// trace) in order.
+pub struct MultiSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Combine `sinks`; events are delivered to each in the given order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        for sink in &self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::sync::Arc;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.record(&Event::Counter {
+            name: "x".into(),
+            delta: 1,
+        });
+        assert!(sink.flush().is_ok());
+    }
+
+    #[test]
+    fn multi_sink_fans_out_and_reports_enabled() {
+        let a = Arc::new(MetricsRegistry::new());
+        let b = Arc::new(MetricsRegistry::new());
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        assert!(multi.enabled());
+        multi.record(&Event::Counter {
+            name: "x".into(),
+            delta: 2,
+        });
+        assert_eq!(a.snapshot().counters.get("x"), Some(&2));
+        assert_eq!(b.snapshot().counters.get("x"), Some(&2));
+        assert!(!MultiSink::new(vec![Arc::new(NoopSink)]).enabled());
+    }
+}

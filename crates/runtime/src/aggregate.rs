@@ -12,7 +12,7 @@
 //! (workers − 1) stragglers in practice.
 
 use crate::store::TrialRecord;
-use dpaudit_core::audit::{eps_from_advantage, eps_from_max_belief};
+use dpaudit_core::audit::EstimatorInputs;
 use dpaudit_core::AuditReport;
 use std::collections::BTreeMap;
 
@@ -138,18 +138,38 @@ impl StreamingAggregates {
             self.next
         );
         let n = self.reps as f64;
-        let success_rate = self.correct as f64 / n;
-        let advantage = 2.0 * success_rate - 1.0;
-        AuditReport {
-            target_epsilon: self.target_epsilon,
-            delta: self.delta,
+        let inputs = EstimatorInputs {
             trials: self.reps,
-            eps_from_ls: self.eps_ls_sum / n,
-            eps_from_belief: eps_from_max_belief(self.max_belief),
-            eps_from_advantage: eps_from_advantage(advantage, self.delta),
-            advantage,
+            successes: self.correct,
             max_belief: self.max_belief,
-            empirical_delta: self.exceeded as f64 / n,
+            // Folded in trial-index order above, so the mean is bit-identical
+            // to `EstimatorInputs::from_batch` over the same trials.
+            mean_eps_ls: self.eps_ls_sum / n,
+            delta: self.delta,
+        };
+        AuditReport::from_inputs(&inputs, self.target_epsilon, self.exceeded as f64 / n)
+    }
+
+    /// The batch summary the estimators consume, for callers that want to
+    /// run non-standard estimators (e.g. `BinomialCiEstimator`) over a
+    /// finished stream.
+    ///
+    /// # Panics
+    /// Panics when the batch is incomplete.
+    pub fn inputs(&self) -> EstimatorInputs {
+        assert!(
+            self.is_complete(),
+            "StreamingAggregates: only {}/{} trials folded (missing index {})",
+            self.next,
+            self.reps,
+            self.next
+        );
+        EstimatorInputs {
+            trials: self.reps,
+            successes: self.correct,
+            max_belief: self.max_belief,
+            mean_eps_ls: self.eps_ls_sum / self.reps as f64,
+            delta: self.delta,
         }
     }
 }

@@ -12,16 +12,18 @@
 //! scheduling; consumers that care (the aggregator) reorder by index.
 
 use crate::store::{Seed, TrialRecord};
-use dpaudit_core::audit::eps_from_local_sensitivities;
+use dpaudit_core::audit::LocalSensitivityEstimator;
 use dpaudit_core::experiment::{run_di_trial, trial_seed, TrialSettings};
 use dpaudit_core::RecordDetail;
 use dpaudit_datasets::Dataset;
 use dpaudit_dpsgd::NeighborPair;
 use dpaudit_nn::Sequential;
+use dpaudit_obs as obs;
 use rand::rngs::StdRng;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// What to execute and how.
 #[derive(Debug, Clone, Copy)]
@@ -46,14 +48,17 @@ pub fn execute_trial(
     plan: &ExecPlan,
     idx: usize,
 ) -> TrialRecord {
+    let trial_span = obs::span(obs::names::TRIAL_SPAN);
     let seed = trial_seed(plan.master_seed, idx);
     let trial = run_di_trial(pair, settings, test_set, model_builder, seed);
-    let eps_ls = eps_from_local_sensitivities(
+    let eps_ls = LocalSensitivityEstimator::per_trial(
         &trial.sigmas,
         &trial.local_sensitivities,
         plan.delta,
         settings.dpsgd.ls_floor,
     );
+    obs::counter(obs::names::TRIALS_EXECUTED, 1);
+    drop(trial_span);
     TrialRecord {
         idx,
         seed: Seed(seed),
@@ -86,12 +91,19 @@ pub fn run_trials(
         .expect("thread pool construction cannot fail");
     let work: Vec<usize> = indices.to_vec();
     let builder = &model_builder;
+    // Queue wait = time from batch dispatch until a worker picks the trial
+    // up; measured only when a sink is listening.
+    let dispatched_at = obs::enabled().then(Instant::now);
 
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<TrialRecord>();
         let producer = scope.spawn(move || {
             pool.install(|| {
                 work.into_par_iter().for_each(|idx| {
+                    if let Some(t0) = dispatched_at {
+                        let waited = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        obs::span_nanos(obs::names::QUEUE_WAIT_SPAN, waited);
+                    }
                     let record = execute_trial(pair, settings, test_set, builder, plan, idx);
                     tx.send(record)
                         .expect("trial receiver dropped while workers were running");

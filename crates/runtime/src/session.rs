@@ -25,6 +25,7 @@ use dpaudit_core::AuditReport;
 use dpaudit_datasets::Dataset;
 use dpaudit_dpsgd::NeighborPair;
 use dpaudit_nn::Sequential;
+use dpaudit_obs as obs;
 use rand::rngs::StdRng;
 use std::path::Path;
 
@@ -126,6 +127,7 @@ impl AuditSession {
         mut on_progress: impl FnMut(Progress),
         mut sink: Option<&mut Vec<TrialRecord>>,
     ) -> std::io::Result<RunOutcome> {
+        let run_span = obs::span(obs::names::RUN_SPAN);
         let header = &self.header;
         let mut aggregates = StreamingAggregates::new(
             header.reps,
@@ -140,6 +142,9 @@ impl AuditSession {
             }
         }
         let replayed = self.existing.len();
+        if replayed > 0 {
+            obs::counter(obs::names::TRIALS_REPLAYED, replayed as u64);
+        }
         let missing = self.missing_indices();
         let plan = ExecPlan {
             master_seed: header.master_seed.0,
@@ -179,6 +184,7 @@ impl AuditSession {
         if let Some(out) = sink {
             out.sort_by_key(|r| r.idx);
         }
+        drop(run_span);
         Ok(RunOutcome {
             report: aggregates.finish(),
             executed: missing.len(),

@@ -270,7 +270,7 @@ mod tests {
     use super::*;
     use dpaudit_core::experiment::ChallengeMode;
     use dpaudit_dp::NeighborMode;
-    use dpaudit_dpsgd::{DpsgdConfig, SensitivityScaling};
+    use dpaudit_dpsgd::SensitivityScaling;
 
     fn header(reps: usize) -> StoreHeader {
         StoreHeader {
@@ -285,17 +285,16 @@ mod tests {
             delta: 1e-3,
             rho_beta_bound: 0.9,
             detail: RecordDetail::Summary,
-            settings: TrialSettings {
-                dpsgd: DpsgdConfig::new(
-                    3.0,
-                    0.005,
-                    4,
-                    NeighborMode::Unbounded,
-                    1.5,
-                    SensitivityScaling::Local,
-                ),
-                challenge: ChallengeMode::RandomBit,
-            },
+            settings: TrialSettings::builder()
+                .clip_norm(3.0)
+                .learning_rate(0.005)
+                .steps(4)
+                .mode(NeighborMode::Unbounded)
+                .noise_multiplier(1.5)
+                .scaling(SensitivityScaling::Local)
+                .challenge(ChallengeMode::RandomBit)
+                .build()
+                .expect("valid trial settings"),
         }
     }
 

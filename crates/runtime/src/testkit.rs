@@ -5,7 +5,7 @@
 use dpaudit_core::experiment::{ChallengeMode, TrialSettings};
 use dpaudit_datasets::{Dataset, NeighborSpec};
 use dpaudit_dp::NeighborMode;
-use dpaudit_dpsgd::{DpsgdConfig, NeighborPair, SensitivityScaling};
+use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
 use dpaudit_nn::{Dense, Layer, Sequential};
 use dpaudit_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -39,15 +39,14 @@ pub fn toy_model(rng: &mut StdRng) -> Sequential {
 /// Local-sensitivity-scaled bounded DPSGD for `steps` steps with z = 2,
 /// random challenge bits.
 pub fn toy_settings(steps: usize) -> TrialSettings {
-    TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            1.0,
-            0.05,
-            steps,
-            NeighborMode::Bounded,
-            2.0,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::RandomBit,
-    }
+    TrialSettings::builder()
+        .clip_norm(1.0)
+        .learning_rate(0.05)
+        .steps(steps)
+        .mode(NeighborMode::Bounded)
+        .noise_multiplier(2.0)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::RandomBit)
+        .build()
+        .expect("valid trial settings")
 }

@@ -78,11 +78,11 @@ proptest! {
         // Derived estimators are consistent with the core definitions.
         prop_assert_eq!(
             report.eps_from_belief.to_bits(),
-            dpaudit_core::eps_from_max_belief(batch.max_belief()).to_bits()
+            dpaudit_core::MaxBeliefEstimator::from_max_belief(batch.max_belief()).to_bits()
         );
         prop_assert_eq!(
             report.eps_from_advantage.to_bits(),
-            dpaudit_core::eps_from_advantage(batch.advantage(), 1e-3).to_bits()
+            dpaudit_core::AdvantageEstimator::from_advantage(batch.advantage(), 1e-3).to_bits()
         );
     }
 

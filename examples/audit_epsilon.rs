@@ -26,24 +26,27 @@ fn audit(scaling: SensitivityScaling, label: &str) {
     let best = bounded_candidates(&train, &pool, &Hamming, 1, true).remove(0);
     let pair = NeighborPair::from_spec(&train, &best.spec);
 
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(3.0, 0.005, steps, NeighborMode::Bounded, z, scaling),
-        challenge: ChallengeMode::RandomBit,
-    };
+    let settings = TrialSettings::builder()
+        .mode(NeighborMode::Bounded)
+        .steps(steps)
+        .noise_multiplier(z)
+        .scaling(scaling)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, reps, 31);
 
     // Estimator 1: from the per-step sensitivities (needs one transcript).
     let t = &batch.trials[0];
-    let eps_ls = eps_from_local_sensitivities(
+    let eps_ls = LocalSensitivityEstimator::per_trial(
         &t.sigmas,
         &t.local_sensitivities,
         delta,
         settings.dpsgd.ls_floor,
     );
     // Estimator 2: from the maximum belief across repetitions.
-    let eps_beta = eps_from_max_belief(batch.max_belief());
+    let eps_beta = MaxBeliefEstimator::from_max_belief(batch.max_belief());
     // Estimator 3: from the empirical advantage across repetitions.
-    let eps_adv = eps_from_advantage(batch.advantage(), delta);
+    let eps_adv = AdvantageEstimator::from_advantage(batch.advantage(), delta);
 
     println!("-- noise scaled to {label} --");
     println!("   claimed epsilon:                {epsilon:.3}");

@@ -105,7 +105,7 @@ fn main() {
     );
     println!(
         "empirical eps' from this session: {:.3} (budget {total_eps:.3})",
-        eps_from_max_belief(tracker.belief().max(0.5))
+        MaxBeliefEstimator::from_max_belief(tracker.belief().max(0.5))
     );
     println!("\nThe bound is a worst case over outputs: a typical session stays below");
     println!("it, and no session of eps-DP Laplace releases can ever exceed it.");

@@ -68,8 +68,8 @@ fn main() {
         if adversary.decide_d() { "D" } else { "D'" }
     );
 
-    let eps_ls = eps_from_local_sensitivities(&sigmas, &local_sens, delta, cfg.ls_floor);
-    let eps_beta = eps_from_max_belief(belief);
+    let eps_ls = LocalSensitivityEstimator::per_trial(&sigmas, &local_sens, delta, cfg.ls_floor);
+    let eps_beta = MaxBeliefEstimator::from_max_belief(belief);
     println!("\nempirical epsilon from per-step sensitivities: {eps_ls:.3} (target {epsilon:.3})");
     println!("empirical epsilon from this run's belief:      {eps_beta:.3}");
     println!("\nscaled to local sensitivity, the realised loss matches the target —");

@@ -46,12 +46,14 @@ pub use dpaudit_tensor as tensor;
 /// The commonly used items in one import.
 pub mod prelude {
     pub use dpaudit_core::{
-        advantage_from_success_rate, eps_from_advantage, eps_from_local_sensitivities,
-        eps_from_max_belief, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha,
+        advantage_from_success_rate, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha,
         rho_alpha_composed, rho_beta, run_di_trial, run_di_trials, run_scalar_di_trials,
-        AuditReport, BeliefTracker, ChallengeMode, DiAdversary, DiBatchResult, MiAdversary,
-        ScalarMechanism, ScalarQuery, TrialSettings,
+        AdvantageEstimator, AuditReport, BeliefTracker, ChallengeMode, DiAdversary, DiBatchResult,
+        EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,
+        MiAdversary, ScalarMechanism, ScalarQuery, TrialSettings,
     };
+    #[allow(deprecated)]
+    pub use dpaudit_core::{eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief};
     pub use dpaudit_datasets::{
         bounded_candidates, dataset_sensitivity_bounded, dataset_sensitivity_unbounded,
         generate_mnist, generate_purchase, unbounded_candidates, Dataset, Hamming, NegSsim,

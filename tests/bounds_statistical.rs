@@ -164,7 +164,7 @@ fn eps_estimators_recover_target_on_raw_mechanism() {
     let sigma = z * sensitivity;
     let sigmas = vec![sigma; k];
     let ls = vec![sensitivity; k];
-    let eps_ls = eps_from_local_sensitivities(&sigmas, &ls, delta, 1e-9);
+    let eps_ls = LocalSensitivityEstimator::per_trial(&sigmas, &ls, delta, 1e-9);
     assert!(
         (eps_ls - epsilon).abs() / epsilon < 0.05,
         "{eps_ls} vs {epsilon}"
@@ -176,7 +176,7 @@ fn eps_estimators_recover_target_on_raw_mechanism() {
         let (_, _, belief) = simulate_trial(&mut rng, k, 4, sensitivity, sigma);
         max_belief = max_belief.max(belief);
     }
-    let eps_beta = eps_from_max_belief(max_belief);
+    let eps_beta = MaxBeliefEstimator::from_max_belief(max_belief);
     assert!(
         eps_beta > 0.5 * epsilon && eps_beta < 1.4 * epsilon,
         "eps from belief {eps_beta} far from target {epsilon}"

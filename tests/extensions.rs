@@ -155,7 +155,7 @@ fn scalar_queries_and_dpsgd_share_audit_machinery() {
         .collect();
     let batch = run_scalar_di_trials(&queries, 10, 7);
     let t = &batch.trials[0];
-    let eps = eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, 1e-5, 1e-9);
+    let eps = LocalSensitivityEstimator::per_trial(&t.sigmas, &t.local_sensitivities, 1e-5, 1e-9);
     // Effective z = 10/2 = 5 over 5 steps.
     let mut acc = RdpAccountant::new();
     acc.add_gaussian_steps(5.0, 5);
@@ -168,17 +168,16 @@ fn audit_report_round_trips_through_json() {
     let data = generate_purchase(&mut rng, 15);
     let target = dataset_sensitivity_unbounded(&data, &Hamming);
     let pair = NeighborPair::from_spec(&data, &target.spec);
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            2,
-            NeighborMode::Unbounded,
-            5.0,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::RandomBit,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(2)
+        .mode(NeighborMode::Unbounded)
+        .noise_multiplier(5.0)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::RandomBit)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 4, 9);
     let report = AuditReport::from_batch(&batch, 2.2, 1e-2, settings.dpsgd.ls_floor);
     if report.eps_from_advantage.is_finite() {

@@ -97,19 +97,19 @@ fn neighbor_spec_out_of_range_panics() {
 #[test]
 #[should_panic(expected = "belief must be in [0, 1]")]
 fn belief_estimator_rejects_out_of_range() {
-    eps_from_max_belief(1.5);
+    MaxBeliefEstimator::from_max_belief(1.5);
 }
 
 #[test]
 #[should_panic(expected = "floor must be positive")]
 fn ls_estimator_rejects_zero_floor() {
-    eps_from_local_sensitivities(&[1.0], &[1.0], 1e-5, 0.0);
+    LocalSensitivityEstimator::per_trial(&[1.0], &[1.0], 1e-5, 0.0);
 }
 
 #[test]
 fn infinite_advantage_estimate_is_contained() {
     // Saturated advantage gives +∞, which callers can detect — never NaN.
-    let eps = eps_from_advantage(1.0, 1e-5);
+    let eps = AdvantageEstimator::from_advantage(1.0, 1e-5);
     assert!(eps.is_infinite() && eps > 0.0);
     assert!(!eps.is_nan());
 }
@@ -121,10 +121,13 @@ fn sigmoid_logit_edges_never_nan_in_belief_path() {
     let mut t = BeliefTracker::new();
     t.update_llr(1e9);
     assert_eq!(t.belief(), 1.0);
-    assert_eq!(eps_from_max_belief(t.belief()), f64::INFINITY);
+    assert_eq!(
+        MaxBeliefEstimator::from_max_belief(t.belief()),
+        f64::INFINITY
+    );
     let mut t2 = BeliefTracker::new();
     t2.update_llr(-1e9);
-    assert_eq!(eps_from_max_belief(t2.belief()), 0.0);
+    assert_eq!(MaxBeliefEstimator::from_max_belief(t2.belief()), 0.0);
 }
 
 #[test]

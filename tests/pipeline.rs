@@ -22,17 +22,16 @@ fn full_pipeline_bounded_local() {
     let epsilon = epsilon_for_rho_beta(0.90);
     let steps = 6;
     let z = calibrate_noise_multiplier_closed_form(epsilon, delta, steps);
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            steps,
-            NeighborMode::Bounded,
-            z,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::RandomBit,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(steps)
+        .mode(NeighborMode::Bounded)
+        .noise_multiplier(z)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::RandomBit)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 6, 99);
     assert_eq!(batch.trials.len(), 6);
     for t in &batch.trials {
@@ -64,17 +63,16 @@ fn full_pipeline_unbounded_global_and_audit() {
     let epsilon = epsilon_for_rho_beta(0.75);
     let steps = 5;
     let z = calibrate_noise_multiplier_closed_form(epsilon, delta, steps);
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            steps,
-            NeighborMode::Unbounded,
-            z,
-            SensitivityScaling::Global,
-        ),
-        challenge: ChallengeMode::AlwaysD,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(steps)
+        .mode(NeighborMode::Unbounded)
+        .noise_multiplier(z)
+        .scaling(SensitivityScaling::Global)
+        .challenge(ChallengeMode::AlwaysD)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 4, 7);
     // Global scaling: σ constant = z·C.
     for t in &batch.trials {
@@ -85,7 +83,8 @@ fn full_pipeline_unbounded_global_and_audit() {
     // Audit with the LS estimator: realised ls ≤ C, so ε′ ≤ target ε
     // (up to grid-conversion slack).
     let t = &batch.trials[0];
-    let eps_prime = eps_from_local_sensitivities(&t.sigmas, &t.local_sensitivities, delta, 1e-9);
+    let eps_prime =
+        LocalSensitivityEstimator::per_trial(&t.sigmas, &t.local_sensitivities, delta, 1e-9);
     assert!(
         eps_prime <= epsilon * 1.05,
         "eps' {eps_prime} should not exceed target {epsilon}"
@@ -99,17 +98,16 @@ fn mnist_cnn_pipeline_smoke() {
     let (train, pool) = data.split_at(12);
     let best = bounded_candidates(&train, &pool, &NegSsim, 1, true).remove(0);
     let pair = NeighborPair::from_spec(&train, &best.spec);
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            2,
-            NeighborMode::Bounded,
-            5.0,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::AlwaysD,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(2)
+        .mode(NeighborMode::Bounded)
+        .noise_multiplier(5.0)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::AlwaysD)
+        .build()
+        .expect("valid trial settings");
     let trial = run_di_trial(&pair, &settings, Some(&pool), mnist_cnn, 13);
     assert!(trial.b);
     assert_eq!(trial.belief_history.len(), 2);
@@ -124,17 +122,16 @@ fn adversary_dominates_under_vanishing_noise() {
     let (train, pool) = tiny_purchase_world(4);
     let best = bounded_candidates(&train, &pool, &Hamming, 1, true).remove(0);
     let pair = NeighborPair::from_spec(&train, &best.spec);
-    let settings = TrialSettings {
-        dpsgd: DpsgdConfig::new(
-            3.0,
-            0.005,
-            3,
-            NeighborMode::Bounded,
-            1e-3,
-            SensitivityScaling::Local,
-        ),
-        challenge: ChallengeMode::RandomBit,
-    };
+    let settings = TrialSettings::builder()
+        .clip_norm(3.0)
+        .learning_rate(0.005)
+        .steps(3)
+        .mode(NeighborMode::Bounded)
+        .noise_multiplier(1e-3)
+        .scaling(SensitivityScaling::Local)
+        .challenge(ChallengeMode::RandomBit)
+        .build()
+        .expect("valid trial settings");
     let batch = run_di_trials(&pair, &settings, None, purchase_mlp, 10, 5);
     assert_eq!(batch.success_rate(), 1.0);
     assert_eq!(batch.advantage(), 1.0);

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Length specification for [`vec`]: an exact `usize` or a half-open range.
+/// Length specification for [`vec()`]: an exact `usize` or a half-open range.
 pub trait IntoLenRange {
     /// Convert to `(min, max_exclusive)`.
     fn into_len_range(self) -> (usize, usize);
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Random testing without shrinking: each test case draws its inputs from
-//! [`Strategy`] samplers seeded deterministically per case index, so failures
+//! [`Strategy`](strategy::Strategy) samplers seeded deterministically per case index, so failures
 //! reproduce exactly on re-run. The API subset matches what this workspace
 //! uses — range strategies, `proptest::collection::vec`, the `proptest!`
 //! macro with `#![proptest_config(ProptestConfig::with_cases(n))]`, and the

@@ -178,6 +178,33 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k.clone(),
+                        V::from_value(v).map_err(|e| e.context(k.as_str()))?,
+                    ))
+                })
+                .collect(),
+            other => Err(Error::type_mismatch("object", other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
