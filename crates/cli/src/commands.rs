@@ -43,6 +43,7 @@ pub fn run(opts: &Opts) -> Result<String, String> {
         return match opts.command.as_str() {
             "audit" => crate::engine::run_subaction(sub, opts),
             "metrics" => crate::metrics::run_subaction(sub, opts),
+            "trace" => crate::trace::run_subaction(sub, opts),
             other => Err(format!(
                 "`{other}` takes no sub-action (got `{sub}`)\n\n{}",
                 usage()
@@ -55,6 +56,8 @@ pub fn run(opts: &Opts) -> Result<String, String> {
         "compose" => cmd_compose(opts),
         "audit" => cmd_audit(opts),
         "metrics" => Err("`metrics` needs a sub-action: `dpaudit metrics report`".to_string()),
+        "trace" => Err("`trace` needs a sub-action: `dpaudit trace export`".to_string()),
+        "watch" => crate::watch::run(opts),
         "demo" => cmd_demo(opts),
         "help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -630,6 +633,72 @@ mod tests {
         assert!(report.contains("histogram di.belief"), "{report}");
         std::fs::remove_file(&trace_path).ok();
         std::fs::remove_file(&trace_path_4).ok();
+    }
+
+    #[test]
+    fn watch_renders_a_final_dashboard_over_a_complete_store() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-watch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("watch.jsonl");
+        let trace = dir.join("watch-trace.jsonl");
+        let _ = std::fs::remove_file(&store);
+        let store_s = store.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+        run_line(&[
+            "audit",
+            "run",
+            "--workload",
+            "purchase",
+            "--reps",
+            "3",
+            "--steps",
+            "2",
+            "--train-size",
+            "30",
+            "--out",
+            store_s,
+            "--trace",
+            trace_s,
+        ])
+        .unwrap();
+
+        // A complete store renders one final frame and returns.
+        let frame = run_line(&[
+            "watch",
+            "--store",
+            store_s,
+            "--trace",
+            trace_s,
+            "--interval-ms",
+            "1",
+        ])
+        .unwrap();
+        assert!(frame.contains("3/3 trials"), "{frame}");
+        assert!(frame.contains("eps' so far"), "{frame}");
+        assert!(frame.contains("belief [0,1)"), "{frame}");
+        // 3 trials × 2 DPSGD steps streamed through the privacy ledger.
+        assert!(frame.contains("ledger: 6 DPSGD steps streamed"), "{frame}");
+
+        // An absurdly low threshold trips the alert line.
+        let alert = run_line(&[
+            "watch",
+            "--store",
+            store_s,
+            "--alert-eps",
+            "1e-6",
+            "--max-ticks",
+            "1",
+            "--interval-ms",
+            "1",
+        ])
+        .unwrap();
+        assert!(alert.contains("ALERT"), "{alert}");
+
+        assert!(run_line(&["watch", "--store", "/nonexistent/x.jsonl"])
+            .unwrap_err()
+            .contains("cannot read store"));
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -119,27 +119,35 @@ fn cmd_report(opts: &Opts) -> Result<String, String> {
 }
 
 /// Observability sinks requested on the command line (`--metrics` /
-/// `--trace`), installed for the duration of one engine run.
+/// `--trace` / `--serve-metrics`), installed for the duration of one
+/// engine run.
 struct ObsSetup {
     /// Keeps the global sink installed; dropping uninstalls and flushes.
     _guard: obs::InstallGuard,
-    /// In-memory registry backing `--metrics`, if requested.
+    /// In-memory registry backing `--metrics` and/or `--serve-metrics`.
     registry: Option<Arc<MetricsRegistry>>,
     /// Where to write the deterministic snapshot after the run.
     metrics_path: Option<String>,
+    /// Live Prometheus endpoint, when `--serve-metrics` was given.
+    server: Option<obs::MetricsServer>,
+    /// `--serve-linger SECS`: after the run, keep serving until one scrape
+    /// is answered or this many seconds elapse.
+    linger_secs: u64,
 }
 
 /// Build and install the requested sinks. Returns `None` (and installs
-/// nothing — the no-op fast path) when neither flag was given.
+/// nothing — the no-op fast path) when no observability flag was given.
 fn install_obs(opts: &Opts) -> Result<Option<ObsSetup>, String> {
     let metrics_path = opts.str_opt("metrics").map(str::to_string);
     let trace_path = opts.str_opt("trace");
-    if metrics_path.is_none() && trace_path.is_none() {
+    let serve_addr = opts.str_opt("serve-metrics");
+    let linger_secs = opts.u64_or("serve-linger", 0)?;
+    if metrics_path.is_none() && trace_path.is_none() && serve_addr.is_none() {
         return Ok(None);
     }
-    let registry = metrics_path
-        .as_ref()
-        .map(|_| Arc::new(MetricsRegistry::new()));
+    // The registry feeds both the snapshot file and the live endpoint.
+    let registry =
+        (metrics_path.is_some() || serve_addr.is_some()).then(|| Arc::new(MetricsRegistry::new()));
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(registry) = &registry {
         sinks.push(registry.clone());
@@ -154,28 +162,58 @@ fn install_obs(opts: &Opts) -> Result<Option<ObsSetup>, String> {
     } else {
         Arc::new(MultiSink::new(sinks))
     };
+    let server = match serve_addr {
+        Some(addr) => {
+            let registry = registry.clone().expect("registry exists when serving");
+            let server = obs::MetricsServer::serve(addr, move || {
+                obs::render_prometheus(&registry.snapshot(), &registry.span_stats())
+            })
+            .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            eprintln!(
+                "serving Prometheus metrics on http://{}/metrics",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     Ok(Some(ObsSetup {
         _guard: obs::install(sink),
         registry,
         metrics_path,
+        server,
+        linger_secs,
     }))
 }
 
 impl ObsSetup {
-    /// Uninstall the sinks (flushing the trace) and write the metrics
-    /// snapshot. The snapshot holds only deterministic folds, so its bytes
-    /// are identical across worker counts for the same audit.
+    /// Uninstall the sinks (flushing the trace), write the metrics
+    /// snapshot, and wind down the live endpoint. The snapshot holds only
+    /// deterministic folds, so its bytes are identical across worker
+    /// counts for the same audit.
     fn finish(self) -> Result<(), String> {
         let ObsSetup {
             _guard,
             registry,
             metrics_path,
+            server,
+            linger_secs,
         } = self;
         drop(_guard);
-        if let (Some(registry), Some(path)) = (registry, metrics_path) {
+        if let (Some(registry), Some(path)) = (&registry, &metrics_path) {
             let json = serde_json::to_value(&registry.snapshot()).to_string();
-            std::fs::write(Path::new(&path), json + "\n")
+            std::fs::write(Path::new(path), json + "\n")
                 .map_err(|e| format!("cannot write metrics snapshot: {e}"))?;
+        }
+        if let Some(server) = server {
+            // Linger so an external scraper (CI's curl, a Prometheus poll)
+            // gets one look at the final, report-matching exposition —
+            // scrapes that landed mid-run don't count.
+            if linger_secs > 0 {
+                eprintln!("awaiting one final metrics scrape (up to {linger_secs}s)");
+                server.await_scrape(std::time::Duration::from_secs(linger_secs));
+            }
+            server.shutdown();
         }
         Ok(())
     }
@@ -259,5 +297,62 @@ fn parse_detail(name: &str) -> Result<RecordDetail, String> {
         "full" => Ok(RecordDetail::Full),
         "summary" => Ok(RecordDetail::Summary),
         other => Err(format!("unknown --detail `{other}` (full|summary)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        body.to_string()
+    }
+
+    #[test]
+    fn serve_metrics_exposes_live_eps_prime_gauges() {
+        let opts = Opts::parse(
+            ["audit", "run", "--serve-metrics", "127.0.0.1:0"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let setup = install_obs(&opts).unwrap().expect("obs setup requested");
+        let addr = setup.server.as_ref().expect("server running").addr();
+
+        // Before any events: a valid, near-empty exposition.
+        let body = scrape(addr);
+        assert!(!body.contains("dpaudit_eps_prime"), "{body}");
+
+        obs::gauge_max(obs::names::EPS_TARGET_GAUGE, 2.0);
+        obs::gauge_max(obs::names::EPS_PRIME_GAUGE, 1.25);
+        obs::record(&obs::Event::Ledger {
+            step: 1,
+            local_sensitivity: 0.5,
+            eps_prime: 0.75,
+            eps_budget: Some(2.0),
+        });
+        let body = scrape(addr);
+        assert!(body.contains("dpaudit_eps_prime 1.25"), "{body}");
+        assert!(body.contains("dpaudit_eps_target 2"), "{body}");
+        assert!(body.contains("dpaudit_ledger_steps_total 1"), "{body}");
+
+        // No --serve-linger was given, so finish() shuts down at once.
+        setup.finish().unwrap();
+    }
+
+    #[test]
+    fn obs_setup_is_skipped_without_observability_flags() {
+        let opts = Opts::parse(["audit", "run"].iter().map(|s| s.to_string())).unwrap();
+        assert!(install_obs(&opts).unwrap().is_none());
     }
 }

@@ -11,6 +11,8 @@ pub mod engine;
 pub mod metrics;
 pub mod opts;
 pub mod spec;
+pub mod trace;
+pub mod watch;
 
 pub use commands::run;
 pub use opts::Opts;

@@ -167,6 +167,16 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "FILE",
                 "write an append-only obs event trace (JSONL)",
             ),
+            opt(
+                "serve-metrics",
+                "ADDR",
+                "serve a live Prometheus exposition at ADDR (e.g. 127.0.0.1:9898)",
+            ),
+            opt(
+                "serve-linger",
+                "SECS",
+                "after the run, keep serving until one scrape or SECS elapse [0]",
+            ),
             bare("fresh", "overwrite an existing store instead of refusing"),
         ],
     },
@@ -191,6 +201,16 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "FILE",
                 "write an append-only obs event trace (JSONL)",
             ),
+            opt(
+                "serve-metrics",
+                "ADDR",
+                "serve a live Prometheus exposition at ADDR (e.g. 127.0.0.1:9898)",
+            ),
+            opt(
+                "serve-linger",
+                "SECS",
+                "after the run, keep serving until one scrape or SECS elapse [0]",
+            ),
         ],
     },
     CommandSpec {
@@ -214,6 +234,51 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "trace",
                 "FILE",
                 "event trace written by `audit run --trace`",
+            ),
+        ],
+    },
+    CommandSpec {
+        command: "trace",
+        subaction: Some("export"),
+        summary: "convert an obs event trace into an external tool's format \
+                  (chrome = Perfetto / chrome://tracing trace-event JSON)",
+        flags: &[
+            req(
+                "trace",
+                "FILE",
+                "event trace written by `audit run --trace`",
+            ),
+            opt("out", "FILE", "output file [stdout]"),
+            opt("format", "NAME", "output format: chrome [chrome]"),
+        ],
+    },
+    CommandSpec {
+        command: "watch",
+        subaction: None,
+        summary: "live terminal dashboard for a running audit: progress, \
+                  throughput, ETA, eps' vs eps sparkline, belief histogram, \
+                  and an alert when empirical eps' crosses the target",
+        flags: &[
+            req("store", "FILE", "trial store to tail"),
+            opt(
+                "trace",
+                "FILE",
+                "obs event trace to fold in (ledger steps, stage timings)",
+            ),
+            opt(
+                "interval-ms",
+                "MS",
+                "refresh interval in milliseconds [500]",
+            ),
+            opt(
+                "max-ticks",
+                "N",
+                "stop after N refreshes (0 = until the store completes) [0]",
+            ),
+            opt(
+                "alert-eps",
+                "E",
+                "print an alert when eps' crosses E [store target eps]",
             ),
         ],
     },

@@ -1,0 +1,150 @@
+//! The `dpaudit trace export` sub-action: convert an obs event trace
+//! (written by `audit run --trace`) into the Chrome/Perfetto trace-event
+//! format, so a DPSGD audit's spans and ε ledger can be inspected on a
+//! timeline in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::opts::Opts;
+use dpaudit_obs::{chrome_trace, read_trace_lines};
+use std::path::Path;
+
+/// Dispatch `trace <sub-action>`.
+///
+/// # Errors
+/// A human-readable message for bad flags, bad values or I/O failures.
+pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
+    match sub {
+        "export" => cmd_export(opts),
+        other => Err(format!("unknown trace sub-action `{other}` (export)")),
+    }
+}
+
+fn cmd_export(opts: &Opts) -> Result<String, String> {
+    let path = opts
+        .str_opt("trace")
+        .ok_or("missing required --trace FILE")?;
+    let format = opts.str_opt("format").unwrap_or("chrome");
+    if format != "chrome" {
+        return Err(format!("unknown --format `{format}` (chrome)"));
+    }
+    let (_, lines) =
+        read_trace_lines(Path::new(path)).map_err(|e| format!("cannot read trace: {e}"))?;
+    let json = chrome_trace(&lines) + "\n";
+    match opts.str_opt("out") {
+        Some(out) => {
+            std::fs::write(Path::new(out), &json)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            Ok(format!(
+                "wrote chrome trace for {} events to {out}\n",
+                lines.len()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_obs::{Event, JsonlSink, Sink};
+    use serde_json::Value;
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpaudit-cli-trace-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let opts = Opts::parse(line.iter().map(|s| s.to_string()))?;
+        crate::commands::run(&opts)
+    }
+
+    fn write_sample_trace(path: &Path) {
+        let sink = JsonlSink::create(path).unwrap();
+        sink.record(&Event::SpanEnd {
+            name: "trial".into(),
+            nanos: 1_000_000,
+        });
+        sink.record(&Event::Counter {
+            name: "dpsgd.steps".into(),
+            delta: 3,
+        });
+        sink.record(&Event::Ledger {
+            step: 1,
+            local_sensitivity: 0.5,
+            eps_prime: 0.25,
+            eps_budget: Some(2.0),
+        });
+        sink.record(&Event::SpanEnd {
+            name: "audit.run".into(),
+            nanos: 5_000_000,
+        });
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn export_emits_valid_chrome_json_with_matched_span_pairs() {
+        let path = temp_path("sample.jsonl");
+        write_sample_trace(&path);
+        let out = run_line(&["trace", "export", "--trace", path.to_str().unwrap()]).unwrap();
+        let value: Value = serde_json::from_str(out.trim()).unwrap();
+        let events = value.as_array().expect("top-level JSON array");
+        assert!(!events.is_empty());
+        let phase_count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(phase_count("B"), phase_count("E"));
+        assert!(phase_count("B") >= 2, "{out}");
+        assert!(phase_count("C") >= 2, "{out}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn export_writes_to_out_file() {
+        let trace = temp_path("to-file.jsonl");
+        let chrome = temp_path("to-file.chrome.json");
+        write_sample_trace(&trace);
+        let msg = run_line(&[
+            "trace",
+            "export",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--out",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote chrome trace"), "{msg}");
+        let text = fs::read_to_string(&chrome).unwrap();
+        let value: Value = serde_json::from_str(text.trim()).unwrap();
+        assert!(value.as_array().is_some());
+        fs::remove_file(&trace).ok();
+        fs::remove_file(&chrome).ok();
+    }
+
+    #[test]
+    fn export_rejects_bad_inputs() {
+        let err = run_line(&["trace", "export", "--trace", "/nonexistent/t.jsonl"]).unwrap_err();
+        assert!(err.contains("cannot read trace"), "{err}");
+
+        let path = temp_path("format.jsonl");
+        write_sample_trace(&path);
+        let err = run_line(&[
+            "trace",
+            "export",
+            "--trace",
+            path.to_str().unwrap(),
+            "--format",
+            "systrace",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+
+        let err = run_line(&["trace", "frobnicate"]).unwrap_err();
+        assert!(err.contains("sub-action"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+}

@@ -16,7 +16,7 @@
 //! confidence-interval-aware [`BinomialCiEstimator`]) plug in without
 //! touching either pipeline.
 
-use dpaudit_dp::RdpAccountant;
+use dpaudit_dp::PrivacyLedger;
 use dpaudit_math::{inv_phi, logit};
 use serde::{Deserialize, Serialize};
 
@@ -141,9 +141,16 @@ impl LocalSensitivityEstimator {
     /// the floor keeps the accountant finite and errs on the conservative
     /// side).
     ///
+    /// The composition runs through a [`PrivacyLedger`], so when an
+    /// observability sink is installed every step streams a structured
+    /// ledger event (step index, local sensitivity, ε′-so-far) as the
+    /// audit executes — the live telemetry behind `--serve-metrics` and
+    /// `dpaudit watch`. The returned value is identical to composing the
+    /// bare accountant.
+    ///
     /// # Panics
-    /// Panics on empty or mismatched series, a non-positive floor, or δ
-    /// outside `(0, 1)`.
+    /// Panics on empty or mismatched series, a non-positive floor or σ, or
+    /// δ outside `(0, 1)`.
     pub fn per_trial(
         sigmas: &[f64],
         local_sensitivities: &[f64],
@@ -152,26 +159,22 @@ impl LocalSensitivityEstimator {
     ) -> f64 {
         assert!(
             !sigmas.is_empty(),
-            "eps_from_local_sensitivities: empty series"
+            "LocalSensitivityEstimator::per_trial: empty series"
         );
         assert_eq!(
             sigmas.len(),
             local_sensitivities.len(),
-            "eps_from_local_sensitivities: series length mismatch"
+            "LocalSensitivityEstimator::per_trial: series length mismatch"
         );
         assert!(
             ls_floor > 0.0,
-            "eps_from_local_sensitivities: floor must be positive"
+            "LocalSensitivityEstimator::per_trial: floor must be positive"
         );
-        let mut acc = RdpAccountant::new();
+        let mut ledger = PrivacyLedger::new(delta);
         for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
-            assert!(
-                sigma > 0.0,
-                "eps_from_local_sensitivities: non-positive sigma"
-            );
-            acc.add_gaussian_step(sigma / ls.max(ls_floor));
+            ledger.add_gaussian_release(sigma, ls.max(ls_floor));
         }
-        acc.epsilon(delta).0
+        ledger.eps_prime().0
     }
 }
 
@@ -317,38 +320,6 @@ pub fn run_estimators(
     inputs: &EstimatorInputs,
 ) -> Vec<EpsEstimate> {
     estimators.iter().map(|e| e.estimate(inputs)).collect()
-}
-
-/// ε′ from per-step noise levels and local sensitivities.
-#[deprecated(
-    since = "0.1.0",
-    note = "use LocalSensitivityEstimator::per_trial (EpsEstimator API)"
-)]
-pub fn eps_from_local_sensitivities(
-    sigmas: &[f64],
-    local_sensitivities: &[f64],
-    delta: f64,
-    ls_floor: f64,
-) -> f64 {
-    LocalSensitivityEstimator::per_trial(sigmas, local_sensitivities, delta, ls_floor)
-}
-
-/// ε′ from the maximum posterior belief.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MaxBeliefEstimator::from_max_belief (EpsEstimator API)"
-)]
-pub fn eps_from_max_belief(max_belief: f64) -> f64 {
-    MaxBeliefEstimator::from_max_belief(max_belief)
-}
-
-/// ε′ from the empirical membership advantage.
-#[deprecated(
-    since = "0.1.0",
-    note = "use AdvantageEstimator::from_advantage (EpsEstimator API)"
-)]
-pub fn eps_from_advantage(advantage: f64, delta: f64) -> f64 {
-    AdvantageEstimator::from_advantage(advantage, delta)
 }
 
 /// A complete audit of one experiment batch: the claimed budget, the three
@@ -541,25 +512,6 @@ mod tests {
     #[should_panic(expected = "series length mismatch")]
     fn mismatched_series_rejected() {
         LocalSensitivityEstimator::per_trial(&[1.0], &[1.0, 2.0], 1e-5, 1e-9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_estimators() {
-        let sigmas = vec![4.0; 6];
-        let ls = vec![1.0; 6];
-        assert_eq!(
-            eps_from_local_sensitivities(&sigmas, &ls, 1e-4, 1e-9).to_bits(),
-            LocalSensitivityEstimator::per_trial(&sigmas, &ls, 1e-4, 1e-9).to_bits()
-        );
-        assert_eq!(
-            eps_from_max_belief(0.87).to_bits(),
-            MaxBeliefEstimator::from_max_belief(0.87).to_bits()
-        );
-        assert_eq!(
-            eps_from_advantage(0.42, 1e-3).to_bits(),
-            AdvantageEstimator::from_advantage(0.42, 1e-3).to_bits()
-        );
     }
 
     fn inputs(trials: usize, successes: usize, max_belief: f64) -> EstimatorInputs {

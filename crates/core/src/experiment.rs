@@ -385,6 +385,16 @@ pub fn run_di_trial(
             prev = belief;
         }
         obs::gauge_max(obs::names::MAX_BELIEF_GAUGE, belief_trained);
+        // The ρ_β-implied empirical ε′ (Eq. 10) rides the same stream as
+        // the ledger's ε′-from-sensitivities. logit is monotone, so the
+        // max-fold over per-trial values equals the final report's
+        // ε′-from-belief exactly. A saturated belief (β̂ = 1 ⇒ ε′ = ∞) is
+        // skipped: JSON sinks cannot carry it and it would flatten the
+        // gauge for the rest of the run.
+        let eps_prime = crate::audit::MaxBeliefEstimator::from_max_belief(belief_trained);
+        if eps_prime.is_finite() {
+            obs::gauge_max(obs::names::EPS_PRIME_GAUGE, eps_prime);
+        }
         obs::counter(obs::names::TRIALS, 1);
     }
 

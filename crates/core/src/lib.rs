@@ -36,8 +36,6 @@ pub mod scalar;
 pub mod scores;
 
 pub use adversary::DiAdversary;
-#[allow(deprecated)]
-pub use audit::{eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief};
 pub use audit::{
     run_estimators, standard_estimators, AdvantageEstimator, AuditReport, BinomialCiEstimator,
     EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,

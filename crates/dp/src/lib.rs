@@ -12,6 +12,7 @@
 pub mod analytic;
 pub mod calibration;
 pub mod composition;
+pub mod ledger;
 pub mod mechanism;
 pub mod rdp;
 pub mod sensitivity;
@@ -23,6 +24,7 @@ pub use calibration::{
     NoisePlan,
 };
 pub use composition::{kov_frontier, kov_optimal_epsilon, CompositionPoint};
+pub use ledger::{LedgerEntry, PrivacyLedger};
 pub use mechanism::{GaussianMechanism, LaplaceMechanism};
 pub use rdp::{
     gaussian_rdp, gaussian_rdp_epsilon_closed_form, laplace_rdp, subsampled_gaussian_rdp_int,

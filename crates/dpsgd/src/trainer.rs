@@ -111,6 +111,13 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
                 obs::names::EXAMPLES_CLIPPED,
                 (data.len() - unclipped) as u64,
             );
+            // Effective per-step noise multiplier zᵢ = σᵢ / sᵢ against the
+            // *realised* local sensitivity — the quantity the §6.4 ledger
+            // composes. Under local scaling it sits at the planned z; under
+            // global scaling its spread shows the wasted noise.
+            if local_sensitivity > 0.0 {
+                obs::observe(obs::names::NOISE_MULTIPLIER_HIST, sigma / local_sensitivity);
+            }
         }
 
         observer(StepRecord {

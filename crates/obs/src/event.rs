@@ -12,6 +12,12 @@
 //! * `SpanEnd` — a completed timed span with its monotonic duration in
 //!   nanoseconds. Durations are wall-clock facts and therefore the *only*
 //!   non-deterministic event kind; deterministic snapshots exclude them.
+//! * `Ledger` — the one structured exception: a privacy-ledger step
+//!   (emitted by `dpaudit-dp`'s `PrivacyLedger`) carrying the step index,
+//!   the release's local sensitivity, ε′-so-far at the optimal RDP order,
+//!   and the analytic ε budget. Sinks fold it into the scalar taxonomy
+//!   (see [`names::LEDGER_STEPS`], [`names::EPS_PRIME_LS_GAUGE`], …), so
+//!   the determinism contract still holds.
 
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +52,21 @@ pub enum Event {
         /// Monotonic duration in nanoseconds.
         nanos: u64,
     },
+    /// One privacy-ledger step: a noisy release accounted by the RDP
+    /// accountant. Registries fold it into [`names::LEDGER_STEPS`],
+    /// [`names::LEDGER_SENSITIVITY_HIST`], [`names::EPS_PRIME_LS_GAUGE`]
+    /// and [`names::EPS_TARGET_GAUGE`].
+    Ledger {
+        /// 1-based step index within the ledger (composition length so far).
+        step: u64,
+        /// The local sensitivity of this release (1.0 for unit-sensitivity
+        /// accountant queries).
+        local_sensitivity: f64,
+        /// ε′ accumulated so far, converted at the optimal RDP order.
+        eps_prime: f64,
+        /// The analytic ε budget under audit, when the ledger knows one.
+        eps_budget: Option<f64>,
+    },
 }
 
 impl Event {
@@ -56,6 +77,7 @@ impl Event {
             | Event::GaugeMax { name, .. }
             | Event::Observe { name, .. }
             | Event::SpanEnd { name, .. } => name,
+            Event::Ledger { .. } => names::LEDGER,
         }
     }
 
@@ -105,6 +127,28 @@ pub mod names {
     pub const BELIEF_UPDATE_HIST: &str = "di.belief_update";
     /// Gauge (max): maximum final belief in the trained dataset.
     pub const MAX_BELIEF_GAUGE: &str = "di.max_belief";
+
+    /// Series name of structured [`super::Event::Ledger`] events.
+    pub const LEDGER: &str = "ledger";
+    /// Counter: noisy releases recorded by the privacy ledger.
+    pub const LEDGER_STEPS: &str = "ledger.steps";
+    /// Histogram: per-release local sensitivity recorded by the ledger.
+    pub const LEDGER_SENSITIVITY_HIST: &str = "ledger.local_sensitivity";
+    /// Histogram: effective per-step noise multiplier σᵢ / sᵢ seen by the
+    /// DPSGD trainer.
+    pub const NOISE_MULTIPLIER_HIST: &str = "dpsgd.noise_multiplier";
+
+    /// Gauge (max): ρ_β-implied empirical ε′ (paper Eq. 10) from the
+    /// maximum posterior belief observed so far. Exported to Prometheus as
+    /// `dpaudit_eps_prime`; for a complete batch it equals the audit
+    /// report's ε′-from-belief exactly (logit is monotone, so the max
+    /// commutes with the transform).
+    pub const EPS_PRIME_GAUGE: &str = "eps_prime";
+    /// Gauge (max): running RDP-composed ε′ from the privacy ledger — the
+    /// worst (largest) per-trial ε′-from-local-sensitivities so far.
+    pub const EPS_PRIME_LS_GAUGE: &str = "eps_prime_ls";
+    /// Gauge (max): the analytic ε budget the run is audited against.
+    pub const EPS_TARGET_GAUGE: &str = "eps_target";
 }
 
 /// The fixed bucket bounds for a histogram metric.

@@ -1,0 +1,279 @@
+//! Chrome trace-event conversion: turn a recorded JSONL trace into the
+//! JSON-array trace format that Perfetto and `chrome://tracing` load.
+//!
+//! Mapping:
+//!
+//! * `SpanEnd` lines become matched duration pairs (`ph:"B"`/`ph:"E"`).
+//!   A trace records spans at *completion* (timestamp = end, duration in
+//!   the event), so each span is reconstructed as the interval
+//!   `[ts − nanos, ts]` on its recording thread, and per-thread intervals
+//!   are re-nested with a stack so begin/end pairs are properly matched.
+//!   A child that outlives its enclosing interval (possible only through
+//!   clock jitter) is clamped to the parent, keeping the nesting valid.
+//! * `Counter`, `GaugeMax`, and `Ledger` lines become counter samples
+//!   (`ph:"C"`): counters plot their running total, gauges and the
+//!   ledger's ε′ plot the raw sampled value — a live ε′ timeline next to
+//!   the span flame graph.
+//! * `Observe` histogram samples are skipped; they are dense and carry no
+//!   timeline information beyond what the gauges already show.
+//!
+//! Timestamps are microseconds (the trace-event unit), derived from each
+//! line's `ts_nanos`.
+
+use crate::event::{names, Event};
+use crate::jsonl::TraceLine;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Microseconds for a trace-event `ts`/`dur` field.
+fn micros(nanos: u64) -> f64 {
+    nanos as f64 / 1000.0
+}
+
+/// One reconstructed span interval on a thread's timeline.
+struct Interval {
+    name: String,
+    start: u64,
+    end: u64,
+}
+
+/// Convert trace lines into a Chrome trace-event JSON array (as a string,
+/// ready to write to disk).
+pub fn chrome_trace(lines: &[TraceLine]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    let mut by_tid: BTreeMap<u64, Vec<Interval>> = BTreeMap::new();
+    let mut counter_totals: BTreeMap<&str, u64> = BTreeMap::new();
+
+    events.push(json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": json!({"name": "dpaudit"}),
+    }));
+
+    for line in lines {
+        match &line.event {
+            Event::SpanEnd { name, nanos } => {
+                by_tid.entry(line.tid).or_default().push(Interval {
+                    name: name.clone(),
+                    start: line.ts_nanos.saturating_sub(*nanos),
+                    end: line.ts_nanos,
+                });
+            }
+            Event::Counter { name, delta } => {
+                let total = counter_totals.entry(name.as_str()).or_insert(0);
+                *total += delta;
+                events.push(counter_sample(name, line.ts_nanos, *total as f64));
+            }
+            Event::GaugeMax { name, value } => {
+                if value.is_finite() {
+                    events.push(counter_sample(name, line.ts_nanos, *value));
+                }
+            }
+            Event::Ledger {
+                eps_prime,
+                eps_budget,
+                ..
+            } => {
+                if eps_prime.is_finite() {
+                    events.push(counter_sample(
+                        names::EPS_PRIME_LS_GAUGE,
+                        line.ts_nanos,
+                        *eps_prime,
+                    ));
+                }
+                if let Some(budget) = eps_budget {
+                    if budget.is_finite() {
+                        events.push(counter_sample(
+                            names::EPS_TARGET_GAUGE,
+                            line.ts_nanos,
+                            *budget,
+                        ));
+                    }
+                }
+            }
+            Event::Observe { .. } => {}
+        }
+    }
+
+    for (tid, mut intervals) in by_tid {
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": json!({"name": format!("worker-{tid}")}),
+        }));
+        // Sort outermost-first: earlier start, then longer (later end).
+        intervals.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+        // Open spans on this thread's timeline, as (name, end) pairs.
+        let mut open: Vec<(String, u64)> = Vec::new();
+        for interval in intervals {
+            while open.last().is_some_and(|(_, end)| *end <= interval.start) {
+                let (name, end) = open.pop().expect("non-empty");
+                events.push(span_edge("E", &name, tid, end));
+            }
+            let parent_end = open.last().map_or(u64::MAX, |(_, end)| *end);
+            let end = interval.end.min(parent_end);
+            events.push(span_edge("B", &interval.name, tid, interval.start));
+            open.push((interval.name, end));
+        }
+        while let Some((name, end)) = open.pop() {
+            events.push(span_edge("E", &name, tid, end));
+        }
+    }
+
+    serde_json::to_string(&Value::Array(events)).expect("trace events are serialisable")
+}
+
+fn counter_sample(name: &str, ts_nanos: u64, value: f64) -> Value {
+    json!({
+        "name": name,
+        "cat": "dpaudit",
+        "ph": "C",
+        "ts": micros(ts_nanos),
+        "pid": 1,
+        "tid": 0,
+        "args": json!({"value": value}),
+    })
+}
+
+fn span_edge(ph: &str, name: &str, tid: u64, ts_nanos: u64) -> Value {
+    json!({
+        "name": name,
+        "cat": "dpaudit",
+        "ph": ph,
+        "ts": micros(ts_nanos),
+        "pid": 1,
+        "tid": tid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(tid: u64, name: &str, end_ns: u64, dur_ns: u64) -> TraceLine {
+        TraceLine {
+            ts_nanos: end_ns,
+            tid,
+            event: Event::SpanEnd {
+                name: name.into(),
+                nanos: dur_ns,
+            },
+        }
+    }
+
+    /// Replay the exported B/E events per tid through a stack, asserting
+    /// proper nesting, and return each completed span's (name, dur µs).
+    fn matched_spans(text: &str) -> Vec<(String, u64, f64)> {
+        let value: Value = serde_json::from_str(text).unwrap();
+        let events = value.as_array().expect("a JSON array of trace events");
+        let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+        let mut done = Vec::new();
+        for event in events {
+            let ph = event["ph"].as_str().unwrap();
+            if ph != "B" && ph != "E" {
+                continue;
+            }
+            let tid = event["tid"].as_f64().unwrap() as u64;
+            let name = event["name"].as_str().unwrap().to_string();
+            let ts = event["ts"].as_f64().unwrap();
+            let stack = stacks.entry(tid).or_default();
+            if ph == "B" {
+                stack.push((name, ts));
+            } else {
+                let (open_name, begin_ts) = stack.pop().expect("E without matching B");
+                assert_eq!(open_name, name, "mismatched B/E nesting");
+                done.push((name, tid, ts - begin_ts));
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+        }
+        done
+    }
+
+    #[test]
+    fn export_preserves_span_nesting_and_durations() {
+        // tid 1: trial [5µs, 105µs] encloses clip [10µs, 20µs] and
+        // noise [21µs, 26µs]; tid 2: an independent trial [10µs, 60µs].
+        let lines = vec![
+            span_line(1, "dpsgd.clip", 20_000, 10_000),
+            span_line(1, "dpsgd.noise", 26_000, 5_000),
+            span_line(1, "trial", 105_000, 100_000),
+            span_line(2, "trial", 60_000, 50_000),
+        ];
+        let text = chrome_trace(&lines);
+        let mut spans = matched_spans(&text);
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = vec![
+            ("dpsgd.clip".to_string(), 1, 10.0),
+            ("dpsgd.noise".to_string(), 1, 5.0),
+            ("trial".to_string(), 1, 100.0),
+            ("trial".to_string(), 2, 50.0),
+        ];
+        assert_eq!(spans, expect);
+    }
+
+    #[test]
+    fn counters_plot_running_totals_and_ledger_plots_eps() {
+        let lines = vec![
+            TraceLine {
+                ts_nanos: 1_000,
+                tid: 0,
+                event: Event::Counter {
+                    name: "dpsgd.steps".into(),
+                    delta: 2,
+                },
+            },
+            TraceLine {
+                ts_nanos: 2_000,
+                tid: 0,
+                event: Event::Counter {
+                    name: "dpsgd.steps".into(),
+                    delta: 3,
+                },
+            },
+            TraceLine {
+                ts_nanos: 3_000,
+                tid: 0,
+                event: Event::Ledger {
+                    step: 1,
+                    local_sensitivity: 0.5,
+                    eps_prime: 0.8,
+                    eps_budget: Some(2.0),
+                },
+            },
+        ];
+        let value: Value = serde_json::from_str(&chrome_trace(&lines)).unwrap();
+        let samples: Vec<(String, f64)> = value
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("C"))
+            .map(|e| {
+                (
+                    e["name"].as_str().unwrap().to_string(),
+                    e["args"]["value"].as_f64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            samples,
+            vec![
+                ("dpsgd.steps".to_string(), 2.0),
+                ("dpsgd.steps".to_string(), 5.0),
+                ("eps_prime_ls".to_string(), 0.8),
+                ("eps_target".to_string(), 2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_event_array() {
+        let value: Value = serde_json::from_str(&chrome_trace(&[])).unwrap();
+        assert!(value.as_array().is_some());
+    }
+}

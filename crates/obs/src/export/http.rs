@@ -1,0 +1,207 @@
+//! A deliberately tiny HTTP/1.1 listener for the Prometheus endpoint.
+//!
+//! The workspace is dependency-free, so instead of an HTTP framework this
+//! serves exactly what a Prometheus scraper (or `curl`) needs: accept a
+//! connection, read the request head, answer `GET` with the current
+//! exposition, close. One connection at a time — scrapes are rare and the
+//! render is cheap, so there is nothing to parallelise.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A background metrics endpoint: binds a TCP listener and serves the
+/// closure's output as a Prometheus text exposition until shut down (or
+/// dropped).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    scrapes: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9898`; port 0 picks a free port) and
+    /// serve `render()` to every `GET` request on a background thread.
+    ///
+    /// # Errors
+    /// Socket bind/configuration errors.
+    pub fn serve<A, F>(addr: A, render: F) -> std::io::Result<MetricsServer>
+    where
+        A: ToSocketAddrs,
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = stop.clone();
+            let scrapes = scrapes.clone();
+            std::thread::spawn(move || {
+                loop {
+                    let Ok((stream, _)) = listener.accept() else {
+                        continue;
+                    };
+                    // `shutdown` wakes a blocked accept with a self-connect
+                    // after raising the flag, so check it post-accept.
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if serve_one(stream, &render) {
+                        scrapes.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            scrapes,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound socket address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many successful `GET` scrapes have been answered.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::SeqCst)
+    }
+
+    /// Block until a scrape is answered *after* this call, or `timeout`
+    /// elapses. Returns whether a new scrape happened. `audit run
+    /// --serve-linger SECS` uses this after the run so a scraper is
+    /// guaranteed one look at the final, report-matching exposition
+    /// before the endpoint shuts down.
+    pub fn await_scrape(&self, timeout: Duration) -> bool {
+        let baseline = self.scrapes();
+        let deadline = Instant::now() + timeout;
+        while self.scrapes() <= baseline {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Stop accepting connections and join the background thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answer one connection; returns whether it was a served `GET` scrape.
+fn serve_one<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> bool {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the end of the request head; bodies are irrelevant here.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let is_get = head.starts_with(b"GET ");
+    let response = if is_get {
+        let body = render();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            .to_string()
+    };
+    let served = stream.write_all(response.as_bytes()).is_ok() && is_get;
+    let _ = stream.flush();
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_the_rendered_exposition_to_get() {
+        let server =
+            MetricsServer::serve("127.0.0.1:0", || "dpaudit_eps_prime 0.5\n".to_string()).unwrap();
+        let response = scrape(server.addr(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("dpaudit_eps_prime 0.5"), "{response}");
+        assert_eq!(server.scrapes(), 1);
+        // await_scrape only counts scrapes that land after the call...
+        assert!(!server.await_scrape(Duration::from_millis(50)));
+        // ...so a fresh one satisfies it.
+        let addr = server.addr();
+        let scraper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            scrape(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        });
+        assert!(server.await_scrape(Duration::from_secs(2)));
+        assert_eq!(server.scrapes(), 2);
+        scraper.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_keeps_serving() {
+        let server = MetricsServer::serve("127.0.0.1:0", || "x 1\n".to_string()).unwrap();
+        let response = scrape(server.addr(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert_eq!(server.scrapes(), 0);
+        let response = scrape(server.addr(), "GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.contains("x 1"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn renders_fresh_state_on_every_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let server = {
+            let hits = hits.clone();
+            MetricsServer::serve("127.0.0.1:0", move || {
+                format!("hits {}\n", hits.fetch_add(1, Ordering::SeqCst) + 1)
+            })
+            .unwrap()
+        };
+        let first = scrape(server.addr(), "GET / HTTP/1.1\r\n\r\n");
+        let second = scrape(server.addr(), "GET / HTTP/1.1\r\n\r\n");
+        assert!(first.contains("hits 1"), "{first}");
+        assert!(second.contains("hits 2"), "{second}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,17 @@
+//! Exporters: turning recorded telemetry into externally consumable forms.
+//!
+//! * [`render_prometheus`] — Prometheus text exposition (format 0.0.4) of a
+//!   [`crate::MetricsSnapshot`] plus span stats.
+//! * [`MetricsServer`] — a tiny hand-rolled HTTP listener serving that
+//!   exposition (`dpaudit audit run --serve-metrics 127.0.0.1:9898`).
+//! * [`chrome_trace`] — converts a JSONL trace into Chrome trace-event JSON
+//!   loadable in Perfetto / `chrome://tracing`
+//!   (`dpaudit trace export --format chrome`).
+
+mod chrome;
+mod http;
+mod prometheus;
+
+pub use chrome::chrome_trace;
+pub use http::MetricsServer;
+pub use prometheus::render_prometheus;

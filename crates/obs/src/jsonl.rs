@@ -1,15 +1,22 @@
 //! The append-only JSONL event sink, mirroring the trial-store format:
-//! one header line, then one JSON object per recorded [`Event`].
+//! one header line, then one JSON object per recorded [`Event`], wrapped
+//! in a [`TraceLine`] carrying the capture timestamp and worker thread.
 //!
 //! ```text
-//! {"schema_version":1,"kind":"dpaudit-obs-trace"}      ← header
-//! {"Counter":{"name":"dpsgd.steps","delta":1}}         ← event
-//! {"SpanEnd":{"name":"trial","nanos":8123456}}         ← event
+//! {"schema_version":2,"kind":"dpaudit-obs-trace"}                       ← header
+//! {"ts_nanos":1201,"tid":1,"event":{"Counter":{"name":"dpsgd.steps","delta":1}}}
+//! {"ts_nanos":9324,"tid":2,"event":{"SpanEnd":{"name":"trial","nanos":8123}}}
 //! ```
 //!
-//! Like the trial store, [`read_events`] tolerates a truncated *final* line
-//! (a crash mid-append) by dropping it; an unparsable line anywhere else is
-//! corruption and an error.
+//! Timestamps are nanoseconds of monotonic time since the sink was
+//! created; thread ids are small per-process ordinals (0 = the first
+//! thread to record). Both exist purely so the trace can be replayed onto
+//! a timeline (`dpaudit trace export --format chrome`); deterministic
+//! folds ignore them.
+//!
+//! Like the trial store, [`read_events`] / [`read_trace_lines`] tolerate a
+//! truncated *final* line (a crash mid-append) by dropping it; an
+//! unparsable line anywhere else is corruption and an error.
 
 use crate::event::Event;
 use crate::sink::Sink;
@@ -17,10 +24,13 @@ use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{BufWriter, Read as _, Write as _};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Trace file format version; bump on incompatible line-format changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 wrapped each event in a [`TraceLine`] with `ts_nanos`/`tid`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Discriminator string stored in the header's `kind` field.
 pub const TRACE_KIND: &str = "dpaudit-obs-trace";
@@ -44,12 +54,36 @@ impl ObsHeader {
     }
 }
 
+/// One trace file line: an [`Event`] plus where and when it was captured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLine {
+    /// Monotonic nanoseconds since the sink was created.
+    pub ts_nanos: u64,
+    /// Small per-process ordinal of the recording thread (0-based).
+    pub tid: u64,
+    /// The recorded event itself.
+    pub event: Event,
+}
+
+/// Small, stable per-process ordinal for the calling thread. Ordinals are
+/// assigned on first use, so a trace's thread ids are dense and start at 0
+/// regardless of what the OS calls the threads.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
 /// A [`Sink`] appending every event as one JSON line. Writes are buffered;
 /// call [`Sink::flush`] (the engine does, at run end) to push them out.
 /// Unlike the trial store there is no per-line fsync — a trace is
 /// diagnostic, not the source of truth, and a torn tail is recoverable.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    /// Zero point for every line's `ts_nanos`.
+    epoch: Instant,
 }
 
 impl JsonlSink {
@@ -64,6 +98,7 @@ impl JsonlSink {
         writeln!(writer, "{}", serde_json::to_value(&ObsHeader::current()))?;
         Ok(JsonlSink {
             writer: Mutex::new(writer),
+            epoch: Instant::now(),
         })
     }
 
@@ -76,9 +111,14 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
+        let line = TraceLine {
+            ts_nanos: self.epoch.elapsed().as_nanos() as u64,
+            tid: thread_ordinal(),
+            event: event.clone(),
+        };
         // Serialise outside the lock; hold it only for the single write so
         // concurrent workers never interleave partial lines.
-        let line = serde_json::to_value(event).to_string();
+        let line = serde_json::to_value(&line).to_string();
         let _ = writeln!(self.lock(), "{line}");
     }
 
@@ -87,7 +127,7 @@ impl Sink for JsonlSink {
     }
 }
 
-/// Read a trace file back: header plus every parsable event line.
+/// Read a trace file back: header plus every parsable [`TraceLine`].
 ///
 /// A final line that fails to parse is treated as a crash-truncated tail
 /// and dropped; a bad line anywhere else is an error.
@@ -95,7 +135,7 @@ impl Sink for JsonlSink {
 /// # Errors
 /// I/O errors, a missing/invalid header, a schema-version mismatch, or a
 /// corrupt non-final line.
-pub fn read_events(path: &Path) -> std::io::Result<(ObsHeader, Vec<Event>)> {
+pub fn read_trace_lines(path: &Path) -> std::io::Result<(ObsHeader, Vec<TraceLine>)> {
     let mut text = String::new();
     File::open(path)?.read_to_string(&mut text)?;
     let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
@@ -120,11 +160,11 @@ pub fn read_events(path: &Path) -> std::io::Result<(ObsHeader, Vec<Event>)> {
     }
 
     let remaining: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
-    let mut events = Vec::with_capacity(remaining.len());
+    let mut parsed = Vec::with_capacity(remaining.len());
     let last = remaining.len().saturating_sub(1);
     for (pos, (line_no, line)) in remaining.into_iter().enumerate() {
-        match serde_json::from_str::<Event>(line) {
-            Ok(event) => events.push(event),
+        match serde_json::from_str::<TraceLine>(line) {
+            Ok(entry) => parsed.push(entry),
             // Torn tail from a crash mid-append: drop and carry on.
             Err(_) if pos == last => break,
             Err(e) => {
@@ -132,6 +172,18 @@ pub fn read_events(path: &Path) -> std::io::Result<(ObsHeader, Vec<Event>)> {
             }
         }
     }
+    Ok((header, parsed))
+}
+
+/// Read a trace file back as bare events, dropping each line's capture
+/// metadata. This is what metric folds consume — timestamps and thread
+/// ids are irrelevant to (and excluded from) deterministic snapshots.
+///
+/// # Errors
+/// Same as [`read_trace_lines`].
+pub fn read_events(path: &Path) -> std::io::Result<(ObsHeader, Vec<Event>)> {
+    let (header, lines) = read_trace_lines(path)?;
+    let events = lines.into_iter().map(|l| l.event).collect();
     Ok((header, events))
 }
 
@@ -160,6 +212,12 @@ mod tests {
                 name: "h".into(),
                 value: 0.5,
             },
+            Event::Ledger {
+                step: 1,
+                local_sensitivity: 0.02,
+                eps_prime: 0.4,
+                eps_budget: Some(1.0),
+            },
         ]
     }
 
@@ -178,6 +236,23 @@ mod tests {
     }
 
     #[test]
+    fn trace_lines_carry_monotone_timestamps() {
+        let path = temp_path("timestamps.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        sink.flush().unwrap();
+        let (_, lines) = read_trace_lines(&path).unwrap();
+        assert_eq!(lines.len(), sample_events().len());
+        // One recording thread here, so timestamps are non-decreasing and
+        // every line shares a tid.
+        assert!(lines.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+        assert!(lines.iter().all(|l| l.tid == lines[0].tid));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn truncated_tail_is_dropped() {
         let path = temp_path("torn_tail.jsonl");
         let sink = JsonlSink::create(&path).unwrap();
@@ -187,7 +262,7 @@ mod tests {
         sink.flush().unwrap();
         drop(sink);
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("{\"Counter\":{\"name\":\"torn");
+        text.push_str("{\"ts_nanos\":12,\"tid\":0,\"event\":{\"Counter\":{\"name\":\"torn");
         fs::write(&path, &text).unwrap();
         let (_, events) = read_events(&path).unwrap();
         assert_eq!(events, sample_events());
@@ -198,9 +273,13 @@ mod tests {
     fn mid_file_corruption_is_an_error() {
         let path = temp_path("corrupt.jsonl");
         let header = serde_json::to_value(&ObsHeader::current()).to_string();
-        let good = serde_json::to_value(&Event::Counter {
-            name: "a".into(),
-            delta: 1,
+        let good = serde_json::to_value(&TraceLine {
+            ts_nanos: 7,
+            tid: 0,
+            event: Event::Counter {
+                name: "a".into(),
+                delta: 1,
+            },
         })
         .to_string();
         fs::write(&path, format!("{header}\nnot json\n{good}\n")).unwrap();
@@ -210,14 +289,34 @@ mod tests {
     }
 
     #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let path = temp_path("old_version.jsonl");
+        // A well-formed v1 header (pre-TraceLine format): right kind,
+        // stale version. The reader must refuse rather than misparse.
+        fs::write(
+            &path,
+            "{\"schema_version\":1,\"kind\":\"dpaudit-obs-trace\"}\n",
+        )
+        .unwrap();
+        let err = read_events(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("schema version 1 unsupported"),
+            "{err}"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn wrong_kind_is_rejected() {
         let path = temp_path("wrong_kind.jsonl");
         fs::write(
             &path,
-            "{\"schema_version\":1,\"kind\":\"dpaudit-trial-store\"}\n",
+            "{\"schema_version\":2,\"kind\":\"dpaudit-trial-store\"}\n",
         )
         .unwrap();
-        assert!(read_events(&path).is_err());
+        let err = read_events(&path).unwrap_err();
+        assert!(err.to_string().contains("not an obs trace"), "{err}");
         fs::remove_file(&path).ok();
     }
 }

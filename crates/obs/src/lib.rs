@@ -49,16 +49,20 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod export;
 mod global;
 mod jsonl;
 mod registry;
 mod sink;
 
 pub use event::{bucket_bounds, names, Event};
+pub use export::{chrome_trace, render_prometheus, MetricsServer};
 pub use global::{
     counter, enabled, gauge_max, install, observe, record, span, span_nanos, InstallGuard,
     SpanGuard,
 };
-pub use jsonl::{read_events, JsonlSink, ObsHeader, SCHEMA_VERSION, TRACE_KIND};
+pub use jsonl::{
+    read_events, read_trace_lines, JsonlSink, ObsHeader, TraceLine, SCHEMA_VERSION, TRACE_KIND,
+};
 pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, SpanStat};
 pub use sink::{MultiSink, NoopSink, Sink};

@@ -1,6 +1,6 @@
 //! The in-memory [`MetricsRegistry`] sink and its serialisable snapshot.
 
-use crate::event::{bucket_bounds, Event};
+use crate::event::{bucket_bounds, names, Event};
 use crate::sink::Sink;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -165,6 +165,47 @@ impl Sink for MetricsRegistry {
                 stat.count += 1;
                 stat.total_nanos += nanos;
             }
+            // A structured ledger step folds into the scalar taxonomy:
+            // count + sensitivity sample + running-max ε′ / ε budget. All
+            // four folds stay commutative, so the determinism contract of
+            // MetricsSnapshot is preserved. Non-finite ε′ (a saturated
+            // belief or an un-noised release) is skipped: JSON has no
+            // representation for it and max-with-∞ would flatten the gauge.
+            Event::Ledger {
+                local_sensitivity,
+                eps_prime,
+                eps_budget,
+                ..
+            } => {
+                let snapshot = &mut inner.snapshot;
+                *snapshot
+                    .counters
+                    .entry(names::LEDGER_STEPS.to_string())
+                    .or_insert(0) += 1;
+                snapshot
+                    .histograms
+                    .entry(names::LEDGER_SENSITIVITY_HIST.to_string())
+                    .or_insert_with(|| {
+                        Histogram::new(bucket_bounds(names::LEDGER_SENSITIVITY_HIST))
+                    })
+                    .observe(*local_sensitivity);
+                if eps_prime.is_finite() {
+                    let slot = snapshot
+                        .gauges
+                        .entry(names::EPS_PRIME_LS_GAUGE.to_string())
+                        .or_insert(f64::NEG_INFINITY);
+                    *slot = slot.max(*eps_prime);
+                }
+                if let Some(budget) = eps_budget {
+                    if budget.is_finite() {
+                        let slot = snapshot
+                            .gauges
+                            .entry(names::EPS_TARGET_GAUGE.to_string())
+                            .or_insert(f64::NEG_INFINITY);
+                        *slot = slot.max(*budget);
+                    }
+                }
+            }
         }
     }
 }
@@ -243,6 +284,31 @@ mod tests {
         assert!((s.mean_ms() - 2.0).abs() < 1e-12);
         // Spans do not leak into the deterministic snapshot.
         assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn ledger_events_fold_into_the_scalar_taxonomy() {
+        let registry = MetricsRegistry::new();
+        for (step, (ls, eps)) in [(0.02, 0.4), (0.03, 0.9), (0.01, 0.7)].iter().enumerate() {
+            registry.record(&Event::Ledger {
+                step: step as u64 + 1,
+                local_sensitivity: *ls,
+                eps_prime: *eps,
+                eps_budget: Some(1.5),
+            });
+        }
+        // Non-finite ε′ must not poison the gauge.
+        registry.record(&Event::Ledger {
+            step: 4,
+            local_sensitivity: 0.02,
+            eps_prime: f64::INFINITY,
+            eps_budget: None,
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters[names::LEDGER_STEPS], 4);
+        assert_eq!(snap.histograms[names::LEDGER_SENSITIVITY_HIST].total(), 4);
+        assert_eq!(snap.gauges[names::EPS_PRIME_LS_GAUGE], 0.9);
+        assert_eq!(snap.gauges[names::EPS_TARGET_GAUGE], 1.5);
     }
 
     #[test]

@@ -23,13 +23,21 @@ pub struct Progress {
 impl Progress {
     /// One-line human rendering, e.g.
     /// `"  17/250 trials · 3.2 trials/s · ETA 73s"`.
+    ///
+    /// Before the first completion (or on a stalled run) the throughput is
+    /// zero and no ETA exists; that renders as `ETA --` rather than a
+    /// meaningless `inf`/`NaN`.
     pub fn render(&self) -> String {
+        let eta = if self.eta_secs.is_finite() {
+            format!("{:.0}s", self.eta_secs)
+        } else {
+            "--".to_string()
+        };
         format!(
-            "{:>5}/{} trials · {:.1} trials/s · ETA {:.0}s",
+            "{:>5}/{} trials · {:.1} trials/s · ETA {eta}",
             self.completed + self.replayed,
             self.total + self.replayed,
             self.trials_per_sec,
-            self.eta_secs
         )
     }
 }
@@ -106,10 +114,27 @@ mod tests {
     }
 
     #[test]
-    fn zero_rate_yields_infinite_eta() {
+    fn zero_rate_yields_infinite_eta_rendered_as_dashes() {
         let meter = ProgressMeter::new(10, 0);
         let p = meter.snapshot();
         assert_eq!(p.completed, 0);
         assert!(p.eta_secs.is_infinite());
+        let line = p.render();
+        assert!(line.contains("ETA --"), "{line}");
+        assert!(!line.contains("inf"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+    }
+
+    #[test]
+    fn nan_eta_renders_as_dashes() {
+        let p = Progress {
+            completed: 0,
+            total: 10,
+            replayed: 0,
+            elapsed_secs: 0.0,
+            trials_per_sec: 0.0,
+            eta_secs: f64::NAN,
+        };
+        assert!(p.render().contains("ETA --"), "{}", p.render());
     }
 }

@@ -21,7 +21,7 @@ use crate::aggregate::{StreamingAggregates, TrialOutcome};
 use crate::executor::{run_trials, ExecPlan};
 use crate::progress::{Progress, ProgressMeter};
 use crate::store::{read_store, StoreHeader, TrialRecord, TrialStore};
-use dpaudit_core::AuditReport;
+use dpaudit_core::{AuditReport, MaxBeliefEstimator};
 use dpaudit_datasets::Dataset;
 use dpaudit_dpsgd::NeighborPair;
 use dpaudit_nn::Sequential;
@@ -135,7 +135,25 @@ impl AuditSession {
             header.delta,
             header.rho_beta_bound,
         );
+        if obs::enabled() {
+            // Anchor the live ε′ stream: the budget the run is audited
+            // against, so exporters can draw ε′ vs ε without extra context.
+            obs::gauge_max(obs::names::EPS_TARGET_GAUGE, header.target_epsilon);
+        }
         for record in &self.existing {
+            if obs::enabled() {
+                // Replayed trials were not re-executed, so their ledger
+                // events never stream; fold their final ε′ contributions
+                // into the gauges directly so a resumed run's telemetry
+                // still converges to the stored report's values.
+                if record.eps_ls.is_finite() {
+                    obs::gauge_max(obs::names::EPS_PRIME_LS_GAUGE, record.eps_ls);
+                }
+                let eps_belief = MaxBeliefEstimator::from_max_belief(record.trial.belief_trained);
+                if eps_belief.is_finite() {
+                    obs::gauge_max(obs::names::EPS_PRIME_GAUGE, eps_belief);
+                }
+            }
             aggregates.push(record.idx, TrialOutcome::from(record));
             if let Some(out) = sink.as_deref_mut() {
                 out.push(record.clone());

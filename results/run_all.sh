@@ -29,4 +29,23 @@ done
 ./target/release/fig10_eps_from_advantage > results/fig10_eps_from_advantage.txt 2>&1 && echo "done fig10"
 ./target/release/extra_mi_vs_di > results/extra_mi_vs_di.txt 2>&1 && echo "done extra_mi_vs_di"
 ./target/release/ablation_clipping > results/ablation_clipping.txt 2>&1 && echo "done ablation_clipping"
+# Live privacy-loss telemetry artefacts: one instrumented MNIST audit whose
+# per-step ε ledger is captured as a deterministic metrics snapshot, a JSONL
+# event trace, the rendered metrics report, and a Chrome/Perfetto export of
+# the trace (load results/obs/mnist_trace.chrome.json at ui.perfetto.dev).
+mkdir -p results/obs
+./target/release/dpaudit audit run \
+  --workload mnist --reps 4 --steps 3 --train-size 20 --fresh \
+  --out results/obs/mnist_audit.jsonl \
+  --metrics results/obs/mnist_metrics.json \
+  --trace results/obs/mnist_trace.jsonl > results/obs/mnist_audit.txt 2>&1 && echo "done obs audit"
+./target/release/dpaudit metrics report \
+  --metrics results/obs/mnist_metrics.json \
+  --trace results/obs/mnist_trace.jsonl > results/obs/mnist_metrics_report.txt 2>&1 && echo "done obs report"
+./target/release/dpaudit trace export \
+  --trace results/obs/mnist_trace.jsonl \
+  --out results/obs/mnist_trace.chrome.json > /dev/null 2>&1 && echo "done obs chrome export"
+./target/release/dpaudit watch \
+  --store results/obs/mnist_audit.jsonl --trace results/obs/mnist_trace.jsonl \
+  --max-ticks 1 --interval-ms 1 > results/obs/mnist_watch.txt 2>&1 && echo "done obs watch"
 echo ALL_RUNS_COMPLETE

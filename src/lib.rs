@@ -52,8 +52,6 @@ pub mod prelude {
         EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,
         MiAdversary, ScalarMechanism, ScalarQuery, TrialSettings,
     };
-    #[allow(deprecated)]
-    pub use dpaudit_core::{eps_from_advantage, eps_from_local_sensitivities, eps_from_max_belief};
     pub use dpaudit_datasets::{
         bounded_candidates, dataset_sensitivity_bounded, dataset_sensitivity_unbounded,
         generate_mnist, generate_purchase, unbounded_candidates, Dataset, Hamming, NegSsim,
