@@ -1,0 +1,68 @@
+//! Criterion benchmark of the batched per-example-gradient pipeline behind
+//! every DPSGD step: the scalar per-example oracle vs the batched
+//! gemm-shaped clip loop vs the chunk-parallel clip loop. All three produce
+//! bit-identical clipped gradient sums (see the property tests in
+//! `dpaudit-nn` and `dpaudit-dpsgd`); this measures what the refactor buys.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpaudit_bench::Workload;
+use dpaudit_dpsgd::{clip_loop, ClippingStrategy};
+use dpaudit_math::{axpy, seeded_rng};
+use dpaudit_nn::Sequential;
+use dpaudit_tensor::Tensor;
+use rayon::ThreadPoolBuilder;
+
+const TRAIN: usize = 32;
+
+fn setup() -> (Sequential, Vec<Tensor>, Vec<usize>) {
+    let workload = Workload::Mnist;
+    let world = workload.world(3, TRAIN);
+    let mut rng = seeded_rng(5);
+    let mut model = workload.build_model(&mut rng);
+    model.update_norm_stats(&world.train.xs);
+    (model, world.train.xs, world.train.ys)
+}
+
+/// The pre-refactor step body: one forward/backward per example on the
+/// scalar kernels, then clip and accumulate.
+fn scalar_step(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+    clipping: &ClippingStrategy,
+    layout: &[usize],
+) -> Vec<f64> {
+    let mut sum = vec![0.0; model.param_count()];
+    for (x, &y) in xs.iter().zip(ys) {
+        let (_, mut g) = model.per_example_grad_scalar(x, y);
+        clipping.clip(&mut g, layout);
+        axpy(1.0, &g, &mut sum);
+    }
+    sum
+}
+
+fn bench_batched_step(c: &mut Criterion) {
+    let (model, xs, ys) = setup();
+    let clipping = ClippingStrategy::Flat(3.0);
+    let layout = model.param_layout();
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build()
+        .expect("thread pool construction cannot fail");
+
+    let mut g = c.benchmark_group("batched_step");
+    g.sample_size(10);
+    g.bench_function(format!("scalar_{TRAIN}"), |b| {
+        b.iter(|| black_box(scalar_step(&model, &xs, &ys, &clipping, &layout)))
+    });
+    g.bench_function(format!("batched_{TRAIN}"), |b| {
+        b.iter(|| black_box(clip_loop(&model, &xs, &ys, &clipping, &layout, None)))
+    });
+    g.bench_function(format!("parallel_{TRAIN}"), |b| {
+        b.iter(|| black_box(clip_loop(&model, &xs, &ys, &clipping, &layout, Some(&pool))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_step);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 /// * `--json`    — additionally emit a JSON blob of the results.
 /// * `--steps N` — override the number of training steps (default 30).
 /// * `--threads N`   — worker threads for engine-backed batches (default: all cores).
+/// * `--batch-threads N` — clip-loop worker threads inside each trial
+///   (default 1 = sequential; 0 = all cores). Cannot change any result.
 /// * `--store-dir D` — persist engine-backed batches as resumable trial
 ///   stores under directory `D` (see `dpaudit-runtime`).
 #[derive(Debug, Clone)]
@@ -24,6 +26,9 @@ pub struct Args {
     pub steps: Option<usize>,
     /// Worker threads for engine-backed batches (0 = machine parallelism).
     pub threads: usize,
+    /// Clip-loop worker threads inside each trial (1 = sequential,
+    /// 0 = machine parallelism).
+    pub batch_threads: usize,
     /// Directory for durable, resumable trial stores.
     pub store_dir: Option<String>,
 }
@@ -37,6 +42,7 @@ impl Default for Args {
             json: false,
             steps: None,
             threads: 0,
+            batch_threads: 1,
             store_dir: None,
         }
     }
@@ -72,13 +78,17 @@ impl Args {
                     let v = it.next().expect("--threads needs a value");
                     out.threads = v.parse().expect("--threads must be an integer");
                 }
+                "--batch-threads" => {
+                    let v = it.next().expect("--batch-threads needs a value");
+                    out.batch_threads = v.parse().expect("--batch-threads must be an integer");
+                }
                 "--store-dir" => {
                     out.store_dir = Some(it.next().expect("--store-dir needs a value"));
                 }
                 "--full" => out.full = true,
                 "--json" => out.json = true,
                 other => panic!(
-                    "unknown flag {other}; supported: --reps N --seed N --steps N --threads N --store-dir D --full --json"
+                    "unknown flag {other}; supported: --reps N --seed N --steps N --threads N --batch-threads N --store-dir D --full --json"
                 ),
             }
         }
@@ -100,6 +110,7 @@ impl Args {
     pub fn engine_opts(&self) -> crate::EngineOpts {
         crate::EngineOpts {
             threads: self.threads,
+            batch_threads: self.batch_threads,
             store_dir: self.store_dir.clone().map(std::path::PathBuf::from),
         }
     }
@@ -152,17 +163,27 @@ mod tests {
 
     #[test]
     fn threads_and_store_dir_feed_engine_opts() {
-        let a = parse(&["--threads", "4", "--store-dir", "results/stores"]);
+        let a = parse(&[
+            "--threads",
+            "4",
+            "--batch-threads",
+            "2",
+            "--store-dir",
+            "results/stores",
+        ]);
         assert_eq!(a.threads, 4);
+        assert_eq!(a.batch_threads, 2);
         assert_eq!(a.store_dir.as_deref(), Some("results/stores"));
         let opts = a.engine_opts();
         assert_eq!(opts.threads, 4);
+        assert_eq!(opts.batch_threads, 2);
         assert_eq!(
             opts.store_dir.as_deref(),
             Some(std::path::Path::new("results/stores"))
         );
         let d = parse(&[]).engine_opts();
         assert_eq!(d.threads, 0);
+        assert_eq!(d.batch_threads, 1);
         assert_eq!(d.store_dir, None);
     }
 }

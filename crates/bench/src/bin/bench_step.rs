@@ -1,0 +1,114 @@
+//! Throughput probe for the batched gradient pipeline: per-example-gradient
+//! examples/sec on the scalar oracle path, the batched gemm-shaped clip
+//! loop, and the chunk-parallel clip loop, per workload, emitted as a JSON
+//! blob (`results/run_all.sh` captures it as `results/BENCH_step.json`).
+//!
+//! Per-example gradients are bit-identical across all three paths (the
+//! `dpaudit-nn` property tests), and the two clip-loop sums share one
+//! fixed-chunk-order reduction — asserted here — so the ratios are pure
+//! speed. The scalar baseline accumulates sequentially (the pre-refactor
+//! chain), which is numerically equivalent but not bit-identical to the
+//! chunked reduction; it is compared within tolerance only.
+
+use dpaudit_bench::Workload;
+use dpaudit_dpsgd::{clip_loop, ClippingStrategy};
+use dpaudit_math::{axpy, seeded_rng};
+use dpaudit_nn::Sequential;
+use dpaudit_tensor::Tensor;
+use rayon::ThreadPoolBuilder;
+use std::time::Instant;
+
+const TRAIN: usize = 64;
+const ITERS: usize = 5;
+
+fn scalar_step(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+    clipping: &ClippingStrategy,
+    layout: &[usize],
+) -> Vec<f64> {
+    let mut sum = vec![0.0; model.param_count()];
+    for (x, &y) in xs.iter().zip(ys) {
+        let (_, mut g) = model.per_example_grad_scalar(x, y);
+        clipping.clip(&mut g, layout);
+        axpy(1.0, &g, &mut sum);
+    }
+    sum
+}
+
+/// Examples/sec over `ITERS` timed repetitions (after one warm-up).
+fn throughput(mut step: impl FnMut() -> Vec<f64>) -> (f64, Vec<f64>) {
+    let sum = step();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(step());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    ((ITERS * TRAIN) as f64 / secs, sum)
+}
+
+fn measure(workload: Workload, pool: &rayon::ThreadPool) -> serde_json::Value {
+    let world = workload.world(3, TRAIN);
+    let mut rng = seeded_rng(5);
+    let mut model = workload.build_model(&mut rng);
+    model.update_norm_stats(&world.train.xs);
+    let (xs, ys) = (&world.train.xs, &world.train.ys);
+    let clipping = ClippingStrategy::Flat(3.0);
+    let layout = model.param_layout();
+
+    let (scalar, scalar_sum) = throughput(|| scalar_step(&model, xs, ys, &clipping, &layout));
+    let (batched, batched_sum) =
+        throughput(|| clip_loop(&model, xs, ys, &clipping, &layout, None).clean_sum);
+    let (parallel, parallel_sum) =
+        throughput(|| clip_loop(&model, xs, ys, &clipping, &layout, Some(pool)).clean_sum);
+
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&batched_sum),
+        bits(&parallel_sum),
+        "parallel sum drifted"
+    );
+    let worst = scalar_sum
+        .iter()
+        .zip(&batched_sum)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-9, "batched sum drifted from scalar: {worst}");
+
+    serde_json::json!({
+        "workload": workload.key(),
+        "examples_per_sec": serde_json::json!({
+            "scalar": scalar,
+            "batched": batched,
+            "parallel": parallel,
+        }),
+        "speedup_vs_scalar": serde_json::json!({
+            "batched": batched / scalar,
+            "parallel": parallel / scalar,
+        }),
+        "parallel_sum_bit_identical_to_batched": true,
+    })
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build()
+        .expect("thread pool construction cannot fail");
+    let runs: Vec<serde_json::Value> = [Workload::Mnist, Workload::Purchase]
+        .into_iter()
+        .map(|w| measure(w, &pool))
+        .collect();
+    let blob = serde_json::json!({
+        "train_size": TRAIN,
+        "iters": ITERS,
+        "cores": cores,
+        "runs": runs,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&blob).expect("serialize")
+    );
+}

@@ -239,10 +239,13 @@ pub fn run_batch_parallel(
 }
 
 /// Execution options for [`run_batch_engine`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOpts {
     /// Worker threads (0 = machine parallelism).
     pub threads: usize,
+    /// Intra-trial clip-loop worker threads (1 = sequential, 0 = machine
+    /// parallelism).
+    pub batch_threads: usize,
     /// When set, batches persist to `<dir>/<label>.jsonl` trial stores; an
     /// existing store with a matching header is resumed instead of re-run.
     pub store_dir: Option<std::path::PathBuf>,
@@ -286,7 +289,7 @@ pub struct EngineBatch<'a> {
 /// Panics on store I/O failures (these binaries fail fast) or invalid
 /// settings.
 pub fn run_batch_engine(batch: &EngineBatch<'_>, opts: &EngineOpts) -> dpaudit_core::DiBatchResult {
-    use dpaudit_runtime::{AuditSession, Seed, StoreHeader, SCHEMA_VERSION};
+    use dpaudit_runtime::{AuditSession, Parallelism, Seed, StoreHeader, SCHEMA_VERSION};
 
     let header = StoreHeader {
         schema_version: SCHEMA_VERSION,
@@ -336,7 +339,10 @@ pub fn run_batch_engine(batch: &EngineBatch<'_>, opts: &EngineOpts) -> dpaudit_c
             batch.pair,
             batch.test_set,
             |rng| workload.build_model(rng),
-            opts.threads,
+            Parallelism {
+                trial_threads: opts.threads,
+                batch_threads: opts.batch_threads,
+            },
             |p| {
                 // One throughput line per batch; per-trial progress is the
                 // CLI's job (`dpaudit audit run`).

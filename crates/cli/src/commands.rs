@@ -636,6 +636,48 @@ mod tests {
     }
 
     #[test]
+    fn report_and_metrics_are_byte_stable_across_batch_thread_counts() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-batch-threads-stability");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_with = |batch_threads: &str| {
+            let store = dir.join(format!("store-b{batch_threads}.jsonl"));
+            let metrics = dir.join(format!("metrics-b{batch_threads}.json"));
+            let _ = std::fs::remove_file(&store);
+            let report = run_line(&[
+                "audit",
+                "run",
+                "--workload",
+                "purchase",
+                "--reps",
+                "4",
+                "--steps",
+                "2",
+                "--train-size",
+                "30",
+                "--batch-threads",
+                batch_threads,
+                "--out",
+                store.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+            ])
+            .unwrap();
+            let bytes = std::fs::read(&metrics).unwrap();
+            std::fs::remove_file(&store).ok();
+            std::fs::remove_file(&metrics).ok();
+            (report, bytes)
+        };
+        let (serial_report, serial_metrics) = run_with("1");
+        let (parallel_report, parallel_metrics) = run_with("4");
+        // The clip loop reduces in fixed chunk order, so the intra-trial
+        // worker count can change neither the rendered report nor the
+        // deterministic metrics snapshot.
+        assert_eq!(serial_report, parallel_report);
+        assert_eq!(serial_metrics, parallel_metrics);
+        assert!(serial_report.contains("eps"), "{serial_report}");
+    }
+
+    #[test]
     fn watch_renders_a_final_dashboard_over_a_complete_store() {
         let dir = std::env::temp_dir().join("dpaudit-cli-watch-test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -9,8 +9,8 @@ use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
 use dpaudit_obs::{self as obs, JsonlSink, MetricsRegistry, MultiSink, Sink};
 use dpaudit_runtime::{
-    render_partial, render_report, replay_store, AuditSession, Progress, Seed, StoreHeader,
-    SCHEMA_VERSION,
+    render_partial, render_report, replay_store, AuditSession, Parallelism, Progress, Seed,
+    StoreHeader, SCHEMA_VERSION,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -51,7 +51,7 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
     let challenge = parse_challenge(opts.str_opt("challenge").unwrap_or("random"))?;
     let detail = parse_detail(opts.str_opt("detail").unwrap_or("summary"))?;
     let seed = opts.u64_or("seed", 42)?;
-    let threads = opts.usize_or("threads", 0)?;
+    let parallelism = parse_parallelism(opts)?;
     let train_size = opts.usize_or("train-size", workload.default_train_size())?;
     let label = opts
         .str_opt("label")
@@ -83,14 +83,14 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
     }
     let session =
         AuditSession::create(path, header).map_err(|e| format!("cannot create store: {e}"))?;
-    execute(session, threads, opts)
+    execute(session, parallelism, opts)
 }
 
 fn cmd_resume(opts: &Opts) -> Result<String, String> {
     let store = opts
         .str_opt("store")
         .ok_or("missing required --store FILE")?;
-    let threads = opts.usize_or("threads", 0)?;
+    let parallelism = parse_parallelism(opts)?;
     let session =
         AuditSession::resume(Path::new(store)).map_err(|e| format!("cannot resume store: {e}"))?;
     let done = session.header().reps - session.missing_indices().len();
@@ -99,7 +99,16 @@ fn cmd_resume(opts: &Opts) -> Result<String, String> {
         store,
         session.header().reps
     );
-    execute(session, threads, opts)
+    execute(session, parallelism, opts)
+}
+
+/// Both worker knobs from the flag set: `--threads` across trials,
+/// `--batch-threads` inside each trial's clip loop.
+fn parse_parallelism(opts: &Opts) -> Result<Parallelism, String> {
+    Ok(Parallelism {
+        trial_threads: opts.usize_or("threads", 0)?,
+        batch_threads: opts.usize_or("batch-threads", 1)?,
+    })
 }
 
 fn cmd_report(opts: &Opts) -> Result<String, String> {
@@ -221,7 +230,11 @@ impl ObsSetup {
 
 /// Rebuild the workload objects a header describes and run the missing
 /// trials, streaming progress to stderr.
-fn execute(mut session: AuditSession, threads: usize, opts: &Opts) -> Result<String, String> {
+fn execute(
+    mut session: AuditSession,
+    parallelism: Parallelism,
+    opts: &Opts,
+) -> Result<String, String> {
     let header = session.header().clone();
     let (workload, pair) = rebuild_workload(&header)?;
     let total = session.missing_indices().len();
@@ -237,7 +250,7 @@ fn execute(mut session: AuditSession, threads: usize, opts: &Opts) -> Result<Str
             &pair,
             None,
             |rng| workload.build_model(rng),
-            threads,
+            parallelism,
             on_progress,
             None,
         )

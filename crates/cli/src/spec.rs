@@ -155,6 +155,11 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "N",
                 "worker threads (0 = machine parallelism) [0]",
             ),
+            opt(
+                "batch-threads",
+                "N",
+                "clip-loop threads inside each trial; never changes results [1]",
+            ),
             opt("train-size", "N", "training-set size [workload default]"),
             opt("label", "L", "free-form store label"),
             opt(
@@ -190,6 +195,11 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "threads",
                 "N",
                 "worker threads (0 = machine parallelism) [0]",
+            ),
+            opt(
+                "batch-threads",
+                "N",
+                "clip-loop threads inside each trial; never changes results [1]",
             ),
             opt(
                 "metrics",

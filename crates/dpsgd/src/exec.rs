@@ -1,0 +1,250 @@
+//! The batched DPSGD clip loop and its intra-trial parallelism knob.
+//!
+//! [`clip_loop`] is the per-step hot path of every audit trial: per-example
+//! gradients, clipping, and the clipped-gradient sum. It walks the dataset
+//! in fixed chunks of [`CLIP_CHUNK`] examples, computes each chunk with one
+//! batched forward/backward pass, and folds the per-chunk partial sums in
+//! chunk-index order. Because the chunking is a constant of the data (never
+//! of the worker count) and the fold order is fixed, the result is
+//! bit-identical whether chunks run sequentially or on a thread pool —
+//! the same invariant the runtime executor guarantees across trials.
+//!
+//! The thread count is a process-wide knob ([`set_batch_threads`]) rather
+//! than a per-call argument because the trainer sits several layers below
+//! the code that knows the CLI configuration, and the knob cannot affect
+//! any result — only how fast it arrives.
+
+use dpaudit_math::axpy;
+use dpaudit_nn::Sequential;
+use dpaudit_obs as obs;
+use dpaudit_tensor::Tensor;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::clip::ClippingStrategy;
+
+/// Examples per clip-loop chunk. A constant of the computation, not of the
+/// thread count: chunk boundaries define the fixed-order reduction that
+/// makes the clipped-gradient sum independent of parallelism. 16 examples
+/// keeps a chunk's per-example gradient buffer around 11 MB for the largest
+/// reference model (purchase MLP, ~90k parameters).
+pub const CLIP_CHUNK: usize = 16;
+
+/// Worker threads for the clip loop inside one trial (process-wide).
+/// 1 = sequential (default), 0 = machine parallelism.
+static BATCH_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the intra-trial clip-loop worker count: 1 = sequential, 0 = machine
+/// parallelism. Safe to call at any time — the value changes throughput
+/// only, never results.
+pub fn set_batch_threads(n: usize) {
+    BATCH_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The configured intra-trial worker count (0 = machine parallelism).
+pub fn batch_threads() -> usize {
+    BATCH_THREADS.load(Ordering::Relaxed)
+}
+
+/// The resolved intra-trial worker count (with 0 mapped to the machine's
+/// available parallelism).
+pub fn effective_batch_threads() -> usize {
+    match batch_threads() {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// A thread pool sized by [`set_batch_threads`], or `None` when the knob
+/// resolves to sequential execution. Build once per training run and pass
+/// to every [`clip_loop`] call.
+pub fn batch_pool() -> Option<ThreadPool> {
+    let n = effective_batch_threads();
+    (n > 1).then(|| {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("clip-loop thread pool")
+    })
+}
+
+/// Aggregates of one clip-loop pass over a dataset.
+#[derive(Debug, Clone)]
+pub struct ClipLoopOutput {
+    /// Sum of the clipped per-example gradients (flat parameter layout).
+    pub clean_sum: Vec<f64>,
+    /// Sum of the per-example losses.
+    pub loss_total: f64,
+    /// Examples whose pre-clip norm was already within the bound.
+    pub unclipped: usize,
+}
+
+/// One pass of the DPSGD clip loop: per-example gradients over `(xs, ys)`
+/// via the batched pipeline, clipped by `clipping` over `layout`, summed in
+/// fixed chunk order. With `pool`, chunks run in parallel; the output is
+/// bit-identical either way (see the module docs).
+pub fn clip_loop(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+    clipping: &ClippingStrategy,
+    layout: &[usize],
+    pool: Option<&ThreadPool>,
+) -> ClipLoopOutput {
+    let dim = model.param_count();
+    let bound = clipping.total_bound();
+    let ranges: Vec<(usize, usize)> = (0..xs.len())
+        .step_by(CLIP_CHUNK)
+        .map(|start| (start, usize::min(start + CLIP_CHUNK, xs.len())))
+        .collect();
+    let run_chunk = |(start, end): (usize, usize)| {
+        let chunk_span = obs::span(obs::names::CLIP_CHUNK_SPAN);
+        let (losses, mut grads) = model.per_example_grads(&xs[start..end], &ys[start..end]);
+        let mut clean_sum = vec![0.0; dim];
+        let mut unclipped = 0usize;
+        for row in grads.data_mut().chunks_exact_mut(dim) {
+            let pre_norm = clipping.clip(row, layout);
+            if pre_norm <= bound {
+                unclipped += 1;
+            }
+            axpy(1.0, row, &mut clean_sum);
+        }
+        let loss_total: f64 = losses.iter().sum();
+        drop(chunk_span);
+        ClipLoopOutput {
+            clean_sum,
+            loss_total,
+            unclipped,
+        }
+    };
+    let partials: Vec<ClipLoopOutput> = match pool {
+        Some(pool) if ranges.len() > 1 => {
+            pool.install(|| ranges.into_par_iter().map(&run_chunk).collect())
+        }
+        _ => ranges.into_iter().map(run_chunk).collect(),
+    };
+    // Fold the partials in chunk-index order — the fixed-order reduction
+    // that keeps the sum independent of scheduling.
+    let mut out = ClipLoopOutput {
+        clean_sum: vec![0.0; dim],
+        loss_total: 0.0,
+        unclipped: 0,
+    };
+    for p in partials {
+        axpy(1.0, &p.clean_sum, &mut out.clean_sum);
+        out.loss_total += p.loss_total;
+        out.unclipped += p.unclipped;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpaudit_math::seeded_rng;
+    use dpaudit_nn::{Dense, Layer};
+
+    fn setup(n: usize) -> (Sequential, Vec<Tensor>, Vec<usize>) {
+        let mut rng = seeded_rng(7);
+        let model = Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 5, 4)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(&mut rng, 4, 3)),
+        ]);
+        let xs: Vec<Tensor> = (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    &[5],
+                    (0..5)
+                        .map(|j| ((i * 7 + j * 3) % 13) as f64 / 13.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let ys: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        (model, xs, ys)
+    }
+
+    #[test]
+    fn knob_round_trips_and_resolves_zero() {
+        let before = batch_threads();
+        set_batch_threads(3);
+        assert_eq!(batch_threads(), 3);
+        assert_eq!(effective_batch_threads(), 3);
+        set_batch_threads(0);
+        assert!(effective_batch_threads() >= 1);
+        set_batch_threads(before);
+    }
+
+    #[test]
+    fn clip_loop_matches_scalar_per_example_loop_bitwise() {
+        // More examples than one chunk, with a ragged tail.
+        let (model, xs, ys) = setup(CLIP_CHUNK * 2 + 5);
+        let clipping = ClippingStrategy::Flat(0.7);
+        let layout = model.param_layout();
+        let out = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
+
+        // Chunked scalar oracle with the same fold order.
+        let bound = clipping.total_bound();
+        let mut expect = vec![0.0; model.param_count()];
+        let mut loss_total = 0.0;
+        let mut unclipped = 0;
+        for chunk in xs.chunks(CLIP_CHUNK).zip(ys.chunks(CLIP_CHUNK)) {
+            let mut partial = vec![0.0; model.param_count()];
+            for (x, &y) in chunk.0.iter().zip(chunk.1) {
+                let (loss, mut g) = model.per_example_grad_scalar(x, y);
+                let pre_norm = clipping.clip(&mut g, &layout);
+                if pre_norm <= bound {
+                    unclipped += 1;
+                }
+                loss_total += loss;
+                axpy(1.0, &g, &mut partial);
+            }
+            axpy(1.0, &partial, &mut expect);
+        }
+        assert_eq!(out.unclipped, unclipped);
+        assert_eq!(out.loss_total.to_bits(), loss_total.to_bits());
+        for (a, e) in out.clean_sum.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn clip_loop_is_bit_identical_across_thread_counts() {
+        let (model, xs, ys) = setup(CLIP_CHUNK * 3 + 2);
+        let clipping = ClippingStrategy::Flat(0.5);
+        let layout = model.param_layout();
+        let serial = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
+        for threads in [2, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel = clip_loop(&model, &xs, &ys, &clipping, &layout, Some(&pool));
+            assert_eq!(parallel.unclipped, serial.unclipped);
+            assert_eq!(parallel.loss_total.to_bits(), serial.loss_total.to_bits());
+            for (a, e) in parallel.clean_sum.iter().zip(&serial.clean_sum) {
+                assert_eq!(a.to_bits(), e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_chain_is_chunked_in_order() {
+        // The loss fold is (chunk-0 sum) + (chunk-1 sum) + …, each chunk an
+        // in-order sum — exercise a ragged two-chunk split explicitly.
+        let (model, xs, ys) = setup(CLIP_CHUNK + 1);
+        let clipping = ClippingStrategy::Flat(1.0);
+        let layout = model.param_layout();
+        let out = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
+        let per_example: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| model.per_example_grad_scalar(x, y).0)
+            .collect();
+        let head: f64 = per_example[..CLIP_CHUNK].iter().sum();
+        let tail: f64 = per_example[CLIP_CHUNK..].iter().sum();
+        assert_eq!(out.loss_total.to_bits(), (head + tail).to_bits());
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod clip;
 pub mod config;
+pub mod exec;
 pub mod federated;
 pub mod minibatch;
 pub mod optimizer;
@@ -35,6 +36,10 @@ pub mod transcript;
 
 pub use clip::{clip_to_norm, clipped_gradient, AdaptiveClipConfig, ClippingStrategy};
 pub use config::{DpsgdConfig, SensitivityScaling};
+pub use exec::{
+    batch_pool, batch_threads, clip_loop, effective_batch_threads, set_batch_threads,
+    ClipLoopOutput, CLIP_CHUNK,
+};
 pub use federated::{train_federated, FederatedConfig, FederatedOutcome, RoundRecord};
 pub use minibatch::{train_minibatch_dpsgd, MinibatchConfig, MinibatchOutcome};
 pub use optimizer::{Optimizer, OptimizerState};

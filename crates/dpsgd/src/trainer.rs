@@ -1,12 +1,13 @@
 //! The DPSGD training loop.
 
-use dpaudit_math::{axpy, l2_distance, l2_norm, GaussianSampler};
+use dpaudit_math::{l2_distance, l2_norm, GaussianSampler};
 use dpaudit_nn::Sequential;
 use dpaudit_obs as obs;
 use rand::Rng;
 
 use crate::clip::ClippingStrategy;
 use crate::config::DpsgdConfig;
+use crate::exec::{batch_pool, clip_loop};
 use crate::optimizer::OptimizerState;
 use crate::pair::NeighborPair;
 use crate::transcript::{StepRecord, Transcript};
@@ -41,6 +42,9 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
     let dim = model.param_count();
     let layout = model.param_layout();
     let mut gauss = GaussianSampler::new();
+    // Intra-trial parallelism for the clip loop (see `exec`): one pool per
+    // training run, `None` when the knob says sequential.
+    let pool = batch_pool();
 
     // The clipping strategy in force; adaptive clipping mutates the flat
     // norm between steps.
@@ -52,18 +56,9 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
         let bound = clipping.total_bound();
 
         let clip_span = obs::span(obs::names::CLIP_SPAN);
-        let mut clean_sum = vec![0.0; dim];
-        let mut loss_total = 0.0;
-        let mut unclipped = 0usize;
-        for (x, &y) in data.xs.iter().zip(&data.ys) {
-            let (loss, mut g) = model.per_example_grad(x, y);
-            let pre_norm = clipping.clip(&mut g, &layout);
-            if pre_norm <= bound {
-                unclipped += 1;
-            }
-            loss_total += loss;
-            axpy(1.0, &g, &mut clean_sum);
-        }
+        let clipped = clip_loop(model, &data.xs, &data.ys, &clipping, &layout, pool.as_ref());
+        let (clean_sum, loss_total, unclipped) =
+            (clipped.clean_sum, clipped.loss_total, clipped.unclipped);
         drop(clip_span);
 
         let noise_span = obs::span(obs::names::NOISE_SPAN);
@@ -159,7 +154,7 @@ mod tests {
     use crate::config::SensitivityScaling;
     use dpaudit_datasets::{generate_purchase, NeighborSpec};
     use dpaudit_dp::NeighborMode;
-    use dpaudit_math::seeded_rng;
+    use dpaudit_math::{axpy, seeded_rng};
     use dpaudit_nn::{purchase_mlp, Layer, Sequential};
     use dpaudit_nn::{Dense, MNIST_CLASSES};
     use dpaudit_tensor::Tensor;

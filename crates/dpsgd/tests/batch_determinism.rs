@@ -1,0 +1,70 @@
+//! End-to-end determinism of DPSGD training under the `batch_threads` knob:
+//! full transcripts (every released gradient, loss, and sensitivity) must be
+//! byte-identical at any intra-trial worker count.
+
+use dpaudit_datasets::{Dataset, NeighborSpec};
+use dpaudit_dp::NeighborMode;
+use dpaudit_dpsgd::{
+    set_batch_threads, train_collect, DpsgdConfig, NeighborPair, SensitivityScaling, CLIP_CHUNK,
+};
+use dpaudit_math::seeded_rng;
+use dpaudit_nn::{Dense, Layer, Sequential};
+use dpaudit_tensor::Tensor;
+
+fn setup(n: usize) -> (Sequential, NeighborPair) {
+    let mut rng = seeded_rng(31);
+    let model = Sequential::new(vec![
+        Layer::Dense(Dense::new(&mut rng, 7, 5)),
+        Layer::Relu,
+        Layer::Dense(Dense::new(&mut rng, 5, 3)),
+    ]);
+    let mut d = Dataset::empty();
+    for i in 0..n {
+        let x: Vec<f64> = (0..7)
+            .map(|j| ((i * 11 + j * 5) % 17) as f64 / 17.0 - 0.4)
+            .collect();
+        d.push(Tensor::from_vec(&[7], x), i % 3);
+    }
+    let pair = NeighborPair::from_spec(
+        &d,
+        &NeighborSpec::Replace {
+            index: 1,
+            record: Tensor::full(&[7], 0.8),
+            label: 2,
+        },
+    );
+    (model, pair)
+}
+
+fn transcript_json(threads: usize) -> String {
+    set_batch_threads(threads);
+    // Several chunks with a ragged tail, so parallel scheduling has real
+    // work to reorder if the fixed-order reduction were broken.
+    let (model0, pair) = setup(CLIP_CHUNK * 3 + 3);
+    let cfg = DpsgdConfig::new(
+        1.0,
+        0.05,
+        4,
+        NeighborMode::Bounded,
+        2.0,
+        SensitivityScaling::Local,
+    );
+    let mut model = model0;
+    let t = train_collect(&mut model, &pair, true, &cfg, &mut seeded_rng(32));
+    let json = serde_json::to_string(&t).expect("serialize transcript");
+    set_batch_threads(1);
+    json
+}
+
+#[test]
+fn transcripts_are_byte_identical_across_batch_thread_counts() {
+    let serial = transcript_json(1);
+    for threads in [2, 4, 0] {
+        let parallel = transcript_json(threads);
+        assert_eq!(
+            serial, parallel,
+            "transcript differs at batch_threads={threads}"
+        );
+    }
+    assert!(serial.contains("noisy_sum"));
+}

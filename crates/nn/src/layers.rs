@@ -6,8 +6,9 @@
 //! parameter gradient in the layer's canonical parameter order).
 
 use dpaudit_tensor::{
-    conv2d_backward, conv2d_forward, matvec, matvec_transposed, maxpool2d_backward,
-    maxpool2d_forward, outer_product, Conv2dDims, PoolDims, Tensor,
+    conv2d_backward, conv2d_backward_input, conv2d_backward_params, conv2d_forward,
+    conv2d_forward_gemm, im2col, matmul_acc, matmul_nt_acc, matvec, matvec_transposed,
+    maxpool2d_backward, maxpool2d_forward, outer_product, Conv2dDims, PoolDims, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,49 @@ pub enum Cache {
     /// Flatten cache.
     Flatten {
         /// The original input shape to restore on backward.
+        shape: Vec<usize>,
+    },
+}
+
+/// Per-layer forward intermediates for a whole batch — the batched
+/// counterpart of [`Cache`]. All buffers are the per-example caches
+/// concatenated in example order.
+#[derive(Debug, Clone)]
+pub enum BatchCache {
+    /// Dense layer cache.
+    Dense {
+        /// The layer's `[B, in_features]` input.
+        input: Tensor,
+    },
+    /// Convolution cache: the [`im2col`] patch matrices of every example.
+    Conv2d {
+        /// `B` concatenated `[patch_rows, patch_cols]` matrices.
+        patches: Vec<f64>,
+        /// The spatial dimensions resolved at forward time (per example).
+        dims: Conv2dDims,
+    },
+    /// Batch-norm cache.
+    BatchNorm2d {
+        /// The normalised (pre-scale) activations x̂, shape `[B, C, H, W]`.
+        normalized: Tensor,
+        /// Per-channel `1/√(var + eps)`.
+        inv_std: Vec<f64>,
+    },
+    /// ReLU cache.
+    Relu {
+        /// Which inputs were strictly positive, over the whole batch buffer.
+        mask: Vec<bool>,
+    },
+    /// Max-pooling cache.
+    MaxPool2d {
+        /// Example-relative argmax indices, concatenated per example.
+        argmax: Vec<usize>,
+        /// The pooling dimensions resolved at forward time (per example).
+        dims: PoolDims,
+    },
+    /// Flatten cache.
+    Flatten {
+        /// The original per-example shape to restore on backward.
         shape: Vec<usize>,
     },
 }
@@ -115,8 +159,12 @@ impl Conv2d {
     }
 
     fn dims_for(&self, input: &Tensor) -> Conv2dDims {
+        self.dims_for_shape(input.shape())
+    }
+
+    /// Resolve spatial dimensions from a `[C, H, W]` example shape.
+    fn dims_for_shape(&self, is: &[usize]) -> Conv2dDims {
         let ks = self.kernels.shape();
-        let is = input.shape();
         assert_eq!(is.len(), 3, "Conv2d expects a [C, H, W] input, got {is:?}");
         assert_eq!(
             is[0], ks[1],
@@ -200,7 +248,11 @@ pub struct MaxPool2d {
 
 impl MaxPool2d {
     fn dims_for(&self, input: &Tensor) -> PoolDims {
-        let is = input.shape();
+        self.dims_for_shape(input.shape())
+    }
+
+    /// Resolve pooling dimensions from a `[C, H, W]` example shape.
+    fn dims_for_shape(&self, is: &[usize]) -> PoolDims {
         assert_eq!(
             is.len(),
             3,
@@ -495,6 +547,276 @@ impl Layer {
                 (d_out.clone().reshape(shape), Vec::new())
             }
             _ => panic!("Layer::backward: cache does not match layer kind"),
+        }
+    }
+
+    /// Forward pass on a `[B, ...]` batch tensor, producing a `[B, ...]`
+    /// output and the cache for [`Layer::backward_batch`].
+    ///
+    /// Each example's arithmetic follows the exact accumulation order of the
+    /// single-example [`Layer::forward`], so batched outputs are bit-identical
+    /// to stacking `B` scalar passes. Dense and convolution layers run one
+    /// gemm-shaped call per batch/example instead of `B` matvecs.
+    pub fn forward_batch(&self, input: &Tensor) -> (Tensor, BatchCache) {
+        let is = input.shape();
+        let batch = *is.first().expect("forward_batch: rank-0 input");
+        match self {
+            Layer::Dense(d) => {
+                let (m, n) = (d.out_features(), d.in_features());
+                assert_eq!(
+                    is,
+                    &[batch, n],
+                    "Dense: batched input must be [B, {n}], got {is:?}"
+                );
+                let mut y = vec![0.0; batch * m];
+                // y = X · Wᵀ: the bias joins after the dot product, matching
+                // the scalar layer's add-after-matvec order.
+                matmul_nt_acc(&mut y, input.data(), d.weight.data(), batch, n, m);
+                for row in y.chunks_exact_mut(m) {
+                    for (yi, bi) in row.iter_mut().zip(d.bias.data()) {
+                        *yi += bi;
+                    }
+                }
+                (
+                    Tensor::from_vec(&[batch, m], y),
+                    BatchCache::Dense {
+                        input: input.clone(),
+                    },
+                )
+            }
+            Layer::Conv2d(c) => {
+                assert_eq!(
+                    is.len(),
+                    4,
+                    "Conv2d expects a [B, C, H, W] input, got {is:?}"
+                );
+                let dims = c.dims_for_shape(&is[1..]);
+                let ex_len = dims.in_channels * dims.in_h * dims.in_w;
+                let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+                let mut patches = Vec::with_capacity(batch * rows * cols);
+                let mut out = Vec::with_capacity(batch * dims.out_channels * rows);
+                for ex in input.data().chunks_exact(ex_len) {
+                    let p = im2col(ex, &dims);
+                    out.extend_from_slice(&conv2d_forward_gemm(
+                        &p,
+                        c.kernels.data(),
+                        c.bias.data(),
+                        &dims,
+                    ));
+                    patches.extend_from_slice(&p);
+                }
+                (
+                    Tensor::from_vec(&[batch, dims.out_channels, dims.out_h(), dims.out_w()], out),
+                    BatchCache::Conv2d { patches, dims },
+                )
+            }
+            Layer::BatchNorm2d(b) => {
+                assert_eq!(is.len(), 4, "BatchNorm2d expects [B, C, H, W], got {is:?}");
+                assert_eq!(is[1], b.channels(), "BatchNorm2d: channel mismatch");
+                let plane = is[2] * is[3];
+                let ex_len = b.channels() * plane;
+                let inv_std: Vec<f64> = b
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + b.eps).sqrt())
+                    .collect();
+                let mut normalized = vec![0.0; input.len()];
+                let mut out = vec![0.0; input.len()];
+                for ex in 0..batch {
+                    let base = ex * ex_len;
+                    #[allow(clippy::needless_range_loop)]
+                    for c in 0..b.channels() {
+                        let g = b.gamma.data()[c];
+                        let bb = b.beta.data()[c];
+                        let m = b.running_mean[c];
+                        let is_c = inv_std[c];
+                        for p in 0..plane {
+                            let idx = base + c * plane + p;
+                            let xhat = (input.data()[idx] - m) * is_c;
+                            normalized[idx] = xhat;
+                            out[idx] = g * xhat + bb;
+                        }
+                    }
+                }
+                (
+                    Tensor::from_vec(is, out),
+                    BatchCache::BatchNorm2d {
+                        normalized: Tensor::from_vec(is, normalized),
+                        inv_std,
+                    },
+                )
+            }
+            Layer::Relu => {
+                let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+                let out = input.map(|x| if x > 0.0 { x } else { 0.0 });
+                (out, BatchCache::Relu { mask })
+            }
+            Layer::MaxPool2d(p) => {
+                assert_eq!(
+                    is.len(),
+                    4,
+                    "MaxPool2d expects a [B, C, H, W] input, got {is:?}"
+                );
+                let dims = p.dims_for_shape(&is[1..]);
+                let ex_len = dims.channels * dims.in_h * dims.in_w;
+                let out_len = dims.channels * dims.out_h() * dims.out_w();
+                let mut out = Vec::with_capacity(batch * out_len);
+                let mut argmax = Vec::with_capacity(batch * out_len);
+                for ex in input.data().chunks_exact(ex_len) {
+                    let (o, a) = maxpool2d_forward(ex, &dims);
+                    out.extend_from_slice(&o);
+                    argmax.extend_from_slice(&a);
+                }
+                (
+                    Tensor::from_vec(&[batch, dims.channels, dims.out_h(), dims.out_w()], out),
+                    BatchCache::MaxPool2d { argmax, dims },
+                )
+            }
+            Layer::Flatten => {
+                let shape = is[1..].to_vec();
+                let n: usize = shape.iter().product();
+                (
+                    input.clone().reshape(&[batch, n]),
+                    BatchCache::Flatten { shape },
+                )
+            }
+        }
+    }
+
+    /// Batched backward pass. Returns `d_input`; this layer's per-example
+    /// parameter gradients ([`Layer::param_count`] values each, canonical
+    /// order) are written straight into `d_params` at
+    /// `d_params[b * stride + offset..]` for example `b` — the caller's flat
+    /// `[B, total_params]` buffer, avoiding a per-layer staging copy. The
+    /// target segments must be zero on entry (accumulating layers rely on
+    /// it). Parameterless layers never touch `d_params`.
+    pub fn backward_batch(
+        &self,
+        d_out: &Tensor,
+        cache: &BatchCache,
+        d_params: &mut [f64],
+        stride: usize,
+        offset: usize,
+    ) -> Tensor {
+        let batch = *d_out.shape().first().expect("backward_batch: rank-0 d_out");
+        match (self, cache) {
+            (Layer::Dense(d), BatchCache::Dense { input }) => {
+                let (m, n) = (d.out_features(), d.in_features());
+                assert_eq!(
+                    d_out.shape(),
+                    &[batch, m],
+                    "Dense backward: d_out shape mismatch"
+                );
+                // dX = dY · W, one gemm for the whole batch.
+                let mut d_in = vec![0.0; batch * n];
+                matmul_acc(&mut d_in, d_out.data(), d.weight.data(), batch, m, n);
+                for (ex, (dy, x)) in d_out
+                    .data()
+                    .chunks_exact(m)
+                    .zip(input.data().chunks_exact(n))
+                    .enumerate()
+                {
+                    let base = ex * stride + offset;
+                    let row = &mut d_params[base..base + m * n + m];
+                    // Per-example outer product dW = δ ⊗ x, then d_b = δ.
+                    for (j, &dv) in dy.iter().enumerate() {
+                        for (dst, &xv) in row[j * n..(j + 1) * n].iter_mut().zip(x) {
+                            *dst = dv * xv;
+                        }
+                    }
+                    row[m * n..].copy_from_slice(dy);
+                }
+                Tensor::from_vec(&[batch, n], d_in)
+            }
+            (Layer::Conv2d(c), BatchCache::Conv2d { patches, dims }) => {
+                let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+                let out_len = dims.out_channels * rows;
+                assert_eq!(
+                    d_out.len(),
+                    batch * out_len,
+                    "Conv2d backward: d_out length mismatch"
+                );
+                let kernel_len = dims.out_channels * cols;
+                let mut d_in = Vec::with_capacity(batch * dims.in_channels * dims.in_h * dims.in_w);
+                for (ex, (dy, p)) in d_out
+                    .data()
+                    .chunks_exact(out_len)
+                    .zip(patches.chunks_exact(rows * cols))
+                    .enumerate()
+                {
+                    let (d_k, d_b) = conv2d_backward_params(p, dy, dims);
+                    let base = ex * stride + offset;
+                    let row = &mut d_params[base..base + kernel_len + dims.out_channels];
+                    row[..kernel_len].copy_from_slice(&d_k);
+                    row[kernel_len..].copy_from_slice(&d_b);
+                    d_in.extend_from_slice(&conv2d_backward_input(c.kernels.data(), dy, dims));
+                }
+                Tensor::from_vec(&[batch, dims.in_channels, dims.in_h, dims.in_w], d_in)
+            }
+            (
+                Layer::BatchNorm2d(b),
+                BatchCache::BatchNorm2d {
+                    normalized,
+                    inv_std,
+                },
+            ) => {
+                let is = normalized.shape();
+                let plane = is[2] * is[3];
+                let channels = b.channels();
+                let ex_len = channels * plane;
+                let mut d_in = vec![0.0; normalized.len()];
+                for ex in 0..batch {
+                    let ex_base = ex * ex_len;
+                    let base = ex * stride + offset;
+                    // row = [d_gamma | d_beta], accumulated in place (the
+                    // caller zero-initialises the segment).
+                    let (d_gamma, d_beta) =
+                        d_params[base..base + 2 * channels].split_at_mut(channels);
+                    #[allow(clippy::needless_range_loop)]
+                    for c in 0..channels {
+                        let g = b.gamma.data()[c];
+                        let is_c = inv_std[c];
+                        for p in 0..plane {
+                            let idx = ex_base + c * plane + p;
+                            let dy = d_out.data()[idx];
+                            d_gamma[c] += dy * normalized.data()[idx];
+                            d_beta[c] += dy;
+                            // Stats are constants, so the chain rule is linear.
+                            d_in[idx] = dy * g * is_c;
+                        }
+                    }
+                }
+                Tensor::from_vec(is, d_in)
+            }
+            (Layer::Relu, BatchCache::Relu { mask }) => {
+                assert_eq!(d_out.len(), mask.len(), "ReLU backward: length mismatch");
+                let d_in: Vec<f64> = d_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| if m { g } else { 0.0 })
+                    .collect();
+                Tensor::from_vec(d_out.shape(), d_in)
+            }
+            (Layer::MaxPool2d(_), BatchCache::MaxPool2d { argmax, dims }) => {
+                let out_len = dims.channels * dims.out_h() * dims.out_w();
+                let mut d_in = Vec::with_capacity(batch * dims.channels * dims.in_h * dims.in_w);
+                for (dy, am) in d_out
+                    .data()
+                    .chunks_exact(out_len)
+                    .zip(argmax.chunks_exact(out_len))
+                {
+                    d_in.extend_from_slice(&maxpool2d_backward(dy, am, dims));
+                }
+                Tensor::from_vec(&[batch, dims.channels, dims.in_h, dims.in_w], d_in)
+            }
+            (Layer::Flatten, BatchCache::Flatten { shape }) => {
+                let mut full = Vec::with_capacity(shape.len() + 1);
+                full.push(batch);
+                full.extend_from_slice(shape);
+                d_out.clone().reshape(&full)
+            }
+            _ => panic!("Layer::backward_batch: cache does not match layer kind"),
         }
     }
 }

@@ -22,7 +22,7 @@ pub mod model;
 pub mod zoo;
 
 pub use init::glorot_uniform;
-pub use layers::{BatchNorm2d, Cache, Conv2d, Dense, Layer, MaxPool2d};
+pub use layers::{BatchCache, BatchNorm2d, Cache, Conv2d, Dense, Layer, MaxPool2d};
 pub use loss::{cross_entropy_loss, softmax, softmax_cross_entropy};
 pub use model::Sequential;
 pub use zoo::{mnist_cnn, purchase_mlp, MNIST_CLASSES, PURCHASE_CLASSES, PURCHASE_FEATURES};

@@ -3,7 +3,7 @@
 use dpaudit_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::layers::{Cache, Layer};
+use crate::layers::{BatchCache, Cache, Layer};
 use crate::loss::softmax_cross_entropy;
 
 /// A feed-forward stack of [`Layer`]s.
@@ -131,9 +131,95 @@ impl Sequential {
         flat
     }
 
+    /// Plain batched forward pass (no caches) over a `[B, ...]` batch
+    /// tensor, producing `[B, classes]` logits.
+    pub fn forward_batch(&self, xs: &Tensor) -> Tensor {
+        let mut h = xs.clone();
+        for layer in &self.layers {
+            let (out, _) = layer.forward_batch(&h);
+            h = out;
+        }
+        h
+    }
+
+    /// Batched forward pass retaining per-layer caches for
+    /// [`Sequential::backward_batch`].
+    pub fn forward_batch_cached(&self, xs: &Tensor) -> (Tensor, Vec<BatchCache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = xs.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_batch(&h);
+            caches.push(cache);
+            h = out;
+        }
+        (h, caches)
+    }
+
+    /// Backpropagate per-example logit gradients (`[B, classes]`) through a
+    /// cached batched forward pass, returning the `[B, param_count]` tensor
+    /// of per-example flat parameter gradients — row `b` is exactly what
+    /// [`Sequential::per_example_grad`] would return for example `b`.
+    pub fn backward_batch(&self, caches: &[BatchCache], d_logits: Tensor) -> Tensor {
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "backward_batch: cache count mismatch"
+        );
+        let batch = d_logits.shape()[0];
+        let dim = self.param_count();
+        // Each layer writes its per-example gradient segment straight into
+        // the flat `[B, dim]` buffer — no per-layer staging copy.
+        let mut flat = vec![0.0; batch * dim];
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+        let mut d = d_logits;
+        for ((layer, cache), offset) in self.layers.iter().zip(caches).zip(offsets).rev() {
+            d = layer.backward_batch(&d, cache, &mut flat, dim, offset);
+        }
+        Tensor::from_vec(&[batch, dim], flat)
+    }
+
+    /// Losses and per-example flat parameter gradients for a labelled batch,
+    /// computed in one batched forward/backward pass. Returns the per-example
+    /// losses and a `[B, param_count]` gradient tensor.
+    ///
+    /// Bit-identical to calling [`Sequential::per_example_grad_scalar`] on
+    /// each example — the batched layers replicate the scalar accumulation
+    /// order exactly.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or a length mismatch.
+    pub fn per_example_grads(&self, xs: &[Tensor], labels: &[usize]) -> (Vec<f64>, Tensor) {
+        assert_eq!(xs.len(), labels.len(), "per_example_grads: length mismatch");
+        let batch = Tensor::stack(xs);
+        let (logits, caches) = self.forward_batch_cached(&batch);
+        let classes = logits.shape()[1];
+        let mut losses = Vec::with_capacity(xs.len());
+        let mut d_logits = Vec::with_capacity(logits.len());
+        for (row, &label) in logits.data().chunks_exact(classes).zip(labels) {
+            let (loss, d_row) = softmax_cross_entropy(row, label);
+            losses.push(loss);
+            d_logits.extend_from_slice(&d_row);
+        }
+        let grads = self.backward_batch(&caches, Tensor::from_vec(&[xs.len(), classes], d_logits));
+        (losses, grads)
+    }
+
     /// Loss and flat parameter gradient for a single labelled example —
-    /// the per-example gradient DPSGD clips.
+    /// the per-example gradient DPSGD clips. Runs as the B=1 case of the
+    /// batched pipeline.
     pub fn per_example_grad(&self, x: &Tensor, label: usize) -> (f64, Vec<f64>) {
+        let (losses, grads) = self.per_example_grads(std::slice::from_ref(x), &[label]);
+        (losses[0], grads.into_vec())
+    }
+
+    /// Single-example gradient on the original example-at-a-time path —
+    /// kept as the property-test oracle for the batched pipeline.
+    pub fn per_example_grad_scalar(&self, x: &Tensor, label: usize) -> (f64, Vec<f64>) {
         let (logits, caches) = self.forward_cached(x);
         let (loss, d_logits) = softmax_cross_entropy(logits.data(), label);
         let shape = [logits.len()];

@@ -1,0 +1,99 @@
+//! Property tests: the batched gradient pipeline is bit-identical to the
+//! scalar example-at-a-time oracle, over random shapes and batch sizes.
+//!
+//! `per_example_grads` promises that row `b` of its `[B, P]` output carries
+//! the exact bits `per_example_grad_scalar` would produce for example `b` —
+//! the invariant the DPSGD clip loop's determinism rests on.
+
+use dpaudit_math::seeded_rng;
+use dpaudit_nn::{BatchNorm2d, Conv2d, Dense, Layer, MaxPool2d, Sequential};
+use dpaudit_tensor::Tensor;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn mlp(seed: u64, in_f: usize, hidden: usize, classes: usize) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new(vec![
+        Layer::Dense(Dense::new(&mut rng, in_f, hidden)),
+        Layer::Relu,
+        Layer::Dense(Dense::new(&mut rng, hidden, classes)),
+    ])
+}
+
+/// All layer kinds in one stack: conv → batch norm → relu → pool → flatten
+/// → dense, over an 8×8 single-channel input.
+fn cnn(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(&mut rng, 1, 2, 3)),
+        Layer::BatchNorm2d(BatchNorm2d::new(2)),
+        Layer::Relu,
+        Layer::MaxPool2d(MaxPool2d { pool: 2 }),
+        Layer::Flatten,
+        Layer::Dense(Dense::new(&mut rng, 2 * 3 * 3, 3)),
+    ])
+}
+
+fn assert_batch_matches_scalar(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+) -> Result<(), TestCaseError> {
+    let (losses, grads) = model.per_example_grads(xs, ys);
+    let dim = model.param_count();
+    prop_assert_eq!(grads.shape(), &[xs.len(), dim]);
+    for (i, (x, &y)) in xs.iter().zip(ys).enumerate() {
+        let (loss, g) = model.per_example_grad_scalar(x, y);
+        prop_assert!(
+            losses[i].to_bits() == loss.to_bits(),
+            "loss of example {i}: batched {} vs scalar {loss}",
+            losses[i]
+        );
+        let row = &grads.data()[i * dim..(i + 1) * dim];
+        for (j, (a, e)) in row.iter().zip(&g).enumerate() {
+            prop_assert!(
+                a.to_bits() == e.to_bits(),
+                "grad[{i}][{j}]: batched {a} vs scalar {e}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mlp_batched_grads_match_scalar_bitwise(
+        seed in 0u64..1_000,
+        in_f in 3usize..8,
+        hidden in 2usize..6,
+        b in 1usize..5,
+        raw in proptest::collection::vec(-2.0..2.0f64, 4 * 7),
+    ) {
+        let classes = 3;
+        let model = mlp(seed, in_f, hidden, classes);
+        let xs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::from_vec(&[in_f], raw[i * in_f..(i + 1) * in_f].to_vec()))
+            .collect();
+        let ys: Vec<usize> = (0..b).map(|i| (i + seed as usize) % classes).collect();
+        assert_batch_matches_scalar(&model, &xs, &ys)?;
+    }
+
+    #[test]
+    fn cnn_batched_grads_match_scalar_bitwise(
+        seed in 0u64..1_000,
+        b in 1usize..4,
+        raw in proptest::collection::vec(-1.5..1.5f64, 3 * 64),
+    ) {
+        let mut model = cnn(seed);
+        let xs: Vec<Tensor> = (0..b)
+            .map(|i| Tensor::from_vec(&[1, 8, 8], raw[i * 64..(i + 1) * 64].to_vec()))
+            .collect();
+        let ys: Vec<usize> = (0..b).map(|i| i % 3).collect();
+        // Give the frozen batch norm non-trivial statistics first, as the
+        // DPSGD trainer does before every step.
+        model.update_norm_stats(&xs);
+        assert_batch_matches_scalar(&model, &xs, &ys)?;
+    }
+}

@@ -101,6 +101,10 @@ pub mod names {
     pub const RUN_SPAN: &str = "audit.run";
     /// Span: per-step clipped per-example gradient accumulation.
     pub const CLIP_SPAN: &str = "dpsgd.clip";
+    /// Span: one fixed-size chunk of the clip loop (batched gradients +
+    /// clipping for up to `CLIP_CHUNK` examples); nested under
+    /// [`CLIP_SPAN`], emitted from whichever worker ran the chunk.
+    pub const CLIP_CHUNK_SPAN: &str = "dpsgd.clip_chunk";
     /// Span: per-step sensitivity estimation + Gaussian perturbation.
     pub const NOISE_SPAN: &str = "dpsgd.noise";
     /// Span: per-step optimizer update (+ adaptive-clip steering).

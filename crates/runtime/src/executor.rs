@@ -32,10 +32,38 @@ pub struct ExecPlan {
     pub master_seed: u64,
     /// Worker count (0 = machine parallelism).
     pub threads: usize,
+    /// Clip-loop worker count inside each trial (1 = sequential,
+    /// 0 = machine parallelism). Cannot change any result — the clip loop
+    /// reduces in fixed chunk order at any worker count.
+    pub batch_threads: usize,
     /// Detail level records are stripped to *after* ε′-from-LS is computed.
     pub detail: RecordDetail,
     /// δ for the per-trial ε′-from-LS estimator.
     pub delta: f64,
+}
+
+/// Worker allocation for one audit run: trials across a pool, plus the
+/// DPSGD clip-loop worker count inside each trial. Total concurrency is
+/// the product, so the two knobs trade off breadth (many trials) against
+/// latency of each trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Trial-level worker count (0 = machine parallelism).
+    pub trial_threads: usize,
+    /// Intra-trial clip-loop worker count (1 = sequential, 0 = machine
+    /// parallelism).
+    pub batch_threads: usize,
+}
+
+impl Parallelism {
+    /// Trial-level parallelism only; the clip loop stays sequential — the
+    /// right default when `reps` far exceeds the core count.
+    pub fn trials(threads: usize) -> Self {
+        Parallelism {
+            trial_threads: threads,
+            batch_threads: 1,
+        }
+    }
 }
 
 /// Execute one trial end-to-end: derive the seed, run Exp^DI, compute the
@@ -85,6 +113,9 @@ pub fn run_trials(
     if indices.is_empty() {
         return;
     }
+    // Arm the process-wide intra-trial knob; each trial's trainer builds
+    // its own clip-loop pool from it.
+    dpaudit_dpsgd::set_batch_threads(plan.batch_threads);
     let pool = ThreadPoolBuilder::new()
         .num_threads(plan.threads)
         .build()
@@ -130,6 +161,7 @@ mod tests {
         let plan = ExecPlan {
             master_seed: 42,
             threads: 1,
+            batch_threads: 1,
             detail: RecordDetail::Full,
             delta: 1e-3,
         };
@@ -163,6 +195,7 @@ mod tests {
         let plan = ExecPlan {
             master_seed: 7,
             threads: 2,
+            batch_threads: 1,
             detail: RecordDetail::Full,
             delta: 1e-3,
         };
@@ -198,6 +231,7 @@ mod tests {
         let full_plan = ExecPlan {
             master_seed: 9,
             threads: 1,
+            batch_threads: 1,
             detail: RecordDetail::Full,
             delta: 1e-3,
         };

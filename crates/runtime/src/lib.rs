@@ -33,7 +33,7 @@ pub mod store;
 pub mod testkit;
 
 pub use aggregate::{StreamingAggregates, TrialOutcome};
-pub use executor::{execute_trial, run_trials, ExecPlan};
+pub use executor::{execute_trial, run_trials, ExecPlan, Parallelism};
 pub use progress::{Progress, ProgressMeter};
 pub use report::{render_partial, render_report, replay_store, StoreReport};
 pub use session::{AuditSession, RunOutcome};

@@ -18,7 +18,7 @@
 //! count.
 
 use crate::aggregate::{StreamingAggregates, TrialOutcome};
-use crate::executor::{run_trials, ExecPlan};
+use crate::executor::{run_trials, ExecPlan, Parallelism};
 use crate::progress::{Progress, ProgressMeter};
 use crate::store::{read_store, StoreHeader, TrialRecord, TrialStore};
 use dpaudit_core::{AuditReport, MaxBeliefEstimator};
@@ -104,8 +104,10 @@ impl AuditSession {
         (0..self.header.reps).filter(|&i| !have[i]).collect()
     }
 
-    /// Run the missing trials on `threads` workers (0 = machine
-    /// parallelism) and aggregate the full batch.
+    /// Run the missing trials on `parallelism.trial_threads` workers
+    /// (0 = machine parallelism) and aggregate the full batch;
+    /// `parallelism.batch_threads` additionally parallelises the DPSGD
+    /// clip loop inside each trial without changing any result.
     ///
     /// `on_progress` fires on the coordinating thread after every
     /// completed trial. When `sink` is provided it receives every record
@@ -123,7 +125,7 @@ impl AuditSession {
         pair: &NeighborPair,
         test_set: Option<&Dataset>,
         model_builder: impl Fn(&mut StdRng) -> Sequential + Sync,
-        threads: usize,
+        parallelism: Parallelism,
         mut on_progress: impl FnMut(Progress),
         mut sink: Option<&mut Vec<TrialRecord>>,
     ) -> std::io::Result<RunOutcome> {
@@ -166,7 +168,8 @@ impl AuditSession {
         let missing = self.missing_indices();
         let plan = ExecPlan {
             master_seed: header.master_seed.0,
-            threads,
+            threads: parallelism.trial_threads,
+            batch_threads: parallelism.batch_threads,
             detail: header.detail,
             delta: header.delta,
         };
@@ -261,7 +264,7 @@ mod tests {
                 &pair,
                 None,
                 testkit::toy_model,
-                2,
+                Parallelism::trials(2),
                 |_| {},
                 Some(&mut records),
             )
@@ -293,7 +296,14 @@ mod tests {
         let mut session = AuditSession::in_memory(toy_header(4, RecordDetail::Summary));
         let mut ticks = Vec::new();
         session
-            .run(&pair, None, testkit::toy_model, 2, |p| ticks.push(p), None)
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                Parallelism::trials(2),
+                |p| ticks.push(p),
+                None,
+            )
             .unwrap();
         assert_eq!(ticks.len(), 4);
         assert_eq!(ticks.last().unwrap().completed, 4);

@@ -10,7 +10,7 @@
 use dpaudit_core::{rho_beta, MaxBeliefEstimator, RecordDetail};
 use dpaudit_obs as obs;
 use dpaudit_runtime::testkit;
-use dpaudit_runtime::{AuditSession, Seed, StoreHeader, SCHEMA_VERSION};
+use dpaudit_runtime::{AuditSession, Parallelism, Seed, StoreHeader, SCHEMA_VERSION};
 use std::sync::Arc;
 
 fn toy_header(reps: usize, steps: usize) -> StoreHeader {
@@ -44,7 +44,7 @@ fn streamed_gauges_match_the_final_report() {
                 &pair,
                 None,
                 testkit::toy_model,
-                2,
+                Parallelism::trials(2),
                 |_| {},
                 Some(&mut records),
             )
@@ -101,7 +101,14 @@ fn resumed_runs_converge_to_the_same_gauges() {
     // First pass: run everything to completion, no telemetry.
     let mut session = AuditSession::create(&path, toy_header(4, 3)).unwrap();
     let first = session
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap();
 
     // Second pass: resume the complete store with telemetry on — every
@@ -111,7 +118,14 @@ fn resumed_runs_converge_to_the_same_gauges() {
     let outcome = {
         let _guard = obs::install(registry.clone());
         resumed
-            .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                Parallelism::trials(2),
+                |_| {},
+                None,
+            )
             .unwrap()
     };
     assert_eq!(outcome.replayed, 4);

@@ -7,7 +7,9 @@
 use dpaudit_core::{rho_beta, RecordDetail};
 use dpaudit_runtime::store::Seed;
 use dpaudit_runtime::testkit;
-use dpaudit_runtime::{read_store, replay_store, AuditSession, StoreHeader, SCHEMA_VERSION};
+use dpaudit_runtime::{
+    read_store, replay_store, AuditSession, Parallelism, StoreHeader, SCHEMA_VERSION,
+};
 use std::fs::OpenOptions;
 use std::path::PathBuf;
 
@@ -54,7 +56,14 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
     let clean_path = temp_path("clean.jsonl");
     let mut clean = AuditSession::create(&clean_path, header.clone()).unwrap();
     let clean_outcome = clean
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap();
 
     // Interrupted run: same header, then simulate a crash by truncating the
@@ -62,7 +71,14 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
     let torn_path = temp_path("torn.jsonl");
     let mut first = AuditSession::create(&torn_path, header.clone()).unwrap();
     first
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap();
     drop(first);
     let full_len = std::fs::metadata(&torn_path).unwrap().len();
@@ -79,7 +95,14 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
         "truncation should have destroyed at least one record"
     );
     let resumed_outcome = resumed
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap();
     assert_eq!(resumed_outcome.executed, missing.len());
     assert_eq!(resumed_outcome.replayed, 8 - missing.len());
@@ -115,13 +138,51 @@ fn thread_count_does_not_change_aggregates() {
     let run_with = |threads: usize| {
         let mut session = AuditSession::in_memory(toy_header(6, RecordDetail::Summary));
         session
-            .run(&pair, None, testkit::toy_model, threads, |_| {}, None)
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                Parallelism::trials(threads),
+                |_| {},
+                None,
+            )
             .unwrap()
             .report
     };
     let single = run_with(1);
     let eight = run_with(8);
     assert_eq!(report_bits(&single), report_bits(&eight));
+}
+
+#[test]
+fn batch_thread_count_does_not_change_the_stored_report() {
+    // The intra-trial clip loop reduces in fixed chunk order, so turning on
+    // batch parallelism must leave the serialized AuditReport — every
+    // estimate, not just the headline ε′ — byte-identical.
+    let pair = testkit::toy_pair();
+    let run_with = |batch_threads: usize| {
+        let mut session = AuditSession::in_memory(toy_header(4, RecordDetail::Full));
+        let report = session
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                Parallelism {
+                    trial_threads: 2,
+                    batch_threads,
+                },
+                |_| {},
+                None,
+            )
+            .unwrap()
+            .report;
+        serde_json::to_string(&report).unwrap()
+    };
+    let sequential = run_with(1);
+    let parallel = run_with(4);
+    let machine = run_with(0);
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential, machine);
 }
 
 #[test]
@@ -134,13 +195,27 @@ fn summary_detail_store_still_replays_every_aggregate() {
 
     let mut full = AuditSession::create(&full_path, toy_header(4, RecordDetail::Full)).unwrap();
     let full_report = full
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap()
         .report;
     let mut summary =
         AuditSession::create(&summary_path, toy_header(4, RecordDetail::Summary)).unwrap();
     let summary_report = summary
-        .run(&pair, None, testkit::toy_model, 2, |_| {}, None)
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
         .unwrap()
         .report;
     assert_eq!(report_bits(&full_report), report_bits(&summary_report));

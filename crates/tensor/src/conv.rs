@@ -1,8 +1,15 @@
-//! Valid-mode 2-D convolution, forward and backward, on a single example.
+//! Valid-mode 2-D convolution, forward and backward.
 //!
-//! The paper's MNIST reference network uses two 3×3 convolution layers; the
-//! per-example gradients required by DPSGD clipping are computed one example
-//! at a time, so the kernels here operate on a single `[C, H, W]` volume.
+//! The paper's MNIST reference network uses two 3×3 convolution layers. The
+//! direct kernels here operate on a single `[C, H, W]` volume; the batched
+//! gradient pipeline lowers each example to a patch matrix ([`im2col`]) and
+//! runs the forward pass and the parameter gradients as one gemm-shaped
+//! call per example ([`conv2d_forward_gemm`], [`conv2d_backward_params`]).
+//! Both routes accumulate each output element in the same order — bias (or
+//! zero) first, then `(ic, u, v)` / pixel terms in ascending lexicographic
+//! order — so direct and gemm results are bit-identical.
+
+use crate::ops::{matmul_acc, matmul_nt_acc};
 
 /// Dimensions of one convolution application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +37,18 @@ impl Conv2dDims {
     /// Output width for valid convolution.
     pub fn out_w(&self) -> usize {
         self.in_w - self.k_w + 1
+    }
+
+    /// Number of output pixels per channel (`out_h · out_w`) — the row
+    /// count of the [`im2col`] patch matrix.
+    pub fn patch_rows(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Receptive-field size (`in_channels · k_h · k_w`) — the column count
+    /// of the [`im2col`] patch matrix and the row length of one kernel.
+    pub fn patch_cols(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
     }
 
     /// Validate buffer lengths for the forward pass.
@@ -73,9 +92,6 @@ pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2
             for u in 0..dims.k_h {
                 for v in 0..dims.k_w {
                     let kval = kernels[k_base + u * dims.k_w + v];
-                    if kval == 0.0 {
-                        continue;
-                    }
                     for i in 0..oh {
                         let in_row =
                             &in_plane[(i + u) * dims.in_w + v..(i + u) * dims.in_w + v + ow];
@@ -91,7 +107,141 @@ pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2
     out
 }
 
-/// Gradients of the valid convolution.
+/// Lower one `[C_in, H, W]` volume to its valid-convolution patch matrix.
+///
+/// Row `p = i·out_w + j` holds the receptive field of output pixel `(i, j)`,
+/// with columns ordered `(ic, u, v)` lexicographically — the same order a
+/// kernel's weights are stored in, and the same order the direct kernels
+/// accumulate in.
+pub fn im2col(input: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+    assert_eq!(
+        input.len(),
+        dims.in_channels * dims.in_h * dims.in_w,
+        "im2col: input buffer length mismatch"
+    );
+    let (oh, ow) = (dims.out_h(), dims.out_w());
+    let mut patches = vec![0.0; dims.patch_rows() * dims.patch_cols()];
+    let cols = dims.patch_cols();
+    for i in 0..oh {
+        for j in 0..ow {
+            let row = &mut patches[(i * ow + j) * cols..(i * ow + j + 1) * cols];
+            let mut off = 0;
+            for ic in 0..dims.in_channels {
+                let in_plane = &input[ic * dims.in_h * dims.in_w..(ic + 1) * dims.in_h * dims.in_w];
+                for u in 0..dims.k_h {
+                    let src = (i + u) * dims.in_w + j;
+                    row[off..off + dims.k_w].copy_from_slice(&in_plane[src..src + dims.k_w]);
+                    off += dims.k_w;
+                }
+            }
+        }
+    }
+    patches
+}
+
+/// Forward convolution as one gemm over a pre-lowered patch matrix:
+/// `out[oc, p] = b[oc] + kernels_row(oc) · patchesᵀ`.
+///
+/// Bit-identical to [`conv2d_forward`]: the bias seeds each accumulator and
+/// the `(ic, u, v)` terms are added in the same ascending order.
+pub fn conv2d_forward_gemm(
+    patches: &[f64],
+    kernels: &[f64],
+    bias: &[f64],
+    dims: &Conv2dDims,
+) -> Vec<f64> {
+    let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+    assert_eq!(
+        patches.len(),
+        rows * cols,
+        "conv2d_forward_gemm: patch buffer length mismatch"
+    );
+    let mut out = vec![0.0; dims.out_channels * rows];
+    for (oc, plane) in out.chunks_exact_mut(rows).enumerate() {
+        plane.fill(bias[oc]);
+    }
+    matmul_nt_acc(&mut out, kernels, patches, dims.out_channels, cols, rows);
+    out
+}
+
+/// Parameter gradients of the valid convolution from a patch matrix:
+/// `(d_kernels, d_bias)` with `d_kernels[oc, l] = Σ_p d_out[oc, p]·patches[p, l]`.
+///
+/// Bit-identical to the kernel-gradient half of [`conv2d_backward`]: each
+/// element is a zero-seeded sum over output pixels in row-major order.
+pub fn conv2d_backward_params(
+    patches: &[f64],
+    d_out: &[f64],
+    dims: &Conv2dDims,
+) -> (Vec<f64>, Vec<f64>) {
+    let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+    assert_eq!(
+        d_out.len(),
+        dims.out_channels * rows,
+        "conv2d_backward_params: d_out length mismatch"
+    );
+    assert_eq!(
+        patches.len(),
+        rows * cols,
+        "conv2d_backward_params: patch buffer length mismatch"
+    );
+    let mut d_kernels = vec![0.0; dims.out_channels * cols];
+    matmul_acc(
+        &mut d_kernels,
+        d_out,
+        patches,
+        dims.out_channels,
+        rows,
+        cols,
+    );
+    let d_bias = d_out
+        .chunks_exact(rows)
+        .map(|plane| plane.iter().sum())
+        .collect();
+    (d_kernels, d_bias)
+}
+
+/// Input gradient of the valid convolution: the transposed convolution of
+/// `d_out` with the kernels, accumulated directly (per `(oc, ic, u, v)` in
+/// ascending order). Both the scalar and the batched pipeline share this
+/// routine, so the summation order over output channels is identical.
+pub fn conv2d_backward_input(kernels: &[f64], d_out: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+    let (oh, ow) = (dims.out_h(), dims.out_w());
+    assert_eq!(
+        d_out.len(),
+        dims.out_channels * oh * ow,
+        "conv2d_backward_input: d_out length mismatch"
+    );
+    assert_eq!(
+        kernels.len(),
+        dims.out_channels * dims.patch_cols(),
+        "conv2d_backward_input: kernel buffer length mismatch"
+    );
+    let mut d_input = vec![0.0; dims.in_channels * dims.in_h * dims.in_w];
+    for oc in 0..dims.out_channels {
+        let d_plane = &d_out[oc * oh * ow..(oc + 1) * oh * ow];
+        for ic in 0..dims.in_channels {
+            let di_plane_base = ic * dims.in_h * dims.in_w;
+            let k_base = ((oc * dims.in_channels) + ic) * dims.k_h * dims.k_w;
+            for u in 0..dims.k_h {
+                for v in 0..dims.k_w {
+                    let kval = kernels[k_base + u * dims.k_w + v];
+                    for i in 0..oh {
+                        let d_row = &d_plane[i * ow..(i + 1) * ow];
+                        let di_off = di_plane_base + (i + u) * dims.in_w + v;
+                        let di_row = &mut d_input[di_off..di_off + ow];
+                        for (di, d) in di_row.iter_mut().zip(d_row) {
+                            *di += kval * d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    d_input
+}
+
+/// Gradients of the valid convolution on one example.
 ///
 /// Given the upstream gradient `d_out` (`[C_out, out_h, out_w]`), returns
 /// `(d_input, d_kernels, d_bias)` with the shapes of `input`, `kernels` and
@@ -113,20 +263,16 @@ pub fn conv2d_backward(
         dims.in_channels * dims.in_h * dims.in_w,
         "conv2d_backward: input length mismatch"
     );
-    let mut d_input = vec![0.0; input.len()];
     let mut d_kernels = vec![0.0; kernels.len()];
     let mut d_bias = vec![0.0; dims.out_channels];
-
     for oc in 0..dims.out_channels {
         let d_plane = &d_out[oc * oh * ow..(oc + 1) * oh * ow];
         d_bias[oc] = d_plane.iter().sum();
         for ic in 0..dims.in_channels {
             let in_plane = &input[ic * dims.in_h * dims.in_w..(ic + 1) * dims.in_h * dims.in_w];
-            let di_plane_base = ic * dims.in_h * dims.in_w;
             let k_base = ((oc * dims.in_channels) + ic) * dims.k_h * dims.k_w;
             for u in 0..dims.k_h {
                 for v in 0..dims.k_w {
-                    let kval = kernels[k_base + u * dims.k_w + v];
                     let mut kgrad = 0.0;
                     for i in 0..oh {
                         let d_row = &d_plane[i * ow..(i + 1) * ow];
@@ -135,19 +281,13 @@ pub fn conv2d_backward(
                         for (d, x) in d_row.iter().zip(in_row) {
                             kgrad += d * x;
                         }
-                        if kval != 0.0 {
-                            let di_off = di_plane_base + in_off;
-                            let di_row = &mut d_input[di_off..di_off + ow];
-                            for (di, d) in di_row.iter_mut().zip(d_row) {
-                                *di += kval * d;
-                            }
-                        }
                     }
-                    d_kernels[k_base + u * dims.k_w + v] += kgrad;
+                    d_kernels[k_base + u * dims.k_w + v] = kgrad;
                 }
             }
         }
     }
+    let d_input = conv2d_backward_input(kernels, d_out, dims);
     (d_input, d_kernels, d_bias)
 }
 
@@ -164,6 +304,12 @@ mod tests {
             k_h: k,
             k_w: k,
         }
+    }
+
+    fn pseudo(len: usize, scale: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 2654435761 % 1009) as f64 - 504.0) * scale)
+            .collect()
     }
 
     #[test]
@@ -213,6 +359,72 @@ mod tests {
         let input = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
         let out = conv2d_forward(&input, &[2.0, 3.0], &[0.0], &dims);
         assert_eq!(out, vec![32.0, 64.0, 96.0, 128.0]);
+    }
+
+    #[test]
+    fn im2col_rows_hold_receptive_fields() {
+        // Input 3x3 = [1..9], 2x2 kernel: row for output pixel (0,0) is the
+        // top-left window in (ic, u, v) order.
+        let input: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let p = im2col(&input, &dims_1ch(3, 3, 2));
+        assert_eq!(&p[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(&p[4..8], &[2.0, 3.0, 5.0, 6.0]);
+        assert_eq!(&p[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_forward_is_bit_identical_to_direct() {
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 5,
+            k_h: 3,
+            k_w: 2,
+        };
+        let input = pseudo(dims.in_channels * dims.in_h * dims.in_w, 1e-2);
+        let kernels = pseudo(dims.out_channels * dims.patch_cols(), 3e-3);
+        let bias = vec![0.3, -0.2, 0.1];
+        let direct = conv2d_forward(&input, &kernels, &bias, &dims);
+        let patches = im2col(&input, &dims);
+        let gemm = conv2d_forward_gemm(&patches, &kernels, &bias, &dims);
+        for (g, d) in gemm.iter().zip(&direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_param_gradients_are_bit_identical_to_direct() {
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 5,
+            k_h: 3,
+            k_w: 2,
+        };
+        let input = pseudo(dims.in_channels * dims.in_h * dims.in_w, 1e-2);
+        let kernels = pseudo(dims.out_channels * dims.patch_cols(), 3e-3);
+        let d_out = pseudo(dims.out_channels * dims.patch_rows(), 5e-3);
+        let (_, dk_direct, db_direct) = conv2d_backward(&input, &kernels, &d_out, &dims);
+        let patches = im2col(&input, &dims);
+        let (dk_gemm, db_gemm) = conv2d_backward_params(&patches, &d_out, &dims);
+        for (g, d) in dk_gemm.iter().zip(&dk_direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
+        for (g, d) in db_gemm.iter().zip(&db_direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_propagates_nan_through_zero_kernels() {
+        // A NaN input times a zero kernel weight must poison the output —
+        // the old zero-skip fast path silently dropped it.
+        let out = conv2d_forward(&[f64::NAN], &[0.0], &[0.0], &dims_1ch(1, 1, 1));
+        assert!(out[0].is_nan());
+        let d_in = conv2d_backward_input(&[0.0], &[f64::NAN], &dims_1ch(1, 1, 1));
+        assert!(d_in[0].is_nan());
     }
 
     /// Finite-difference check of all three gradients.

@@ -13,7 +13,12 @@ pub mod ops;
 pub mod pool;
 pub mod tensor;
 
-pub use conv::{conv2d_backward, conv2d_forward, Conv2dDims};
-pub use ops::{matmul, matvec, matvec_transposed, outer_product};
+pub use conv::{
+    conv2d_backward, conv2d_backward_input, conv2d_backward_params, conv2d_forward,
+    conv2d_forward_gemm, im2col, Conv2dDims,
+};
+pub use ops::{
+    matmul, matmul_acc, matmul_nt, matmul_nt_acc, matvec, matvec_transposed, outer_product,
+};
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolDims};
 pub use tensor::Tensor;

@@ -1,29 +1,162 @@
 //! Matrix and vector products on flat row-major buffers.
+//!
+//! The matrix–matrix kernels are register-blocked: the m×n output is walked
+//! in `MR`×`NR` tiles whose partial sums live in a small accumulator array
+//! the compiler keeps in registers, and the shared k-dimension is traversed
+//! in one strictly increasing pass. Edge tiles fall back to scalar loops
+//! with the *same* per-element accumulation chain (seed from C, then add
+//! `a·b` terms in ascending k order), so blocked and scalar results are
+//! bit-identical. There is no branch in any inner loop — a zero (or NaN,
+//! or Inf) operand contributes exactly like any other value, which keeps
+//! IEEE special values propagating through the gradient pipeline.
+
+/// Rows per register tile of the blocked kernels.
+const MR: usize = 4;
+/// Columns per register tile of the blocked kernels.
+const NR: usize = 4;
+
+/// Accumulating matrix–matrix product: `C[m,n] += A[m,k] · B[k,n]`.
+///
+/// Each output element's additions happen in ascending `k` order starting
+/// from the incoming value of `C`, regardless of which tile path computes
+/// it — the result is bitwise independent of the blocking.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul: A has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: B has wrong length");
+    assert_eq!(c.len(), m * n, "matmul: C has wrong length");
+    let m_main = m - m % MR;
+    let n_main = n - n % NR;
+    for i in (0..m_main).step_by(MR) {
+        for j in (0..n_main).step_by(NR) {
+            let mut acc = [[0.0f64; NR]; MR];
+            for (mi, row) in acc.iter_mut().enumerate() {
+                let base = (i + mi) * n + j;
+                row.copy_from_slice(&c[base..base + NR]);
+            }
+            for l in 0..k {
+                let brow = &b[l * n + j..l * n + j + NR];
+                for (mi, row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + l];
+                    for (cv, bv) in row.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            for (mi, row) in acc.iter().enumerate() {
+                let base = (i + mi) * n + j;
+                c[base..base + NR].copy_from_slice(row);
+            }
+        }
+        for j in n_main..n {
+            for mi in 0..MR {
+                let row = i + mi;
+                let mut cv = c[row * n + j];
+                for l in 0..k {
+                    cv += a[row * k + l] * b[l * n + j];
+                }
+                c[row * n + j] = cv;
+            }
+        }
+    }
+    for i in m_main..m {
+        for j in 0..n {
+            let mut cv = c[i * n + j];
+            for l in 0..k {
+                cv += a[i * k + l] * b[l * n + j];
+            }
+            c[i * n + j] = cv;
+        }
+    }
+}
 
 /// Dense matrix–matrix product: `C[m,n] = A[m,k] · B[k,n]`.
 ///
-/// Loop order (i, l, j) keeps the innermost accesses contiguous in both `B`
-/// and `C` — the classic cache-friendly ordering for row-major data.
+/// A zero-initialising wrapper over the blocked [`matmul_acc`] kernel.
 ///
 /// # Panics
 /// Panics if buffer lengths disagree with the stated dimensions.
 pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
-    assert_eq!(a.len(), m * k, "matmul: A has wrong length");
-    assert_eq!(b.len(), k * n, "matmul: B has wrong length");
     let mut c = vec![0.0; m * n];
-    for i in 0..m {
-        for l in 0..k {
-            let aval = a[i * k + l];
-            if aval == 0.0 {
-                continue;
+    matmul_acc(&mut c, a, b, m, k, n);
+    c
+}
+
+/// Accumulating product against a transposed right operand:
+/// `C[m,n] += A[m,k] · Bᵀ` where `B` is stored row-major as `[n,k]`.
+///
+/// Both operands are traversed along contiguous length-`k` rows, so no
+/// transpose is materialised. Same tiling and same per-element accumulation
+/// chain (ascending `k`, seeded from `C`) as [`matmul_acc`].
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_nt_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_nt: A has wrong length");
+    assert_eq!(b.len(), n * k, "matmul_nt: B has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_nt: C has wrong length");
+    let m_main = m - m % MR;
+    let n_main = n - n % NR;
+    for i in (0..m_main).step_by(MR) {
+        for j in (0..n_main).step_by(NR) {
+            let mut acc = [[0.0f64; NR]; MR];
+            for (mi, row) in acc.iter_mut().enumerate() {
+                let base = (i + mi) * n + j;
+                row.copy_from_slice(&c[base..base + NR]);
             }
-            let brow = &b[l * n..(l + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += aval * bv;
+            for l in 0..k {
+                let mut bv = [0.0f64; NR];
+                for (ni, v) in bv.iter_mut().enumerate() {
+                    *v = b[(j + ni) * k + l];
+                }
+                for (mi, row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + l];
+                    for (cv, v) in row.iter_mut().zip(&bv) {
+                        *cv += av * v;
+                    }
+                }
+            }
+            for (mi, row) in acc.iter().enumerate() {
+                let base = (i + mi) * n + j;
+                c[base..base + NR].copy_from_slice(row);
+            }
+        }
+        for j in n_main..n {
+            let brow = &b[j * k..(j + 1) * k];
+            for mi in 0..MR {
+                let row = i + mi;
+                let arow = &a[row * k..(row + 1) * k];
+                let mut cv = c[row * n + j];
+                for (av, bv) in arow.iter().zip(brow) {
+                    cv += av * bv;
+                }
+                c[row * n + j] = cv;
             }
         }
     }
+    for i in m_main..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut cv = c[i * n + j];
+            for (av, bv) in arow.iter().zip(brow) {
+                cv += av * bv;
+            }
+            c[i * n + j] = cv;
+        }
+    }
+}
+
+/// Product against a transposed right operand: `C[m,n] = A[m,k] · Bᵀ` for
+/// row-major `B[n,k]`. Zero-initialising wrapper over [`matmul_nt_acc`].
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_nt(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; m * n];
+    matmul_nt_acc(&mut c, a, b, m, k, n);
     c
 }
 
@@ -52,11 +185,7 @@ pub fn matvec_transposed(w: &[f64], x: &[f64], m: usize, n: usize) -> Vec<f64> {
     assert_eq!(w.len(), m * n, "matvec_transposed: W has wrong length");
     assert_eq!(x.len(), m, "matvec_transposed: x has wrong length");
     let mut y = vec![0.0; n];
-    for i in 0..m {
-        let xv = x[i];
-        if xv == 0.0 {
-            continue;
-        }
+    for (i, &xv) in x.iter().enumerate() {
         let row = &w[i * n..(i + 1) * n];
         for (yv, wv) in y.iter_mut().zip(row) {
             *yv += xv * wv;
@@ -79,6 +208,24 @@ pub fn outer_product(x: &[f64], y: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
 
+    /// Textbook triple loop with the same per-element chain the kernels
+    /// promise: seed from C, add terms in ascending k order.
+    fn naive_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+    }
+
+    fn pseudo(len: usize, scale: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 2654435761 % 1009) as f64 - 504.0) * scale)
+            .collect()
+    }
+
     #[test]
     fn matmul_small_known() {
         // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
@@ -98,6 +245,59 @@ mod tests {
         let a = vec![1.0, 0.0, 0.0, 1.0];
         let b = vec![3.0, 4.0, 5.0, 6.0];
         assert_eq!(matmul(&a, &b, 2, 2, 2), b);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_at_every_tile_shape() {
+        // Cover interior tiles, row/column remainders, and sub-tile sizes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 2, 5),
+            (4, 7, 4),
+            (5, 3, 6),
+            (8, 8, 8),
+            (9, 5, 11),
+            (13, 16, 7),
+        ] {
+            let a = pseudo(m * k, 1e-3);
+            let b = pseudo(k * n, 7e-4);
+            let mut expect = pseudo(m * n, 1e-2);
+            let mut got = expect.clone();
+            naive_acc(&mut expect, &a, &b, m, k, n);
+            matmul_acc(&mut got, &a, &b, m, k, n);
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_bit_identical_to_matmul_of_explicit_transpose() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (5, 3, 7), (9, 6, 10)] {
+            let a = pseudo(m * k, 1e-3);
+            let bt = pseudo(n * k, 7e-4); // row-major [n, k]
+            let mut b = vec![0.0; k * n]; // row-major [k, n]
+            for j in 0..n {
+                for l in 0..k {
+                    b[l * n + j] = bt[j * k + l];
+                }
+            }
+            let expect = matmul(&a, &b, m, k, n);
+            let got = matmul_nt(&a, &bt, m, k, n);
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_operands() {
+        // A NaN activation must poison the product even when the other
+        // operand is 0 — the old zero-skip fast path silently dropped it.
+        let c = matmul(&[0.0, f64::NAN], &[f64::NAN, 0.0], 1, 2, 1);
+        assert!(c[0].is_nan());
+        let y = matvec_transposed(&[f64::NAN], &[0.0], 1, 1);
+        assert!(y[0].is_nan());
     }
 
     #[test]

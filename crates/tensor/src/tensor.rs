@@ -161,6 +161,30 @@ impl Tensor {
     pub fn l2_norm(&self) -> f64 {
         dpaudit_math::l2_norm(&self.data)
     }
+
+    /// Stack same-shaped tensors into one batch tensor of shape
+    /// `[B, ...shape]`, copying each example's buffer in order.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or a shape mismatch between examples.
+    pub fn stack(examples: &[Tensor]) -> Tensor {
+        let first = examples
+            .first()
+            .expect("Tensor::stack: empty example slice");
+        let mut shape = Vec::with_capacity(first.shape.len() + 1);
+        shape.push(examples.len());
+        shape.extend_from_slice(&first.shape);
+        let mut data = Vec::with_capacity(examples.len() * first.data.len());
+        for (i, ex) in examples.iter().enumerate() {
+            assert_eq!(
+                ex.shape, first.shape,
+                "Tensor::stack: example {i} has shape {:?}, expected {:?}",
+                ex.shape, first.shape
+            );
+            data.extend_from_slice(&ex.data);
+        }
+        Tensor { shape, data }
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +268,21 @@ mod tests {
     fn l2_norm_flattened() {
         let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 2.0, 4.0]);
         assert!((t.l2_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_prepends_a_batch_dimension() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn stack_checks_shapes() {
+        Tensor::stack(&[Tensor::zeros(&[2]), Tensor::zeros(&[3])]);
     }
 
     #[test]

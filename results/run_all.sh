@@ -48,4 +48,7 @@ mkdir -p results/obs
 ./target/release/dpaudit watch \
   --store results/obs/mnist_audit.jsonl --trace results/obs/mnist_trace.jsonl \
   --max-ticks 1 --interval-ms 1 > results/obs/mnist_watch.txt 2>&1 && echo "done obs watch"
+# Batched-pipeline throughput: scalar oracle vs batched vs chunk-parallel
+# per-example gradients (bit-identical sums; ratios are pure speed).
+./target/release/bench_step > results/BENCH_step.json 2>results/BENCH_step.log && echo "done bench_step"
 echo ALL_RUNS_COMPLETE
