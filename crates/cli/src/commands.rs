@@ -42,6 +42,7 @@ pub fn run(opts: &Opts) -> Result<String, String> {
     if let Some(sub) = &opts.subaction {
         return match opts.command.as_str() {
             "audit" => crate::engine::run_subaction(sub, opts),
+            "fabric" => crate::fabric::run_subaction(sub, opts),
             "metrics" => crate::metrics::run_subaction(sub, opts),
             "trace" => crate::trace::run_subaction(sub, opts),
             other => Err(format!(
@@ -55,6 +56,10 @@ pub fn run(opts: &Opts) -> Result<String, String> {
         "calibrate" => cmd_calibrate(opts),
         "compose" => cmd_compose(opts),
         "audit" => cmd_audit(opts),
+        "fabric" => Err(
+            "`fabric` needs a sub-action: `dpaudit fabric serve | work | status | merge`"
+                .to_string(),
+        ),
         "metrics" => Err("`metrics` needs a sub-action: `dpaudit metrics report`".to_string()),
         "trace" => Err("`trace` needs a sub-action: `dpaudit trace export`".to_string()),
         "watch" => crate::watch::run(opts),
@@ -736,11 +741,59 @@ mod tests {
         .unwrap();
         assert!(alert.contains("ALERT"), "{alert}");
 
-        assert!(run_line(&["watch", "--store", "/nonexistent/x.jsonl"])
-            .unwrap_err()
-            .contains("cannot read store"));
+        // A store that never appears is a bounded wait, not an error.
+        let waited = run_line(&[
+            "watch",
+            "--store",
+            "/nonexistent/x.jsonl",
+            "--max-ticks",
+            "2",
+            "--interval-ms",
+            "1",
+        ])
+        .unwrap();
+        assert!(waited.contains("did not appear"), "{waited}");
         std::fs::remove_file(&store).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn watch_waits_for_a_store_that_appears_after_launch() {
+        let dir = std::env::temp_dir().join("dpaudit-cli-watch-late-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let late = dir.join("late.jsonl");
+        let late_s = late.to_str().unwrap().to_string();
+
+        // Create the store ~80 ms after the watcher starts polling.
+        let writer = std::thread::spawn({
+            let late = late.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+                let staging = late.with_extension("staging");
+                run_line(&[
+                    "audit",
+                    "run",
+                    "--workload",
+                    "purchase",
+                    "--reps",
+                    "2",
+                    "--steps",
+                    "2",
+                    "--train-size",
+                    "30",
+                    "--out",
+                    staging.to_str().unwrap(),
+                ])
+                .unwrap();
+                // Atomic move so the watcher only ever sees a full store.
+                std::fs::rename(&staging, &late).unwrap();
+            }
+        });
+        let frame = run_line(&["watch", "--store", &late_s, "--interval-ms", "20"]).unwrap();
+        writer.join().unwrap();
+        assert!(frame.contains("2/2 trials"), "{frame}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

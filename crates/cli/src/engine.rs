@@ -31,8 +31,13 @@ pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
     }
 }
 
-fn cmd_run(opts: &Opts) -> Result<String, String> {
-    let out_path = opts.str_opt("out").ok_or("missing required --out FILE")?;
+/// Build the batch-defining [`StoreHeader`] from the workload flag set.
+///
+/// This is the single construction point shared by `audit run` and
+/// `fabric serve`: identical flags produce an identical header, which is
+/// what makes a fabric job's merged report byte-comparable to a local
+/// run's.
+pub(crate) fn header_from_opts(opts: &Opts) -> Result<StoreHeader, String> {
     let workload = parse_workload(
         opts.str_opt("workload")
             .ok_or("missing required --workload")?,
@@ -51,7 +56,6 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
     let challenge = parse_challenge(opts.str_opt("challenge").unwrap_or("random"))?;
     let detail = parse_detail(opts.str_opt("detail").unwrap_or("summary"))?;
     let seed = opts.u64_or("seed", 42)?;
-    let parallelism = parse_parallelism(opts)?;
     let train_size = opts.usize_or("train-size", workload.default_train_size())?;
     let label = opts
         .str_opt("label")
@@ -60,7 +64,7 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
 
     let row = param_row(rho_beta, workload.delta());
     let settings = arm_settings(&row, steps, scaling, mode, challenge);
-    let header = StoreHeader {
+    Ok(StoreHeader {
         schema_version: SCHEMA_VERSION,
         label,
         workload: workload.key().to_string(),
@@ -73,7 +77,13 @@ fn cmd_run(opts: &Opts) -> Result<String, String> {
         rho_beta_bound: row.rho_beta,
         detail,
         settings,
-    };
+    })
+}
+
+fn cmd_run(opts: &Opts) -> Result<String, String> {
+    let out_path = opts.str_opt("out").ok_or("missing required --out FILE")?;
+    let header = header_from_opts(opts)?;
+    let parallelism = parse_parallelism(opts)?;
 
     let path = Path::new(out_path);
     if path.exists() && !opts.flag("fresh") {
@@ -104,7 +114,7 @@ fn cmd_resume(opts: &Opts) -> Result<String, String> {
 
 /// Both worker knobs from the flag set: `--threads` across trials,
 /// `--batch-threads` inside each trial's clip loop.
-fn parse_parallelism(opts: &Opts) -> Result<Parallelism, String> {
+pub(crate) fn parse_parallelism(opts: &Opts) -> Result<Parallelism, String> {
     Ok(Parallelism {
         trial_threads: opts.usize_or("threads", 0)?,
         batch_threads: opts.usize_or("batch-threads", 1)?,
@@ -270,7 +280,7 @@ fn execute(
 
 /// Deterministically rebuild the neighbouring pair from header metadata:
 /// same workload + world seed + train size + neighbour mode ⇒ same pair.
-fn rebuild_workload(header: &StoreHeader) -> Result<(Workload, NeighborPair), String> {
+pub(crate) fn rebuild_workload(header: &StoreHeader) -> Result<(Workload, NeighborPair), String> {
     let workload = parse_workload(&header.workload)?;
     let world = workload.world(header.world_seed.0, header.train_size);
     let pair = workload.max_pair(&world, header.settings.dpsgd.mode);

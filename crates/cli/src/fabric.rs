@@ -1,0 +1,311 @@
+//! The `dpaudit fabric` sub-actions: distributed coordinator/worker
+//! execution of audit batches.
+//!
+//! * `fabric serve` — run the coordinator: enqueue a job built from the
+//!   same workload flags as `audit run` (shared header construction, so
+//!   the distributed result is byte-comparable), lease trials to workers,
+//!   and render each job's report when it completes.
+//! * `fabric work` — run a worker: claim leases, execute trials through
+//!   the engine, write a local shard, and stream records back.
+//! * `fabric status` — query a coordinator's queue.
+//! * `fabric merge` — merge shard stores offline into one report/store.
+
+use crate::engine::{header_from_opts, parse_parallelism, rebuild_workload};
+use crate::opts::Opts;
+use dpaudit_fabric as fabric;
+use dpaudit_obs::{self as obs, MetricsRegistry};
+use dpaudit_runtime::{
+    render_partial, render_report, run_from_source, ExecPlan, Parallelism, SourceRunStats,
+    StoreHeader, TrialSink, TrialSource,
+};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Dispatch `fabric <sub-action>`.
+///
+/// # Errors
+/// A human-readable message for bad flags, bad values or I/O failures.
+pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
+    match sub {
+        "serve" => cmd_serve(opts),
+        "work" => cmd_work(opts),
+        "status" => cmd_status(opts),
+        "merge" => cmd_merge(opts),
+        other => Err(format!(
+            "unknown fabric sub-action `{other}` (serve | work | status | merge)"
+        )),
+    }
+}
+
+fn cmd_serve(opts: &Opts) -> Result<String, String> {
+    let addr = opts.str_opt("addr").ok_or("missing required --addr")?;
+    let store_dir = opts
+        .str_opt("store-dir")
+        .ok_or("missing required --store-dir DIR")?;
+    let header = header_from_opts(opts)?;
+    let job = opts
+        .str_opt("job")
+        .map(str::to_string)
+        .unwrap_or_else(|| header.label.clone());
+    let lease_trials = opts.usize_or("lease-trials", 8)?;
+    if lease_trials == 0 {
+        return Err("--lease-trials must be positive".into());
+    }
+    let lease_ttl = Duration::from_millis(opts.u64_or("lease-ttl-ms", 30_000)?.max(1));
+    let exit_when_done = opts.flag("exit-when-done");
+
+    // The coordinator's own obs: counters/spans feed the /metrics endpoint
+    // it serves next to the protocol.
+    let registry = Arc::new(MetricsRegistry::new());
+    let _obs_guard = obs::install(registry.clone());
+    let mut config = fabric::CoordinatorConfig::new(store_dir);
+    config.lease_ttl = lease_ttl;
+    config.lease_trials = lease_trials;
+    let render_registry = registry.clone();
+    let coordinator = Arc::new(
+        fabric::Coordinator::new(config).with_metrics_render(move || {
+            obs::render_prometheus(&render_registry.snapshot(), &render_registry.span_stats())
+        }),
+    );
+    coordinator
+        .submit_job(&job, header)
+        .map_err(|e| format!("cannot enqueue job: {e}"))?;
+    let server = fabric::serve(coordinator.clone(), addr)
+        .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    eprintln!(
+        "fabric coordinator on http://{} — job `{job}` queued; metrics at /metrics",
+        server.addr()
+    );
+
+    let (shutdown, signals_installed) = fabric::shutdown_flag();
+    if !signals_installed {
+        eprintln!("note: no signal handler installed; stop with --exit-when-done or kill");
+    }
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            eprintln!("fabric serve: shutdown signal received, draining");
+            break;
+        }
+        if exit_when_done && coordinator.all_done() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    server.shutdown();
+
+    // Render every job's final (or partial) state from the coordinator's
+    // own durable store — the same artefact `audit report` replays.
+    let mut out = String::new();
+    let status = coordinator.status();
+    let _ = writeln!(
+        out,
+        "fabric: {} leases granted, {} reclaimed, {} trials accepted, {} duplicates",
+        status.leases_granted, status.leases_reclaimed, status.trials_submitted, status.duplicates
+    );
+    for id in coordinator.job_ids() {
+        let path = coordinator.store_path(&id).expect("job has a store");
+        let replayed = fabric::replay_job_store(&path)
+            .map_err(|e| format!("cannot replay job `{id}` store: {e}"))?;
+        let _ = writeln!(out, "job `{id}` (store {}):", path.display());
+        match replayed.report {
+            Some(report) => out.push_str(&render_report(&replayed.header, &report)),
+            None => out.push_str(&render_partial(
+                &replayed.header,
+                replayed.completed,
+                &replayed.missing,
+            )),
+        }
+    }
+    Ok(out)
+}
+
+/// [`fabric::JobRunner`] backed by the real engine: rebuild the workload a
+/// job header describes and execute leased trials on the runtime executor.
+struct EngineRunner {
+    parallelism: Parallelism,
+}
+
+impl fabric::JobRunner for EngineRunner {
+    fn run_job(
+        &mut self,
+        job: &str,
+        header: &StoreHeader,
+        source: &mut dyn TrialSource,
+        sink: &mut dyn TrialSink,
+    ) -> std::io::Result<SourceRunStats> {
+        let (workload, pair) = rebuild_workload(header).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("cannot rebuild workload for job `{job}`: {e}"),
+            )
+        })?;
+        let plan = ExecPlan::for_header(header, self.parallelism);
+        run_from_source(
+            &pair,
+            &header.settings,
+            None,
+            |rng| workload.build_model(rng),
+            &plan,
+            source,
+            sink,
+        )
+    }
+}
+
+fn cmd_work(opts: &Opts) -> Result<String, String> {
+    let coordinator = opts
+        .str_opt("coordinator")
+        .ok_or("missing required --coordinator ADDR")?;
+    let shard_dir = opts
+        .str_opt("shard-dir")
+        .ok_or("missing required --shard-dir DIR")?;
+    let worker_id = opts
+        .str_opt("worker-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let parallelism = parse_parallelism(opts)?;
+
+    let mut config = fabric::WorkerConfig::new(coordinator, worker_id.clone(), shard_dir);
+    config.job = opts.str_opt("job").map(str::to_string);
+    config.max_trials = opts.usize_or("max-trials", 8)?.max(1);
+    config.poll = Duration::from_millis(opts.u64_or("poll-ms", 200)?.max(1));
+    config.attempts = u32::try_from(opts.usize_or("retries", 5)?.max(1))
+        .map_err(|_| "--retries is out of range".to_string())?;
+    let (shutdown, _) = fabric::shutdown_flag();
+    config.shutdown = shutdown;
+
+    let mut runner = EngineRunner { parallelism };
+    let summary =
+        fabric::run_worker(&config, &mut runner).map_err(|e| format!("worker failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "worker {worker_id}: {} trials executed across {} leases{}",
+        summary.executed,
+        summary.leases,
+        if summary.drained {
+            " (drained on shutdown signal)"
+        } else if summary.coordinator_gone {
+            " (coordinator finished and went away)"
+        } else {
+            ""
+        }
+    );
+    if summary.jobs.is_empty() {
+        let _ = writeln!(out, "  no jobs had pending work");
+    } else {
+        let _ = writeln!(out, "  jobs: {}", summary.jobs.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_status(opts: &Opts) -> Result<String, String> {
+    let coordinator = opts
+        .str_opt("coordinator")
+        .ok_or("missing required --coordinator ADDR")?;
+    let status = fabric::Client::new(coordinator)
+        .status()
+        .map_err(|e| format!("cannot reach coordinator at {coordinator}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "coordinator at {coordinator} (protocol v{})",
+        status.protocol_version
+    );
+    let _ = writeln!(
+        out,
+        "  {} leases granted, {} reclaimed, {} trials accepted, {} duplicates",
+        status.leases_granted, status.leases_reclaimed, status.trials_submitted, status.duplicates
+    );
+    if status.jobs.is_empty() {
+        let _ = writeln!(out, "  no jobs queued");
+    }
+    for job in &status.jobs {
+        let _ = writeln!(
+            out,
+            "  job {:<24} {}/{} done · {} leased · {} pending · {} reclaims{}",
+            job.job,
+            job.completed,
+            job.reps,
+            job.leased,
+            job.pending,
+            job.reclaims,
+            if job.done { " · COMPLETE" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_merge(opts: &Opts) -> Result<String, String> {
+    let shards = opts
+        .str_opt("shards")
+        .ok_or("missing required --shards A,B,...")?;
+    let paths: Vec<PathBuf> = shards
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return Err("--shards needs at least one path".into());
+    }
+    let merged = fabric::merge_shards(&paths).map_err(|e| format!("merge failed: {e}"))?;
+    if let Some(out_path) = opts.str_opt("out") {
+        merged
+            .write_store(Path::new(out_path))
+            .map_err(|e| format!("cannot write merged store: {e}"))?;
+        eprintln!(
+            "merged {} records ({} cross-shard duplicates dropped) into {out_path}",
+            merged.records.len(),
+            merged.duplicates
+        );
+    }
+    // The rendered output matches `audit run` / `audit report` exactly so
+    // distributed and single-node results diff cleanly.
+    match merged.report() {
+        Some(report) => Ok(render_report(&merged.header, &report)),
+        None => Ok(render_partial(
+            &merged.header,
+            merged.records.len(),
+            &merged.missing,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn merge_requires_shards() {
+        let err = run_subaction("merge", &parse(&["fabric", "merge"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err =
+            run_subaction("merge", &parse(&["fabric", "merge", "--shards", " , ,"])).unwrap_err();
+        assert!(err.contains("at least one path"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subaction_lists_the_real_ones() {
+        let err = run_subaction("frobnicate", &parse(&["fabric", "status"])).unwrap_err();
+        assert!(err.contains("serve | work | status | merge"), "{err}");
+    }
+
+    #[test]
+    fn status_reports_unreachable_coordinators() {
+        // A port from the discard range with nothing listening.
+        let err = run_subaction(
+            "status",
+            &parse(&["fabric", "status", "--coordinator", "127.0.0.1:9"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot reach coordinator"), "{err}");
+    }
+}

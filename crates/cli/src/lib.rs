@@ -8,6 +8,7 @@
 
 pub mod commands;
 pub mod engine;
+pub mod fabric;
 pub mod metrics;
 pub mod opts;
 pub mod spec;

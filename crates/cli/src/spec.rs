@@ -230,6 +230,122 @@ pub const COMMANDS: &[CommandSpec] = &[
         flags: &[req("store", "FILE", "trial store to replay")],
     },
     CommandSpec {
+        command: "fabric",
+        subaction: Some("serve"),
+        summary: "run the audit-fabric coordinator: enqueue a job built from the \
+                  same workload flags as `audit run`, lease trial ranges to \
+                  workers (TTL + reclaim on timeout), ingest shards idempotently, \
+                  and render the final report from the coordinator store",
+        flags: &[
+            req(
+                "addr",
+                "ADDR",
+                "listen address (e.g. 127.0.0.1:7878; 0 picks a port)",
+            ),
+            req(
+                "store-dir",
+                "DIR",
+                "directory for per-job coordinator trial stores",
+            ),
+            req("workload", "NAME", "workload to audit (mnist | purchase)"),
+            opt("job", "ID", "job id [the store label]"),
+            opt("reps", "N", "number of challenge trials [25]"),
+            opt("steps", "K", "DPSGD steps per trial [30]"),
+            opt("rho-beta", "B", "identifiability target in (0.5, 1) [0.90]"),
+            opt(
+                "scaling",
+                "S",
+                "noise scaling: ls (local) | gs (global) [ls]",
+            ),
+            opt(
+                "mode",
+                "M",
+                "neighbour relation: bounded | unbounded [bounded]",
+            ),
+            opt(
+                "challenge",
+                "C",
+                "challenge bits: random | always-d [random]",
+            ),
+            opt(
+                "detail",
+                "D",
+                "stored record detail: summary | full [summary]",
+            ),
+            opt("seed", "S", "master seed [42]"),
+            opt("train-size", "N", "training-set size [workload default]"),
+            opt("label", "L", "free-form store label"),
+            opt("lease-trials", "N", "trial indices granted per lease [8]"),
+            opt(
+                "lease-ttl-ms",
+                "MS",
+                "lease time-to-live before reclaim [30000]",
+            ),
+            bare(
+                "exit-when-done",
+                "stop serving once every queued job is complete",
+            ),
+        ],
+    },
+    CommandSpec {
+        command: "fabric",
+        subaction: Some("work"),
+        summary: "run an audit-fabric worker: claim trial-range leases, execute \
+                  them on the engine, append a local shard store, and stream \
+                  records back idempotently (SIGTERM drains gracefully)",
+        flags: &[
+            req("coordinator", "ADDR", "coordinator address (host:port)"),
+            req("shard-dir", "DIR", "directory for local shard stores"),
+            opt("worker-id", "ID", "worker identity [worker-<pid>]"),
+            opt(
+                "job",
+                "ID",
+                "work only this job [any job with pending work]",
+            ),
+            opt("max-trials", "N", "trial indices to request per lease [8]"),
+            opt("poll-ms", "MS", "sleep between polls while waiting [200]"),
+            opt(
+                "threads",
+                "N",
+                "worker threads (0 = machine parallelism) [0]",
+            ),
+            opt(
+                "batch-threads",
+                "N",
+                "clip-loop threads inside each trial; never changes results [1]",
+            ),
+            opt(
+                "retries",
+                "N",
+                "attempts per request (jittered backoff) [5]",
+            ),
+        ],
+    },
+    CommandSpec {
+        command: "fabric",
+        subaction: Some("status"),
+        summary: "query a coordinator's job queue, lease counters and progress",
+        flags: &[req(
+            "coordinator",
+            "ADDR",
+            "coordinator address (host:port)",
+        )],
+    },
+    CommandSpec {
+        command: "fabric",
+        subaction: Some("merge"),
+        summary: "merge worker shard stores into one deterministic report \
+                  (bit-identical to a single-node run over the same header)",
+        flags: &[
+            req(
+                "shards",
+                "A,B,...",
+                "comma-separated shard store paths to merge",
+            ),
+            opt("out", "FILE", "also write the merged records as one store"),
+        ],
+    },
+    CommandSpec {
         command: "metrics",
         subaction: Some("report"),
         summary: "render counters, histograms, per-stage timings and throughput \

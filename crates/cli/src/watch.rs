@@ -80,12 +80,29 @@ pub fn run(opts: &Opts) -> Result<String, String> {
     let mut baseline = 0usize;
     let mut ticked = 0usize;
     let mut tick = 0usize;
+    let mut waiting_announced = false;
     loop {
         tick += 1;
         let contents = match read_store(Path::new(store_path)) {
             Ok(contents) => contents,
-            // The first read must succeed; later failures (store mid-swap)
-            // keep the previous frame and retry.
+            // A store that does not exist yet is the normal "watch started
+            // before the run" case: poll until it appears (max-ticks still
+            // bounds the wait).
+            Err(e) if meter.is_none() && e.kind() == std::io::ErrorKind::NotFound => {
+                if !waiting_announced {
+                    eprintln!("watch: waiting for store {store_path} to appear");
+                    waiting_announced = true;
+                }
+                if max_ticks > 0 && tick >= max_ticks {
+                    return Ok(format!(
+                        "watch: store {store_path} did not appear within {max_ticks} ticks\n"
+                    ));
+                }
+                std::thread::sleep(interval);
+                continue;
+            }
+            // Any other first-read failure is a real error; later failures
+            // (store mid-swap) keep the previous frame and retry.
             Err(e) if meter.is_none() => return Err(format!("cannot read store: {e}")),
             Err(_) => {
                 std::thread::sleep(interval);

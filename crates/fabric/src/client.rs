@@ -1,0 +1,380 @@
+//! The worker-side HTTP client: one short-lived connection per request,
+//! typed wrappers for every coordinator endpoint, and a jittered-backoff
+//! retry policy for transient failures.
+//!
+//! The workspace is dependency-free, so this speaks exactly the HTTP/1.1
+//! subset [`dpaudit_obs::MetricsServer`] serves: one request per
+//! connection, `Connection: close`, `Content-Length` framing. Every round
+//! trip is timed into the [`dpaudit_obs::names::FABRIC_RTT_SPAN`] span.
+
+use crate::protocol::{
+    JobDescriptor, JobSubmission, LeaseReply, LeaseRequest, RenewReply, RenewRequest, StatusReport,
+    SubmitAck, SubmitHeader,
+};
+use dpaudit_obs as obs;
+use dpaudit_runtime::{StoreHeader, TrialRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Jittered exponential backoff between request retries.
+///
+/// Deterministic given its seed: delays are drawn from an xorshift
+/// generator, uniform over `(0, base * 2^attempt]` and capped, so
+/// concurrent workers seeded by their ids fan out instead of retrying in
+/// lock-step against a recovering coordinator.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Total tries per request (1 = no retries).
+    pub attempts: u32,
+    /// Base delay; attempt `k` draws from `(0, base * 2^k]`.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    /// A policy with `attempts` total tries, jitter-seeded by `seed`
+    /// (hash a worker id into it so workers desynchronise).
+    pub fn new(attempts: u32, base: Duration, seed: u64) -> Self {
+        Backoff {
+            attempts: attempts.max(1),
+            base,
+            cap: Duration::from_secs(5),
+            // xorshift needs a non-zero state.
+            state: seed | 1,
+        }
+    }
+
+    /// The jittered delay before retry number `attempt` (0-based).
+    fn delay(&mut self, attempt: u32) -> Duration {
+        // xorshift64: fast, dependency-free, deterministic.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap)
+            .max(Duration::from_millis(1));
+        let nanos = ceiling.as_nanos() as u64;
+        Duration::from_nanos(self.state % nanos + 1)
+    }
+}
+
+/// FNV-1a over a worker id — a stable, dependency-free backoff seed.
+pub fn seed_from_id(id: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Whether an error is worth retrying: transport failures and coordinator
+/// 5xx are transient; protocol rejections (4xx mapped to `NotFound` /
+/// `InvalidData` / `AlreadyExists`) are not.
+fn is_retryable(error: &std::io::Error) -> bool {
+    !matches!(
+        error.kind(),
+        std::io::ErrorKind::NotFound
+            | std::io::ErrorKind::InvalidData
+            | std::io::ErrorKind::AlreadyExists
+    )
+}
+
+/// A coordinator endpoint address plus request timeout.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the coordinator at `addr` (e.g. `127.0.0.1:7878`),
+    /// with a 10 s per-request timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the per-request timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One raw round trip: `(status, body)`. Timed into the fabric RTT
+    /// span.
+    ///
+    /// # Errors
+    /// Resolution, connection, or transport failures.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let started = Instant::now();
+        let result = self.request_inner(method, path, body);
+        obs::span_nanos(
+            obs::names::FABRIC_RTT_SPAN,
+            started.elapsed().as_nanos() as u64,
+        );
+        result
+    }
+
+    fn request_inner(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let addr: SocketAddr = self
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("cannot resolve {}", self.addr)))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: dpaudit-fabric\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response)?;
+        let header_end = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+        let head = String::from_utf8_lossy(&response[..header_end]);
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| std::io::Error::other("malformed HTTP status line"))?;
+        Ok((status, response[header_end + 4..].to_vec()))
+    }
+
+    /// A JSON round trip with status mapping: 2xx parses the response
+    /// body, 404 → `NotFound`, 409 → `AlreadyExists`, other 4xx →
+    /// `InvalidData`, 5xx → retryable `Other`.
+    fn call<Req: Serialize, Resp: Deserialize>(
+        &self,
+        method: &str,
+        path: &str,
+        request: &Req,
+    ) -> std::io::Result<Resp> {
+        let body = serde_json::to_value(request).to_string();
+        let (status, response) = self.request(method, path, body.as_bytes())?;
+        Self::parse(status, &response)
+    }
+
+    fn parse<Resp: Deserialize>(status: u16, body: &[u8]) -> std::io::Result<Resp> {
+        let text = String::from_utf8_lossy(body);
+        match status {
+            200..=299 => serde_json::from_str(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad coordinator response: {e}"),
+                )
+            }),
+            404 => Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("coordinator: {}", text.trim()),
+            )),
+            409 => Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("coordinator: {}", text.trim()),
+            )),
+            400..=499 => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("coordinator rejected request ({status}): {}", text.trim()),
+            )),
+            _ => Err(std::io::Error::other(format!(
+                "coordinator error ({status}): {}",
+                text.trim()
+            ))),
+        }
+    }
+
+    /// Run `f` under `backoff`: transient failures sleep a jittered delay
+    /// and retry (counting [`dpaudit_obs::names::FABRIC_RETRIES`]);
+    /// protocol rejections and the final attempt's error propagate.
+    ///
+    /// # Errors
+    /// The first non-retryable error, or the last attempt's error.
+    pub fn with_retry<T>(
+        backoff: &mut Backoff,
+        mut f: impl FnMut() -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let attempts = backoff.attempts;
+        let mut attempt = 0;
+        loop {
+            match f() {
+                Ok(value) => return Ok(value),
+                Err(e) if attempt + 1 < attempts && is_retryable(&e) => {
+                    obs::counter(obs::names::FABRIC_RETRIES, 1);
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `POST /job`: enqueue a job.
+    ///
+    /// # Errors
+    /// `AlreadyExists` for a duplicate id; transport failures.
+    pub fn submit_job(&self, job: &str, header: &StoreHeader) -> std::io::Result<()> {
+        let submission = JobSubmission {
+            job: job.to_string(),
+            header: header.clone(),
+        };
+        let _: serde::Value = self.call("POST", "/job", &submission)?;
+        Ok(())
+    }
+
+    /// `GET /job?id=…`: fetch a job's batch description.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown id; transport failures.
+    pub fn job(&self, id: &str) -> std::io::Result<JobDescriptor> {
+        let (status, body) = self.request("GET", &format!("/job?id={id}"), &[])?;
+        Self::parse(status, &body)
+    }
+
+    /// `POST /lease`: claim a trial-range lease.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn claim(&self, request: &LeaseRequest) -> std::io::Result<LeaseReply> {
+        self.call("POST", "/lease", request)
+    }
+
+    /// `POST /renew`: heartbeat a lease.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn renew(&self, lease: u64, worker: &str) -> std::io::Result<RenewReply> {
+        self.call(
+            "POST",
+            "/renew",
+            &RenewRequest {
+                lease,
+                worker: worker.to_string(),
+            },
+        )
+    }
+
+    /// `POST /submit`: stream records back in shard JSONL framing.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown job, `AlreadyExists` for a determinism
+    /// conflict, transport failures.
+    pub fn submit(
+        &self,
+        submit: &SubmitHeader,
+        records: &[TrialRecord],
+    ) -> std::io::Result<SubmitAck> {
+        let mut body = serde_json::to_value(submit).to_string();
+        body.push('\n');
+        for record in records {
+            body.push_str(&serde_json::to_value(record).to_string());
+            body.push('\n');
+        }
+        let (status, response) = self.request("POST", "/submit", body.as_bytes())?;
+        Self::parse(status, &response)
+    }
+
+    /// `GET /status`: the coordinator's public state.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn status(&self) -> std::io::Result<StatusReport> {
+        let (status, body) = self.request("GET", "/status", &[])?;
+        Self::parse(status, &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_are_jittered_bounded_and_deterministic() {
+        let mut a = Backoff::new(5, Duration::from_millis(10), 7);
+        let mut b = Backoff::new(5, Duration::from_millis(10), 7);
+        let mut c = Backoff::new(5, Duration::from_millis(10), 8);
+        let delays_a: Vec<_> = (0..4).map(|k| a.delay(k)).collect();
+        let delays_b: Vec<_> = (0..4).map(|k| b.delay(k)).collect();
+        let delays_c: Vec<_> = (0..4).map(|k| c.delay(k)).collect();
+        assert_eq!(delays_a, delays_b);
+        assert_ne!(delays_a, delays_c);
+        for (k, delay) in delays_a.iter().enumerate() {
+            let ceiling = Duration::from_millis(10 * (1 << k)).min(a.cap);
+            assert!(*delay > Duration::ZERO && *delay <= ceiling, "{delay:?}");
+        }
+    }
+
+    #[test]
+    fn retry_stops_on_protocol_rejections() {
+        let mut backoff = Backoff::new(4, Duration::from_millis(1), 1);
+        let mut calls = 0;
+        let err = Client::with_retry::<()>(&mut backoff, || {
+            calls += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "no job"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn retry_retries_transient_errors_until_success() {
+        let mut backoff = Backoff::new(4, Duration::from_millis(1), 1);
+        let mut calls = 0;
+        let value = Client::with_retry(&mut backoff, || {
+            calls += 1;
+            if calls < 3 {
+                Err(std::io::Error::other("coordinator error (500)"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        let mut backoff = Backoff::new(3, Duration::from_millis(1), 1);
+        let mut calls = 0;
+        let err = Client::with_retry::<()>(&mut backoff, || {
+            calls += 1;
+            Err(std::io::Error::other("unreachable"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn seeds_differ_across_worker_ids() {
+        assert_ne!(seed_from_id("w1"), seed_from_id("w2"));
+        assert_eq!(seed_from_id("w1"), seed_from_id("w1"));
+    }
+}

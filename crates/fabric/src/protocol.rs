@@ -1,0 +1,265 @@
+//! The fabric wire protocol: line/JSON request and response bodies
+//! exchanged between workers and the coordinator over plain HTTP/1.1.
+//!
+//! Every endpoint carries one JSON object per body, except `POST /submit`
+//! whose body is line-oriented: a [`SubmitHeader`] on the first line, then
+//! one [`dpaudit_runtime::TrialRecord`] per following line — exactly the
+//! trial-store JSONL framing, so a shard file can be streamed back
+//! verbatim.
+//!
+//! | endpoint        | request body     | response body                 |
+//! |-----------------|------------------|-------------------------------|
+//! | `POST /job`     | [`JobSubmission`]| `{"accepted":true}`           |
+//! | `GET  /job?id=X`| —                | [`JobDescriptor`]             |
+//! | `POST /lease`   | [`LeaseRequest`] | [`LeaseReply`]                |
+//! | `POST /renew`   | [`RenewRequest`] | [`RenewReply`]                |
+//! | `POST /submit`  | line/JSON shard  | [`SubmitAck`]                 |
+//! | `GET  /status`  | —                | [`StatusReport`]              |
+//!
+//! Protocol errors use plain HTTP statuses: `400` malformed body, `404`
+//! unknown job or lease, `409` duplicate job id or a determinism conflict
+//! (two different records claiming the same trial index).
+
+use dpaudit_runtime::StoreHeader;
+use serde::{Deserialize, Serialize};
+
+/// Fabric protocol version, echoed in [`StatusReport`]; bump on
+/// incompatible wire changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// `POST /job`: enqueue a job (a full trial batch) under a caller-chosen
+/// id. The header is the same record a local trial store starts with, so
+/// coordinator, workers, shards, and single-node runs all describe the
+/// batch identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSubmission {
+    /// Caller-chosen job id (URL-safe: letters, digits, `.`, `_`, `-`).
+    pub job: String,
+    /// The batch description; workers rebuild the workload from it.
+    pub header: StoreHeader,
+}
+
+/// `GET /job?id=X`: the stored description of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobDescriptor {
+    /// The job id.
+    pub job: String,
+    /// The batch description submitted with the job.
+    pub header: StoreHeader,
+}
+
+/// `POST /lease`: a worker asking for a trial-range lease.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaseRequest {
+    /// Worker identity (for status display and lease bookkeeping).
+    pub worker: String,
+    /// Restrict the claim to one job; `None` lets the coordinator pick
+    /// any job with pending work (id order, so the queue drains fairly
+    /// deterministically).
+    pub job: Option<String>,
+    /// Upper bound on how many trial indices the worker wants; the
+    /// coordinator may grant fewer (and caps at its own batch limit).
+    pub max_trials: usize,
+}
+
+/// The coordinator's answer to a lease claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LeaseReply {
+    /// Work granted: run these indices and submit each record before the
+    /// lease expires (submissions renew it).
+    Granted {
+        /// Lease id to tag renewals and submissions with.
+        lease: u64,
+        /// The job the indices belong to.
+        job: String,
+        /// Trial indices to execute, ascending.
+        indices: Vec<usize>,
+        /// Lease time-to-live; unfinished indices return to the pending
+        /// pool this long after the last grant/renewal/submission.
+        ttl_ms: u64,
+    },
+    /// Nothing grantable right now, but outstanding leases may yet be
+    /// reclaimed — poll again.
+    Wait,
+    /// Every trial of every matching job is complete (or no matching job
+    /// exists); the worker can stop.
+    Done,
+}
+
+/// `POST /renew`: heartbeat extending a lease's expiry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenewRequest {
+    /// The lease to renew.
+    pub lease: u64,
+    /// The renewing worker (status display only).
+    pub worker: String,
+}
+
+/// Answer to a renewal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenewReply {
+    /// `false` when the lease already expired and was reclaimed — the
+    /// worker should finish and submit anyway (submissions are
+    /// idempotent) but expects its indices may run elsewhere too.
+    pub renewed: bool,
+}
+
+/// First line of a `POST /submit` body; the remaining lines are trial
+/// records in store JSONL framing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitHeader {
+    /// The job the records belong to.
+    pub job: String,
+    /// The lease the records were executed under, when known. Submissions
+    /// for expired or unknown leases are still accepted (idempotently) —
+    /// a reclaimed worker's stragglers are data, not errors.
+    pub lease: Option<u64>,
+    /// The submitting worker (status display only).
+    pub worker: String,
+}
+
+/// Answer to a shard submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitAck {
+    /// Records accepted and durably appended to the coordinator's store.
+    pub accepted: u64,
+    /// Records dropped because an identical record for the same index was
+    /// already accepted (retries, reclaimed-lease stragglers).
+    pub duplicates: u64,
+}
+
+/// Per-job block of a [`StatusReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: String,
+    /// Total trials in the batch.
+    pub reps: usize,
+    /// Trials with an accepted record.
+    pub completed: usize,
+    /// Trials currently out on unexpired leases.
+    pub leased: usize,
+    /// Trials neither completed nor leased.
+    pub pending: usize,
+    /// Expired leases whose indices were returned to the pending pool.
+    pub reclaims: u64,
+    /// Whether every trial has an accepted record.
+    pub done: bool,
+}
+
+/// `GET /status`: the coordinator's full public state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// See [`PROTOCOL_VERSION`].
+    pub protocol_version: u64,
+    /// Every job in id order.
+    pub jobs: Vec<JobStatus>,
+    /// Leases granted since startup.
+    pub leases_granted: u64,
+    /// Expired leases reclaimed since startup.
+    pub leases_reclaimed: u64,
+    /// Records accepted since startup.
+    pub trials_submitted: u64,
+    /// Duplicate submissions dropped since startup.
+    pub duplicates: u64,
+}
+
+impl StatusReport {
+    /// Whether at least one job exists and every job is complete.
+    pub fn all_done(&self) -> bool {
+        !self.jobs.is_empty() && self.jobs.iter().all(|j| j.done)
+    }
+}
+
+/// Whether `id` is a valid job id: non-empty, ≤ 128 bytes, and URL- and
+/// filename-safe (`[A-Za-z0-9._-]`, not starting with a dot or dash).
+/// Job ids name coordinator-side store files, so this is a path-traversal
+/// guard as much as a wire-format rule.
+pub fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && !id.starts_with(['.', '-'])
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_replies_round_trip_through_json() {
+        let replies = vec![
+            LeaseReply::Granted {
+                lease: 7,
+                job: "mnist-a".into(),
+                indices: vec![0, 1, 5],
+                ttl_ms: 30_000,
+            },
+            LeaseReply::Wait,
+            LeaseReply::Done,
+        ];
+        for reply in replies {
+            let text = serde_json::to_value(&reply).to_string();
+            let back: LeaseReply = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn submit_header_tolerates_missing_lease() {
+        let header = SubmitHeader {
+            job: "j".into(),
+            lease: None,
+            worker: "w".into(),
+        };
+        let text = serde_json::to_value(&header).to_string();
+        let back: SubmitHeader = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, header);
+    }
+
+    #[test]
+    fn job_ids_are_filename_safe() {
+        for good in ["mnist-a", "purchase_2", "job.7", "A"] {
+            assert!(valid_job_id(good), "{good}");
+        }
+        for bad in ["", ".", "..", "-x", "a/b", "a\\b", "a b", "job?id", "ü"] {
+            assert!(!valid_job_id(bad), "{bad}");
+        }
+        assert!(!valid_job_id(&"x".repeat(129)));
+    }
+
+    #[test]
+    fn status_all_done_requires_a_nonempty_complete_queue() {
+        let mut status = StatusReport {
+            protocol_version: PROTOCOL_VERSION,
+            jobs: vec![],
+            leases_granted: 0,
+            leases_reclaimed: 0,
+            trials_submitted: 0,
+            duplicates: 0,
+        };
+        assert!(!status.all_done());
+        status.jobs.push(JobStatus {
+            job: "a".into(),
+            reps: 2,
+            completed: 2,
+            leased: 0,
+            pending: 0,
+            reclaims: 0,
+            done: true,
+        });
+        assert!(status.all_done());
+        status.jobs.push(JobStatus {
+            job: "b".into(),
+            reps: 2,
+            completed: 1,
+            leased: 1,
+            pending: 0,
+            reclaims: 0,
+            done: false,
+        });
+        assert!(!status.all_done());
+    }
+}

@@ -1,0 +1,75 @@
+//! Graceful-drain signal handling without a libc dependency.
+//!
+//! `fabric work` and `fabric serve` want SIGTERM/SIGINT to mean "finish
+//! what is in flight, submit it, exit" rather than die mid-trial. The
+//! workspace is dependency-free, so on Unix this installs a handler
+//! through the raw `signal(2)` ABI; the handler only stores a relaxed
+//! atomic flag (the one async-signal-safe thing worth doing), which the
+//! worker loop polls between batches.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, OnceLock};
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod unix {
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(flag) = super::FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub(super) fn install() -> bool {
+        // Safety: `on_signal` is async-signal-safe (one relaxed atomic
+        // store on an already-initialised OnceLock) and has the C ABI the
+        // kernel expects.
+        unsafe {
+            let a = signal(SIGINT, on_signal as *const () as usize);
+            let b = signal(SIGTERM, on_signal as *const () as usize);
+            a != SIG_ERR && b != SIG_ERR
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers (first call only) and return the flag
+/// they set. Returns `(flag, installed)`; on non-Unix platforms the flag
+/// is returned un-wired (`installed = false`) and shutdown is manual.
+pub fn shutdown_flag() -> (Arc<AtomicBool>, bool) {
+    let mut first = false;
+    let flag = FLAG
+        .get_or_init(|| {
+            first = true;
+            Arc::new(AtomicBool::new(false))
+        })
+        .clone();
+    #[cfg(unix)]
+    let installed = if first { unix::install() } else { true };
+    #[cfg(not(unix))]
+    let installed = false;
+    (flag, installed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_is_shared_and_initially_clear() {
+        let (a, _) = shutdown_flag();
+        let (b, _) = shutdown_flag();
+        assert!(!a.load(Ordering::Relaxed));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,420 @@
+//! The fabric worker loop: claim trial-range leases from a coordinator,
+//! run them through the runtime executor, write every record to a local
+//! shard store, and stream it back idempotently.
+//!
+//! The worker plugs into [`dpaudit_runtime::run_from_source`] through the
+//! [`TrialSource`]/[`TrialSink`] seam: a lease-backed source turns
+//! `POST /lease` polling into trial batches, and a shard-store sink turns
+//! each completed record into a durable local append plus a
+//! `POST /submit`. The actual
+//! trial execution is abstracted behind [`JobRunner`] so tests can drive
+//! the loop with a toy workload and the CLI with the full engine.
+//!
+//! Robustness: every request runs under jittered-backoff retry
+//! ([`crate::client::Backoff`]); shard records are fsync'd locally
+//! *before* submission, so a crash between append and ack loses nothing —
+//! the coordinator reclaims the lease and re-grants, and any straggler
+//! re-submission dedupes by trial index. A shutdown flag (see
+//! [`crate::signal`]) drains the worker gracefully: in-flight trials
+//! finish and submit, no new lease is claimed.
+
+use crate::client::{seed_from_id, Backoff, Client};
+use crate::protocol::{valid_job_id, LeaseReply, LeaseRequest, SubmitHeader};
+use dpaudit_runtime::{
+    read_store, LeaseBatch, SourceRunStats, StoreHeader, TrialRecord, TrialSink, TrialSource,
+    TrialStore,
+};
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, e.g. `127.0.0.1:7878`.
+    pub coordinator: String,
+    /// This worker's identity; also names its shard files, so it must be
+    /// filename-safe (same rule as job ids).
+    pub worker_id: String,
+    /// Restrict to one job; `None` drains the whole queue.
+    pub job: Option<String>,
+    /// Trial indices to ask for per lease.
+    pub max_trials: usize,
+    /// Sleep between polls while the coordinator says `Wait`.
+    pub poll: Duration,
+    /// Directory for local shard stores
+    /// (`<shard_dir>/<job>.<worker_id>.jsonl`).
+    pub shard_dir: PathBuf,
+    /// Total tries per request (1 = no retries).
+    pub attempts: u32,
+    /// Base retry delay (jittered, exponential).
+    pub backoff_base: Duration,
+    /// Cooperative shutdown flag: when set, finish and submit in-flight
+    /// trials, then stop without claiming further leases.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl WorkerConfig {
+    /// Defaults: whole queue, 8 trials per lease, 200 ms poll, 5 attempts
+    /// with a 100 ms backoff base, and a fresh (never-set) shutdown flag.
+    pub fn new(
+        coordinator: impl Into<String>,
+        worker_id: impl Into<String>,
+        shard_dir: impl Into<PathBuf>,
+    ) -> Self {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            worker_id: worker_id.into(),
+            job: None,
+            max_trials: 8,
+            poll: Duration::from_millis(200),
+            shard_dir: shard_dir.into(),
+            attempts: 5,
+            backoff_base: Duration::from_millis(100),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn backoff(&self) -> Backoff {
+        Backoff::new(
+            self.attempts,
+            self.backoff_base,
+            seed_from_id(&self.worker_id),
+        )
+    }
+}
+
+/// How a worker executes one job's leased trials. Implementations call
+/// [`dpaudit_runtime::run_from_source`] with a workload rebuilt from the
+/// job header; the source and sink passed in are the worker's lease and
+/// shard plumbing.
+pub trait JobRunner {
+    /// Run every batch `source` yields, submitting each record to `sink`.
+    ///
+    /// # Errors
+    /// Workload construction or execution failures.
+    fn run_job(
+        &mut self,
+        job: &str,
+        header: &StoreHeader,
+        source: &mut dyn TrialSource,
+        sink: &mut dyn TrialSink,
+    ) -> std::io::Result<SourceRunStats>;
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Trials executed and submitted.
+    pub executed: usize,
+    /// Leases claimed.
+    pub leases: u64,
+    /// Jobs this worker contributed to, in the order first touched.
+    pub jobs: Vec<String>,
+    /// Whether the exit was a shutdown-flag drain (vs. queue exhaustion).
+    pub drained: bool,
+    /// The coordinator became unreachable between jobs after we had
+    /// already reached it — the expected exit when a `serve
+    /// --exit-when-done` coordinator wins the race and stops first.
+    pub coordinator_gone: bool,
+}
+
+/// Connection-level failures that, *after* a successful first contact,
+/// mean the coordinator went away (normal for `--exit-when-done`) rather
+/// than that our request was bad.
+fn is_connection_error(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Lease bookkeeping shared between a job's source and sink.
+struct ActiveLease {
+    ttl: Duration,
+    last_touch: Instant,
+}
+
+/// [`TrialSource`] over `POST /lease`: polls through `Wait`, stops on
+/// `Done`, shutdown, or the coordinator going away (sets `gone`).
+struct LeaseSource<'a> {
+    client: &'a Client,
+    config: &'a WorkerConfig,
+    job: String,
+    shared: Rc<RefCell<Option<ActiveLease>>>,
+    gone: Rc<Cell<bool>>,
+    backoff: Backoff,
+    leases: u64,
+}
+
+impl TrialSource for LeaseSource<'_> {
+    fn next_batch(&mut self) -> std::io::Result<Option<LeaseBatch>> {
+        loop {
+            if self.config.shutdown.load(Ordering::Relaxed) {
+                return Ok(None);
+            }
+            let request = LeaseRequest {
+                worker: self.config.worker_id.clone(),
+                job: Some(self.job.clone()),
+                max_trials: self.config.max_trials,
+            };
+            // This source only exists after `run_worker` has fetched the
+            // job from the coordinator, so a connection-level failure now
+            // means it went away (e.g. `--exit-when-done` beat our poll):
+            // end the batch stream instead of erroring.
+            let reply = match Client::with_retry(&mut self.backoff, || self.client.claim(&request))
+            {
+                Ok(reply) => reply,
+                Err(err) if is_connection_error(&err) => {
+                    self.gone.set(true);
+                    return Ok(None);
+                }
+                Err(err) => return Err(err),
+            };
+            match reply {
+                LeaseReply::Granted {
+                    lease,
+                    indices,
+                    ttl_ms,
+                    ..
+                } => {
+                    *self.shared.borrow_mut() = Some(ActiveLease {
+                        ttl: Duration::from_millis(ttl_ms.max(1)),
+                        last_touch: Instant::now(),
+                    });
+                    self.leases += 1;
+                    return Ok(Some(LeaseBatch { lease, indices }));
+                }
+                LeaseReply::Wait => sleep_interruptible(self.config.poll, &self.config.shutdown),
+                LeaseReply::Done => return Ok(None),
+            }
+        }
+    }
+
+    fn complete(&mut self, _lease: u64) -> std::io::Result<()> {
+        *self.shared.borrow_mut() = None;
+        Ok(())
+    }
+}
+
+/// [`TrialSink`] appending each record to a local fsync'd shard store and
+/// then submitting it; keeps the lease alive by renewing at half-TTL.
+struct ShardSink<'a> {
+    client: &'a Client,
+    config: &'a WorkerConfig,
+    job: String,
+    header: StoreHeader,
+    shared: Rc<RefCell<Option<ActiveLease>>>,
+    gone: Rc<Cell<bool>>,
+    store: Option<TrialStore>,
+    backoff: Backoff,
+}
+
+impl ShardSink<'_> {
+    /// The shard file is created lazily on the first record, so a worker
+    /// that never wins a lease leaves no empty shard behind.
+    fn store(&mut self) -> std::io::Result<&mut TrialStore> {
+        if self.store.is_none() {
+            std::fs::create_dir_all(&self.config.shard_dir)?;
+            let path = self
+                .config
+                .shard_dir
+                .join(format!("{}.{}.jsonl", self.job, self.config.worker_id));
+            let store = if path.exists() {
+                let contents = read_store(&path)?;
+                if contents.header != self.header {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "existing shard {} was written for a different job header",
+                            path.display()
+                        ),
+                    ));
+                }
+                TrialStore::open_append(&path, contents.keep_bytes)?
+            } else {
+                TrialStore::create(&path, &self.header)?
+            };
+            self.store = Some(store);
+        }
+        Ok(self.store.as_mut().expect("just created"))
+    }
+
+    /// Explicit heartbeat once more than half the TTL has passed since the
+    /// last grant/renewal/submission — long trials outlive their lease
+    /// otherwise. A failed renewal is not fatal: the submission that
+    /// follows is idempotent either way.
+    fn maybe_renew(&mut self, lease: u64) {
+        let due = {
+            let shared = self.shared.borrow();
+            let Some(active) = shared.as_ref() else {
+                return;
+            };
+            active.last_touch.elapsed() > active.ttl / 2
+        };
+        if due {
+            let renewed = Client::with_retry(&mut self.backoff, || {
+                self.client.renew(lease, &self.config.worker_id)
+            })
+            .map(|reply| reply.renewed)
+            .unwrap_or(false);
+            let mut shared = self.shared.borrow_mut();
+            if let Some(active) = shared.as_mut() {
+                if renewed {
+                    active.last_touch = Instant::now();
+                }
+            }
+        }
+    }
+}
+
+impl TrialSink for ShardSink<'_> {
+    fn submit(&mut self, lease: u64, record: TrialRecord) -> std::io::Result<()> {
+        // Durable-local-first: the shard line survives any submit failure.
+        self.store()?.append(&record)?;
+        self.maybe_renew(lease);
+        let submit = SubmitHeader {
+            job: self.job.clone(),
+            lease: Some(lease),
+            worker: self.config.worker_id.clone(),
+        };
+        // A reclaimed straggler can outlive the coordinator itself: the
+        // record is already durably in the local shard (merge still sees
+        // it), so a vanished coordinator downgrades this submit to a no-op
+        // rather than an error.
+        let ack = match Client::with_retry(&mut self.backoff, || {
+            self.client.submit(&submit, std::slice::from_ref(&record))
+        }) {
+            Ok(ack) => ack,
+            Err(err) if is_connection_error(&err) => {
+                self.gone.set(true);
+                return Ok(());
+            }
+            Err(err) => return Err(err),
+        };
+        // `accepted: 0, duplicates: 1` is the reclaimed-straggler case:
+        // someone else already ran this index to the same bytes. Fine.
+        let mut shared = self.shared.borrow_mut();
+        if let Some(active) = shared.as_mut() {
+            active.last_touch = Instant::now();
+        }
+        drop(shared);
+        let _ = ack;
+        Ok(())
+    }
+}
+
+/// Sleep up to `total`, waking early when the shutdown flag is set.
+fn sleep_interruptible(total: Duration, shutdown: &AtomicBool) {
+    let slice = Duration::from_millis(25).min(total);
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(slice);
+    }
+}
+
+/// Run the worker loop: pick the first unfinished job matching the
+/// configured filter, lease and execute its trials through `runner`, and
+/// move on until the queue is drained (or the shutdown flag stops it).
+///
+/// # Errors
+/// `InvalidInput` for a non-filename-safe worker id, `NotFound` when the
+/// configured job filter names a job the coordinator does not know,
+/// transport failures that outlast the retry budget, and runner errors.
+pub fn run_worker(
+    config: &WorkerConfig,
+    runner: &mut dyn JobRunner,
+) -> std::io::Result<WorkerSummary> {
+    if !valid_job_id(&config.worker_id) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "invalid worker id `{}` (want [A-Za-z0-9._-], ≤ 128 bytes)",
+                config.worker_id
+            ),
+        ));
+    }
+    let client = Client::new(config.coordinator.clone());
+    let mut backoff = config.backoff();
+    let mut summary = WorkerSummary::default();
+    let mut contacted = false;
+    loop {
+        if config.shutdown.load(Ordering::Relaxed) {
+            summary.drained = true;
+            break;
+        }
+        // An `--exit-when-done` coordinator may stop the instant the last
+        // trial lands, racing our next poll; once we have reached it at
+        // least once, a connection-level failure here is that normal
+        // shutdown, not an error.
+        let status = match Client::with_retry(&mut backoff, || client.status()) {
+            Ok(status) => {
+                contacted = true;
+                status
+            }
+            Err(err) if contacted && is_connection_error(&err) => {
+                summary.coordinator_gone = true;
+                break;
+            }
+            Err(err) => return Err(err),
+        };
+        if let Some(want) = &config.job {
+            if !status.jobs.iter().any(|job| &job.job == want) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("coordinator has no job `{want}`"),
+                ));
+            }
+        }
+        let Some(next) = status
+            .jobs
+            .iter()
+            .find(|job| !job.done && config.job.as_ref().is_none_or(|want| want == &job.job))
+        else {
+            break; // every matching job is complete (or the queue is empty)
+        };
+        let job_id = next.job.clone();
+        let descriptor = Client::with_retry(&mut backoff, || client.job(&job_id))?;
+        let shared = Rc::new(RefCell::new(None));
+        let gone = Rc::new(Cell::new(false));
+        let mut source = LeaseSource {
+            client: &client,
+            config,
+            job: job_id.clone(),
+            shared: shared.clone(),
+            gone: gone.clone(),
+            backoff: config.backoff(),
+            leases: 0,
+        };
+        let mut sink = ShardSink {
+            client: &client,
+            config,
+            job: job_id.clone(),
+            header: descriptor.header.clone(),
+            shared,
+            gone: gone.clone(),
+            store: None,
+            backoff: config.backoff(),
+        };
+        let stats = runner.run_job(&job_id, &descriptor.header, &mut source, &mut sink)?;
+        summary.executed += stats.executed;
+        summary.leases += source.leases;
+        if !summary.jobs.contains(&job_id) {
+            summary.jobs.push(job_id);
+        }
+        if gone.get() {
+            summary.coordinator_gone = true;
+            break;
+        }
+    }
+    Ok(summary)
+}

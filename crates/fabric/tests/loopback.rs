@@ -1,0 +1,323 @@
+//! Loopback integration tests: a real coordinator served over TCP plus
+//! real worker loops, asserting the fabric's central promise — the merged
+//! distributed result is bit-identical to a single-node run.
+
+use dpaudit_core::{rho_beta, AuditReport, RecordDetail};
+use dpaudit_fabric::{
+    merge_shards, run_worker, serve, Client, Coordinator, CoordinatorConfig, JobRunner,
+    SubmitHeader, WorkerConfig,
+};
+use dpaudit_runtime::{
+    read_store, render_report, replay_store, run_from_source, testkit, AuditSession, ExecPlan,
+    Parallelism, Seed, SourceRunStats, StoreHeader, TrialSink, TrialSource, SCHEMA_VERSION,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn unique_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dpaudit_fabric_loopback_{label}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn toy_header(label: &str, reps: usize) -> StoreHeader {
+    StoreHeader {
+        schema_version: SCHEMA_VERSION,
+        label: label.into(),
+        workload: "toy".into(),
+        train_size: 8,
+        world_seed: Seed(0),
+        reps,
+        master_seed: Seed(42),
+        target_epsilon: 2.0,
+        delta: 1e-3,
+        rho_beta_bound: rho_beta(2.0),
+        detail: RecordDetail::Summary,
+        settings: testkit::toy_settings(2),
+    }
+}
+
+/// Runs leased trials on the toy workload — the test stand-in for the
+/// CLI's engine-backed runner.
+struct ToyRunner {
+    threads: usize,
+}
+
+impl JobRunner for ToyRunner {
+    fn run_job(
+        &mut self,
+        _job: &str,
+        header: &StoreHeader,
+        source: &mut dyn TrialSource,
+        sink: &mut dyn TrialSink,
+    ) -> std::io::Result<SourceRunStats> {
+        let pair = testkit::toy_pair();
+        let plan = ExecPlan::for_header(header, Parallelism::trials(self.threads));
+        run_from_source(
+            &pair,
+            &header.settings,
+            None,
+            testkit::toy_model,
+            &plan,
+            source,
+            sink,
+        )
+    }
+}
+
+/// The ground truth: the same header run entirely in one process.
+fn single_node_report(header: &StoreHeader) -> AuditReport {
+    let pair = testkit::toy_pair();
+    let mut session = AuditSession::in_memory(header.clone());
+    session
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
+        .unwrap()
+        .report
+}
+
+fn assert_bit_identical(actual: &AuditReport, expected: &AuditReport) {
+    assert_eq!(actual.trials, expected.trials);
+    for (name, a, e) in [
+        (
+            "target_epsilon",
+            actual.target_epsilon,
+            expected.target_epsilon,
+        ),
+        ("delta", actual.delta, expected.delta),
+        ("eps_from_ls", actual.eps_from_ls, expected.eps_from_ls),
+        (
+            "eps_from_belief",
+            actual.eps_from_belief,
+            expected.eps_from_belief,
+        ),
+        (
+            "eps_from_advantage",
+            actual.eps_from_advantage,
+            expected.eps_from_advantage,
+        ),
+        ("advantage", actual.advantage, expected.advantage),
+        ("max_belief", actual.max_belief, expected.max_belief),
+        (
+            "empirical_delta",
+            actual.empirical_delta,
+            expected.empirical_delta,
+        ),
+    ] {
+        assert_eq!(a.to_bits(), e.to_bits(), "{name}: {a} != {e}");
+    }
+}
+
+fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .collect();
+    paths.sort();
+    paths
+}
+
+fn worker_config(addr: &str, id: &str, shard_dir: &Path) -> WorkerConfig {
+    let mut config = WorkerConfig::new(addr, id, shard_dir);
+    config.max_trials = 3;
+    config.poll = Duration::from_millis(50);
+    config.backoff_base = Duration::from_millis(20);
+    config
+}
+
+#[test]
+fn two_workers_produce_a_bit_identical_merged_report() {
+    let store_dir = unique_dir("two_workers_store");
+    let shard_dir = unique_dir("two_workers_shards");
+    let mut config = CoordinatorConfig::new(&store_dir);
+    config.lease_trials = 3;
+    let coordinator = Arc::new(Coordinator::new(config));
+    let server = serve(coordinator.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let header = toy_header("loopback", 8);
+    let client = Client::new(addr.clone());
+    client.submit_job("job-a", &header).unwrap();
+
+    let handles: Vec<_> = ["w1", "w2"]
+        .into_iter()
+        .map(|id| {
+            let config = worker_config(&addr, id, &shard_dir);
+            std::thread::spawn(move || run_worker(&config, &mut ToyRunner { threads: 2 }))
+        })
+        .collect();
+    let summaries: Vec<_> = handles
+        .into_iter()
+        .map(|handle| handle.join().unwrap().unwrap())
+        .collect();
+    server.shutdown();
+
+    // Every trial ran exactly once, split across the two workers.
+    let executed: usize = summaries.iter().map(|s| s.executed).sum();
+    assert_eq!(executed, 8);
+    assert!(summaries.iter().all(|s| !s.drained));
+
+    let expected = single_node_report(&header);
+
+    // Worker shards merge to the single-node bits.
+    let shards = shard_paths(&shard_dir);
+    assert!(!shards.is_empty());
+    let merged = merge_shards(&shards).unwrap();
+    assert_eq!(merged.duplicates, 0);
+    assert!(merged.is_complete());
+    assert_bit_identical(&merged.report().unwrap(), &expected);
+    assert_eq!(
+        render_report(&merged.header, &merged.report().unwrap()),
+        render_report(&header, &expected)
+    );
+
+    // A merged store file replays to the same bits again.
+    let merged_path = store_dir.join("merged.jsonl");
+    merged.write_store(&merged_path).unwrap();
+    let replay = replay_store(&merged_path).unwrap();
+    assert_bit_identical(&replay.report.unwrap(), &expected);
+
+    // And the coordinator's own store is independently complete.
+    let coordinator_path = coordinator.store_path("job-a").unwrap();
+    let replay = replay_store(&coordinator_path).unwrap();
+    assert_eq!(replay.completed, 8);
+    assert_bit_identical(&replay.report.unwrap(), &expected);
+}
+
+#[test]
+fn killed_worker_lease_is_reclaimed_and_the_result_is_unchanged() {
+    let store_dir = unique_dir("reclaim_store");
+    let shard_dir = unique_dir("reclaim_shards");
+    let mut config = CoordinatorConfig::new(&store_dir);
+    config.lease_trials = 4;
+    config.lease_ttl = Duration::from_millis(300);
+    let coordinator = Arc::new(Coordinator::new(config));
+    let server = serve(coordinator.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let header = toy_header("reclaim", 6);
+    let client = Client::new(addr.clone());
+    client.submit_job("job-a", &header).unwrap();
+
+    // A "killed" worker claims a lease over the wire and dies: it never
+    // submits, never renews.
+    let dead_reply = client
+        .claim(&dpaudit_fabric::LeaseRequest {
+            worker: "dead".into(),
+            job: Some("job-a".into()),
+            max_trials: 4,
+        })
+        .unwrap();
+    let dpaudit_fabric::LeaseReply::Granted {
+        lease: dead_lease,
+        indices: dead_indices,
+        ..
+    } = dead_reply
+    else {
+        panic!("expected the dead worker to win a lease");
+    };
+    assert_eq!(dead_indices, vec![0, 1, 2, 3]);
+
+    // The surviving worker picks up the leftovers, waits out the dead
+    // lease, and finishes the reclaimed indices too.
+    let config = worker_config(&addr, "survivor", &shard_dir);
+    let summary = run_worker(&config, &mut ToyRunner { threads: 2 }).unwrap();
+    assert_eq!(summary.executed, 6);
+
+    let status = client.status().unwrap();
+    assert!(status.leases_reclaimed >= 1, "{status:?}");
+    assert!(status.all_done());
+
+    // The dead worker's straggler submission (it ran its indices after
+    // all) is pure duplicates — accepted, changing nothing.
+    let coordinator_path = coordinator.store_path("job-a").unwrap();
+    let records = read_store(&coordinator_path).unwrap().records;
+    let straggler: Vec<_> = records
+        .iter()
+        .filter(|record| record.idx < 2)
+        .cloned()
+        .collect();
+    let ack = client
+        .submit(
+            &SubmitHeader {
+                job: "job-a".into(),
+                lease: Some(dead_lease),
+                worker: "dead".into(),
+            },
+            &straggler,
+        )
+        .unwrap();
+    assert_eq!((ack.accepted, ack.duplicates), (0, 2));
+    server.shutdown();
+
+    // Identical bits despite the reclaim and the straggler.
+    let expected = single_node_report(&header);
+    let merged = merge_shards(&shard_paths(&shard_dir)).unwrap();
+    assert_bit_identical(&merged.report().unwrap(), &expected);
+    let replay = replay_store(&coordinator_path).unwrap();
+    assert_bit_identical(&replay.report.unwrap(), &expected);
+}
+
+#[test]
+fn one_worker_drains_a_multi_job_queue_in_order() {
+    let store_dir = unique_dir("queue_store");
+    let shard_dir = unique_dir("queue_shards");
+    let coordinator = Arc::new(Coordinator::new(CoordinatorConfig::new(&store_dir)));
+    let server = serve(coordinator.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let header_a = toy_header("job-a", 3);
+    let mut header_b = toy_header("job-b", 4);
+    header_b.master_seed = Seed(7);
+    let client = Client::new(addr.clone());
+    client.submit_job("job-a", &header_a).unwrap();
+    client.submit_job("job-b", &header_b).unwrap();
+
+    let config = worker_config(&addr, "solo", &shard_dir);
+    let summary = run_worker(&config, &mut ToyRunner { threads: 1 }).unwrap();
+    server.shutdown();
+
+    assert_eq!(summary.executed, 7);
+    assert_eq!(summary.jobs, vec!["job-a".to_string(), "job-b".to_string()]);
+
+    for (job, header) in [("job-a", &header_a), ("job-b", &header_b)] {
+        let replay = replay_store(&coordinator.store_path(job).unwrap()).unwrap();
+        assert_bit_identical(&replay.report.unwrap(), &single_node_report(header));
+    }
+}
+
+#[test]
+fn preset_shutdown_flag_drains_without_claiming_work() {
+    let store_dir = unique_dir("drain_store");
+    let shard_dir = unique_dir("drain_shards");
+    let coordinator = Arc::new(Coordinator::new(CoordinatorConfig::new(&store_dir)));
+    let server = serve(coordinator.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let client = Client::new(addr.clone());
+    client.submit_job("job-a", &toy_header("drain", 4)).unwrap();
+
+    let mut config = worker_config(&addr, "drainer", &shard_dir);
+    config.shutdown = Arc::new(AtomicBool::new(true));
+    let summary = run_worker(&config, &mut ToyRunner { threads: 1 }).unwrap();
+
+    assert!(summary.drained);
+    assert_eq!(summary.executed, 0);
+    assert!(summary.jobs.is_empty());
+    // Nothing was claimed: the queue is untouched for real workers.
+    assert_eq!(client.status().unwrap().leases_granted, 0);
+    server.shutdown();
+}

@@ -153,6 +153,23 @@ pub mod names {
     pub const EPS_PRIME_LS_GAUGE: &str = "eps_prime_ls";
     /// Gauge (max): the analytic ε budget the run is audited against.
     pub const EPS_TARGET_GAUGE: &str = "eps_target";
+
+    /// Counter: jobs accepted into the fabric coordinator's queue.
+    pub const FABRIC_JOBS: &str = "fabric.jobs_accepted";
+    /// Counter: trial-range leases granted by the fabric coordinator.
+    pub const FABRIC_LEASES_GRANTED: &str = "fabric.leases_granted";
+    /// Counter: expired leases reclaimed (their unfinished trials returned
+    /// to the pending pool for other workers).
+    pub const FABRIC_LEASES_RECLAIMED: &str = "fabric.leases_reclaimed";
+    /// Counter: trial records accepted by the coordinator's shard ingest.
+    pub const FABRIC_TRIALS_SUBMITTED: &str = "fabric.trials_submitted";
+    /// Counter: duplicate submissions dropped by idempotent dedupe
+    /// (re-sent shards after a retry, or a reclaimed lease's stragglers).
+    pub const FABRIC_DUPLICATES: &str = "fabric.duplicate_submissions";
+    /// Counter: worker-side request retries after coordinator errors.
+    pub const FABRIC_RETRIES: &str = "fabric.worker_retries";
+    /// Span: one worker-side coordinator round trip (request → response).
+    pub const FABRIC_RTT_SPAN: &str = "fabric.rtt";
 }
 
 /// The fixed bucket bounds for a histogram metric.

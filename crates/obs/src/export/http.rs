@@ -1,10 +1,15 @@
-//! A deliberately tiny HTTP/1.1 listener for the Prometheus endpoint.
+//! A deliberately tiny HTTP/1.1 listener for the Prometheus endpoint and
+//! the fabric coordinator.
 //!
 //! The workspace is dependency-free, so instead of an HTTP framework this
-//! serves exactly what a Prometheus scraper (or `curl`) needs: accept a
-//! connection, read the request head, answer `GET` with the current
-//! exposition, close. One connection at a time — scrapes are rare and the
-//! render is cheap, so there is nothing to parallelise.
+//! serves exactly what its two consumers need: accept a connection, read
+//! one request (head + optional body), answer it, close. One connection at
+//! a time — scrapes are rare, fabric requests are short, and handlers are
+//! cheap, so there is nothing to parallelise.
+//!
+//! Robustness: every connection gets a hard read deadline and a request
+//! size cap ([`ServerConfig`]), so a stalled or hostile client gets a
+//! `408`/`413` and the accept loop moves on instead of wedging.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -13,9 +18,108 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A background metrics endpoint: binds a TCP listener and serves the
-/// closure's output as a Prometheus text exposition until shut down (or
-/// dropped).
+/// Limits applied to every accepted connection.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Hard deadline for reading one full request (head + body). A client
+    /// that connects and stalls is answered `408` and dropped when this
+    /// elapses, keeping the single-threaded accept loop live.
+    pub read_timeout: Duration,
+    /// Maximum accepted request size in bytes (head + body). Larger
+    /// requests are answered `413` without being read further.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(5),
+            max_request_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request, as seen by a [`MetricsServer`] handler.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Raw query string (after `?`), empty when absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of `name` in the query string (`?a=1&b=2`), if present.
+    /// Values are returned verbatim — no percent-decoding (the fabric
+    /// protocol restricts itself to URL-safe tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// The response a handler returns.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A bodyless response with the given status.
+    pub fn empty(status: u16) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Vec::new(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// A background HTTP endpoint: binds a TCP listener and serves a handler
+/// until shut down (or dropped).
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -25,7 +129,8 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9898`; port 0 picks a free port) and
-    /// serve `render()` to every `GET` request on a background thread.
+    /// serve `render()` to every `GET` request on a background thread —
+    /// the Prometheus scrape endpoint.
     ///
     /// # Errors
     /// Socket bind/configuration errors.
@@ -33,6 +138,29 @@ impl MetricsServer {
     where
         A: ToSocketAddrs,
         F: Fn() -> String + Send + Sync + 'static,
+    {
+        Self::serve_with(addr, ServerConfig::default(), move |req: &Request| {
+            if req.method == "GET" {
+                Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: render().into_bytes(),
+                }
+            } else {
+                Response::empty(405)
+            }
+        })
+    }
+
+    /// Bind `addr` and serve `handler` on a background thread. The fabric
+    /// coordinator layers its line/JSON protocol on this entry point.
+    ///
+    /// # Errors
+    /// Socket bind/configuration errors.
+    pub fn serve_with<A, H>(addr: A, config: ServerConfig, handler: H) -> std::io::Result<Self>
+    where
+        A: ToSocketAddrs,
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -51,9 +179,7 @@ impl MetricsServer {
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    if serve_one(stream, &render) {
-                        scrapes.fetch_add(1, Ordering::SeqCst);
-                    }
+                    serve_one(stream, &config, &handler, &scrapes);
                 }
             })
         };
@@ -70,7 +196,7 @@ impl MetricsServer {
         self.addr
     }
 
-    /// How many successful `GET` scrapes have been answered.
+    /// How many successful `GET` requests have been answered.
     pub fn scrapes(&self) -> u64 {
         self.scrapes.load(Ordering::SeqCst)
     }
@@ -113,32 +239,126 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Answer one connection; returns whether it was a served `GET` scrape.
-fn serve_one<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> bool {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    // Read until the end of the request head; bodies are irrelevant here.
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+/// Outcome of reading one request off a connection.
+enum ReadOutcome {
+    Ok(Request),
+    /// The connection violated a limit; answer with this status and close.
+    Reject(u16),
+}
+
+/// Read one full request (head + body) under the config's deadline and
+/// size cap.
+fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
+    let deadline = Instant::now() + config.read_timeout;
+    // Short per-read timeout so the deadline is honoured even when the
+    // client trickles bytes (or sends none at all).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut data = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&data) {
+            break pos;
+        }
+        if data.len() > config.max_request_bytes {
+            return ReadOutcome::Reject(413);
+        }
+        if Instant::now() >= deadline {
+            return ReadOutcome::Reject(408);
+        }
         match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Ok(0) => return ReadOutcome::Reject(400),
+            Ok(n) => data.extend_from_slice(&buf[..n]),
+            // WouldBlock / TimedOut: loop to re-check the deadline.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Reject(400),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&data[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return ReadOutcome::Reject(400);
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let content_length = lines
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, value)| value.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if head_end + 4 + content_length > config.max_request_bytes {
+        return ReadOutcome::Reject(413);
+    }
+
+    let mut body = data[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        if Instant::now() >= deadline {
+            return ReadOutcome::Reject(408);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return ReadOutcome::Reject(400),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return ReadOutcome::Reject(400),
         }
     }
-    let is_get = head.starts_with(b"GET ");
-    let response = if is_get {
-        let body = render();
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )
-    } else {
-        "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
-            .to_string()
+    body.truncate(content_length);
+    ReadOutcome::Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Answer one connection, counting successful `GET`s into `scrapes`. The
+/// count is bumped *before* the response is written so a client that saw
+/// its response complete is guaranteed to observe the incremented counter.
+fn serve_one<H: Fn(&Request) -> Response>(
+    mut stream: TcpStream,
+    config: &ServerConfig,
+    handler: &H,
+    scrapes: &AtomicU64,
+) {
+    let (request, response) = match read_request(&mut stream, config) {
+        ReadOutcome::Ok(request) => {
+            let response = handler(&request);
+            (Some(request), response)
+        }
+        ReadOutcome::Reject(status) => (None, Response::empty(status)),
     };
-    let served = stream.write_all(response.as_bytes()).is_ok() && is_get;
+    if response.status == 200 && request.is_some_and(|r| r.method == "GET") {
+        scrapes.fetch_add(1, Ordering::SeqCst);
+    }
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&response.body));
     let _ = stream.flush();
-    served
 }
 
 #[cfg(test)]
@@ -202,6 +422,84 @@ mod tests {
         let second = scrape(server.addr(), "GET / HTTP/1.1\r\n\r\n");
         assert!(first.contains("hits 1"), "{first}");
         assert!(second.contains("hits 2"), "{second}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn routes_method_path_query_and_body_to_the_handler() {
+        let config = ServerConfig::default();
+        let server = MetricsServer::serve_with("127.0.0.1:0", config, |req: &Request| {
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/job") => Response::json(format!(
+                    "{{\"id\":\"{}\"}}",
+                    req.query_param("id").unwrap_or("?")
+                )),
+                ("POST", "/echo") => Response {
+                    status: 200,
+                    content_type: "application/octet-stream",
+                    body: req.body.clone(),
+                },
+                _ => Response::empty(404),
+            }
+        })
+        .unwrap();
+        let response = scrape(
+            server.addr(),
+            "GET /job?id=mnist-a&x=1 HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert!(response.contains("{\"id\":\"mnist-a\"}"), "{response}");
+        let response = scrape(
+            server.addr(),
+            "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 11\r\n\r\nhello shard",
+        );
+        assert!(response.ends_with("hello shard"), "{response}");
+        let response = scrape(server.addr(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_gets_408_and_does_not_wedge_the_loop() {
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(80),
+            max_request_bytes: 1024,
+        };
+        let server =
+            MetricsServer::serve_with("127.0.0.1:0", config, |_| Response::text(200, "ok"))
+                .unwrap();
+        // Connect and send nothing: the server must time the stall out...
+        let mut stalled = TcpStream::connect(server.addr()).unwrap();
+        let mut response = String::new();
+        stalled.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        // ...and still answer the next, well-behaved client.
+        let response = scrape(server.addr(), "GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_with_413() {
+        let config = ServerConfig {
+            read_timeout: Duration::from_secs(2),
+            max_request_bytes: 256,
+        };
+        let server =
+            MetricsServer::serve_with("127.0.0.1:0", config, |_| Response::text(200, "ok"))
+                .unwrap();
+        // Declared body larger than the cap: rejected from the header alone.
+        let response = scrape(
+            server.addr(),
+            "POST /submit HTTP/1.1\r\nHost: t\r\nContent-Length: 1000000\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        // An oversized head (no declared length) is also rejected.
+        let huge = format!("GET /{} HTTP/1.1\r\nHost: t\r\n\r\n", "x".repeat(2048));
+        let response = scrape(server.addr(), &huge);
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        // The loop keeps serving.
+        let response = scrape(server.addr(), "GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         server.shutdown();
     }
 }

@@ -3,7 +3,9 @@
 //! * [`render_prometheus`] — Prometheus text exposition (format 0.0.4) of a
 //!   [`crate::MetricsSnapshot`] plus span stats.
 //! * [`MetricsServer`] — a tiny hand-rolled HTTP listener serving that
-//!   exposition (`dpaudit audit run --serve-metrics 127.0.0.1:9898`).
+//!   exposition (`dpaudit audit run --serve-metrics 127.0.0.1:9898`); its
+//!   generic [`MetricsServer::serve_with`] entry point also carries the
+//!   fabric coordinator's line/JSON protocol.
 //! * [`chrome_trace`] — converts a JSONL trace into Chrome trace-event JSON
 //!   loadable in Perfetto / `chrome://tracing`
 //!   (`dpaudit trace export --format chrome`).
@@ -13,5 +15,5 @@ mod http;
 mod prometheus;
 
 pub use chrome::chrome_trace;
-pub use http::MetricsServer;
+pub use http::{MetricsServer, Request, Response, ServerConfig};
 pub use prometheus::render_prometheus;

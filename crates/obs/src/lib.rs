@@ -56,7 +56,7 @@ mod registry;
 mod sink;
 
 pub use event::{bucket_bounds, names, Event};
-pub use export::{chrome_trace, render_prometheus, MetricsServer};
+pub use export::{chrome_trace, render_prometheus, MetricsServer, Request, Response, ServerConfig};
 pub use global::{
     counter, enabled, gauge_max, install, observe, record, span, span_nanos, InstallGuard,
     SpanGuard,

@@ -42,6 +42,25 @@ pub struct ExecPlan {
     pub delta: f64,
 }
 
+impl ExecPlan {
+    /// The plan a store header prescribes, at the given worker allocation.
+    ///
+    /// Everything result-affecting (master seed, detail, δ) comes from the
+    /// header; `parallelism` only chooses worker counts, which cannot
+    /// change any trial. Local sessions and fabric workers both build
+    /// their plans here, so a header determines the results bit-for-bit
+    /// no matter which process executes it.
+    pub fn for_header(header: &crate::store::StoreHeader, parallelism: Parallelism) -> ExecPlan {
+        ExecPlan {
+            master_seed: header.master_seed.0,
+            threads: parallelism.trial_threads,
+            batch_threads: parallelism.batch_threads,
+            detail: header.detail,
+            delta: header.delta,
+        }
+    }
+}
+
 /// Worker allocation for one audit run: trials across a pool, plus the
 /// DPSGD clip-loop worker count inside each trial. Total concurrency is
 /// the product, so the two knobs trade off breadth (many trials) against

@@ -11,6 +11,11 @@
 //!   streams each completed trial back to the coordinator. Every trial's
 //!   randomness derives only from `trial_seed(master_seed, idx)`, so
 //!   results are bit-identical at any worker count.
+//! * [`source`] — the `TrialSource`/`TrialSink` seam between "which
+//!   indices to run" and "where records go". Local sessions use the
+//!   in-memory pair; `dpaudit-fabric` implements the same traits over a
+//!   coordinator's trial-range leases, so distributed execution shares
+//!   this crate's driver instead of forking it.
 //! * [`store`] — an append-only JSONL trial store: one fsync'd line per
 //!   trial under a header carrying the full batch description. A crash can
 //!   lose at most the line being written; replay tolerates exactly that.
@@ -28,6 +33,7 @@ pub mod executor;
 pub mod progress;
 pub mod report;
 pub mod session;
+pub mod source;
 pub mod store;
 #[doc(hidden)]
 pub mod testkit;
@@ -37,6 +43,9 @@ pub use executor::{execute_trial, run_trials, ExecPlan, Parallelism};
 pub use progress::{Progress, ProgressMeter};
 pub use report::{render_partial, render_report, replay_store, StoreReport};
 pub use session::{AuditSession, RunOutcome};
+pub use source::{
+    run_from_source, FnSink, LeaseBatch, LocalSource, SourceRunStats, TrialSink, TrialSource,
+};
 pub use store::{
     read_store, Seed, StoreContents, StoreHeader, TrialRecord, TrialStore, SCHEMA_VERSION,
 };

@@ -18,8 +18,9 @@
 //! count.
 
 use crate::aggregate::{StreamingAggregates, TrialOutcome};
-use crate::executor::{run_trials, ExecPlan, Parallelism};
+use crate::executor::{ExecPlan, Parallelism};
 use crate::progress::{Progress, ProgressMeter};
+use crate::source::{run_from_source, FnSink, LocalSource};
 use crate::store::{read_store, StoreHeader, TrialRecord, TrialStore};
 use dpaudit_core::{AuditReport, MaxBeliefEstimator};
 use dpaudit_datasets::Dataset;
@@ -166,39 +167,40 @@ impl AuditSession {
             obs::counter(obs::names::TRIALS_REPLAYED, replayed as u64);
         }
         let missing = self.missing_indices();
-        let plan = ExecPlan {
-            master_seed: header.master_seed.0,
-            threads: parallelism.trial_threads,
-            batch_threads: parallelism.batch_threads,
-            detail: header.detail,
-            delta: header.delta,
-        };
+        let plan = ExecPlan::for_header(header, parallelism);
 
         let mut meter = ProgressMeter::new(missing.len(), replayed);
         let mut io_error: Option<std::io::Error> = None;
         let store = &mut self.store;
-        run_trials(
+        // The local source/sink pair: one batch of every missing index,
+        // each record folded on the coordinating thread. A store-append
+        // failure is captured but does not stop the batch (in-flight
+        // trials still aggregate), matching the pre-seam behaviour.
+        let mut source = LocalSource::new(missing.clone());
+        let mut record_sink = FnSink(|record: crate::store::TrialRecord| {
+            if io_error.is_none() {
+                if let Some(store) = store.as_mut() {
+                    if let Err(e) = store.append(&record) {
+                        io_error = Some(e);
+                    }
+                }
+            }
+            aggregates.push(record.idx, TrialOutcome::from(&record));
+            if let Some(out) = sink.as_deref_mut() {
+                out.push(record);
+            }
+            on_progress(meter.tick());
+            Ok(())
+        });
+        run_from_source(
             pair,
             &header.settings,
             test_set,
             model_builder,
             &plan,
-            &missing,
-            |record| {
-                if io_error.is_none() {
-                    if let Some(store) = store.as_mut() {
-                        if let Err(e) = store.append(&record) {
-                            io_error = Some(e);
-                        }
-                    }
-                }
-                aggregates.push(record.idx, TrialOutcome::from(&record));
-                if let Some(out) = sink.as_deref_mut() {
-                    out.push(record);
-                }
-                on_progress(meter.tick());
-            },
-        );
+            &mut source,
+            &mut record_sink,
+        )?;
         if let Some(e) = io_error {
             return Err(e);
         }

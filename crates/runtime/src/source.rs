@@ -1,0 +1,314 @@
+//! The `TrialSource`/`TrialSink` seam: where trial indices come from and
+//! where completed records go.
+//!
+//! Local and distributed execution share one driver, [`run_from_source`]:
+//!
+//! * Locally, [`LocalSource`] hands the executor every missing index in a
+//!   single batch and a [`FnSink`] folds each record into the session's
+//!   store and aggregates — exactly the code path a single-process
+//!   `AuditSession::run` always took, byte for byte.
+//! * Distributed, `dpaudit-fabric` implements the same two traits over the
+//!   coordinator's lease protocol: `next_batch` claims a trial-range
+//!   lease, `submit` appends to a local JSONL shard and streams the record
+//!   back to the coordinator.
+//!
+//! Because every trial is a pure function of `trial_seed(master_seed,
+//! idx)`, *which* source handed an index out cannot change the record
+//! produced for it — the seam moves scheduling, never results.
+
+use crate::executor::{run_trials, ExecPlan};
+use crate::store::TrialRecord;
+use dpaudit_core::experiment::TrialSettings;
+use dpaudit_datasets::Dataset;
+use dpaudit_dpsgd::NeighborPair;
+use dpaudit_nn::Sequential;
+use rand::rngs::StdRng;
+
+/// One batch of trial indices handed out by a [`TrialSource`].
+///
+/// The `lease` token is opaque to the executor: local sources use 0,
+/// distributed sources thread the coordinator's lease id through so the
+/// sink can tag submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseBatch {
+    /// Source-defined token identifying this batch (a fabric lease id).
+    pub lease: u64,
+    /// Trial indices to execute, each in `0..reps`.
+    pub indices: Vec<usize>,
+}
+
+/// Where trial indices to execute come from.
+///
+/// Implementations may block in [`Self::next_batch`] (a distributed source
+/// waits for the coordinator to free up work) and must eventually return
+/// `Ok(None)` when no further work will arrive.
+pub trait TrialSource {
+    /// The next batch of indices to run, or `None` when the source is
+    /// drained.
+    ///
+    /// # Errors
+    /// Transport or protocol failures fatal to this run.
+    fn next_batch(&mut self) -> std::io::Result<Option<LeaseBatch>>;
+
+    /// Report that every index of `lease` has been executed and submitted.
+    /// Local sources ignore this; distributed sources use it to close the
+    /// lease early instead of letting it expire.
+    ///
+    /// # Errors
+    /// Transport failures; the driver treats them as non-fatal (the lease
+    /// will expire and be reclaimed).
+    fn complete(&mut self, lease: u64) -> std::io::Result<()> {
+        let _ = lease;
+        Ok(())
+    }
+}
+
+/// Where completed trial records go.
+pub trait TrialSink {
+    /// Accept one completed record from batch `lease`. Called on the
+    /// coordinating thread in completion order (not index order).
+    ///
+    /// # Errors
+    /// Failures fatal to the run (the driver stops executing further
+    /// batches; in-flight trials of the current batch still complete).
+    fn submit(&mut self, lease: u64, record: TrialRecord) -> std::io::Result<()>;
+}
+
+/// The in-memory source backing single-process runs: every index handed
+/// out at once, as one batch with lease token 0.
+#[derive(Debug)]
+pub struct LocalSource {
+    indices: Option<Vec<usize>>,
+}
+
+impl LocalSource {
+    /// A source that yields `indices` as a single batch (nothing when
+    /// `indices` is empty).
+    pub fn new(indices: Vec<usize>) -> Self {
+        LocalSource {
+            indices: (!indices.is_empty()).then_some(indices),
+        }
+    }
+}
+
+impl TrialSource for LocalSource {
+    fn next_batch(&mut self) -> std::io::Result<Option<LeaseBatch>> {
+        Ok(self
+            .indices
+            .take()
+            .map(|indices| LeaseBatch { lease: 0, indices }))
+    }
+}
+
+/// Adapt a closure into a [`TrialSink`] (the local session path).
+pub struct FnSink<F: FnMut(TrialRecord) -> std::io::Result<()>>(pub F);
+
+impl<F: FnMut(TrialRecord) -> std::io::Result<()>> TrialSink for FnSink<F> {
+    fn submit(&mut self, _lease: u64, record: TrialRecord) -> std::io::Result<()> {
+        (self.0)(record)
+    }
+}
+
+/// What [`run_from_source`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceRunStats {
+    /// Trials executed and submitted.
+    pub executed: usize,
+    /// Batches (leases) processed.
+    pub batches: usize,
+}
+
+/// Drain `source`, executing every batch on the worker pool described by
+/// `plan` and streaming each completed record into `sink` on the calling
+/// thread.
+///
+/// This is the one execution path shared by local sessions and fabric
+/// workers: per-batch it is exactly [`run_trials`], so results are
+/// bit-identical to a single-process run over the same indices at any
+/// worker count or batch split.
+///
+/// # Errors
+/// The first source or sink error. A sink error mid-batch lets the
+/// batch's in-flight trials finish (they cannot be cancelled) but stops
+/// further submissions and batches.
+///
+/// # Panics
+/// Propagates trial-execution panics (invalid settings).
+pub fn run_from_source(
+    pair: &NeighborPair,
+    settings: &TrialSettings,
+    test_set: Option<&Dataset>,
+    model_builder: impl Fn(&mut StdRng) -> Sequential + Sync,
+    plan: &ExecPlan,
+    source: &mut dyn TrialSource,
+    sink: &mut dyn TrialSink,
+) -> std::io::Result<SourceRunStats> {
+    let mut stats = SourceRunStats::default();
+    while let Some(batch) = source.next_batch()? {
+        if batch.indices.is_empty() {
+            continue;
+        }
+        let mut sink_error: Option<std::io::Error> = None;
+        run_trials(
+            pair,
+            settings,
+            test_set,
+            &model_builder,
+            plan,
+            &batch.indices,
+            |record| {
+                if sink_error.is_none() {
+                    if let Err(e) = sink.submit(batch.lease, record) {
+                        sink_error = Some(e);
+                    } else {
+                        stats.executed += 1;
+                    }
+                }
+            },
+        );
+        if let Some(e) = sink_error {
+            return Err(e);
+        }
+        stats.batches += 1;
+        // Failure to close the lease is not fatal: the coordinator will
+        // expire and reclaim it, and every trial was already submitted.
+        let _ = source.complete(batch.lease);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecPlan;
+    use crate::testkit;
+    use dpaudit_core::RecordDetail;
+
+    fn toy_plan() -> ExecPlan {
+        ExecPlan {
+            master_seed: 42,
+            threads: 2,
+            batch_threads: 1,
+            detail: RecordDetail::Full,
+            delta: 1e-3,
+        }
+    }
+
+    /// A source that splits indices into fixed-size chunks, mimicking a
+    /// coordinator granting successive leases.
+    struct ChunkedSource {
+        chunks: Vec<Vec<usize>>,
+        next_lease: u64,
+        completed: Vec<u64>,
+    }
+
+    impl TrialSource for ChunkedSource {
+        fn next_batch(&mut self) -> std::io::Result<Option<LeaseBatch>> {
+            Ok(self.chunks.pop().map(|indices| {
+                self.next_lease += 1;
+                LeaseBatch {
+                    lease: self.next_lease,
+                    indices,
+                }
+            }))
+        }
+
+        fn complete(&mut self, lease: u64) -> std::io::Result<()> {
+            self.completed.push(lease);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn chunked_source_matches_local_source_bit_for_bit() {
+        let pair = testkit::toy_pair();
+        let settings = testkit::toy_settings(3);
+        let plan = toy_plan();
+
+        let mut local_records = Vec::new();
+        let mut local = LocalSource::new((0..6).collect());
+        let stats = run_from_source(
+            &pair,
+            &settings,
+            None,
+            testkit::toy_model,
+            &plan,
+            &mut local,
+            &mut FnSink(|r| {
+                local_records.push(r);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.batches, 1);
+
+        let mut chunked_records = Vec::new();
+        let mut chunked = ChunkedSource {
+            chunks: vec![vec![5], vec![2, 3, 4], vec![0, 1]],
+            next_lease: 0,
+            completed: Vec::new(),
+        };
+        let stats = run_from_source(
+            &pair,
+            &settings,
+            None,
+            testkit::toy_model,
+            &plan,
+            &mut chunked,
+            &mut FnSink(|r| {
+                chunked_records.push(r);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.batches, 3);
+        assert_eq!(chunked.completed.len(), 3);
+
+        local_records.sort_by_key(|r| r.idx);
+        chunked_records.sort_by_key(|r| r.idx);
+        assert_eq!(local_records, chunked_records);
+    }
+
+    #[test]
+    fn empty_local_source_runs_nothing() {
+        let pair = testkit::toy_pair();
+        let settings = testkit::toy_settings(2);
+        let mut source = LocalSource::new(Vec::new());
+        let stats = run_from_source(
+            &pair,
+            &settings,
+            None,
+            testkit::toy_model,
+            &toy_plan(),
+            &mut source,
+            &mut FnSink(|_| panic!("no records expected")),
+        )
+        .unwrap();
+        assert_eq!(stats, SourceRunStats::default());
+    }
+
+    #[test]
+    fn sink_error_stops_the_run() {
+        let pair = testkit::toy_pair();
+        let settings = testkit::toy_settings(2);
+        let mut source = LocalSource::new((0..3).collect());
+        let mut submitted = 0usize;
+        let err = run_from_source(
+            &pair,
+            &settings,
+            None,
+            testkit::toy_model,
+            &toy_plan(),
+            &mut source,
+            &mut FnSink(|_| {
+                submitted += 1;
+                Err(std::io::Error::other("sink full"))
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "sink full");
+        assert_eq!(submitted, 1);
+    }
+}
