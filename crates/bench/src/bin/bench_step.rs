@@ -1,27 +1,29 @@
-//! Throughput probe for the batched gradient pipeline: per-example-gradient
-//! examples/sec on the scalar oracle path, the batched gemm-shaped clip
-//! loop, and the chunk-parallel clip loop, per workload, emitted as a JSON
-//! blob (`results/run_all.sh` captures it as `results/BENCH_step.json`).
+//! Throughput probe for the batched gradient pipeline across kernel
+//! variants: per-example oracle, batched clip loop at scalar/SIMD × f64/f32,
+//! and the chunk-parallel SIMD loop, per workload, emitted as a JSON blob
+//! (`results/run_all.sh` captures it as `results/BENCH_step.json`).
 //!
-//! Per-example gradients are bit-identical across all three paths (the
-//! `dpaudit-nn` property tests), and the two clip-loop sums share one
-//! fixed-chunk-order reduction — asserted here — so the ratios are pure
-//! speed. The scalar baseline accumulates sequentially (the pre-refactor
-//! chain), which is numerically equivalent but not bit-identical to the
-//! chunked reduction; it is compared within tolerance only.
+//! The speedup baseline is `batched_f64_scalar` — the register-blocked
+//! scalar-tile clip loop, i.e. the fastest single-core variant before the
+//! SIMD microkernels and the f32 storage mode landed. Correctness is
+//! asserted inline: the batched-scalar, batched-SIMD, and parallel-SIMD f64
+//! sums must be bit-identical (the accumulation-chain contract), the
+//! per-example oracle must agree within 1e-9 (sequential vs chunked
+//! reduction order), and the f32 sums must track the f64 oracle within a
+//! relative tolerance — so every ratio reported here is pure speed.
 
 use dpaudit_bench::Workload;
-use dpaudit_dpsgd::{clip_loop, ClippingStrategy};
+use dpaudit_dpsgd::{clip_loop, clip_loop_mode, ClippingStrategy, ComputeMode};
 use dpaudit_math::{axpy, seeded_rng};
 use dpaudit_nn::Sequential;
-use dpaudit_tensor::Tensor;
+use dpaudit_tensor::{kernel_backend, set_force_scalar, Tensor};
 use rayon::ThreadPoolBuilder;
 use std::time::Instant;
 
 const TRAIN: usize = 64;
-const ITERS: usize = 5;
+const ITERS: usize = 10;
 
-fn scalar_step(
+fn per_example_step(
     model: &Sequential,
     xs: &[Tensor],
     ys: &[usize],
@@ -37,15 +39,31 @@ fn scalar_step(
     sum
 }
 
-/// Examples/sec over `ITERS` timed repetitions (after one warm-up).
+/// Examples/sec from the *fastest* of `ITERS` timed repetitions (after one
+/// warm-up). Minimum-over-reps is the standard throughput estimator on a
+/// shared machine: scheduler and frequency noise only ever slows a rep
+/// down, so the minimum is the least-contaminated observation, and using it
+/// for every variant keeps the ratios fair.
 fn throughput(mut step: impl FnMut() -> Vec<f64>) -> (f64, Vec<f64>) {
     let sum = step();
-    let t0 = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..ITERS {
+        let t0 = Instant::now();
         std::hint::black_box(step());
+        best = best.min(t0.elapsed().as_secs_f64());
     }
-    let secs = t0.elapsed().as_secs_f64();
-    ((ITERS * TRAIN) as f64 / secs, sum)
+    (TRAIN as f64 / best, sum)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn worst_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
 }
 
 fn measure(workload: Workload, pool: &rayon::ThreadPool) -> serde_json::Value {
@@ -57,37 +75,72 @@ fn measure(workload: Workload, pool: &rayon::ThreadPool) -> serde_json::Value {
     let clipping = ClippingStrategy::Flat(3.0);
     let layout = model.param_layout();
 
-    let (scalar, scalar_sum) = throughput(|| scalar_step(&model, xs, ys, &clipping, &layout));
-    let (batched, batched_sum) =
-        throughput(|| clip_loop(&model, xs, ys, &clipping, &layout, None).clean_sum);
+    let batched =
+        |compute, pool| clip_loop_mode(&model, xs, ys, &clipping, &layout, pool, compute).clean_sum;
+
+    // Scalar tiles pinned: the per-example oracle and the PR-5 baseline.
+    set_force_scalar(true);
+    let (per_example, oracle_sum) =
+        throughput(|| per_example_step(&model, xs, ys, &clipping, &layout));
+    let (f64_scalar, f64_scalar_sum) = throughput(|| batched(ComputeMode::F64, None));
+    let (f32_scalar, f32_scalar_sum) = throughput(|| batched(ComputeMode::F32, None));
+
+    // SIMD dispatch restored: the variants this PR adds.
+    set_force_scalar(false);
+    let (f64_simd, f64_simd_sum) = throughput(|| batched(ComputeMode::F64, None));
+    let (f32_simd, f32_simd_sum) = throughput(|| batched(ComputeMode::F32, None));
     let (parallel, parallel_sum) =
         throughput(|| clip_loop(&model, xs, ys, &clipping, &layout, Some(pool)).clean_sum);
 
-    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    // Determinism contract: every f64 variant of the chunked reduction is
+    // bit-identical; the sequential oracle agrees within rounding.
     assert_eq!(
-        bits(&batched_sum),
-        bits(&parallel_sum),
-        "parallel sum drifted"
+        bits(&f64_scalar_sum),
+        bits(&f64_simd_sum),
+        "SIMD f64 sum drifted from the scalar tiles"
     );
-    let worst = scalar_sum
+    assert_eq!(
+        bits(&f64_scalar_sum),
+        bits(&parallel_sum),
+        "parallel f64 sum drifted"
+    );
+    let worst = worst_abs_diff(&oracle_sum, &f64_scalar_sum);
+    assert!(
+        worst < 1e-9,
+        "batched sum drifted from per-example: {worst}"
+    );
+
+    // f32 storage: bit-identical across kernels? No — the f32 gemm rounds
+    // differently under SIMD vs scalar tiling. Both must track f64 closely.
+    let scale = f64_scalar_sum
         .iter()
-        .zip(&batched_sum)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    assert!(worst < 1e-9, "batched sum drifted from scalar: {worst}");
+        .fold(1.0f64, |m, x| f64::max(m, x.abs()));
+    for (label, sum) in [("scalar", &f32_scalar_sum), ("simd", &f32_simd_sum)] {
+        let worst = worst_abs_diff(sum, &f64_scalar_sum);
+        assert!(
+            worst < 1e-3 * scale,
+            "f32 {label} sum drifted from f64: {worst} (scale {scale})"
+        );
+    }
 
     serde_json::json!({
         "workload": workload.key(),
         "examples_per_sec": serde_json::json!({
-            "scalar": scalar,
-            "batched": batched,
-            "parallel": parallel,
+            "per_example_f64": per_example,
+            "batched_f64_scalar": f64_scalar,
+            "batched_f64_simd": f64_simd,
+            "batched_f32_scalar": f32_scalar,
+            "batched_f32_simd": f32_simd,
+            "parallel_f64_simd": parallel,
         }),
-        "speedup_vs_scalar": serde_json::json!({
-            "batched": batched / scalar,
-            "parallel": parallel / scalar,
+        "speedup_vs_batched_f64_scalar": serde_json::json!({
+            "batched_f64_simd": f64_simd / f64_scalar,
+            "batched_f32_scalar": f32_scalar / f64_scalar,
+            "batched_f32_simd": f32_simd / f64_scalar,
+            "parallel_f64_simd": parallel / f64_scalar,
         }),
-        "parallel_sum_bit_identical_to_batched": true,
+        "f64_sums_bit_identical": true,
+        "f32_worst_abs_drift": worst_abs_diff(&f32_simd_sum, &f64_scalar_sum),
     })
 }
 
@@ -105,6 +158,7 @@ fn main() {
         "train_size": TRAIN,
         "iters": ITERS,
         "cores": cores,
+        "backend": kernel_backend(),
         "runs": runs,
     });
     println!(

@@ -6,7 +6,7 @@ use crate::opts::Opts;
 use dpaudit_bench::{arm_settings, param_row, Workload};
 use dpaudit_core::{ChallengeMode, RecordDetail};
 use dpaudit_dp::NeighborMode;
-use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
+use dpaudit_dpsgd::{ComputeMode, NeighborPair, SensitivityScaling};
 use dpaudit_obs::{self as obs, JsonlSink, MetricsRegistry, MultiSink, Sink};
 use dpaudit_runtime::{
     render_partial, render_report, replay_store, AuditSession, Parallelism, Progress, Seed,
@@ -63,7 +63,8 @@ pub(crate) fn header_from_opts(opts: &Opts) -> Result<StoreHeader, String> {
         .unwrap_or_else(|| format!("{}_{scaling}_{mode}_rb{rho_beta}", workload.key()));
 
     let row = param_row(rho_beta, workload.delta());
-    let settings = arm_settings(&row, steps, scaling, mode, challenge);
+    let mut settings = arm_settings(&row, steps, scaling, mode, challenge);
+    settings.dpsgd.compute = parse_compute(opts.str_opt("compute").unwrap_or("f64"))?;
     Ok(StoreHeader {
         schema_version: SCHEMA_VERSION,
         label,
@@ -312,6 +313,14 @@ fn parse_challenge(name: &str) -> Result<ChallengeMode, String> {
         "random" => Ok(ChallengeMode::RandomBit),
         "always-d" => Ok(ChallengeMode::AlwaysD),
         other => Err(format!("unknown --challenge `{other}` (random|always-d)")),
+    }
+}
+
+fn parse_compute(name: &str) -> Result<ComputeMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "f64" => Ok(ComputeMode::F64),
+        "f32" => Ok(ComputeMode::F32),
+        other => Err(format!("unknown --compute `{other}` (f64|f32)")),
     }
 }
 

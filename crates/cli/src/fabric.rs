@@ -143,6 +143,12 @@ impl fabric::JobRunner for EngineRunner {
             )
         })?;
         let plan = ExecPlan::for_header(header, self.parallelism);
+        // The compute mode rides in the job header's settings; surface it so
+        // a worker's log shows which precision its shards were produced at.
+        eprintln!(
+            "fabric work: job `{job}` compute {}",
+            header.settings.dpsgd.compute
+        );
         run_from_source(
             &pair,
             &header.settings,

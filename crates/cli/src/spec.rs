@@ -149,6 +149,11 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "D",
                 "stored record detail: summary | full [summary]",
             ),
+            opt(
+                "compute",
+                "P",
+                "gradient storage precision: f64 (bit-reproducible) | f32 (fast) [f64]",
+            ),
             opt("seed", "S", "master seed [42]"),
             opt(
                 "threads",
@@ -271,6 +276,11 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "detail",
                 "D",
                 "stored record detail: summary | full [summary]",
+            ),
+            opt(
+                "compute",
+                "P",
+                "gradient storage precision: f64 (bit-reproducible) | f32 (fast) [f64]",
             ),
             opt("seed", "S", "master seed [42]"),
             opt("train-size", "N", "training-set size [workload default]"),

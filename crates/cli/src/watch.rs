@@ -10,6 +10,7 @@
 
 use crate::opts::Opts;
 use dpaudit_core::MaxBeliefEstimator;
+use dpaudit_dpsgd::ComputeMode;
 use dpaudit_obs::{names, read_events, MetricsRegistry};
 use dpaudit_runtime::{read_store, Progress, ProgressMeter, StoreHeader};
 use std::collections::BTreeMap;
@@ -161,9 +162,10 @@ pub fn run(opts: &Opts) -> Result<String, String> {
 fn render_dashboard(state: &WatchState) -> String {
     let mut out = String::new();
     let header = &state.header;
+    let compute = header.settings.dpsgd.compute;
     let _ = writeln!(
         out,
-        "watch: {} · workload {} · target eps {:.4} (delta {:e})",
+        "watch: {} · workload {} · compute {compute} · target eps {:.4} (delta {:e})",
         header.label, header.workload, header.target_epsilon, header.delta
     );
     let _ = writeln!(out, "  {}", state.progress.render());
@@ -206,6 +208,16 @@ fn render_dashboard(state: &WatchState) -> String {
                 state.alert_eps
             );
         }
+    }
+    if compute == ComputeMode::F32 {
+        // An f32 store is tolerance-equivalent to the f64 oracle, so its
+        // eps' is not bit-comparable to targets derived from f64 runs —
+        // say so rather than let the alert imply an exact comparison.
+        let _ = writeln!(
+            out,
+            "  note: f32 storage run — eps' is tolerance-equivalent to, not \
+             bit-identical with, an f64 run's"
+        );
     }
     out
 }
@@ -318,6 +330,20 @@ mod tests {
         let hot = render_dashboard(&toy_state(&[0.5, 2.5], 2.0));
         assert!(hot.contains("ALERT: eps' 2.5000"), "{hot}");
         assert!(hot.contains("threshold 2.0000"), "{hot}");
+    }
+
+    #[test]
+    fn dashboard_labels_compute_mode_and_flags_f32_runs() {
+        let f64_frame = render_dashboard(&toy_state(&[0.5], 2.0));
+        assert!(f64_frame.contains("compute f64"), "{f64_frame}");
+        assert!(!f64_frame.contains("f32 storage run"), "{f64_frame}");
+
+        let mut state = toy_state(&[0.5, 2.5], 2.0);
+        state.header.settings.dpsgd.compute = ComputeMode::F32;
+        let f32_frame = render_dashboard(&state);
+        assert!(f32_frame.contains("compute f32"), "{f32_frame}");
+        assert!(f32_frame.contains("ALERT"), "{f32_frame}");
+        assert!(f32_frame.contains("f32 storage run"), "{f32_frame}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use dpaudit_datasets::Dataset;
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{
-    train_dpsgd, AdaptiveClipConfig, ClippingStrategy, DpsgdConfig, NeighborPair, Optimizer,
-    SensitivityScaling,
+    train_dpsgd, AdaptiveClipConfig, ClippingStrategy, ComputeMode, DpsgdConfig, NeighborPair,
+    Optimizer, SensitivityScaling,
 };
 use dpaudit_math::{seeded_rng, split_seed};
 use dpaudit_nn::Sequential;
@@ -92,6 +92,7 @@ pub struct TrialSettingsBuilder {
     scaling: SensitivityScaling,
     optimizer: Optimizer,
     ls_floor: Option<f64>,
+    compute: ComputeMode,
     challenge: ChallengeMode,
 }
 
@@ -107,6 +108,7 @@ impl Default for TrialSettingsBuilder {
             scaling: SensitivityScaling::Local,
             optimizer: Optimizer::Sgd,
             ls_floor: None,
+            compute: ComputeMode::F64,
             challenge: ChallengeMode::RandomBit,
         }
     }
@@ -180,6 +182,14 @@ impl TrialSettingsBuilder {
     #[must_use]
     pub fn ls_floor(mut self, ls_floor: f64) -> Self {
         self.ls_floor = Some(ls_floor);
+        self
+    }
+
+    /// Storage precision of the batched gradient pipeline (f64 default;
+    /// f32 trades bit-reproducibility against the f64 oracle for speed).
+    #[must_use]
+    pub fn compute(mut self, compute: ComputeMode) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -258,6 +268,7 @@ impl TrialSettingsBuilder {
                 scaling: self.scaling,
                 optimizer: self.optimizer,
                 ls_floor,
+                compute: self.compute,
             },
             challenge: self.challenge,
         })

@@ -26,6 +26,35 @@ impl std::fmt::Display for SensitivityScaling {
     }
 }
 
+/// Numeric storage mode of the batched per-example gradient pipeline.
+///
+/// [`ComputeMode::F64`] (the default) is the determinism oracle: every
+/// intermediate is double precision and results are bit-identical across
+/// thread counts and kernel backends. [`ComputeMode::F32`] stores the
+/// `[B, param]` per-example gradient buffers and activations in single
+/// precision — halving the memory traffic of the hot loop and doubling
+/// SIMD lane width — while the clipped-gradient *accumulation*, the loss
+/// head, and everything downstream (sensitivity, noise, optimizer) stay
+/// f64. f32 runs are tolerance-equivalent to the oracle, not bit-identical,
+/// and are opt-in per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ComputeMode {
+    /// Double-precision storage end to end (bit-reproducible oracle).
+    #[default]
+    F64,
+    /// Single-precision gradient storage with f64 accumulation.
+    F32,
+}
+
+impl std::fmt::Display for ComputeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComputeMode::F64 => write!(f, "f64"),
+            ComputeMode::F32 => write!(f, "f32"),
+        }
+    }
+}
+
 /// Configuration of one DPSGD training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DpsgdConfig {
@@ -51,6 +80,9 @@ pub struct DpsgdConfig {
     /// Floor for the local sensitivity to keep σ_i positive when the two
     /// differing-record gradients coincide.
     pub ls_floor: f64,
+    /// Storage precision of the batched gradient pipeline (f64 default).
+    #[serde(default)]
+    pub compute: ComputeMode,
 }
 
 impl DpsgdConfig {
@@ -111,6 +143,7 @@ impl DpsgdConfig {
             scaling,
             optimizer: Optimizer::Sgd,
             ls_floor: 1e-6 * bound,
+            compute: ComputeMode::F64,
         }
     }
 
@@ -222,6 +255,14 @@ mod tests {
     fn display_labels() {
         assert_eq!(SensitivityScaling::Global.to_string(), "GS");
         assert_eq!(SensitivityScaling::Local.to_string(), "LS");
+        assert_eq!(ComputeMode::F64.to_string(), "f64");
+        assert_eq!(ComputeMode::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn compute_mode_defaults_to_f64() {
+        let c = cfg(NeighborMode::Bounded, SensitivityScaling::Global);
+        assert_eq!(c.compute, ComputeMode::F64);
     }
 
     #[test]

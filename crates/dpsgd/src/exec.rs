@@ -15,7 +15,7 @@
 //! any result — only how fast it arrives.
 
 use dpaudit_math::axpy;
-use dpaudit_nn::Sequential;
+use dpaudit_nn::{Sequential, SequentialF32};
 use dpaudit_obs as obs;
 use dpaudit_tensor::Tensor;
 use rayon::prelude::*;
@@ -23,6 +23,7 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::clip::ClippingStrategy;
+use crate::config::ComputeMode;
 
 /// Examples per clip-loop chunk. A constant of the computation, not of the
 /// thread count: chunk boundaries define the fixed-order reduction that
@@ -94,10 +95,7 @@ pub fn clip_loop(
 ) -> ClipLoopOutput {
     let dim = model.param_count();
     let bound = clipping.total_bound();
-    let ranges: Vec<(usize, usize)> = (0..xs.len())
-        .step_by(CLIP_CHUNK)
-        .map(|start| (start, usize::min(start + CLIP_CHUNK, xs.len())))
-        .collect();
+    let ranges = chunk_ranges(xs.len());
     let run_chunk = |(start, end): (usize, usize)| {
         let chunk_span = obs::span(obs::names::CLIP_CHUNK_SPAN);
         let (losses, mut grads) = model.per_example_grads(&xs[start..end], &ys[start..end]);
@@ -118,14 +116,169 @@ pub fn clip_loop(
             unclipped,
         }
     };
-    let partials: Vec<ClipLoopOutput> = match pool {
+    fold_partials(run_partials(ranges, run_chunk, pool), dim)
+}
+
+/// One pass of the clip loop in the requested [`ComputeMode`].
+///
+/// [`ComputeMode::F64`] delegates to [`clip_loop`] (the bit-reproducible
+/// oracle). [`ComputeMode::F32`] narrows the model once per call
+/// ([`SequentialF32::from_model`]), computes each chunk's per-example
+/// gradients in single precision, and widens each f32 value to f64 on the
+/// fly as it flows into the norm and the chunk-ordered sum — so the norm,
+/// the clip scale, and the sum all accumulate in double precision over
+/// f32-valued inputs, without materialising an f64 copy of the row. The
+/// norm uses a fixed eight-lane partial-sum reduction (a single running sum
+/// is a serial add chain whose latency dominates the loop at ~10⁵
+/// parameters); everything downstream of the per-example gradients
+/// is deterministic with a fixed chunk and fold order, so f32 results are
+/// still bit-identical across thread counts, just not to the f64 oracle.
+pub fn clip_loop_mode(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+    clipping: &ClippingStrategy,
+    layout: &[usize],
+    pool: Option<&ThreadPool>,
+    compute: ComputeMode,
+) -> ClipLoopOutput {
+    if compute == ComputeMode::F64 {
+        return clip_loop(model, xs, ys, clipping, layout, pool);
+    }
+    let dim = model.param_count();
+    let bound = clipping.total_bound();
+    let shadow = SequentialF32::from_model(model);
+    let ranges = chunk_ranges(xs.len());
+    let run_chunk = |(start, end): (usize, usize)| {
+        let chunk_span = obs::span(obs::names::CLIP_CHUNK_SPAN);
+        let (losses, grads) = shadow.per_example_grads(&xs[start..end], &ys[start..end]);
+        let mut clean_sum = vec![0.0; dim];
+        let mut unclipped = 0usize;
+        for row in grads.chunks_exact(dim) {
+            let pre_norm = clip_add_widened(clipping, row, layout, &mut clean_sum);
+            if pre_norm <= bound {
+                unclipped += 1;
+            }
+        }
+        let loss_total: f64 = losses.iter().sum();
+        drop(chunk_span);
+        ClipLoopOutput {
+            clean_sum,
+            loss_total,
+            unclipped,
+        }
+    };
+    fold_partials(run_partials(ranges, run_chunk, pool), dim)
+}
+
+/// Clip one f32 gradient row against `clipping` and add it into the f64
+/// `clean_sum`, widening each value on the fly — the f32-mode fusion of
+/// [`ClippingStrategy::clip`] + `axpy`. Returns the pre-clip norm.
+///
+/// The semantics match the f64 path (`g ← g · min(1, C/‖g‖)` per flat or
+/// per-layer segment, pre-clip *total* norm returned); only the reduction
+/// order of the norm differs, which the f32 mode's tolerance contract
+/// permits.
+fn clip_add_widened(
+    clipping: &ClippingStrategy,
+    row: &[f32],
+    layout: &[usize],
+    clean_sum: &mut [f64],
+) -> f64 {
+    let factor = |norm: f64, c: f64| if norm > c { c / norm } else { 1.0 };
+    match clipping {
+        ClippingStrategy::Flat(c) => {
+            let norm = l2_norm_widened(row);
+            axpy_widened(factor(norm, *c), row, clean_sum);
+            norm
+        }
+        ClippingStrategy::PerLayer(cs) => {
+            assert_eq!(
+                cs.len(),
+                layout.len(),
+                "clip_add_widened: {} norms for {} layers",
+                cs.len(),
+                layout.len()
+            );
+            assert_eq!(
+                layout.iter().sum::<usize>(),
+                row.len(),
+                "clip_add_widened: layout does not cover the gradient"
+            );
+            let pre = l2_norm_widened(row);
+            let mut off = 0;
+            for (&c, &len) in cs.iter().zip(layout) {
+                let seg = &row[off..off + len];
+                axpy_widened(
+                    factor(l2_norm_widened(seg), c),
+                    seg,
+                    &mut clean_sum[off..off + len],
+                );
+                off += len;
+            }
+            pre
+        }
+    }
+}
+
+/// ‖row‖ with each f32 widened to f64 as it is read, accumulated across
+/// eight fixed partial sums. A single running sum is a serial add chain —
+/// at ~10⁵ parameters its latency dominates the whole f32 clip loop — while
+/// eight independent lanes vectorise. The lane count is a constant of the
+/// algorithm, so the result does not depend on the thread count.
+fn l2_norm_widened(row: &[f32]) -> f64 {
+    const LANES: usize = 8;
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = row.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (a, &g) in acc.iter_mut().zip(chunk) {
+            let w = f64::from(g);
+            *a += w * w;
+        }
+    }
+    let mut tail = 0.0;
+    for &g in chunks.remainder() {
+        let w = f64::from(g);
+        tail += w * w;
+    }
+    (acc.iter().sum::<f64>() + tail).sqrt()
+}
+
+/// `sum[i] += factor · f64::from(row[i])` — the widening fused scale-add.
+fn axpy_widened(factor: f64, row: &[f32], sum: &mut [f64]) {
+    for (s, &g) in sum.iter_mut().zip(row) {
+        *s += factor * f64::from(g);
+    }
+}
+
+/// The fixed chunk decomposition of a dataset of `n` examples.
+fn chunk_ranges(n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .step_by(CLIP_CHUNK)
+        .map(|start| (start, usize::min(start + CLIP_CHUNK, n)))
+        .collect()
+}
+
+/// Run the per-chunk closure over every range, on the pool when given.
+fn run_partials<F>(
+    ranges: Vec<(usize, usize)>,
+    run_chunk: F,
+    pool: Option<&ThreadPool>,
+) -> Vec<ClipLoopOutput>
+where
+    F: Fn((usize, usize)) -> ClipLoopOutput + Sync + Send,
+{
+    match pool {
         Some(pool) if ranges.len() > 1 => {
             pool.install(|| ranges.into_par_iter().map(&run_chunk).collect())
         }
         _ => ranges.into_iter().map(run_chunk).collect(),
-    };
-    // Fold the partials in chunk-index order — the fixed-order reduction
-    // that keeps the sum independent of scheduling.
+    }
+}
+
+/// Fold the partials in chunk-index order — the fixed-order reduction that
+/// keeps the sum independent of scheduling.
+fn fold_partials(partials: Vec<ClipLoopOutput>, dim: usize) -> ClipLoopOutput {
     let mut out = ClipLoopOutput {
         clean_sum: vec![0.0; dim],
         loss_total: 0.0,
@@ -227,6 +380,60 @@ mod tests {
             for (a, e) in parallel.clean_sum.iter().zip(&serial.clean_sum) {
                 assert_eq!(a.to_bits(), e.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn f32_mode_matches_f64_within_tolerance() {
+        let (model, xs, ys) = setup(CLIP_CHUNK * 2 + 3);
+        let clipping = ClippingStrategy::Flat(0.7);
+        let layout = model.param_layout();
+        let oracle = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
+        let f32_out = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F32);
+        assert!((oracle.loss_total - f32_out.loss_total).abs() < 1e-3 * xs.len() as f64);
+        for (i, (a, b)) in oracle.clean_sum.iter().zip(&f32_out.clean_sum).enumerate() {
+            let tol = 1e-4 * xs.len() as f64 + 1e-3 * a.abs();
+            assert!((a - b).abs() < tol, "clean_sum[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f32_mode_is_bit_identical_across_thread_counts() {
+        let (model, xs, ys) = setup(CLIP_CHUNK * 3 + 2);
+        let clipping = ClippingStrategy::Flat(0.5);
+        let layout = model.param_layout();
+        let serial = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F32);
+        for threads in [2, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel = clip_loop_mode(
+                &model,
+                &xs,
+                &ys,
+                &clipping,
+                &layout,
+                Some(&pool),
+                ComputeMode::F32,
+            );
+            assert_eq!(parallel.unclipped, serial.unclipped);
+            assert_eq!(parallel.loss_total.to_bits(), serial.loss_total.to_bits());
+            for (a, e) in parallel.clean_sum.iter().zip(&serial.clean_sum) {
+                assert_eq!(a.to_bits(), e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f64_mode_delegates_to_oracle_bitwise() {
+        let (model, xs, ys) = setup(CLIP_CHUNK + 4);
+        let clipping = ClippingStrategy::Flat(0.9);
+        let layout = model.param_layout();
+        let a = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
+        let b = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F64);
+        for (x, y) in a.clean_sum.iter().zip(&b.clean_sum) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

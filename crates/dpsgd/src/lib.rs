@@ -35,10 +35,10 @@ pub mod trainer;
 pub mod transcript;
 
 pub use clip::{clip_to_norm, clipped_gradient, AdaptiveClipConfig, ClippingStrategy};
-pub use config::{DpsgdConfig, SensitivityScaling};
+pub use config::{ComputeMode, DpsgdConfig, SensitivityScaling};
 pub use exec::{
-    batch_pool, batch_threads, clip_loop, effective_batch_threads, set_batch_threads,
-    ClipLoopOutput, CLIP_CHUNK,
+    batch_pool, batch_threads, clip_loop, clip_loop_mode, effective_batch_threads,
+    set_batch_threads, ClipLoopOutput, CLIP_CHUNK,
 };
 pub use federated::{train_federated, FederatedConfig, FederatedOutcome, RoundRecord};
 pub use minibatch::{train_minibatch_dpsgd, MinibatchConfig, MinibatchOutcome};

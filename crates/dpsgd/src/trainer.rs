@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::clip::ClippingStrategy;
 use crate::config::DpsgdConfig;
-use crate::exec::{batch_pool, clip_loop};
+use crate::exec::{batch_pool, clip_loop_mode};
 use crate::optimizer::OptimizerState;
 use crate::pair::NeighborPair;
 use crate::transcript::{StepRecord, Transcript};
@@ -56,7 +56,15 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
         let bound = clipping.total_bound();
 
         let clip_span = obs::span(obs::names::CLIP_SPAN);
-        let clipped = clip_loop(model, &data.xs, &data.ys, &clipping, &layout, pool.as_ref());
+        let clipped = clip_loop_mode(
+            model,
+            &data.xs,
+            &data.ys,
+            &clipping,
+            &layout,
+            pool.as_ref(),
+            cfg.compute,
+        );
         let (clean_sum, loss_total, unclipped) =
             (clipped.clean_sum, clipped.loss_total, clipped.unclipped);
         drop(clip_span);
@@ -382,6 +390,34 @@ mod tests {
         assert_ne!(m1.params(), m2.params());
         // Later releases differ because the weight paths diverged.
         assert_ne!(t_sgd.steps[4].clean_sum, t_adam.steps[4].clean_sum);
+    }
+
+    #[test]
+    fn f32_compute_mode_tracks_f64_within_tolerance() {
+        // Full training runs with identical seeds, differing only in the
+        // storage precision of the clip loop: the noise draws coincide, so
+        // the released sums and the weight trajectory differ only by f32
+        // rounding, which must stay inside a narrow relative band.
+        let (model, pair) = tiny_setup(21);
+        let c64 = cfg(SensitivityScaling::Global);
+        let mut c32 = cfg(SensitivityScaling::Global);
+        c32.compute = crate::config::ComputeMode::F32;
+        let mut m64 = model.clone();
+        let mut m32 = model;
+        let t64 = train_collect(&mut m64, &pair, true, &c64, &mut seeded_rng(22));
+        let t32 = train_collect(&mut m32, &pair, true, &c32, &mut seeded_rng(22));
+        for (s64, s32) in t64.steps.iter().zip(&t32.steps) {
+            let err = l2_distance(&s64.clean_sum, &s32.clean_sum);
+            let scale = l2_norm(&s64.clean_sum).max(1.0);
+            assert!(
+                err < 1e-3 * scale,
+                "step {}: clean_sum drift {err} vs scale {scale}",
+                s64.step
+            );
+            assert!((s64.mean_loss - s32.mean_loss).abs() < 1e-3);
+        }
+        let w_err = l2_distance(&m64.params(), &m32.params());
+        assert!(w_err < 1e-3, "final weight drift {w_err}");
     }
 
     #[test]

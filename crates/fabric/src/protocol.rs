@@ -220,6 +220,30 @@ mod tests {
     }
 
     #[test]
+    fn job_headers_carry_the_compute_mode_across_the_wire() {
+        use dpaudit_dpsgd::ComputeMode;
+        use dpaudit_runtime::testkit;
+
+        let mut header = testkit::toy_store_header(4);
+        header.settings.dpsgd.compute = ComputeMode::F32;
+        let submission = JobSubmission {
+            job: "f32-job".into(),
+            header,
+        };
+        let text = serde_json::to_value(&submission).to_string();
+        let back: JobSubmission = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, submission);
+        assert_eq!(back.header.settings.dpsgd.compute, ComputeMode::F32);
+
+        // Headers serialized before the field existed (no `compute` key)
+        // must still parse, defaulting to the f64 oracle.
+        let legacy = text.replace(",\"compute\":\"F32\"", "");
+        assert!(legacy.len() < text.len(), "compute key not found in {text}");
+        let back: JobSubmission = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.header.settings.dpsgd.compute, ComputeMode::F64);
+    }
+
+    #[test]
     fn job_ids_are_filename_safe() {
         for good in ["mnist-a", "purchase_2", "job.7", "A"] {
             assert!(valid_job_id(good), "{good}");

@@ -1,0 +1,573 @@
+//! f32 storage mode for the batched per-example gradient pipeline.
+//!
+//! [`SequentialF32`] is a single-precision shadow of a [`Sequential`] model:
+//! parameters are narrowed to f32 once per construction, the batched
+//! forward/backward passes run entirely in f32 (halving the memory traffic
+//! of the `[B, param]` gradient buffers and activations, and doubling SIMD
+//! lane width), and the per-example gradients come back as one flat
+//! `[B, param_count]` f32 buffer. Losses — and the softmax that produces the
+//! logit gradients — are computed in f64 from widened logits, and the DPSGD
+//! clip loop widens each gradient value back to f64 on the fly as it flows
+//! into the fixed-order `CLIP_CHUNK` reduction, so the *accumulation* stays
+//! f64 end to end; only
+//! the per-example storage is single precision. f32 mode is therefore a
+//! tolerance-equivalent of the f64 oracle, not a bit-identical one, and is
+//! opt-in per run.
+
+use dpaudit_tensor::{
+    conv2d_backward_input_into, conv2d_backward_params_into, conv2d_forward_gemm_into, im2col_into,
+    matmul_acc_f32, matmul_nt_acc_f32, maxpool2d_backward, maxpool2d_forward, Conv2dDims, PoolDims,
+    Tensor,
+};
+
+use crate::layers::Layer;
+use crate::loss::softmax_cross_entropy;
+use crate::model::Sequential;
+
+/// One layer of the f32 shadow model. Frozen state (batch-norm statistics)
+/// is pre-folded: only what the forward/backward passes touch is stored.
+enum LayerF32 {
+    Dense {
+        /// Row-major `[out, in]` weights.
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+    },
+    Conv2d {
+        /// Flat `[oc, ic, kh, kw]` kernels.
+        kernels: Vec<f32>,
+        bias: Vec<f32>,
+        out_channels: usize,
+        in_channels: usize,
+        k_h: usize,
+        k_w: usize,
+    },
+    BatchNorm2d {
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        /// `1 / sqrt(var + eps)`, computed in f64 then narrowed once.
+        inv_std: Vec<f32>,
+    },
+    Relu,
+    MaxPool2d {
+        pool: usize,
+    },
+    Flatten,
+}
+
+impl LayerF32 {
+    fn param_count(&self) -> usize {
+        match self {
+            LayerF32::Dense { weight, bias, .. } => weight.len() + bias.len(),
+            LayerF32::Conv2d { kernels, bias, .. } => kernels.len() + bias.len(),
+            LayerF32::BatchNorm2d { gamma, beta, .. } => gamma.len() + beta.len(),
+            LayerF32::Relu | LayerF32::MaxPool2d { .. } | LayerF32::Flatten => 0,
+        }
+    }
+}
+
+/// Forward intermediates of one f32 layer, mirroring `BatchCache`.
+enum CacheF32 {
+    Dense { input: Vec<f32> },
+    Conv2d { patches: Vec<f32>, dims: Conv2dDims },
+    BatchNorm2d { normalized: Vec<f32>, plane: usize },
+    Relu { mask: Vec<bool> },
+    MaxPool2d { argmax: Vec<usize>, dims: PoolDims },
+    Flatten,
+}
+
+fn narrow(v: &[f64]) -> Vec<f32> {
+    v.iter().map(|&x| x as f32).collect()
+}
+
+/// Single-precision shadow of a [`Sequential`] model for the f32 storage
+/// mode of the batched gradient pipeline.
+///
+/// Built fresh from the current f64 parameters each step (narrowing is
+/// cheap next to a train step); produces per-example gradients in one flat
+/// `[B, param_count]` f32 buffer with exactly the layout of
+/// [`Sequential::per_example_grads`].
+pub struct SequentialF32 {
+    layers: Vec<LayerF32>,
+    dim: usize,
+}
+
+impl SequentialF32 {
+    /// Narrow a model's parameters (and frozen batch-norm statistics) to f32.
+    pub fn from_model(model: &Sequential) -> Self {
+        let layers: Vec<LayerF32> = model
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                Layer::Dense(d) => LayerF32::Dense {
+                    weight: narrow(d.weight.data()),
+                    bias: narrow(d.bias.data()),
+                    in_f: d.weight.shape()[1],
+                    out_f: d.weight.shape()[0],
+                },
+                Layer::Conv2d(c) => {
+                    let ks = c.kernels.shape();
+                    LayerF32::Conv2d {
+                        kernels: narrow(c.kernels.data()),
+                        bias: narrow(c.bias.data()),
+                        out_channels: ks[0],
+                        in_channels: ks[1],
+                        k_h: ks[2],
+                        k_w: ks[3],
+                    }
+                }
+                Layer::BatchNorm2d(b) => LayerF32::BatchNorm2d {
+                    gamma: narrow(b.gamma.data()),
+                    beta: narrow(b.beta.data()),
+                    mean: narrow(&b.running_mean),
+                    // The rsqrt is done in f64 so the narrowed value is the
+                    // correctly rounded f32 of the f64 statistic.
+                    inv_std: b
+                        .running_var
+                        .iter()
+                        .map(|&v| (1.0 / (v + b.eps).sqrt()) as f32)
+                        .collect(),
+                },
+                Layer::Relu => LayerF32::Relu,
+                Layer::MaxPool2d(p) => LayerF32::MaxPool2d { pool: p.pool },
+                Layer::Flatten => LayerF32::Flatten,
+            })
+            .collect();
+        let dim = layers.iter().map(LayerF32::param_count).sum();
+        Self { layers, dim }
+    }
+
+    /// Total number of learnable parameters (matches the f64 model).
+    pub fn param_count(&self) -> usize {
+        self.dim
+    }
+
+    /// Losses and per-example flat parameter gradients for a labelled batch.
+    ///
+    /// Returns the per-example losses (f64 — the softmax/cross-entropy runs
+    /// in f64 on widened logits) and the `[B, param_count]` f32 gradient
+    /// buffer, row `b` in the same layout as [`Sequential::per_example_grads`].
+    ///
+    /// # Panics
+    /// Panics on an empty batch or a length mismatch.
+    pub fn per_example_grads(&self, xs: &[Tensor], labels: &[usize]) -> (Vec<f64>, Vec<f32>) {
+        assert_eq!(xs.len(), labels.len(), "per_example_grads: length mismatch");
+        assert!(!xs.is_empty(), "per_example_grads: empty batch");
+        let batch = xs.len();
+        let mut shape = xs[0].shape().to_vec();
+        let ex_len: usize = shape.iter().product();
+        let mut h = Vec::with_capacity(batch * ex_len);
+        for x in xs {
+            assert_eq!(x.shape(), &shape[..], "per_example_grads: ragged batch");
+            h.extend(x.data().iter().map(|&v| v as f32));
+        }
+
+        // Forward, recording caches and the evolving per-example shape.
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (out, out_shape, cache) = layer_forward(layer, &h, &shape, batch);
+            caches.push(cache);
+            h = out;
+            shape = out_shape;
+        }
+
+        // Loss head in f64: widen each logit row, softmax + cross-entropy,
+        // narrow the gradient back.
+        let classes = *shape.last().expect("per_example_grads: scalar logits");
+        assert_eq!(shape.len(), 1, "per_example_grads: logits must be flat");
+        let mut losses = Vec::with_capacity(batch);
+        let mut d: Vec<f32> = Vec::with_capacity(batch * classes);
+        let mut row64 = vec![0.0f64; classes];
+        for (row, &label) in h.chunks_exact(classes).zip(labels) {
+            for (wide, &v) in row64.iter_mut().zip(row) {
+                *wide = f64::from(v);
+            }
+            let (loss, d_row) = softmax_cross_entropy(&row64, label);
+            losses.push(loss);
+            d.extend(d_row.iter().map(|&v| v as f32));
+        }
+
+        // Backward, each layer writing its per-example segments straight
+        // into the flat [B, dim] buffer.
+        let mut flat = vec![0.0f32; batch * self.dim];
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+        for (idx, ((layer, cache), offset)) in self
+            .layers
+            .iter()
+            .zip(&caches)
+            .zip(offsets)
+            .enumerate()
+            .rev()
+        {
+            // The first layer's input gradient is discarded (the input is
+            // data, not a parameter), so its backward gemm is skipped.
+            d = layer_backward(
+                layer,
+                cache,
+                &d,
+                &mut flat,
+                self.dim,
+                offset,
+                batch,
+                idx > 0,
+            );
+        }
+        (losses, flat)
+    }
+}
+
+/// Forward one layer over the flat `[B, ...]` f32 batch buffer. Returns the
+/// output buffer, the new per-example shape, and the backward cache.
+fn layer_forward(
+    layer: &LayerF32,
+    input: &[f32],
+    shape: &[usize],
+    batch: usize,
+) -> (Vec<f32>, Vec<usize>, CacheF32) {
+    match layer {
+        LayerF32::Dense {
+            weight,
+            bias,
+            in_f,
+            out_f,
+        } => {
+            let (n, m) = (*in_f, *out_f);
+            assert_eq!(shape, [n], "DenseF32: input must be [{n}], got {shape:?}");
+            let mut y = vec![0.0f32; batch * m];
+            matmul_nt_acc_f32(&mut y, input, weight, batch, n, m);
+            for row in y.chunks_exact_mut(m) {
+                for (yi, bi) in row.iter_mut().zip(bias) {
+                    *yi += bi;
+                }
+            }
+            (
+                y,
+                vec![m],
+                CacheF32::Dense {
+                    input: input.to_vec(),
+                },
+            )
+        }
+        LayerF32::Conv2d {
+            kernels,
+            bias,
+            out_channels,
+            in_channels,
+            k_h,
+            k_w,
+        } => {
+            assert_eq!(shape.len(), 3, "Conv2dF32: input must be [C,H,W]");
+            assert_eq!(shape[0], *in_channels, "Conv2dF32: channel mismatch");
+            let dims = Conv2dDims {
+                in_channels: *in_channels,
+                out_channels: *out_channels,
+                in_h: shape[1],
+                in_w: shape[2],
+                k_h: *k_h,
+                k_w: *k_w,
+            };
+            let ex_len = dims.in_channels * dims.in_h * dims.in_w;
+            let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+            let mut patches = vec![0.0f32; batch * rows * cols];
+            let mut out = vec![0.0f32; batch * dims.out_channels * rows];
+            for ((ex, p), o) in input
+                .chunks_exact(ex_len)
+                .zip(patches.chunks_exact_mut(rows * cols))
+                .zip(out.chunks_exact_mut(dims.out_channels * rows))
+            {
+                im2col_into(ex, &dims, p);
+                conv2d_forward_gemm_into(p, kernels, bias, &dims, o);
+            }
+            (
+                out,
+                vec![dims.out_channels, dims.out_h(), dims.out_w()],
+                CacheF32::Conv2d { patches, dims },
+            )
+        }
+        LayerF32::BatchNorm2d {
+            gamma,
+            beta,
+            mean,
+            inv_std,
+        } => {
+            assert_eq!(shape.len(), 3, "BatchNorm2dF32: input must be [C,H,W]");
+            let channels = gamma.len();
+            assert_eq!(shape[0], channels, "BatchNorm2dF32: channel mismatch");
+            let plane = shape[1] * shape[2];
+            let mut normalized = vec![0.0f32; input.len()];
+            let mut out = vec![0.0f32; input.len()];
+            for ex in 0..batch {
+                let base = ex * channels * plane;
+                for c in 0..channels {
+                    let (g, bb, m, is_c) = (gamma[c], beta[c], mean[c], inv_std[c]);
+                    for p in 0..plane {
+                        let idx = base + c * plane + p;
+                        let xhat = (input[idx] - m) * is_c;
+                        normalized[idx] = xhat;
+                        out[idx] = g * xhat + bb;
+                    }
+                }
+            }
+            (
+                out,
+                shape.to_vec(),
+                CacheF32::BatchNorm2d { normalized, plane },
+            )
+        }
+        LayerF32::Relu => {
+            let mask: Vec<bool> = input.iter().map(|&x| x > 0.0).collect();
+            let out: Vec<f32> = input
+                .iter()
+                .map(|&x| if x > 0.0 { x } else { 0.0 })
+                .collect();
+            (out, shape.to_vec(), CacheF32::Relu { mask })
+        }
+        LayerF32::MaxPool2d { pool } => {
+            assert_eq!(shape.len(), 3, "MaxPool2dF32: input must be [C,H,W]");
+            let dims = PoolDims {
+                channels: shape[0],
+                in_h: shape[1],
+                in_w: shape[2],
+                pool_h: *pool,
+                pool_w: *pool,
+            };
+            let ex_len = dims.channels * dims.in_h * dims.in_w;
+            let out_len = dims.channels * dims.out_h() * dims.out_w();
+            let mut out = Vec::with_capacity(batch * out_len);
+            let mut argmax = Vec::with_capacity(batch * out_len);
+            for ex in input.chunks_exact(ex_len) {
+                let (o, a) = maxpool2d_forward(ex, &dims);
+                out.extend_from_slice(&o);
+                argmax.extend_from_slice(&a);
+            }
+            (
+                out,
+                vec![dims.channels, dims.out_h(), dims.out_w()],
+                CacheF32::MaxPool2d { argmax, dims },
+            )
+        }
+        LayerF32::Flatten => {
+            let n: usize = shape.iter().product();
+            (input.to_vec(), vec![n], CacheF32::Flatten)
+        }
+    }
+}
+
+/// Backward one layer: consume `d_out` (`[B, out...]` flat), write this
+/// layer's per-example parameter gradients at `flat[b*stride + offset..]`
+/// (segments are zero on entry), and return `d_input`. With `need_d_in`
+/// false (the first layer — the input is data, not a parameter) the Dense
+/// and Conv2d arms skip their input-gradient gemm and return an empty
+/// buffer.
+#[allow(clippy::too_many_arguments)]
+fn layer_backward(
+    layer: &LayerF32,
+    cache: &CacheF32,
+    d_out: &[f32],
+    flat: &mut [f32],
+    stride: usize,
+    offset: usize,
+    batch: usize,
+    need_d_in: bool,
+) -> Vec<f32> {
+    match (layer, cache) {
+        (
+            LayerF32::Dense {
+                weight,
+                in_f,
+                out_f,
+                ..
+            },
+            CacheF32::Dense { input },
+        ) => {
+            let (n, m) = (*in_f, *out_f);
+            let mut d_in = vec![0.0f32; if need_d_in { batch * n } else { 0 }];
+            if need_d_in {
+                matmul_acc_f32(&mut d_in, d_out, weight, batch, m, n);
+            }
+            for (ex, (dy, x)) in d_out.chunks_exact(m).zip(input.chunks_exact(n)).enumerate() {
+                let base = ex * stride + offset;
+                let row = &mut flat[base..base + m * n + m];
+                for (j, &dv) in dy.iter().enumerate() {
+                    for (dst, &xv) in row[j * n..(j + 1) * n].iter_mut().zip(x) {
+                        *dst = dv * xv;
+                    }
+                }
+                row[m * n..].copy_from_slice(dy);
+            }
+            d_in
+        }
+        (LayerF32::Conv2d { kernels, .. }, CacheF32::Conv2d { patches, dims }) => {
+            let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+            let out_len = dims.out_channels * rows;
+            let kernel_len = dims.out_channels * cols;
+            let in_len = dims.in_channels * dims.in_h * dims.in_w;
+            let mut d_in = vec![0.0f32; if need_d_in { batch * in_len } else { 0 }];
+            for (ex, (dy, p)) in d_out
+                .chunks_exact(out_len)
+                .zip(patches.chunks_exact(rows * cols))
+                .enumerate()
+            {
+                let base = ex * stride + offset;
+                let row = &mut flat[base..base + kernel_len + dims.out_channels];
+                let (d_k, d_b) = row.split_at_mut(kernel_len);
+                conv2d_backward_params_into(p, dy, dims, d_k, d_b);
+                if need_d_in {
+                    conv2d_backward_input_into(
+                        kernels,
+                        dy,
+                        dims,
+                        &mut d_in[ex * in_len..(ex + 1) * in_len],
+                    );
+                }
+            }
+            d_in
+        }
+        (
+            LayerF32::BatchNorm2d { gamma, inv_std, .. },
+            CacheF32::BatchNorm2d { normalized, plane },
+        ) => {
+            let channels = gamma.len();
+            let ex_len = channels * plane;
+            let mut d_in = vec![0.0f32; normalized.len()];
+            for ex in 0..batch {
+                let ex_base = ex * ex_len;
+                let base = ex * stride + offset;
+                let (d_gamma, d_beta) = flat[base..base + 2 * channels].split_at_mut(channels);
+                for c in 0..channels {
+                    let g = gamma[c];
+                    let is_c = inv_std[c];
+                    for p in 0..*plane {
+                        let idx = ex_base + c * plane + p;
+                        let dy = d_out[idx];
+                        d_gamma[c] += dy * normalized[idx];
+                        d_beta[c] += dy;
+                        d_in[idx] = dy * g * is_c;
+                    }
+                }
+            }
+            d_in
+        }
+        (LayerF32::Relu, CacheF32::Relu { mask }) => {
+            assert_eq!(d_out.len(), mask.len(), "ReLUF32 backward: length mismatch");
+            d_out
+                .iter()
+                .zip(mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect()
+        }
+        (LayerF32::MaxPool2d { .. }, CacheF32::MaxPool2d { argmax, dims }) => {
+            let out_len = dims.channels * dims.out_h() * dims.out_w();
+            let mut d_in = Vec::with_capacity(batch * dims.channels * dims.in_h * dims.in_w);
+            for (dy, am) in d_out
+                .chunks_exact(out_len)
+                .zip(argmax.chunks_exact(out_len))
+            {
+                d_in.extend_from_slice(&maxpool2d_backward(dy, am, dims));
+            }
+            d_in
+        }
+        (LayerF32::Flatten, CacheF32::Flatten) => d_out.to_vec(),
+        _ => panic!("SequentialF32: cache does not match layer kind"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Dense, MaxPool2d};
+    use dpaudit_math::seeded_rng;
+    use rand::Rng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Layer::Dense(Dense::new(&mut rng, 6, 5)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(&mut rng, 5, 3)),
+        ])
+    }
+
+    fn tiny_cnn(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(&mut rng, 1, 2, 3)),
+            Layer::BatchNorm2d(BatchNorm2d::new(2)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { pool: 2 }),
+            Layer::Flatten,
+            Layer::Dense(Dense::new(&mut rng, 2 * 3 * 3, 3)),
+        ])
+    }
+
+    fn example(seed: u64, shape: &[usize]) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// The f32 pipeline must agree with the f64 oracle within a tolerance
+    /// band scaled to single-precision accumulation depth.
+    fn assert_grads_close(model: &Sequential, xs: &[Tensor], labels: &[usize]) {
+        let (losses64, grads64) = model.per_example_grads(xs, labels);
+        let shadow = SequentialF32::from_model(model);
+        assert_eq!(shadow.param_count(), model.param_count());
+        let (losses32, grads32) = shadow.per_example_grads(xs, labels);
+        for (a, b) in losses64.iter().zip(&losses32) {
+            assert!((a - b).abs() < 1e-4, "loss differs: {a} vs {b}");
+        }
+        assert_eq!(grads32.len(), grads64.len());
+        for (i, (g64, g32)) in grads64.data().iter().zip(&grads32).enumerate() {
+            let diff = (g64 - f64::from(*g32)).abs();
+            let tol = 1e-4 + 1e-3 * g64.abs();
+            assert!(diff < tol, "grad[{i}] differs: {g64} vs {g32}");
+        }
+    }
+
+    #[test]
+    fn mlp_f32_grads_match_f64_within_tolerance() {
+        let model = tiny_mlp(3);
+        let xs: Vec<Tensor> = (0..7).map(|i| example(100 + i, &[6])).collect();
+        let labels = vec![0, 1, 2, 0, 1, 2, 0];
+        assert_grads_close(&model, &xs, &labels);
+    }
+
+    #[test]
+    fn cnn_f32_grads_match_f64_within_tolerance() {
+        let model = tiny_cnn(5);
+        let xs: Vec<Tensor> = (0..5).map(|i| example(200 + i, &[1, 8, 8])).collect();
+        let labels = vec![2, 0, 1, 1, 2];
+        assert_grads_close(&model, &xs, &labels);
+    }
+
+    #[test]
+    fn f32_batch_rows_match_single_example_runs() {
+        // Row b of the batched result equals the B=1 run on example b —
+        // the f32 pipeline keeps per-example independence exactly.
+        let model = tiny_cnn(9);
+        let shadow = SequentialF32::from_model(&model);
+        let xs: Vec<Tensor> = (0..3).map(|i| example(300 + i, &[1, 8, 8])).collect();
+        let labels = vec![0, 2, 1];
+        let (_, grads) = shadow.per_example_grads(&xs, &labels);
+        let dim = shadow.param_count();
+        for (b, (x, &y)) in xs.iter().zip(&labels).enumerate() {
+            let (_, solo) = shadow.per_example_grads(std::slice::from_ref(x), &[y]);
+            for (i, (batched, single)) in
+                grads[b * dim..(b + 1) * dim].iter().zip(&solo).enumerate()
+            {
+                assert_eq!(
+                    batched.to_bits(),
+                    single.to_bits(),
+                    "example {b} grad {i}: {batched} vs {single}"
+                );
+            }
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! parameter gradient in the layer's canonical parameter order).
 
 use dpaudit_tensor::{
-    conv2d_backward, conv2d_backward_input, conv2d_backward_params, conv2d_forward,
-    conv2d_forward_gemm, im2col, matmul_acc, matmul_nt_acc, matvec, matvec_transposed,
+    conv2d_backward, conv2d_backward_input_into, conv2d_backward_params_into, conv2d_forward,
+    conv2d_forward_gemm_into, im2col_into, matmul_acc, matmul_nt_acc, matvec, matvec_transposed,
     maxpool2d_backward, maxpool2d_forward, outer_product, Conv2dDims, PoolDims, Tensor,
 };
 use rand::Rng;
@@ -66,7 +66,8 @@ pub enum BatchCache {
         /// The layer's `[B, in_features]` input.
         input: Tensor,
     },
-    /// Convolution cache: the [`im2col`] patch matrices of every example.
+    /// Convolution cache: the [`im2col_into`] patch matrices of every
+    /// example.
     Conv2d {
         /// `B` concatenated `[patch_rows, patch_cols]` matrices.
         patches: Vec<f64>,
@@ -593,17 +594,18 @@ impl Layer {
                 let dims = c.dims_for_shape(&is[1..]);
                 let ex_len = dims.in_channels * dims.in_h * dims.in_w;
                 let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
-                let mut patches = Vec::with_capacity(batch * rows * cols);
-                let mut out = Vec::with_capacity(batch * dims.out_channels * rows);
-                for ex in input.data().chunks_exact(ex_len) {
-                    let p = im2col(ex, &dims);
-                    out.extend_from_slice(&conv2d_forward_gemm(
-                        &p,
-                        c.kernels.data(),
-                        c.bias.data(),
-                        &dims,
-                    ));
-                    patches.extend_from_slice(&p);
+                // One allocation each for the whole batch; the per-example
+                // lowering and gemm write straight into their slices.
+                let mut patches = vec![0.0; batch * rows * cols];
+                let mut out = vec![0.0; batch * dims.out_channels * rows];
+                for ((ex, p), o) in input
+                    .data()
+                    .chunks_exact(ex_len)
+                    .zip(patches.chunks_exact_mut(rows * cols))
+                    .zip(out.chunks_exact_mut(dims.out_channels * rows))
+                {
+                    im2col_into(ex, &dims, p);
+                    conv2d_forward_gemm_into(p, c.kernels.data(), c.bias.data(), &dims, o);
                 }
                 (
                     Tensor::from_vec(&[batch, dims.out_channels, dims.out_h(), dims.out_w()], out),
@@ -737,19 +739,22 @@ impl Layer {
                     "Conv2d backward: d_out length mismatch"
                 );
                 let kernel_len = dims.out_channels * cols;
-                let mut d_in = Vec::with_capacity(batch * dims.in_channels * dims.in_h * dims.in_w);
-                for (ex, (dy, p)) in d_out
+                let in_len = dims.in_channels * dims.in_h * dims.in_w;
+                // Gradients land directly in the caller's d_params row and
+                // the per-example d_in slice — no staging Vec per example.
+                let mut d_in = vec![0.0; batch * in_len];
+                for (ex, ((dy, p), di)) in d_out
                     .data()
                     .chunks_exact(out_len)
                     .zip(patches.chunks_exact(rows * cols))
+                    .zip(d_in.chunks_exact_mut(in_len))
                     .enumerate()
                 {
-                    let (d_k, d_b) = conv2d_backward_params(p, dy, dims);
                     let base = ex * stride + offset;
                     let row = &mut d_params[base..base + kernel_len + dims.out_channels];
-                    row[..kernel_len].copy_from_slice(&d_k);
-                    row[kernel_len..].copy_from_slice(&d_b);
-                    d_in.extend_from_slice(&conv2d_backward_input(c.kernels.data(), dy, dims));
+                    let (d_k, d_b) = row.split_at_mut(kernel_len);
+                    conv2d_backward_params_into(p, dy, dims, d_k, d_b);
+                    conv2d_backward_input_into(c.kernels.data(), dy, dims, di);
                 }
                 Tensor::from_vec(&[batch, dims.in_channels, dims.in_h, dims.in_w], d_in)
             }

@@ -50,3 +50,23 @@ pub fn toy_settings(steps: usize) -> TrialSettings {
         .build()
         .expect("valid trial settings")
 }
+
+/// A complete toy [`StoreHeader`](crate::store::StoreHeader) over
+/// [`toy_settings`] for a `reps`-trial batch — the fixture for store,
+/// session, protocol, and dashboard tests.
+pub fn toy_store_header(reps: usize) -> crate::store::StoreHeader {
+    crate::store::StoreHeader {
+        schema_version: crate::store::SCHEMA_VERSION,
+        label: "toy".into(),
+        workload: "toy".into(),
+        train_size: 8,
+        world_seed: crate::store::Seed(0),
+        reps,
+        master_seed: crate::store::Seed(42),
+        target_epsilon: 2.0,
+        delta: 1e-3,
+        rho_beta_bound: dpaudit_core::rho_beta(2.0),
+        detail: dpaudit_core::RecordDetail::Summary,
+        settings: toy_settings(3),
+    }
+}

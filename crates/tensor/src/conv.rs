@@ -8,8 +8,13 @@
 //! Both routes accumulate each output element in the same order — bias (or
 //! zero) first, then `(ic, u, v)` / pixel terms in ascending lexicographic
 //! order — so direct and gemm results are bit-identical.
+//!
+//! All routines are generic over the kernel element type ([`Elem`]) so the
+//! f32 storage mode of the batched pipeline reuses the same code, and every
+//! allocating entry point has a `_into` twin writing into caller-owned
+//! scratch so the per-example batched loop stays allocation-free.
 
-use crate::ops::{matmul_acc, matmul_nt_acc};
+use crate::elem::Elem;
 
 /// Dimensions of one convolution application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +57,7 @@ impl Conv2dDims {
     }
 
     /// Validate buffer lengths for the forward pass.
-    fn check(&self, input: &[f64], kernels: &[f64], bias: &[f64]) {
+    fn check<T>(&self, input: &[T], kernels: &[T], bias: &[T]) {
         assert!(
             self.k_h <= self.in_h && self.k_w <= self.in_w,
             "conv2d: kernel larger than input"
@@ -79,10 +84,15 @@ impl Conv2dDims {
 ///
 /// `input` is `[C_in, H, W]`, `kernels` is `[C_out, C_in, kh, kw]`, output is
 /// `[C_out, out_h, out_w]`, all row-major.
-pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+pub fn conv2d_forward<T: Elem>(
+    input: &[T],
+    kernels: &[T],
+    bias: &[T],
+    dims: &Conv2dDims,
+) -> Vec<T> {
     dims.check(input, kernels, bias);
     let (oh, ow) = (dims.out_h(), dims.out_w());
-    let mut out = vec![0.0; dims.out_channels * oh * ow];
+    let mut out = vec![T::ZERO; dims.out_channels * oh * ow];
     for oc in 0..dims.out_channels {
         let out_plane = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
         out_plane.fill(bias[oc]);
@@ -97,7 +107,7 @@ pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2
                             &in_plane[(i + u) * dims.in_w + v..(i + u) * dims.in_w + v + ow];
                         let out_row = &mut out_plane[i * ow..(i + 1) * ow];
                         for (o, x) in out_row.iter_mut().zip(in_row) {
-                            *o += kval * x;
+                            *o += kval * *x;
                         }
                     }
                 }
@@ -107,20 +117,29 @@ pub fn conv2d_forward(input: &[f64], kernels: &[f64], bias: &[f64], dims: &Conv2
     out
 }
 
-/// Lower one `[C_in, H, W]` volume to its valid-convolution patch matrix.
+/// Lower one `[C_in, H, W]` volume into a caller-owned patch matrix buffer.
 ///
-/// Row `p = i·out_w + j` holds the receptive field of output pixel `(i, j)`,
+/// The allocation-free core of [`im2col`]: `patches` must have length
+/// `patch_rows() · patch_cols()` and is fully overwritten. Row
+/// `p = i·out_w + j` holds the receptive field of output pixel `(i, j)`,
 /// with columns ordered `(ic, u, v)` lexicographically — the same order a
 /// kernel's weights are stored in, and the same order the direct kernels
 /// accumulate in.
-pub fn im2col(input: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+///
+/// # Panics
+/// Panics if `input` or `patches` lengths disagree with `dims`.
+pub fn im2col_into<T: Elem>(input: &[T], dims: &Conv2dDims, patches: &mut [T]) {
     assert_eq!(
         input.len(),
         dims.in_channels * dims.in_h * dims.in_w,
         "im2col: input buffer length mismatch"
     );
+    assert_eq!(
+        patches.len(),
+        dims.patch_rows() * dims.patch_cols(),
+        "im2col: patch buffer length mismatch"
+    );
     let (oh, ow) = (dims.out_h(), dims.out_w());
-    let mut patches = vec![0.0; dims.patch_rows() * dims.patch_cols()];
     let cols = dims.patch_cols();
     for i in 0..oh {
         for j in 0..ow {
@@ -136,44 +155,80 @@ pub fn im2col(input: &[f64], dims: &Conv2dDims) -> Vec<f64> {
             }
         }
     }
+}
+
+/// Lower one `[C_in, H, W]` volume to its valid-convolution patch matrix.
+///
+/// Allocating wrapper over [`im2col_into`].
+pub fn im2col<T: Elem>(input: &[T], dims: &Conv2dDims) -> Vec<T> {
+    let mut patches = vec![T::ZERO; dims.patch_rows() * dims.patch_cols()];
+    im2col_into(input, dims, &mut patches);
     patches
 }
 
-/// Forward convolution as one gemm over a pre-lowered patch matrix:
-/// `out[oc, p] = b[oc] + kernels_row(oc) · patchesᵀ`.
+/// Forward convolution as one gemm over a pre-lowered patch matrix, writing
+/// into a caller-owned output buffer (`[C_out, patch_rows]`, overwritten).
 ///
 /// Bit-identical to [`conv2d_forward`]: the bias seeds each accumulator and
 /// the `(ic, u, v)` terms are added in the same ascending order.
-pub fn conv2d_forward_gemm(
-    patches: &[f64],
-    kernels: &[f64],
-    bias: &[f64],
+///
+/// # Panics
+/// Panics if buffer lengths disagree with `dims`.
+pub fn conv2d_forward_gemm_into<T: Elem>(
+    patches: &[T],
+    kernels: &[T],
+    bias: &[T],
     dims: &Conv2dDims,
-) -> Vec<f64> {
+    out: &mut [T],
+) {
     let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
     assert_eq!(
         patches.len(),
         rows * cols,
         "conv2d_forward_gemm: patch buffer length mismatch"
     );
-    let mut out = vec![0.0; dims.out_channels * rows];
+    assert_eq!(
+        out.len(),
+        dims.out_channels * rows,
+        "conv2d_forward_gemm: output buffer length mismatch"
+    );
     for (oc, plane) in out.chunks_exact_mut(rows).enumerate() {
         plane.fill(bias[oc]);
     }
-    matmul_nt_acc(&mut out, kernels, patches, dims.out_channels, cols, rows);
+    T::matmul_nt_acc(out, kernels, patches, dims.out_channels, cols, rows);
+}
+
+/// Forward convolution as one gemm over a pre-lowered patch matrix:
+/// `out[oc, p] = b[oc] + kernels_row(oc) · patchesᵀ`.
+///
+/// Allocating wrapper over [`conv2d_forward_gemm_into`].
+pub fn conv2d_forward_gemm<T: Elem>(
+    patches: &[T],
+    kernels: &[T],
+    bias: &[T],
+    dims: &Conv2dDims,
+) -> Vec<T> {
+    let mut out = vec![T::ZERO; dims.out_channels * dims.patch_rows()];
+    conv2d_forward_gemm_into(patches, kernels, bias, dims, &mut out);
     out
 }
 
-/// Parameter gradients of the valid convolution from a patch matrix:
-/// `(d_kernels, d_bias)` with `d_kernels[oc, l] = Σ_p d_out[oc, p]·patches[p, l]`.
+/// Parameter gradients of the valid convolution from a patch matrix, written
+/// into caller-owned buffers (both fully overwritten).
 ///
-/// Bit-identical to the kernel-gradient half of [`conv2d_backward`]: each
-/// element is a zero-seeded sum over output pixels in row-major order.
-pub fn conv2d_backward_params(
-    patches: &[f64],
-    d_out: &[f64],
+/// `d_kernels` has kernel shape (`[C_out, patch_cols]`), `d_bias` has length
+/// `C_out`. Bit-identical to the kernel-gradient half of [`conv2d_backward`]:
+/// each element is a zero-seeded sum over output pixels in row-major order.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with `dims`.
+pub fn conv2d_backward_params_into<T: Elem>(
+    patches: &[T],
+    d_out: &[T],
     dims: &Conv2dDims,
-) -> (Vec<f64>, Vec<f64>) {
+    d_kernels: &mut [T],
+    d_bias: &mut [T],
+) {
     let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
     assert_eq!(
         d_out.len(),
@@ -185,27 +240,58 @@ pub fn conv2d_backward_params(
         rows * cols,
         "conv2d_backward_params: patch buffer length mismatch"
     );
-    let mut d_kernels = vec![0.0; dims.out_channels * cols];
-    matmul_acc(
-        &mut d_kernels,
-        d_out,
-        patches,
-        dims.out_channels,
-        rows,
-        cols,
+    assert_eq!(
+        d_kernels.len(),
+        dims.out_channels * cols,
+        "conv2d_backward_params: d_kernels length mismatch"
     );
-    let d_bias = d_out
-        .chunks_exact(rows)
-        .map(|plane| plane.iter().sum())
-        .collect();
+    assert_eq!(
+        d_bias.len(),
+        dims.out_channels,
+        "conv2d_backward_params: d_bias length mismatch"
+    );
+    d_kernels.fill(T::ZERO);
+    T::matmul_acc(d_kernels, d_out, patches, dims.out_channels, rows, cols);
+    for (db, plane) in d_bias.iter_mut().zip(d_out.chunks_exact(rows)) {
+        let mut acc = T::ZERO;
+        for v in plane {
+            acc += *v;
+        }
+        *db = acc;
+    }
+}
+
+/// Parameter gradients of the valid convolution from a patch matrix:
+/// `(d_kernels, d_bias)` with `d_kernels[oc, l] = Σ_p d_out[oc, p]·patches[p, l]`.
+///
+/// Allocating wrapper over [`conv2d_backward_params_into`].
+pub fn conv2d_backward_params<T: Elem>(
+    patches: &[T],
+    d_out: &[T],
+    dims: &Conv2dDims,
+) -> (Vec<T>, Vec<T>) {
+    let mut d_kernels = vec![T::ZERO; dims.out_channels * dims.patch_cols()];
+    let mut d_bias = vec![T::ZERO; dims.out_channels];
+    conv2d_backward_params_into(patches, d_out, dims, &mut d_kernels, &mut d_bias);
     (d_kernels, d_bias)
 }
 
-/// Input gradient of the valid convolution: the transposed convolution of
-/// `d_out` with the kernels, accumulated directly (per `(oc, ic, u, v)` in
-/// ascending order). Both the scalar and the batched pipeline share this
-/// routine, so the summation order over output channels is identical.
-pub fn conv2d_backward_input(kernels: &[f64], d_out: &[f64], dims: &Conv2dDims) -> Vec<f64> {
+/// Input gradient of the valid convolution, written into a caller-owned
+/// buffer of input shape (fully overwritten).
+///
+/// The transposed convolution of `d_out` with the kernels, accumulated
+/// directly (per `(oc, ic, u, v)` in ascending order). Both the scalar and
+/// the batched pipeline share this routine, so the summation order over
+/// output channels is identical.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with `dims`.
+pub fn conv2d_backward_input_into<T: Elem>(
+    kernels: &[T],
+    d_out: &[T],
+    dims: &Conv2dDims,
+    d_input: &mut [T],
+) {
     let (oh, ow) = (dims.out_h(), dims.out_w());
     assert_eq!(
         d_out.len(),
@@ -217,7 +303,12 @@ pub fn conv2d_backward_input(kernels: &[f64], d_out: &[f64], dims: &Conv2dDims) 
         dims.out_channels * dims.patch_cols(),
         "conv2d_backward_input: kernel buffer length mismatch"
     );
-    let mut d_input = vec![0.0; dims.in_channels * dims.in_h * dims.in_w];
+    assert_eq!(
+        d_input.len(),
+        dims.in_channels * dims.in_h * dims.in_w,
+        "conv2d_backward_input: d_input length mismatch"
+    );
+    d_input.fill(T::ZERO);
     for oc in 0..dims.out_channels {
         let d_plane = &d_out[oc * oh * ow..(oc + 1) * oh * ow];
         for ic in 0..dims.in_channels {
@@ -231,13 +322,22 @@ pub fn conv2d_backward_input(kernels: &[f64], d_out: &[f64], dims: &Conv2dDims) 
                         let di_off = di_plane_base + (i + u) * dims.in_w + v;
                         let di_row = &mut d_input[di_off..di_off + ow];
                         for (di, d) in di_row.iter_mut().zip(d_row) {
-                            *di += kval * d;
+                            *di += kval * *d;
                         }
                     }
                 }
             }
         }
     }
+}
+
+/// Input gradient of the valid convolution: the transposed convolution of
+/// `d_out` with the kernels.
+///
+/// Allocating wrapper over [`conv2d_backward_input_into`].
+pub fn conv2d_backward_input<T: Elem>(kernels: &[T], d_out: &[T], dims: &Conv2dDims) -> Vec<T> {
+    let mut d_input = vec![T::ZERO; dims.in_channels * dims.in_h * dims.in_w];
+    conv2d_backward_input_into(kernels, d_out, dims, &mut d_input);
     d_input
 }
 
@@ -246,12 +346,12 @@ pub fn conv2d_backward_input(kernels: &[f64], d_out: &[f64], dims: &Conv2dDims) 
 /// Given the upstream gradient `d_out` (`[C_out, out_h, out_w]`), returns
 /// `(d_input, d_kernels, d_bias)` with the shapes of `input`, `kernels` and
 /// `bias` respectively.
-pub fn conv2d_backward(
-    input: &[f64],
-    kernels: &[f64],
-    d_out: &[f64],
+pub fn conv2d_backward<T: Elem>(
+    input: &[T],
+    kernels: &[T],
+    d_out: &[T],
     dims: &Conv2dDims,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+) -> (Vec<T>, Vec<T>, Vec<T>) {
     let (oh, ow) = (dims.out_h(), dims.out_w());
     assert_eq!(
         d_out.len(),
@@ -263,23 +363,27 @@ pub fn conv2d_backward(
         dims.in_channels * dims.in_h * dims.in_w,
         "conv2d_backward: input length mismatch"
     );
-    let mut d_kernels = vec![0.0; kernels.len()];
-    let mut d_bias = vec![0.0; dims.out_channels];
+    let mut d_kernels = vec![T::ZERO; kernels.len()];
+    let mut d_bias = vec![T::ZERO; dims.out_channels];
     for oc in 0..dims.out_channels {
         let d_plane = &d_out[oc * oh * ow..(oc + 1) * oh * ow];
-        d_bias[oc] = d_plane.iter().sum();
+        let mut bias_acc = T::ZERO;
+        for v in d_plane {
+            bias_acc += *v;
+        }
+        d_bias[oc] = bias_acc;
         for ic in 0..dims.in_channels {
             let in_plane = &input[ic * dims.in_h * dims.in_w..(ic + 1) * dims.in_h * dims.in_w];
             let k_base = ((oc * dims.in_channels) + ic) * dims.k_h * dims.k_w;
             for u in 0..dims.k_h {
                 for v in 0..dims.k_w {
-                    let mut kgrad = 0.0;
+                    let mut kgrad = T::ZERO;
                     for i in 0..oh {
                         let d_row = &d_plane[i * ow..(i + 1) * ow];
                         let in_off = (i + u) * dims.in_w + v;
                         let in_row = &in_plane[in_off..in_off + ow];
                         for (d, x) in d_row.iter().zip(in_row) {
-                            kgrad += d * x;
+                            kgrad += *d * *x;
                         }
                     }
                     d_kernels[k_base + u * dims.k_w + v] = kgrad;
@@ -370,6 +474,80 @@ mod tests {
         assert_eq!(&p[0..4], &[1.0, 2.0, 4.0, 5.0]);
         assert_eq!(&p[4..8], &[2.0, 3.0, 5.0, 6.0]);
         assert_eq!(&p[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 5,
+            k_h: 3,
+            k_w: 2,
+        };
+        let input = pseudo(dims.in_channels * dims.in_h * dims.in_w, 1e-2);
+        let kernels = pseudo(dims.out_channels * dims.patch_cols(), 3e-3);
+        let bias = vec![0.3, -0.2, 0.1];
+        let d_out = pseudo(dims.out_channels * dims.patch_rows(), 5e-3);
+
+        let patches = im2col(&input, &dims);
+        // Scratch deliberately poisoned: _into must fully overwrite.
+        let mut patches2 = vec![f64::NAN; patches.len()];
+        im2col_into(&input, &dims, &mut patches2);
+        assert_eq!(patches, patches2);
+
+        let fwd = conv2d_forward_gemm(&patches, &kernels, &bias, &dims);
+        let mut fwd2 = vec![f64::NAN; fwd.len()];
+        conv2d_forward_gemm_into(&patches, &kernels, &bias, &dims, &mut fwd2);
+        for (a, b) in fwd.iter().zip(&fwd2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let (dk, db) = conv2d_backward_params(&patches, &d_out, &dims);
+        let mut dk2 = vec![f64::NAN; dk.len()];
+        let mut db2 = vec![f64::NAN; db.len()];
+        conv2d_backward_params_into(&patches, &d_out, &dims, &mut dk2, &mut db2);
+        for (a, b) in dk.iter().zip(&dk2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in db.iter().zip(&db2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let d_in = conv2d_backward_input(&kernels, &d_out, &dims);
+        let mut d_in2 = vec![f64::NAN; d_in.len()];
+        conv2d_backward_input_into(&kernels, &d_out, &dims, &mut d_in2);
+        for (a, b) in d_in.iter().zip(&d_in2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_gemm_forward_matches_direct() {
+        let dims = Conv2dDims {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 5,
+            k_h: 3,
+            k_w: 2,
+        };
+        let input: Vec<f32> = pseudo(dims.in_channels * dims.in_h * dims.in_w, 1e-2)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        let kernels: Vec<f32> = pseudo(dims.out_channels * dims.patch_cols(), 3e-3)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        let bias = vec![0.3f32, -0.2, 0.1];
+        let direct = conv2d_forward(&input, &kernels, &bias, &dims);
+        let patches = im2col(&input, &dims);
+        let gemm = conv2d_forward_gemm(&patches, &kernels, &bias, &dims);
+        for (g, d) in gemm.iter().zip(&direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

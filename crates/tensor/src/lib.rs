@@ -4,21 +4,34 @@
 //! The paper's evaluation trains two small reference networks (a 2-conv-layer
 //! CNN on 28×28 images and a 2-dense-layer MLP on 600-bit baskets) with
 //! per-example gradients. This crate provides exactly the kernels those
-//! networks need — row-major f64 tensors, matrix/vector products, valid-mode
+//! networks need — row-major tensors, matrix/vector products, valid-mode
 //! 2-D convolution with full backward, and 2×2 max pooling — implemented from
 //! scratch so the whole stack is auditable.
+//!
+//! The gemm entry points dispatch at runtime to explicit-SIMD microkernels
+//! (AVX2 on x86_64, NEON on aarch64; see [`simd`]) with the scalar register
+//! tiles of [`ops::scalar`] as the universal fallback, and exist for both
+//! `f64` (the determinism oracle) and `f32` (the opt-in storage mode of the
+//! batched gradient pipeline); the compute routines are generic over
+//! [`Elem`].
 
 pub mod conv;
+pub mod elem;
 pub mod ops;
 pub mod pool;
+pub mod simd;
 pub mod tensor;
 
 pub use conv::{
-    conv2d_backward, conv2d_backward_input, conv2d_backward_params, conv2d_forward,
-    conv2d_forward_gemm, im2col, Conv2dDims,
+    conv2d_backward, conv2d_backward_input, conv2d_backward_input_into, conv2d_backward_params,
+    conv2d_backward_params_into, conv2d_forward, conv2d_forward_gemm, conv2d_forward_gemm_into,
+    im2col, im2col_into, Conv2dDims,
 };
+pub use elem::Elem;
 pub use ops::{
-    matmul, matmul_acc, matmul_nt, matmul_nt_acc, matvec, matvec_transposed, outer_product,
+    matmul, matmul_acc, matmul_acc_f32, matmul_nt, matmul_nt_acc, matmul_nt_acc_f32, matvec,
+    matvec_transposed, outer_product,
 };
 pub use pool::{maxpool2d_backward, maxpool2d_forward, PoolDims};
+pub use simd::{kernel_backend, set_force_scalar};
 pub use tensor::Tensor;

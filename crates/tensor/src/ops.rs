@@ -9,56 +9,56 @@
 //! bit-identical. There is no branch in any inner loop — a zero (or NaN,
 //! or Inf) operand contributes exactly like any other value, which keeps
 //! IEEE special values propagating through the gradient pipeline.
+//!
+//! The public accumulating entry points ([`matmul_acc`], [`matmul_nt_acc`],
+//! and their `_f32` variants) dispatch at runtime to the explicit-SIMD
+//! microkernels in [`crate::simd`] when the hardware supports them, with
+//! the tiles in [`scalar`] as the universal fallback. The SIMD kernels obey
+//! the same per-element accumulation chain and use separate mul + add (no
+//! FMA contraction), so on the f64 path dispatch never changes a single
+//! bit of the result.
+
+use crate::elem::Elem;
 
 /// Rows per register tile of the blocked kernels.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Columns per register tile of the blocked kernels.
 const NR: usize = 4;
 
-/// Accumulating matrix–matrix product: `C[m,n] += A[m,k] · B[k,n]`.
-///
-/// Each output element's additions happen in ascending `k` order starting
-/// from the incoming value of `C`, regardless of which tile path computes
-/// it — the result is bitwise independent of the blocking.
-///
-/// # Panics
-/// Panics if buffer lengths disagree with the stated dimensions.
-pub fn matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+fn check_nn<T>(c: &[T], a: &[T], b: &[T], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "matmul: A has wrong length");
     assert_eq!(b.len(), k * n, "matmul: B has wrong length");
     assert_eq!(c.len(), m * n, "matmul: C has wrong length");
-    let m_main = m - m % MR;
-    let n_main = n - n % NR;
-    for i in (0..m_main).step_by(MR) {
-        for j in (0..n_main).step_by(NR) {
-            let mut acc = [[0.0f64; NR]; MR];
-            for (mi, row) in acc.iter_mut().enumerate() {
-                let base = (i + mi) * n + j;
-                row.copy_from_slice(&c[base..base + NR]);
-            }
-            for l in 0..k {
-                let brow = &b[l * n + j..l * n + j + NR];
-                for (mi, row) in acc.iter_mut().enumerate() {
-                    let av = a[(i + mi) * k + l];
-                    for (cv, bv) in row.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-            for (mi, row) in acc.iter().enumerate() {
-                let base = (i + mi) * n + j;
-                c[base..base + NR].copy_from_slice(row);
-            }
-        }
+}
+
+fn check_nt<T>(c: &[T], a: &[T], b: &[T], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_nt: A has wrong length");
+    assert_eq!(b.len(), n * k, "matmul_nt: B has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_nt: C has wrong length");
+}
+
+/// Scalar chains for the row/column remainders outside the main tile grid:
+/// the column edge (`n_main..n`) of the full-height rows, then every column
+/// of the leftover rows (`m_main..m`). Each element is an independent
+/// ascending-`k` chain, so helper and tile paths compose bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_acc_edges<T: Elem>(
+    c: &mut [T],
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    m_main: usize,
+    n_main: usize,
+) {
+    for i in 0..m_main {
         for j in n_main..n {
-            for mi in 0..MR {
-                let row = i + mi;
-                let mut cv = c[row * n + j];
-                for l in 0..k {
-                    cv += a[row * k + l] * b[l * n + j];
-                }
-                c[row * n + j] = cv;
+            let mut cv = c[i * n + j];
+            for l in 0..k {
+                cv += a[i * k + l] * b[l * n + j];
             }
+            c[i * n + j] = cv;
         }
     }
     for i in m_main..m {
@@ -70,6 +70,175 @@ pub fn matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: us
             c[i * n + j] = cv;
         }
     }
+}
+
+/// Edge chains of [`matmul_acc_edges`] for the transposed-B layout
+/// (`B` stored row-major as `[n,k]`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_nt_acc_edges<T: Elem>(
+    c: &mut [T],
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    m_main: usize,
+    n_main: usize,
+) {
+    for i in 0..m_main {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in n_main..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut cv = c[i * n + j];
+            for (av, bv) in arow.iter().zip(brow) {
+                cv += *av * *bv;
+            }
+            c[i * n + j] = cv;
+        }
+    }
+    for i in m_main..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut cv = c[i * n + j];
+            for (av, bv) in arow.iter().zip(brow) {
+                cv += *av * *bv;
+            }
+            c[i * n + j] = cv;
+        }
+    }
+}
+
+/// The register-blocked scalar tiles, generic over the element type.
+fn matmul_acc_tiles<T: Elem>(c: &mut [T], a: &[T], b: &[T], m: usize, k: usize, n: usize) {
+    let m_main = m - m % MR;
+    let n_main = n - n % NR;
+    for i in (0..m_main).step_by(MR) {
+        for j in (0..n_main).step_by(NR) {
+            let mut acc = [[T::ZERO; NR]; MR];
+            for (mi, row) in acc.iter_mut().enumerate() {
+                let base = (i + mi) * n + j;
+                row.copy_from_slice(&c[base..base + NR]);
+            }
+            for l in 0..k {
+                let brow = &b[l * n + j..l * n + j + NR];
+                for (mi, row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + l];
+                    for (cv, bv) in row.iter_mut().zip(brow) {
+                        *cv += av * *bv;
+                    }
+                }
+            }
+            for (mi, row) in acc.iter().enumerate() {
+                let base = (i + mi) * n + j;
+                c[base..base + NR].copy_from_slice(row);
+            }
+        }
+    }
+    matmul_acc_edges(c, a, b, m, k, n, m_main, n_main);
+}
+
+/// The register-blocked scalar tiles for the transposed-B layout.
+fn matmul_nt_acc_tiles<T: Elem>(c: &mut [T], a: &[T], b: &[T], m: usize, k: usize, n: usize) {
+    let m_main = m - m % MR;
+    let n_main = n - n % NR;
+    for i in (0..m_main).step_by(MR) {
+        for j in (0..n_main).step_by(NR) {
+            let mut acc = [[T::ZERO; NR]; MR];
+            for (mi, row) in acc.iter_mut().enumerate() {
+                let base = (i + mi) * n + j;
+                row.copy_from_slice(&c[base..base + NR]);
+            }
+            for l in 0..k {
+                let mut bv = [T::ZERO; NR];
+                for (ni, v) in bv.iter_mut().enumerate() {
+                    *v = b[(j + ni) * k + l];
+                }
+                for (mi, row) in acc.iter_mut().enumerate() {
+                    let av = a[(i + mi) * k + l];
+                    for (cv, v) in row.iter_mut().zip(&bv) {
+                        *cv += av * *v;
+                    }
+                }
+            }
+            for (mi, row) in acc.iter().enumerate() {
+                let base = (i + mi) * n + j;
+                c[base..base + NR].copy_from_slice(row);
+            }
+        }
+    }
+    matmul_nt_acc_edges(c, a, b, m, k, n, m_main, n_main);
+}
+
+/// The scalar reference tiles, callable directly (bypassing SIMD dispatch).
+///
+/// These are the determinism oracle: the dispatched entry points must be
+/// `to_bits()`-identical to these functions on the f64 path and on the f32
+/// path alike (the SIMD kernels perform the same IEEE lane operations in
+/// the same per-element order). Tests compare against this module; the
+/// process-wide [`crate::simd::set_force_scalar`] knob and the
+/// `DPAUDIT_FORCE_SCALAR` environment variable pin the dispatched entry
+/// points onto these tiles for whole-process A/B runs.
+pub mod scalar {
+    use super::*;
+
+    /// Scalar-tile `C[m,n] += A[m,k] · B[k,n]` for f64.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree with the stated dimensions.
+    pub fn matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+        check_nn(c, a, b, m, k, n);
+        matmul_acc_tiles(c, a, b, m, k, n);
+    }
+
+    /// Scalar-tile `C[m,n] += A[m,k] · Bᵀ` for f64 (`B` row-major `[n,k]`).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree with the stated dimensions.
+    pub fn matmul_nt_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+        check_nt(c, a, b, m, k, n);
+        matmul_nt_acc_tiles(c, a, b, m, k, n);
+    }
+
+    /// Scalar-tile `C[m,n] += A[m,k] · B[k,n]` for f32.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree with the stated dimensions.
+    pub fn matmul_acc_f32(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        check_nn(c, a, b, m, k, n);
+        matmul_acc_tiles(c, a, b, m, k, n);
+    }
+
+    /// Scalar-tile `C[m,n] += A[m,k] · Bᵀ` for f32 (`B` row-major `[n,k]`).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths disagree with the stated dimensions.
+    pub fn matmul_nt_acc_f32(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        check_nt(c, a, b, m, k, n);
+        matmul_nt_acc_tiles(c, a, b, m, k, n);
+    }
+}
+
+/// Accumulating matrix–matrix product: `C[m,n] += A[m,k] · B[k,n]`.
+///
+/// Each output element's additions happen in ascending `k` order starting
+/// from the incoming value of `C`, regardless of which tile path computes
+/// it — the result is bitwise independent of the blocking *and* of whether
+/// the SIMD or scalar kernel runs (the SIMD kernels use separate lane
+/// mul + add, never FMA).
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
+    check_nn(c, a, b, m, k, n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if crate::simd::simd_enabled() {
+        // SAFETY: the required target feature was runtime-detected and the
+        // buffer lengths were checked above.
+        unsafe { crate::simd::kernels::matmul_acc_f64(c, a, b, m, k, n) };
+        return;
+    }
+    matmul_acc_tiles(c, a, b, m, k, n);
 }
 
 /// Dense matrix–matrix product: `C[m,n] = A[m,k] · B[k,n]`.
@@ -88,65 +257,21 @@ pub fn matmul(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
 /// `C[m,n] += A[m,k] · Bᵀ` where `B` is stored row-major as `[n,k]`.
 ///
 /// Both operands are traversed along contiguous length-`k` rows, so no
-/// transpose is materialised. Same tiling and same per-element accumulation
-/// chain (ascending `k`, seeded from `C`) as [`matmul_acc`].
+/// transpose is materialised. Same tiling, same dispatch, and same
+/// per-element accumulation chain (ascending `k`, seeded from `C`) as
+/// [`matmul_acc`].
 ///
 /// # Panics
 /// Panics if buffer lengths disagree with the stated dimensions.
 pub fn matmul_nt_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k, "matmul_nt: A has wrong length");
-    assert_eq!(b.len(), n * k, "matmul_nt: B has wrong length");
-    assert_eq!(c.len(), m * n, "matmul_nt: C has wrong length");
-    let m_main = m - m % MR;
-    let n_main = n - n % NR;
-    for i in (0..m_main).step_by(MR) {
-        for j in (0..n_main).step_by(NR) {
-            let mut acc = [[0.0f64; NR]; MR];
-            for (mi, row) in acc.iter_mut().enumerate() {
-                let base = (i + mi) * n + j;
-                row.copy_from_slice(&c[base..base + NR]);
-            }
-            for l in 0..k {
-                let mut bv = [0.0f64; NR];
-                for (ni, v) in bv.iter_mut().enumerate() {
-                    *v = b[(j + ni) * k + l];
-                }
-                for (mi, row) in acc.iter_mut().enumerate() {
-                    let av = a[(i + mi) * k + l];
-                    for (cv, v) in row.iter_mut().zip(&bv) {
-                        *cv += av * v;
-                    }
-                }
-            }
-            for (mi, row) in acc.iter().enumerate() {
-                let base = (i + mi) * n + j;
-                c[base..base + NR].copy_from_slice(row);
-            }
-        }
-        for j in n_main..n {
-            let brow = &b[j * k..(j + 1) * k];
-            for mi in 0..MR {
-                let row = i + mi;
-                let arow = &a[row * k..(row + 1) * k];
-                let mut cv = c[row * n + j];
-                for (av, bv) in arow.iter().zip(brow) {
-                    cv += av * bv;
-                }
-                c[row * n + j] = cv;
-            }
-        }
+    check_nt(c, a, b, m, k, n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if crate::simd::simd_enabled() {
+        // SAFETY: feature runtime-detected; lengths checked above.
+        unsafe { crate::simd::kernels::matmul_nt_acc_f64(c, a, b, m, k, n) };
+        return;
     }
-    for i in m_main..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut cv = c[i * n + j];
-            for (av, bv) in arow.iter().zip(brow) {
-                cv += av * bv;
-            }
-            c[i * n + j] = cv;
-        }
-    }
+    matmul_nt_acc_tiles(c, a, b, m, k, n);
 }
 
 /// Product against a transposed right operand: `C[m,n] = A[m,k] · Bᵀ` for
@@ -158,6 +283,41 @@ pub fn matmul_nt(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64>
     let mut c = vec![0.0; m * n];
     matmul_nt_acc(&mut c, a, b, m, k, n);
     c
+}
+
+/// f32 accumulating matrix–matrix product: `C[m,n] += A[m,k] · B[k,n]`.
+///
+/// The single-precision twin of [`matmul_acc`], used by the f32 storage
+/// mode of the batched gradient pipeline. Same dispatch and the same
+/// per-element accumulation chain, in f32 arithmetic.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_acc_f32(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_nn(c, a, b, m, k, n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if crate::simd::simd_enabled() {
+        // SAFETY: feature runtime-detected; lengths checked above.
+        unsafe { crate::simd::kernels::matmul_acc_f32(c, a, b, m, k, n) };
+        return;
+    }
+    matmul_acc_tiles(c, a, b, m, k, n);
+}
+
+/// f32 accumulating product against a transposed right operand:
+/// `C[m,n] += A[m,k] · Bᵀ` for row-major `B[n,k]`.
+///
+/// # Panics
+/// Panics if buffer lengths disagree with the stated dimensions.
+pub fn matmul_nt_acc_f32(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_nt(c, a, b, m, k, n);
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if crate::simd::simd_enabled() {
+        // SAFETY: feature runtime-detected; lengths checked above.
+        unsafe { crate::simd::kernels::matmul_nt_acc_f32(c, a, b, m, k, n) };
+        return;
+    }
+    matmul_nt_acc_tiles(c, a, b, m, k, n);
 }
 
 /// Matrix–vector product: `y[m] = W[m,n] · x[n]`.
@@ -220,11 +380,41 @@ mod tests {
         }
     }
 
+    fn naive_acc_f32(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    c[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+    }
+
     fn pseudo(len: usize, scale: f64) -> Vec<f64> {
         (0..len)
             .map(|i| ((i * 2654435761 % 1009) as f64 - 504.0) * scale)
             .collect()
     }
+
+    fn pseudo_f32(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 2654435761 % 1009) as f32 - 504.0) * scale)
+            .collect()
+    }
+
+    /// Shapes covering interior tiles, row/column remainders (for both the
+    /// 4-wide f64 and 8-wide f32 SIMD tile widths), and sub-tile sizes.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 2, 5),
+        (4, 7, 4),
+        (5, 3, 6),
+        (8, 8, 8),
+        (9, 5, 11),
+        (12, 4, 16),
+        (13, 16, 7),
+        (16, 3, 19),
+    ];
 
     #[test]
     fn matmul_small_known() {
@@ -249,31 +439,25 @@ mod tests {
 
     #[test]
     fn blocked_matmul_is_bit_identical_to_naive_at_every_tile_shape() {
-        // Cover interior tiles, row/column remainders, and sub-tile sizes.
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (3, 2, 5),
-            (4, 7, 4),
-            (5, 3, 6),
-            (8, 8, 8),
-            (9, 5, 11),
-            (13, 16, 7),
-        ] {
+        for &(m, k, n) in SHAPES {
             let a = pseudo(m * k, 1e-3);
             let b = pseudo(k * n, 7e-4);
             let mut expect = pseudo(m * n, 1e-2);
             let mut got = expect.clone();
+            let mut got_scalar = expect.clone();
             naive_acc(&mut expect, &a, &b, m, k, n);
             matmul_acc(&mut got, &a, &b, m, k, n);
-            for (g, e) in got.iter().zip(&expect) {
-                assert_eq!(g.to_bits(), e.to_bits(), "({m},{k},{n})");
+            scalar::matmul_acc(&mut got_scalar, &a, &b, m, k, n);
+            for ((g, s), e) in got.iter().zip(&got_scalar).zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "dispatched ({m},{k},{n})");
+                assert_eq!(s.to_bits(), e.to_bits(), "scalar ({m},{k},{n})");
             }
         }
     }
 
     #[test]
     fn matmul_nt_is_bit_identical_to_matmul_of_explicit_transpose() {
-        for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (5, 3, 7), (9, 6, 10)] {
+        for &(m, k, n) in SHAPES {
             let a = pseudo(m * k, 1e-3);
             let bt = pseudo(n * k, 7e-4); // row-major [n, k]
             let mut b = vec![0.0; k * n]; // row-major [k, n]
@@ -284,8 +468,53 @@ mod tests {
             }
             let expect = matmul(&a, &b, m, k, n);
             let got = matmul_nt(&a, &bt, m, k, n);
-            for (g, e) in got.iter().zip(&expect) {
-                assert_eq!(g.to_bits(), e.to_bits(), "({m},{k},{n})");
+            let mut got_scalar = vec![0.0; m * n];
+            scalar::matmul_nt_acc(&mut got_scalar, &a, &bt, m, k, n);
+            for ((g, s), e) in got.iter().zip(&got_scalar).zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "dispatched ({m},{k},{n})");
+                assert_eq!(s.to_bits(), e.to_bits(), "scalar ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_are_bit_identical_to_naive_and_scalar_tiles() {
+        for &(m, k, n) in SHAPES {
+            let a = pseudo_f32(m * k, 1e-3);
+            let b = pseudo_f32(k * n, 7e-4);
+            let mut expect = pseudo_f32(m * n, 1e-2);
+            let mut got = expect.clone();
+            let mut got_scalar = expect.clone();
+            naive_acc_f32(&mut expect, &a, &b, m, k, n);
+            matmul_acc_f32(&mut got, &a, &b, m, k, n);
+            scalar::matmul_acc_f32(&mut got_scalar, &a, &b, m, k, n);
+            for ((g, s), e) in got.iter().zip(&got_scalar).zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "dispatched ({m},{k},{n})");
+                assert_eq!(s.to_bits(), e.to_bits(), "scalar ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_nt_kernel_matches_explicit_transpose() {
+        for &(m, k, n) in SHAPES {
+            let a = pseudo_f32(m * k, 1e-3);
+            let bt = pseudo_f32(n * k, 7e-4); // row-major [n, k]
+            let mut b = vec![0.0f32; k * n]; // row-major [k, n]
+            for j in 0..n {
+                for l in 0..k {
+                    b[l * n + j] = bt[j * k + l];
+                }
+            }
+            let mut expect = vec![0.0f32; m * n];
+            matmul_acc_f32(&mut expect, &a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            matmul_nt_acc_f32(&mut got, &a, &bt, m, k, n);
+            let mut got_scalar = vec![0.0f32; m * n];
+            scalar::matmul_nt_acc_f32(&mut got_scalar, &a, &bt, m, k, n);
+            for ((g, s), e) in got.iter().zip(&got_scalar).zip(&expect) {
+                assert_eq!(g.to_bits(), e.to_bits(), "dispatched ({m},{k},{n})");
+                assert_eq!(s.to_bits(), e.to_bits(), "scalar ({m},{k},{n})");
             }
         }
     }

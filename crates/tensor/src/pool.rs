@@ -1,6 +1,8 @@
 //! 2-D max pooling (stride = window), forward with argmax recording and
 //! backward scatter, on a single `[C, H, W]` example.
 
+use crate::elem::Elem;
+
 /// Dimensions of one pooling application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolDims {
@@ -35,7 +37,7 @@ impl PoolDims {
 ///
 /// # Panics
 /// Panics on input length mismatch or a degenerate window.
-pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize>) {
+pub fn maxpool2d_forward<T: Elem>(input: &[T], dims: &PoolDims) -> (Vec<T>, Vec<usize>) {
     assert!(
         dims.pool_h > 0 && dims.pool_w > 0,
         "maxpool2d: empty window"
@@ -52,7 +54,7 @@ pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize
         let plane_base = c * dims.in_h * dims.in_w;
         for i in 0..oh {
             for j in 0..ow {
-                let mut best = f64::NEG_INFINITY;
+                let mut best = T::NEG_INFINITY;
                 let mut best_idx = 0;
                 for u in 0..dims.pool_h {
                     for v in 0..dims.pool_w {
@@ -78,13 +80,13 @@ pub fn maxpool2d_forward(input: &[f64], dims: &PoolDims) -> (Vec<f64>, Vec<usize
 ///
 /// # Panics
 /// Panics if `d_out` and `argmax` lengths differ or an argmax is out of range.
-pub fn maxpool2d_backward(d_out: &[f64], argmax: &[usize], dims: &PoolDims) -> Vec<f64> {
+pub fn maxpool2d_backward<T: Elem>(d_out: &[T], argmax: &[usize], dims: &PoolDims) -> Vec<T> {
     assert_eq!(
         d_out.len(),
         argmax.len(),
         "maxpool2d_backward: length mismatch"
     );
-    let mut d_input = vec![0.0; dims.channels * dims.in_h * dims.in_w];
+    let mut d_input = vec![T::ZERO; dims.channels * dims.in_h * dims.in_w];
     for (&g, &idx) in d_out.iter().zip(argmax) {
         d_input[idx] += g;
     }

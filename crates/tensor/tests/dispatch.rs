@@ -1,0 +1,149 @@
+//! Property tests of the SIMD dispatch seam: on every shape — including
+//! ragged edges around both the 4-wide f64 and 8-wide f32 tile widths — and
+//! on data laced with NaN/±Inf/-0.0, the dispatched gemm entry points must
+//! be `to_bits()`-identical to the scalar reference tiles. On hardware with
+//! SIMD this exercises the microkernels against the scalar oracle; on
+//! hardware without it, it degenerates to a self-check.
+
+use dpaudit_tensor::ops::scalar;
+use dpaudit_tensor::{matmul_acc, matmul_acc_f32, matmul_nt_acc, matmul_nt_acc_f32};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Largest gemm dimension drawn per case; buffers are sampled at the
+/// worst-case size and sliced down to the drawn shape.
+const DIM_MAX: usize = 18;
+
+/// Mostly-finite values with occasional IEEE specials, which must flow
+/// through both kernel paths identically (no branch in any inner loop).
+struct Specials;
+
+impl Strategy for Specials {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match rng.gen_range(0usize..16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            _ => rng.gen_range(-10.0..10.0),
+        }
+    }
+}
+
+fn buf() -> proptest::collection::VecStrategy<Specials> {
+    proptest::collection::vec(Specials, DIM_MAX * DIM_MAX)
+}
+
+// NaN *positions* must agree exactly, but payload bits are exempt: when two
+// distinct NaNs meet in an add, which payload survives depends on the
+// emitted operand order (IEEE leaves it unspecified and LLVM treats float
+// add as commutative), so payload-exact identity across separately compiled
+// paths is not a guarantee either kernel can make. Every non-NaN value —
+// including ±Inf and -0.0 — must match bit for bit.
+
+fn assert_bits_eq(got: &[f64], want: &[f64], label: &str) -> Result<(), TestCaseError> {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan()),
+            "{label}: element {i} differs: {g} vs {w}"
+        );
+    }
+    Ok(())
+}
+
+fn assert_bits_eq_f32(got: &[f32], want: &[f32], label: &str) -> Result<(), TestCaseError> {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan()),
+            "{label}: element {i} differs: {g} vs {w}"
+        );
+    }
+    Ok(())
+}
+
+fn narrow(v: &[f64]) -> Vec<f32> {
+    v.iter().map(|&x| x as f32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dispatched f64 `C += A·B` is bit-identical to the scalar tiles.
+    #[test]
+    fn dispatched_matmul_acc_matches_scalar_bits(
+        m in 1usize..DIM_MAX + 1,
+        k in 1usize..DIM_MAX + 1,
+        n in 1usize..DIM_MAX + 1,
+        a in buf(),
+        b in buf(),
+        c0 in buf(),
+    ) {
+        let (a, b, c0) = (&a[..m * k], &b[..k * n], &c0[..m * n]);
+        let mut got = c0.to_vec();
+        let mut want = c0.to_vec();
+        matmul_acc(&mut got, a, b, m, k, n);
+        scalar::matmul_acc(&mut want, a, b, m, k, n);
+        assert_bits_eq(&got, &want, "matmul_acc")?;
+    }
+
+    /// Dispatched f64 `C += A·Bᵀ` is bit-identical to the scalar tiles.
+    #[test]
+    fn dispatched_matmul_nt_acc_matches_scalar_bits(
+        m in 1usize..DIM_MAX + 1,
+        k in 1usize..DIM_MAX + 1,
+        n in 1usize..DIM_MAX + 1,
+        a in buf(),
+        b in buf(),
+        c0 in buf(),
+    ) {
+        let (a, b, c0) = (&a[..m * k], &b[..n * k], &c0[..m * n]);
+        let mut got = c0.to_vec();
+        let mut want = c0.to_vec();
+        matmul_nt_acc(&mut got, a, b, m, k, n);
+        scalar::matmul_nt_acc(&mut want, a, b, m, k, n);
+        assert_bits_eq(&got, &want, "matmul_nt_acc")?;
+    }
+
+    /// Dispatched f32 `C += A·B` is bit-identical to the scalar f32 tiles.
+    #[test]
+    fn dispatched_matmul_acc_f32_matches_scalar_bits(
+        m in 1usize..DIM_MAX + 1,
+        k in 1usize..DIM_MAX + 1,
+        n in 1usize..DIM_MAX + 1,
+        a in buf(),
+        b in buf(),
+        c0 in buf(),
+    ) {
+        let a = narrow(&a[..m * k]);
+        let b = narrow(&b[..k * n]);
+        let c0 = narrow(&c0[..m * n]);
+        let mut got = c0.clone();
+        let mut want = c0;
+        matmul_acc_f32(&mut got, &a, &b, m, k, n);
+        scalar::matmul_acc_f32(&mut want, &a, &b, m, k, n);
+        assert_bits_eq_f32(&got, &want, "matmul_acc_f32")?;
+    }
+
+    /// Dispatched f32 `C += A·Bᵀ` is bit-identical to the scalar f32 tiles.
+    #[test]
+    fn dispatched_matmul_nt_acc_f32_matches_scalar_bits(
+        m in 1usize..DIM_MAX + 1,
+        k in 1usize..DIM_MAX + 1,
+        n in 1usize..DIM_MAX + 1,
+        a in buf(),
+        b in buf(),
+        c0 in buf(),
+    ) {
+        let a = narrow(&a[..m * k]);
+        let b = narrow(&b[..n * k]);
+        let c0 = narrow(&c0[..m * n]);
+        let mut got = c0.clone();
+        let mut want = c0;
+        matmul_nt_acc_f32(&mut got, &a, &b, m, k, n);
+        scalar::matmul_nt_acc_f32(&mut want, &a, &b, m, k, n);
+        assert_bits_eq_f32(&got, &want, "matmul_nt_acc_f32")?;
+    }
+}

@@ -48,7 +48,8 @@ mkdir -p results/obs
 ./target/release/dpaudit watch \
   --store results/obs/mnist_audit.jsonl --trace results/obs/mnist_trace.jsonl \
   --max-ticks 1 --interval-ms 1 > results/obs/mnist_watch.txt 2>&1 && echo "done obs watch"
-# Batched-pipeline throughput: scalar oracle vs batched vs chunk-parallel
-# per-example gradients (bit-identical sums; ratios are pure speed).
+# Batched-pipeline throughput across kernel variants: per-example oracle,
+# batched clip loop at scalar/SIMD x f64/f32, chunk-parallel SIMD (f64
+# sums asserted bit-identical, f32 within tolerance; ratios are pure speed).
 ./target/release/bench_step > results/BENCH_step.json 2>results/BENCH_step.log && echo "done bench_step"
 echo ALL_RUNS_COMPLETE
