@@ -7,7 +7,9 @@
 //! model with Yeom's loss-threshold A_MI over fresh membership challenges.
 
 use dpaudit_bench::{arm_settings, fmt_sig, param_row, print_table, Args, Workload};
-use dpaudit_core::{run_mi_trials, ChallengeMode, DiAdversary, MiAdversary};
+use dpaudit_core::{
+    run_mi_trials, ChallengeMode, DiAdversaryStrategy, GaussianBelief, MiAdversary,
+};
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{train_dpsgd, SensitivityScaling};
 use dpaudit_math::{seeded_rng, split_seed};
@@ -41,7 +43,7 @@ fn main() {
         let mut chall_rng = seeded_rng(split_seed(trial_seed, 2));
         let b = chall_rng.gen::<bool>();
         let mut model = workload.build_model(&mut model_rng);
-        let mut di = DiAdversary::new(NeighborMode::Bounded);
+        let mut di = GaussianBelief::new(NeighborMode::Bounded);
         train_dpsgd(&mut model, &pair, b, &settings.dpsgd, &mut noise_rng, |r| {
             di.observe(&r, b);
         });

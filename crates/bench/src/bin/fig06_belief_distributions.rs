@@ -53,7 +53,7 @@ fn main() {
                 },
                 &engine,
             );
-            let beliefs = batch.final_beliefs();
+            let beliefs = batch.final_scores();
             let s = Summary::of(&beliefs);
             let h = histogram(&beliefs, 0.0, 1.0, 10);
             println!("== {} / {scaling} / {mode} DP ==", workload.name());

@@ -492,14 +492,14 @@ pub fn run_audit_grid(workload: Workload, reps: usize, steps: usize, seed: u64) 
                 scaling: scaling.to_string(),
                 eps_from_ls: eps_ls,
                 eps_from_belief: dpaudit_core::MaxBeliefEstimator::from_max_belief(
-                    batch.max_belief(),
+                    batch.max_score(),
                 ),
                 eps_from_advantage: dpaudit_core::AdvantageEstimator::from_advantage(
                     batch.advantage(),
                     row.delta,
                 ),
                 advantage: batch.advantage(),
-                max_belief: batch.max_belief(),
+                max_belief: batch.max_score(),
             });
         }
     }

@@ -4,8 +4,8 @@
 
 use crate::opts::Opts;
 use dpaudit_bench::{arm_settings, param_row, Workload};
-use dpaudit_core::{ChallengeMode, RecordDetail};
-use dpaudit_dp::NeighborMode;
+use dpaudit_core::{AdversaryKind, ChallengeMode, RecordDetail, Sampling};
+use dpaudit_dp::{NeighborMode, RdpAccountant};
 use dpaudit_dpsgd::{ComputeMode, NeighborPair, SensitivityScaling};
 use dpaudit_obs::{self as obs, JsonlSink, MetricsRegistry, MultiSink, Sink};
 use dpaudit_runtime::{
@@ -54,6 +54,12 @@ pub(crate) fn header_from_opts(opts: &Opts) -> Result<StoreHeader, String> {
     let scaling = parse_scaling(opts.str_opt("scaling").unwrap_or("ls"))?;
     let mode = parse_mode(opts.str_opt("mode").unwrap_or("bounded"))?;
     let challenge = parse_challenge(opts.str_opt("challenge").unwrap_or("random"))?;
+    let adversary = parse_adversary(opts.str_opt("adversary").unwrap_or("gaussian"))?;
+    let sampling = match opts.f64_opt("sampling-q")? {
+        Some(q) if q.is_finite() && q > 0.0 && q < 1.0 => Sampling::Poisson { q },
+        Some(q) => return Err(format!("--sampling-q must be in (0, 1), got {q}")),
+        None => Sampling::FullBatch,
+    };
     let detail = parse_detail(opts.str_opt("detail").unwrap_or("summary"))?;
     let seed = opts.u64_or("seed", 42)?;
     let train_size = opts.usize_or("train-size", workload.default_train_size())?;
@@ -65,6 +71,23 @@ pub(crate) fn header_from_opts(opts: &Opts) -> Result<StoreHeader, String> {
     let row = param_row(rho_beta, workload.delta());
     let mut settings = arm_settings(&row, steps, scaling, mode, challenge);
     settings.dpsgd.compute = parse_compute(opts.str_opt("compute").unwrap_or("f64"))?;
+    settings.adversary = adversary;
+    settings.sampling = sampling;
+    // Under Poisson subsampling the noise multiplier calibrated for the
+    // full-batch budget actually buys a *tighter* analytic ε (privacy
+    // amplification); audit against the honest subsampled-Gaussian budget
+    // and the ρ_β bound it implies, not the full-batch one.
+    let (target_epsilon, rho_beta_bound) = match sampling {
+        Sampling::FullBatch => (row.epsilon, row.rho_beta),
+        Sampling::Poisson { q } => {
+            let mut accountant = RdpAccountant::new();
+            for _ in 0..steps {
+                accountant.add_subsampled_gaussian_step(q, settings.dpsgd.noise_multiplier);
+            }
+            let (eps, _order) = accountant.epsilon(row.delta);
+            (eps, dpaudit_core::rho_beta(eps))
+        }
+    };
     Ok(StoreHeader {
         schema_version: SCHEMA_VERSION,
         label,
@@ -73,9 +96,9 @@ pub(crate) fn header_from_opts(opts: &Opts) -> Result<StoreHeader, String> {
         world_seed: Seed(seed),
         reps,
         master_seed: Seed(seed),
-        target_epsilon: row.epsilon,
+        target_epsilon,
         delta: row.delta,
-        rho_beta_bound: row.rho_beta,
+        rho_beta_bound,
         detail,
         settings,
     })
@@ -157,7 +180,9 @@ struct ObsSetup {
 
 /// Build and install the requested sinks. Returns `None` (and installs
 /// nothing — the no-op fast path) when no observability flag was given.
-fn install_obs(opts: &Opts) -> Result<Option<ObsSetup>, String> {
+/// `labels` become the `dpaudit_audit_info` series of a served exposition
+/// (adversary, sampling scheme, …); pass an empty set for none.
+fn install_obs(opts: &Opts, labels: Vec<(String, String)>) -> Result<Option<ObsSetup>, String> {
     let metrics_path = opts.str_opt("metrics").map(str::to_string);
     let trace_path = opts.str_opt("trace");
     let serve_addr = opts.str_opt("serve-metrics");
@@ -186,7 +211,15 @@ fn install_obs(opts: &Opts) -> Result<Option<ObsSetup>, String> {
         Some(addr) => {
             let registry = registry.clone().expect("registry exists when serving");
             let server = obs::MetricsServer::serve(addr, move || {
-                obs::render_prometheus(&registry.snapshot(), &registry.span_stats())
+                let label_refs: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                obs::render_prometheus_labeled(
+                    &registry.snapshot(),
+                    &registry.span_stats(),
+                    &label_refs,
+                )
             })
             .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
             eprintln!(
@@ -255,7 +288,13 @@ fn execute(
             eprintln!("  {}", p.render());
         }
     };
-    let observability = install_obs(opts)?;
+    let observability = install_obs(
+        opts,
+        vec![
+            ("adversary".into(), header.settings.adversary.label().into()),
+            ("sampling".into(), header.settings.sampling.to_string()),
+        ],
+    )?;
     let outcome = session
         .run(
             &pair,
@@ -316,6 +355,11 @@ fn parse_challenge(name: &str) -> Result<ChallengeMode, String> {
     }
 }
 
+fn parse_adversary(name: &str) -> Result<AdversaryKind, String> {
+    AdversaryKind::parse(name)
+        .ok_or_else(|| format!("unknown --adversary `{name}` (gaussian|glrt|mi)"))
+}
+
 fn parse_compute(name: &str) -> Result<ComputeMode, String> {
     match name.to_ascii_lowercase().as_str() {
         "f64" => Ok(ComputeMode::F64),
@@ -358,12 +402,18 @@ mod tests {
                 .map(|s| s.to_string()),
         )
         .unwrap();
-        let setup = install_obs(&opts).unwrap().expect("obs setup requested");
+        let setup = install_obs(&opts, vec![("adversary".into(), "gaussian".into())])
+            .unwrap()
+            .expect("obs setup requested");
         let addr = setup.server.as_ref().expect("server running").addr();
 
-        // Before any events: a valid, near-empty exposition.
+        // Before any events: a valid exposition carrying only run labels.
         let body = scrape(addr);
         assert!(!body.contains("dpaudit_eps_prime"), "{body}");
+        assert!(
+            body.contains("dpaudit_audit_info{adversary=\"gaussian\"} 1"),
+            "{body}"
+        );
 
         obs::gauge_max(obs::names::EPS_TARGET_GAUGE, 2.0);
         obs::gauge_max(obs::names::EPS_PRIME_GAUGE, 1.25);
@@ -383,8 +433,56 @@ mod tests {
     }
 
     #[test]
+    fn header_from_opts_wires_adversary_and_poisson_sampling() {
+        let parse = |extra: &[&str]| {
+            let mut args = vec!["audit", "run", "--workload", "purchase"];
+            args.extend_from_slice(extra);
+            Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+        };
+
+        let default_header = header_from_opts(&parse(&[])).unwrap();
+        assert_eq!(
+            default_header.settings.adversary,
+            AdversaryKind::GaussianBelief
+        );
+        assert_eq!(default_header.settings.sampling, Sampling::FullBatch);
+
+        // Spelling the defaults out produces a byte-identical header — the
+        // invariant the CI byte-diff check relies on.
+        let explicit = header_from_opts(&parse(&["--adversary", "gaussian"])).unwrap();
+        assert_eq!(
+            serde_json::to_string(&default_header).unwrap(),
+            serde_json::to_string(&explicit).unwrap()
+        );
+
+        let poisson =
+            header_from_opts(&parse(&["--adversary", "glrt", "--sampling-q", "0.1"])).unwrap();
+        assert_eq!(poisson.settings.adversary, AdversaryKind::Glrt);
+        assert_eq!(poisson.settings.sampling, Sampling::Poisson { q: 0.1 });
+        // Privacy amplification by subsampling: the honest Poisson budget is
+        // strictly tighter than the full-batch one at the same z, and the
+        // ρ_β bound follows it.
+        assert!(
+            poisson.target_epsilon < default_header.target_epsilon,
+            "{} vs {}",
+            poisson.target_epsilon,
+            default_header.target_epsilon
+        );
+        assert!(poisson.target_epsilon > 0.0);
+        assert_eq!(
+            poisson.rho_beta_bound,
+            dpaudit_core::rho_beta(poisson.target_epsilon)
+        );
+
+        let err = header_from_opts(&parse(&["--sampling-q", "1.5"])).unwrap_err();
+        assert!(err.contains("(0, 1)"), "{err}");
+        let err = header_from_opts(&parse(&["--adversary", "bogus"])).unwrap_err();
+        assert!(err.contains("gaussian|glrt|mi"), "{err}");
+    }
+
+    #[test]
     fn obs_setup_is_skipped_without_observability_flags() {
         let opts = Opts::parse(["audit", "run"].iter().map(|s| s.to_string())).unwrap();
-        assert!(install_obs(&opts).unwrap().is_none());
+        assert!(install_obs(&opts, vec![]).unwrap().is_none());
     }
 }

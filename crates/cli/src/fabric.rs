@@ -143,11 +143,14 @@ impl fabric::JobRunner for EngineRunner {
             )
         })?;
         let plan = ExecPlan::for_header(header, self.parallelism);
-        // The compute mode rides in the job header's settings; surface it so
-        // a worker's log shows which precision its shards were produced at.
+        // The protocol choices ride in the job header's settings; surface
+        // them so a worker's log shows which precision, adversary and
+        // sampling scheme its shards were produced under.
         eprintln!(
-            "fabric work: job `{job}` compute {}",
-            header.settings.dpsgd.compute
+            "fabric work: job `{job}` compute {} adversary {} sampling {}",
+            header.settings.dpsgd.compute,
+            header.settings.adversary.label(),
+            header.settings.sampling,
         );
         run_from_source(
             &pair,

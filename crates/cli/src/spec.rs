@@ -145,6 +145,16 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "challenge bits: random | always-d [random]",
             ),
             opt(
+                "adversary",
+                "A",
+                "DI adversary: gaussian (Bayes belief) | glrt | mi (loss threshold) [gaussian]",
+            ),
+            opt(
+                "sampling-q",
+                "Q",
+                "Poisson mini-batch sampling rate in (0, 1) [full-batch]",
+            ),
+            opt(
                 "detail",
                 "D",
                 "stored record detail: summary | full [summary]",
@@ -271,6 +281,16 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "challenge",
                 "C",
                 "challenge bits: random | always-d [random]",
+            ),
+            opt(
+                "adversary",
+                "A",
+                "DI adversary: gaussian (Bayes belief) | glrt | mi (loss threshold) [gaussian]",
+            ),
+            opt(
+                "sampling-q",
+                "Q",
+                "Poisson mini-batch sampling rate in (0, 1) [full-batch]",
             ),
             opt(
                 "detail",

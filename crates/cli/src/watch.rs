@@ -165,8 +165,13 @@ fn render_dashboard(state: &WatchState) -> String {
     let compute = header.settings.dpsgd.compute;
     let _ = writeln!(
         out,
-        "watch: {} · workload {} · compute {compute} · target eps {:.4} (delta {:e})",
-        header.label, header.workload, header.target_epsilon, header.delta
+        "watch: {} · workload {} · compute {compute} · adversary {} · sampling {} · target eps {:.4} (delta {:e})",
+        header.label,
+        header.workload,
+        header.settings.adversary.label(),
+        header.settings.sampling,
+        header.target_epsilon,
+        header.delta
     );
     let _ = writeln!(out, "  {}", state.progress.render());
 
@@ -187,9 +192,16 @@ fn render_dashboard(state: &WatchState) -> String {
 
     let beliefs: Vec<f64> = state.trials.values().map(|t| t.belief).collect();
     if let Some(max_belief) = beliefs.iter().copied().reduce(f64::max) {
+        // Non-Bayesian adversaries (GLRT, threshold-MI) stream a [0, 1)
+        // decision score, not a posterior belief — label it honestly.
+        let what = if header.settings.adversary.is_bayesian() {
+            "belief"
+        } else {
+            "score "
+        };
         let _ = writeln!(
             out,
-            "  belief [0,1) {}   max {max_belief:.4}",
+            "  {what} [0,1) {}   max {max_belief:.4}",
             histogram_bars(&beliefs)
         );
     }
@@ -344,6 +356,35 @@ mod tests {
         assert!(f32_frame.contains("compute f32"), "{f32_frame}");
         assert!(f32_frame.contains("ALERT"), "{f32_frame}");
         assert!(f32_frame.contains("f32 storage run"), "{f32_frame}");
+    }
+
+    #[test]
+    fn dashboard_labels_adversary_and_sampling_and_renames_the_histogram() {
+        use dpaudit_core::experiment::Sampling;
+        use dpaudit_core::AdversaryKind;
+
+        let default_frame = render_dashboard(&toy_state(&[0.5], 2.0));
+        assert!(
+            default_frame.contains("adversary gaussian"),
+            "{default_frame}"
+        );
+        assert!(
+            default_frame.contains("sampling full-batch"),
+            "{default_frame}"
+        );
+        assert!(default_frame.contains("belief [0,1)"), "{default_frame}");
+
+        let mut state = toy_state(&[0.5], 2.0);
+        state.header.settings =
+            testkit::toy_settings_with(3, AdversaryKind::Glrt, Sampling::Poisson { q: 0.1 });
+        let glrt_frame = render_dashboard(&state);
+        assert!(glrt_frame.contains("adversary glrt"), "{glrt_frame}");
+        assert!(
+            glrt_frame.contains("sampling poisson(q=0.1)"),
+            "{glrt_frame}"
+        );
+        assert!(glrt_frame.contains("score  [0,1)"), "{glrt_frame}");
+        assert!(!glrt_frame.contains("belief [0,1)"), "{glrt_frame}");
     }
 
     #[test]

@@ -51,24 +51,60 @@ impl EstimatorInputs {
     /// Panics on an empty batch (and propagates per-trial estimator
     /// panics for degenerate series).
     pub fn from_batch(batch: &crate::experiment::DiBatchResult, delta: f64, ls_floor: f64) -> Self {
+        Self::from_batch_sampled(
+            batch,
+            delta,
+            ls_floor,
+            crate::experiment::Sampling::FullBatch,
+            f64::NAN,
+        )
+    }
+
+    /// [`Self::from_batch`] for an arbitrary [`Sampling`] protocol. Under
+    /// Poisson subsampling the per-trial ε′-from-LS composes the
+    /// *subsampled* Gaussian RDP steps (amplification by subsampling)
+    /// instead of the per-step local-sensitivity ledger — the recorded σ/LS
+    /// series would ignore the amplification and overstate the loss.
+    /// `noise_multiplier` is only read on the Poisson branch.
+    ///
+    /// [`Sampling`]: crate::experiment::Sampling
+    ///
+    /// # Panics
+    /// Panics on an empty batch (and propagates per-trial estimator
+    /// panics for degenerate series).
+    pub fn from_batch_sampled(
+        batch: &crate::experiment::DiBatchResult,
+        delta: f64,
+        ls_floor: f64,
+        sampling: crate::experiment::Sampling,
+        noise_multiplier: f64,
+    ) -> Self {
         assert!(!batch.trials.is_empty(), "EstimatorInputs: empty batch");
         let mean_eps_ls = batch
             .trials
             .iter()
-            .map(|t| {
-                LocalSensitivityEstimator::per_trial(
+            .map(|t| match sampling {
+                crate::experiment::Sampling::FullBatch => LocalSensitivityEstimator::per_trial(
                     &t.sigmas,
                     &t.local_sensitivities,
                     delta,
                     ls_floor,
-                )
+                ),
+                crate::experiment::Sampling::Poisson { q } => {
+                    LocalSensitivityEstimator::per_trial_subsampled(
+                        q,
+                        noise_multiplier,
+                        t.sigmas.len(),
+                        delta,
+                    )
+                }
             })
             .sum::<f64>()
             / batch.trials.len() as f64;
         EstimatorInputs {
             trials: batch.trials.len(),
             successes: batch.trials.iter().filter(|t| t.correct).count(),
-            max_belief: batch.max_belief(),
+            max_belief: batch.max_score(),
             mean_eps_ls,
             delta,
         }
@@ -173,6 +209,27 @@ impl LocalSensitivityEstimator {
         let mut ledger = PrivacyLedger::new(delta);
         for (&sigma, &ls) in sigmas.iter().zip(local_sensitivities) {
             ledger.add_gaussian_release(sigma, ls.max(ls_floor));
+        }
+        ledger.eps_prime().0
+    }
+
+    /// ε′ of a single *Poisson-subsampled* trial: `steps` compositions of
+    /// the subsampled Gaussian mechanism at rate `q` and noise multiplier
+    /// `z`, through the same ledger (so the structured ledger telemetry
+    /// streams for mini-batch audits too). Local sensitivities play no
+    /// role — the amplification analysis is tied to the clip bound.
+    ///
+    /// # Panics
+    /// Panics on zero steps or parameters the accountant rejects
+    /// (`q` outside `(0, 1]`, non-positive `z`, δ outside `(0, 1)`).
+    pub fn per_trial_subsampled(q: f64, noise_multiplier: f64, steps: usize, delta: f64) -> f64 {
+        assert!(
+            steps > 0,
+            "LocalSensitivityEstimator::per_trial_subsampled: zero steps"
+        );
+        let mut ledger = PrivacyLedger::new(delta);
+        for _ in 0..steps {
+            ledger.add_subsampled_gaussian_step(q, noise_multiplier);
         }
         ledger.eps_prime().0
     }
@@ -362,6 +419,37 @@ impl AuditReport {
     ) -> Self {
         assert!(!batch.trials.is_empty(), "AuditReport: empty batch");
         let inputs = EstimatorInputs::from_batch(batch, delta, ls_floor);
+        let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
+        Self::from_inputs(
+            &inputs,
+            target_epsilon,
+            batch.empirical_delta(rho_beta_bound),
+        )
+    }
+
+    /// [`Self::from_batch`] with the batch's [`TrialSettings`] in hand, so
+    /// Poisson-subsampled batches route the ε′-from-LS estimate through
+    /// the subsampled accountant (see
+    /// [`EstimatorInputs::from_batch_sampled`]).
+    ///
+    /// [`TrialSettings`]: crate::experiment::TrialSettings
+    ///
+    /// # Panics
+    /// Panics on an empty batch or invalid budget.
+    pub fn from_batch_with_settings(
+        batch: &crate::experiment::DiBatchResult,
+        target_epsilon: f64,
+        delta: f64,
+        settings: &crate::experiment::TrialSettings,
+    ) -> Self {
+        assert!(!batch.trials.is_empty(), "AuditReport: empty batch");
+        let inputs = EstimatorInputs::from_batch_sampled(
+            batch,
+            delta,
+            settings.dpsgd.ls_floor,
+            settings.sampling,
+            settings.dpsgd.noise_multiplier,
+        );
         let rho_beta_bound = crate::scores::rho_beta(target_epsilon);
         Self::from_inputs(
             &inputs,

@@ -3,8 +3,8 @@
 use dpaudit_datasets::Dataset;
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{
-    train_dpsgd, AdaptiveClipConfig, ClippingStrategy, ComputeMode, DpsgdConfig, NeighborPair,
-    Optimizer, SensitivityScaling,
+    train_dpsgd, train_dpsgd_subsampled, AdaptiveClipConfig, ClippingStrategy, ComputeMode,
+    DpsgdConfig, NeighborPair, Optimizer, SensitivityScaling,
 };
 use dpaudit_math::{seeded_rng, split_seed};
 use dpaudit_nn::Sequential;
@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::adversary::DiAdversary;
+use crate::adversary::AdversaryKind;
 use crate::scores::advantage_from_success_rate;
 
 /// How the challenge bit of Experiment 2 is chosen per trial.
@@ -26,6 +26,46 @@ pub enum ChallengeMode {
     AlwaysD,
 }
 
+/// How each DPSGD step assembles its batch.
+///
+/// `FullBatch` is the paper's audit protocol (the adversary's hypothesis
+/// centers are exact). `Poisson` runs the production-style mini-batch
+/// trainer: every record enters the step's batch independently with
+/// probability `q`, the noise is scaled to the clip bound, and the privacy
+/// claim is composed through the *subsampled* Gaussian RDP accountant — so
+/// the target ε stays honest under amplification-by-subsampling. Legacy
+/// headers without the field parse to `FullBatch`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Sampling {
+    /// Every step sums over the whole trained dataset (paper protocol).
+    #[default]
+    FullBatch,
+    /// Poisson-subsampled mini-batches with per-record inclusion rate `q`.
+    Poisson {
+        /// Per-record, per-step inclusion probability in `(0, 1)`.
+        q: f64,
+    },
+}
+
+impl Sampling {
+    /// The Poisson rate, if subsampling is on.
+    pub fn q(&self) -> Option<f64> {
+        match self {
+            Sampling::FullBatch => None,
+            Sampling::Poisson { q } => Some(*q),
+        }
+    }
+}
+
+impl std::fmt::Display for Sampling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sampling::FullBatch => f.write_str("full-batch"),
+            Sampling::Poisson { q } => write!(f, "poisson(q={q})"),
+        }
+    }
+}
+
 /// Settings shared by every trial of a batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialSettings {
@@ -33,6 +73,14 @@ pub struct TrialSettings {
     pub dpsgd: DpsgdConfig,
     /// Challenge-bit protocol.
     pub challenge: ChallengeMode,
+    /// Which adversary plays the trials (serde-defaulted so legacy headers
+    /// parse to the paper's Gaussian-belief adversary).
+    #[serde(default)]
+    pub adversary: AdversaryKind,
+    /// Batch assembly per step (serde-defaulted to the paper's full-batch
+    /// protocol).
+    #[serde(default)]
+    pub sampling: Sampling,
 }
 
 impl TrialSettings {
@@ -94,6 +142,8 @@ pub struct TrialSettingsBuilder {
     ls_floor: Option<f64>,
     compute: ComputeMode,
     challenge: ChallengeMode,
+    adversary: AdversaryKind,
+    sampling: Sampling,
 }
 
 impl Default for TrialSettingsBuilder {
@@ -110,6 +160,8 @@ impl Default for TrialSettingsBuilder {
             ls_floor: None,
             compute: ComputeMode::F64,
             challenge: ChallengeMode::RandomBit,
+            adversary: AdversaryKind::GaussianBelief,
+            sampling: Sampling::FullBatch,
         }
     }
 }
@@ -200,12 +252,27 @@ impl TrialSettingsBuilder {
         self
     }
 
+    /// Which adversary plays the trials.
+    #[must_use]
+    pub fn adversary(mut self, adversary: AdversaryKind) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Batch assembly per step (full-batch or Poisson-subsampled).
+    #[must_use]
+    pub fn sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
     /// Validate and assemble the settings.
     ///
     /// # Errors
     /// A [`SettingsError`] naming the first offending field: non-positive
-    /// steps, clip norm, learning rate, noise multiplier or floor, or an
-    /// adaptive controller combined with per-layer clipping.
+    /// steps, clip norm, learning rate, noise multiplier or floor, an
+    /// adaptive controller combined with per-layer clipping, or a Poisson
+    /// rate outside `(0, 1)`.
     pub fn build(self) -> Result<TrialSettings, SettingsError> {
         if self.steps == 0 {
             return Err(SettingsError::new("steps must be positive"));
@@ -257,6 +324,13 @@ impl TrialSettingsBuilder {
             }
             None => 1e-6 * bound,
         };
+        if let Sampling::Poisson { q } = self.sampling {
+            if !(q.is_finite() && q > 0.0 && q < 1.0) {
+                return Err(SettingsError::new(format!(
+                    "poisson sampling rate must be in (0, 1), got {q}"
+                )));
+            }
+        }
         Ok(TrialSettings {
             dpsgd: DpsgdConfig {
                 clipping: self.clipping,
@@ -271,6 +345,8 @@ impl TrialSettingsBuilder {
                 compute: self.compute,
             },
             challenge: self.challenge,
+            adversary: self.adversary,
+            sampling: self.sampling,
         })
     }
 }
@@ -310,12 +386,17 @@ pub struct DiTrialResult {
     pub guess: bool,
     /// Whether the guess matched the bit.
     pub correct: bool,
-    /// Final posterior belief in D, β_k(D).
+    /// Final score for D — the posterior belief β_k(D) for the Bayesian
+    /// adversary, the score-generic statistic for the others. (The field
+    /// keeps its historical name for store-schema stability.)
     pub belief_d: f64,
-    /// Final posterior belief in the dataset that was actually trained —
-    /// the quantity whose exceedance of ρ_β is counted as empirical δ.
+    /// Final score for the dataset that was actually trained — the
+    /// quantity whose exceedance of ρ_β is counted as empirical δ.
     pub belief_trained: f64,
-    /// β_i(D) after every step.
+    /// Score s_i(D) after every observation (β_i(D) for the Bayesian
+    /// adversary; empty until the final model for [`ThresholdMi`]).
+    ///
+    /// [`ThresholdMi`]: crate::adversary::ThresholdMi
     pub belief_history: Vec<f64>,
     /// Estimated local sensitivity L̂S_ĝᵢ per step (Eqs. 17/18).
     pub local_sensitivities: Vec<f64>,
@@ -361,45 +442,78 @@ pub fn run_di_trial(
     };
 
     let mut model = model_builder(&mut model_rng);
-    let mut adversary = DiAdversary::new(settings.dpsgd.mode);
+    let mut adversary = settings.adversary.build(settings.dpsgd.mode);
     let mut local_sensitivities = Vec::with_capacity(settings.dpsgd.steps);
     let mut sigmas = Vec::with_capacity(settings.dpsgd.steps);
 
-    train_dpsgd(
-        &mut model,
-        pair,
-        b,
-        &settings.dpsgd,
-        &mut noise_rng,
-        |record| {
+    {
+        let mut observe = |record: dpaudit_dpsgd::StepRecord| {
             let belief_span = obs::span(obs::names::BELIEF_SPAN);
             adversary.observe(&record, b);
             drop(belief_span);
             local_sensitivities.push(record.local_sensitivity);
             sigmas.push(record.sigma);
-        },
-    );
+        };
+        match settings.sampling {
+            Sampling::FullBatch => {
+                train_dpsgd(
+                    &mut model,
+                    pair,
+                    b,
+                    &settings.dpsgd,
+                    &mut noise_rng,
+                    &mut observe,
+                );
+            }
+            Sampling::Poisson { q } => {
+                // The Poisson sampler draws from its own substream, created
+                // only on this branch — full-batch trials consume exactly
+                // the streams they always did and stay bit-identical.
+                let mut sample_rng = seeded_rng(split_seed(seed, 3));
+                train_dpsgd_subsampled(
+                    &mut model,
+                    pair,
+                    b,
+                    &settings.dpsgd,
+                    q,
+                    &mut noise_rng,
+                    &mut sample_rng,
+                    &mut observe,
+                );
+            }
+        }
+    }
+    adversary.observe_final(&model, pair);
 
     let guess = adversary.decide_d();
-    let belief_d = adversary.belief_d();
+    let belief_d = adversary.score_d();
     let belief_trained = if b { belief_d } else { 1.0 - belief_d };
     let test_accuracy = test_set.map(|t| model.accuracy(&t.xs, &t.ys));
 
     if obs::enabled() {
-        // Per-step posterior in the *trained* dataset, plus the step-to-step
-        // movement of that posterior (prior β₀ = ½ starts the chain).
-        let mut prev = 0.5;
-        for &belief_in_d in adversary.belief_history() {
-            let belief = if b { belief_in_d } else { 1.0 - belief_in_d };
-            obs::observe(obs::names::BELIEF_HIST, belief);
-            obs::observe(obs::names::BELIEF_UPDATE_HIST, (belief - prev).abs());
-            prev = belief;
+        // Per-step score in the *trained* dataset. For the Bayesian
+        // adversary the score is the literal posterior and feeds the belief
+        // histograms (prior β₀ = ½ starts the update chain); other
+        // adversaries stream the score-generic histogram instead.
+        if settings.adversary.is_bayesian() {
+            let mut prev = 0.5;
+            for &score_in_d in adversary.history() {
+                let belief = if b { score_in_d } else { 1.0 - score_in_d };
+                obs::observe(obs::names::BELIEF_HIST, belief);
+                obs::observe(obs::names::BELIEF_UPDATE_HIST, (belief - prev).abs());
+                prev = belief;
+            }
+        } else {
+            for &score_in_d in adversary.history() {
+                let score = if b { score_in_d } else { 1.0 - score_in_d };
+                obs::observe(obs::names::SCORE_HIST, score);
+            }
         }
         obs::gauge_max(obs::names::MAX_BELIEF_GAUGE, belief_trained);
         // The ρ_β-implied empirical ε′ (Eq. 10) rides the same stream as
         // the ledger's ε′-from-sensitivities. logit is monotone, so the
         // max-fold over per-trial values equals the final report's
-        // ε′-from-belief exactly. A saturated belief (β̂ = 1 ⇒ ε′ = ∞) is
+        // ε′-from-belief exactly. A saturated score (ŝ = 1 ⇒ ε′ = ∞) is
         // skipped: JSON sinks cannot carry it and it would flatten the
         // gauge for the rest of the run.
         let eps_prime = crate::audit::MaxBeliefEstimator::from_max_belief(belief_trained);
@@ -415,7 +529,7 @@ pub fn run_di_trial(
         correct: guess == b,
         belief_d,
         belief_trained,
-        belief_history: adversary.belief_history().to_vec(),
+        belief_history: adversary.history().to_vec(),
         local_sensitivities,
         sigmas,
         test_accuracy,
@@ -452,17 +566,30 @@ impl DiBatchResult {
             / self.trials.len() as f64
     }
 
-    /// Final beliefs in the trained dataset across trials (Figure 6 series).
-    pub fn final_beliefs(&self) -> Vec<f64> {
+    /// Final scores for the trained dataset across trials (Figure 6 series;
+    /// beliefs for the Bayesian adversary).
+    pub fn final_scores(&self) -> Vec<f64> {
         self.trials.iter().map(|t| t.belief_trained).collect()
     }
 
-    /// The maximum observed final belief (input to the ε′-from-β estimator).
-    pub fn max_belief(&self) -> f64 {
+    /// The maximum observed final score (input to the ε′-from-β estimator).
+    pub fn max_score(&self) -> f64 {
         self.trials
             .iter()
             .map(|t| t.belief_trained)
             .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Back-compat shim for [`DiBatchResult::final_scores`].
+    #[deprecated(note = "renamed to final_scores")]
+    pub fn final_beliefs(&self) -> Vec<f64> {
+        self.final_scores()
+    }
+
+    /// Back-compat shim for [`DiBatchResult::max_score`].
+    #[deprecated(note = "renamed to max_score")]
+    pub fn max_belief(&self) -> f64 {
+        self.max_score()
     }
 
     /// Test accuracies across trials, when recorded (Figure 7 series).
@@ -555,8 +682,61 @@ mod tests {
                 SensitivityScaling::Local,
             ),
             challenge: ChallengeMode::RandomBit,
+            adversary: AdversaryKind::GaussianBelief,
+            sampling: Sampling::FullBatch,
         };
         assert_eq!(built, legacy);
+    }
+
+    #[test]
+    fn legacy_headers_parse_to_the_default_adversary_and_sampling() {
+        // A pre-zoo header has no adversary/sampling keys; serde defaults
+        // must fill in the paper's protocol.
+        let current = settings(2.0, ChallengeMode::RandomBit);
+        let json = serde_json::to_string(&current).unwrap();
+        let legacy = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            match &mut v {
+                serde_json::Value::Object(entries) => {
+                    entries.retain(|(k, _)| k != "adversary" && k != "sampling");
+                }
+                other => panic!("settings serialised to a non-object: {other:?}"),
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        let parsed: TrialSettings = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, current);
+        assert_eq!(parsed.adversary, AdversaryKind::GaussianBelief);
+        assert_eq!(parsed.sampling, Sampling::FullBatch);
+    }
+
+    #[test]
+    fn poisson_settings_round_trip_through_serde() {
+        let s = TrialSettings::builder()
+            .adversary(AdversaryKind::Glrt)
+            .sampling(Sampling::Poisson { q: 0.25 })
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"adversary\":\"Glrt\""), "{json}");
+        assert!(json.contains("\"Poisson\""), "{json}");
+        let back: TrialSettings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_poisson_rates() {
+        for q in [0.0, 1.0, -0.1, f64::NAN] {
+            let err = TrialSettings::builder()
+                .sampling(Sampling::Poisson { q })
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("poisson"), "{err}");
+        }
+        assert_eq!(Sampling::Poisson { q: 0.3 }.q(), Some(0.3));
+        assert_eq!(Sampling::FullBatch.q(), None);
+        assert_eq!(Sampling::FullBatch.to_string(), "full-batch");
+        assert_eq!(Sampling::Poisson { q: 0.3 }.to_string(), "poisson(q=0.3)");
     }
 
     #[test]
@@ -661,7 +841,104 @@ mod tests {
         // a 0.9 bound; none exceed a bound of 1.0.
         assert!(batch.empirical_delta(0.9) > 0.8);
         assert_eq!(batch.empirical_delta(1.0), 0.0);
-        assert!(batch.max_belief() > 0.99);
+        assert!(batch.max_score() > 0.99);
+        #[allow(deprecated)]
+        {
+            assert_eq!(batch.max_belief().to_bits(), batch.max_score().to_bits());
+            assert_eq!(batch.final_beliefs(), batch.final_scores());
+        }
+    }
+
+    fn settings_for(adversary: AdversaryKind, z: f64, sampling: Sampling) -> TrialSettings {
+        TrialSettings::builder()
+            .clip_norm(1.0)
+            .learning_rate(0.05)
+            .steps(4)
+            .mode(NeighborMode::Bounded)
+            .noise_multiplier(z)
+            .scaling(SensitivityScaling::Local)
+            .challenge(ChallengeMode::AlwaysD)
+            .adversary(adversary)
+            .sampling(sampling)
+            .build()
+            .expect("valid test settings")
+    }
+
+    #[test]
+    fn gaussian_via_kind_matches_the_default_path_bit_for_bit() {
+        // The explicit GaussianBelief selection must reproduce the default
+        // trial to the bit — the acceptance criterion of the refactor.
+        let pair = toy_pair();
+        let default = settings(2.0, ChallengeMode::RandomBit);
+        let explicit = settings_for(AdversaryKind::GaussianBelief, 2.0, Sampling::FullBatch);
+        // Align the challenge protocol before comparing.
+        let mut explicit = explicit;
+        explicit.challenge = ChallengeMode::RandomBit;
+        let a = run_di_trial(&pair, &default, None, builder, 42);
+        let b = run_di_trial(&pair, &explicit, None, builder, 42);
+        assert_eq!(a.b, b.b);
+        assert_eq!(a.belief_d.to_bits(), b.belief_d.to_bits());
+        assert_eq!(a.belief_history, b.belief_history);
+        assert_eq!(a.sigmas, b.sigmas);
+    }
+
+    #[test]
+    fn glrt_trial_decides_like_gaussian_and_scores_stronger_under_noise() {
+        // High noise: same decisions (identical statistic), but the GLRT's
+        // standardised score certifies at least the Bayesian ε′ (sanity
+        // check of the tightness ordering).
+        let pair = toy_pair();
+        let gauss = settings_for(AdversaryKind::GaussianBelief, 50.0, Sampling::FullBatch);
+        let glrt = settings_for(AdversaryKind::Glrt, 50.0, Sampling::FullBatch);
+        let batch_g = run_di_trials(&pair, &gauss, None, builder, 10, 11);
+        let batch_l = run_di_trials(&pair, &glrt, None, builder, 10, 11);
+        for (g, l) in batch_g.trials.iter().zip(&batch_l.trials) {
+            assert_eq!(g.guess, l.guess);
+        }
+        let eps_gauss = crate::audit::MaxBeliefEstimator::from_max_belief(batch_g.max_score());
+        let eps_glrt = crate::audit::MaxBeliefEstimator::from_max_belief(batch_l.max_score());
+        assert!(
+            eps_glrt >= eps_gauss,
+            "glrt eps' {eps_glrt} < gaussian eps' {eps_gauss}"
+        );
+    }
+
+    #[test]
+    fn threshold_mi_trial_scores_from_the_final_model_only() {
+        let pair = toy_pair();
+        let s = settings_for(AdversaryKind::ThresholdMi, 2.0, Sampling::FullBatch);
+        let t = run_di_trial(&pair, &s, None, builder, 13);
+        // One history entry (the final-model observation), not one per step.
+        assert_eq!(t.belief_history.len(), 1);
+        assert_eq!(t.belief_history[0], t.belief_d);
+        assert!(t.belief_d > 0.0 && t.belief_d < 1.0);
+        // Per-step series still recorded for the ε′-from-LS estimator.
+        assert_eq!(t.sigmas.len(), 4);
+    }
+
+    #[test]
+    fn poisson_trial_is_deterministic_and_differs_from_full_batch() {
+        let pair = toy_pair();
+        let s = settings_for(
+            AdversaryKind::GaussianBelief,
+            2.0,
+            Sampling::Poisson { q: 0.5 },
+        );
+        let a = run_di_trial(&pair, &s, None, builder, 21);
+        let b = run_di_trial(&pair, &s, None, builder, 21);
+        assert_eq!(a.belief_d.to_bits(), b.belief_d.to_bits());
+        assert_eq!(a.belief_history, b.belief_history);
+        assert_eq!(a.sigmas, b.sigmas);
+        let full = run_di_trial(
+            &pair,
+            &settings_for(AdversaryKind::GaussianBelief, 2.0, Sampling::FullBatch),
+            None,
+            builder,
+            21,
+        );
+        assert_ne!(a.belief_history, full.belief_history);
+        // Subsampled noise is scaled to the clip bound (GS), not the LS.
+        assert!(a.sigmas.iter().all(|s| (s - 2.0).abs() < 1e-12));
     }
 
     #[test]

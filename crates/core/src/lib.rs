@@ -14,9 +14,10 @@
 //! * [`belief`] — the Bayesian posterior-belief tracker of Lemma 1,
 //!   accumulated in log-odds space so k-fold high-dimensional composition
 //!   never under- or overflows.
-//! * [`adversary`] — the implementable DP adversary A_DI,Gau of Algorithm 1,
-//!   which observes every perturbed DPSGD gradient and decides between the
-//!   two known neighbouring datasets.
+//! * [`adversary`] — the adversary zoo behind the [`DiAdversaryStrategy`]
+//!   trait: the paper's A_DI,Gau of Algorithm 1 ([`GaussianBelief`]), the
+//!   likelihood-ratio adversary ([`Glrt`]) and a final-model loss-threshold
+//!   adversary ([`ThresholdMi`]), selected per batch via [`AdversaryKind`].
 //! * [`mi`] — the weaker membership-inference adversary of Yeom et al.
 //!   (loss-threshold attack), used to demonstrate Proposition 1 (DI ⇒ MI)
 //!   empirically.
@@ -35,7 +36,9 @@ pub mod mi;
 pub mod scalar;
 pub mod scores;
 
+#[allow(deprecated)]
 pub use adversary::DiAdversary;
+pub use adversary::{AdversaryKind, DiAdversaryStrategy, GaussianBelief, Glrt, ThresholdMi};
 pub use audit::{
     run_estimators, standard_estimators, AdvantageEstimator, AuditReport, BinomialCiEstimator,
     EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,
@@ -43,7 +46,7 @@ pub use audit::{
 pub use belief::BeliefTracker;
 pub use experiment::{
     run_di_trial, run_di_trials, trial_seed, validate_delta, ChallengeMode, DiBatchResult,
-    DiTrialResult, RecordDetail, SettingsError, TrialSettings, TrialSettingsBuilder,
+    DiTrialResult, RecordDetail, Sampling, SettingsError, TrialSettings, TrialSettingsBuilder,
 };
 pub use mi::{run_mi_trials, MiAdversary, MiBatchResult};
 pub use scalar::{run_scalar_di_trials, ScalarMechanism, ScalarQuery};

@@ -182,9 +182,9 @@ mod tests {
         let batch = run_scalar_di_trials(&queries, 300, 1);
         let bound = rho_beta(1.2);
         assert!(
-            batch.max_belief() <= bound + 1e-9,
+            batch.max_score() <= bound + 1e-9,
             "max belief {} above the pure-DP bound {bound}",
-            batch.max_belief()
+            batch.max_score()
         );
         // The bound is *attained* with positive probability for Laplace
         // noise (every release landing beyond both centers gives LLR = ε

@@ -44,5 +44,5 @@ pub use federated::{train_federated, FederatedConfig, FederatedOutcome, RoundRec
 pub use minibatch::{train_minibatch_dpsgd, MinibatchConfig, MinibatchOutcome};
 pub use optimizer::{Optimizer, OptimizerState};
 pub use pair::NeighborPair;
-pub use trainer::{train_collect, train_dpsgd};
+pub use trainer::{train_collect, train_dpsgd, train_dpsgd_subsampled};
 pub use transcript::{StepRecord, Transcript};

@@ -138,6 +138,164 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
     }
 }
 
+/// Run `cfg.steps` Poisson-subsampled DPSGD steps on `model` for the DI
+/// challenge protocol, streaming one [`StepRecord`] per step to `observer`.
+///
+/// The mini-batch counterpart of [`train_dpsgd`]: per step every record of
+/// the trained dataset enters the batch independently with probability `q`
+/// (drawn from `sample_rng`, a stream separate from the noise stream so
+/// callers can keep their full-batch seed conventions untouched), the
+/// clipped per-example gradients of the batch are summed, Gaussian noise is
+/// added, and the update divides by the *public* expected batch size
+/// `q·|D|`.
+///
+/// Differences from the full-batch audit protocol, dictated by the
+/// subsampled Gaussian RDP accountant the privacy claim composes through
+/// (`add_subsampled_gaussian_step`):
+/// * Noise is always scaled to the clip bound (`σ = z·C`, the add/remove
+///   sensitivity of the clipped sum — the convention of
+///   [`crate::minibatch`]); local-sensitivity scaling would break the
+///   amplification analysis. The per-step local sensitivity is still
+///   estimated and recorded for diagnostics.
+/// * The stored hypothesis gradients condition on the differing record
+///   having been sampled, so the adversary's centers are exact only for
+///   steps that included it — the information loss that amplification by
+///   subsampling formalises.
+///
+/// # Panics
+/// Panics on an empty training set or `q` outside `(0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_dpsgd_subsampled<R: Rng + ?Sized, S: Rng + ?Sized>(
+    model: &mut Sequential,
+    pair: &NeighborPair,
+    train_on_d: bool,
+    cfg: &DpsgdConfig,
+    q: f64,
+    noise_rng: &mut R,
+    sample_rng: &mut S,
+    mut observer: impl FnMut(StepRecord),
+) {
+    let data = pair.trained_dataset(train_on_d);
+    assert!(
+        !data.is_empty(),
+        "train_dpsgd_subsampled: empty training set"
+    );
+    assert!(
+        q.is_finite() && q > 0.0 && q <= 1.0,
+        "train_dpsgd_subsampled: q must be in (0, 1], got {q}"
+    );
+    let public_n = pair.d.len() as f64;
+    let expected_batch = (q * public_n).max(1.0);
+    let dim = model.param_count();
+    let layout = model.param_layout();
+    let mut gauss = GaussianSampler::new();
+
+    let mut clipping = cfg.clipping.clone();
+    let mut optimizer = OptimizerState::new(cfg.optimizer, dim);
+
+    for step in 0..cfg.steps {
+        // Poisson sampling: each record independently with probability q,
+        // from the dedicated sampling stream.
+        let batch: Vec<usize> = (0..data.len())
+            .filter(|_| sample_rng.gen::<f64>() < q)
+            .collect();
+
+        if !batch.is_empty() {
+            let batch_xs: Vec<_> = batch.iter().map(|&i| data.xs[i].clone()).collect();
+            model.update_norm_stats(&batch_xs);
+        }
+        let bound = clipping.total_bound();
+
+        let clip_span = obs::span(obs::names::CLIP_SPAN);
+        let mut clean_sum = vec![0.0; dim];
+        let mut loss_total = 0.0;
+        let mut unclipped = 0usize;
+        for &i in &batch {
+            let (loss, mut g) = model.per_example_grad(&data.xs[i], data.ys[i]);
+            let norm = l2_norm(&g);
+            clipping.clip(&mut g, &layout);
+            if norm <= bound {
+                unclipped += 1;
+            }
+            loss_total += loss;
+            for (a, b) in clean_sum.iter_mut().zip(&g) {
+                *a += b;
+            }
+        }
+        drop(clip_span);
+
+        let noise_span = obs::span(obs::names::NOISE_SPAN);
+        // Differing-record gradients at the current public state, recorded
+        // for the adversary's (batch-conditional) hypothesis centers and
+        // the local-sensitivity diagnostics.
+        let (x1, y1) = pair.x1();
+        let (_, mut grad_x1) = model.per_example_grad(x1, y1);
+        clipping.clip(&mut grad_x1, &layout);
+        let grad_x2 = pair.x2.as_ref().map(|(x2, y2)| {
+            let (_, mut g) = model.per_example_grad(x2, *y2);
+            clipping.clip(&mut g, &layout);
+            g
+        });
+        let local_sensitivity = match &grad_x2 {
+            Some(g2) => l2_distance(&grad_x1, g2),
+            None => l2_norm(&grad_x1),
+        };
+
+        // σ = z·C: the add/remove sensitivity the subsampled accountant
+        // assumes (see function docs).
+        let sensitivity_used = bound;
+        let sigma = cfg.noise_multiplier * sensitivity_used;
+
+        let mut noisy_sum = clean_sum.clone();
+        for v in &mut noisy_sum {
+            *v += gauss.sample(noise_rng, 0.0, sigma);
+        }
+        drop(noise_span);
+
+        let update_span = obs::span(obs::names::UPDATE_SPAN);
+        let update: Vec<f64> = noisy_sum.iter().map(|v| v / expected_batch).collect();
+        optimizer.apply(model, &update, cfg.learning_rate);
+
+        if let Some(adaptive) = &cfg.adaptive {
+            if let ClippingStrategy::Flat(c) = &mut clipping {
+                if !batch.is_empty() {
+                    *c = adaptive.updated_norm(*c, unclipped as f64 / batch.len() as f64);
+                }
+            }
+        }
+        drop(update_span);
+
+        if obs::enabled() {
+            obs::counter(obs::names::STEPS, 1);
+            obs::counter(obs::names::EXAMPLES_SEEN, batch.len() as u64);
+            obs::counter(
+                obs::names::EXAMPLES_CLIPPED,
+                (batch.len() - unclipped) as u64,
+            );
+            if local_sensitivity > 0.0 {
+                obs::observe(obs::names::NOISE_MULTIPLIER_HIST, sigma / local_sensitivity);
+            }
+        }
+
+        observer(StepRecord {
+            step,
+            noisy_sum,
+            clean_sum,
+            grad_x1,
+            grad_x2,
+            local_sensitivity,
+            clip_bound: bound,
+            sensitivity_used,
+            sigma,
+            mean_loss: if batch.is_empty() {
+                0.0
+            } else {
+                loss_total / batch.len() as f64
+            },
+        });
+    }
+}
+
 /// [`train_dpsgd`] collecting the records into a [`Transcript`].
 pub fn train_collect<R: Rng + ?Sized>(
     model: &mut Sequential,
@@ -418,6 +576,105 @@ mod tests {
         }
         let w_err = l2_distance(&m64.params(), &m32.params());
         assert!(w_err < 1e-3, "final weight drift {w_err}");
+    }
+
+    #[test]
+    fn subsampled_records_are_deterministic_per_seed_pair() {
+        // Same noise + sampling seeds ⇒ byte-identical step records (the
+        // minibatch-audit determinism invariant: same seed, same minibatch
+        // indices, same releases).
+        let (model0, pair) = tiny_setup(23);
+        let c = cfg(SensitivityScaling::Local);
+        let run = || {
+            let mut model = model0.clone();
+            let mut records = Vec::new();
+            train_dpsgd_subsampled(
+                &mut model,
+                &pair,
+                true,
+                &c,
+                0.5,
+                &mut seeded_rng(24),
+                &mut seeded_rng(25),
+                |r| records.push(r),
+            );
+            (records, model.params())
+        };
+        let (r1, w1) = run();
+        let (r2, w2) = run();
+        assert_eq!(r1.len(), 5);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.noisy_sum, b.noisy_sum);
+            assert_eq!(a.clean_sum, b.clean_sum);
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+        }
+        assert_eq!(w1, w2);
+        // A different sampling stream changes the batches (and the sums)
+        // while σ stays pinned to z·C.
+        let mut model = model0.clone();
+        let mut other = Vec::new();
+        train_dpsgd_subsampled(
+            &mut model,
+            &pair,
+            true,
+            &c,
+            0.5,
+            &mut seeded_rng(24),
+            &mut seeded_rng(99),
+            |r| other.push(r),
+        );
+        assert_ne!(
+            r1.iter().map(|r| r.clean_sum.clone()).collect::<Vec<_>>(),
+            other
+                .iter()
+                .map(|r| r.clean_sum.clone())
+                .collect::<Vec<_>>()
+        );
+        for r in &r1 {
+            // z = 2, C = 1 → σ = 2 regardless of the realised LS.
+            assert!((r.sigma - 2.0).abs() < 1e-12);
+            assert_eq!(r.sensitivity_used, 1.0);
+            assert!(r.local_sensitivity >= 0.0);
+        }
+    }
+
+    #[test]
+    fn subsampled_q_one_sums_the_whole_dataset() {
+        let (model0, pair) = tiny_setup(27);
+        let c = cfg(SensitivityScaling::Global);
+        let mut model = model0.clone();
+        let mut records = Vec::new();
+        train_dpsgd_subsampled(
+            &mut model,
+            &pair,
+            true,
+            &c,
+            1.0,
+            &mut seeded_rng(28),
+            &mut seeded_rng(29),
+            |r| records.push(r),
+        );
+        // q = 1 includes every record: the clean sum equals the full-batch
+        // clipped sum at the same state (first step shares θ₀).
+        let mut m2 = model0.clone();
+        let t = train_collect(&mut m2, &pair, true, &c, &mut seeded_rng(28));
+        assert!(l2_distance(&records[0].clean_sum, &t.steps[0].clean_sum) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in")]
+    fn subsampled_rejects_degenerate_rate() {
+        let (mut model, pair) = tiny_setup(31);
+        train_dpsgd_subsampled(
+            &mut model,
+            &pair,
+            true,
+            &cfg(SensitivityScaling::Local),
+            0.0,
+            &mut seeded_rng(1),
+            &mut seeded_rng(2),
+            |_| {},
+        );
     }
 
     #[test]

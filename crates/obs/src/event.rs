@@ -129,7 +129,11 @@ pub mod names {
     pub const BELIEF_HIST: &str = "di.belief";
     /// Histogram: per-step belief *updates* |β_i − β_{i−1}|.
     pub const BELIEF_UPDATE_HIST: &str = "di.belief_update";
-    /// Gauge (max): maximum final belief in the trained dataset.
+    /// Histogram: per-observation adversary score s_i(trained) on `[0, 1]`
+    /// — the score-generic counterpart of [`BELIEF_HIST`] streamed by
+    /// non-Bayesian adversaries (GLRT, threshold-MI).
+    pub const SCORE_HIST: &str = "di.score";
+    /// Gauge (max): maximum final belief/score in the trained dataset.
     pub const MAX_BELIEF_GAUGE: &str = "di.max_belief";
 
     /// Series name of structured [`super::Event::Ledger`] events.
@@ -182,7 +186,7 @@ pub fn bucket_bounds(name: &str) -> &'static [f64] {
     const DECILES: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     const GEOMETRIC: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
     match name {
-        names::BELIEF_HIST => DECILES,
+        names::BELIEF_HIST | names::SCORE_HIST => DECILES,
         names::BELIEF_UPDATE_HIST => GEOMETRIC,
         _ => GEOMETRIC,
     }

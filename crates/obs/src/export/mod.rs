@@ -16,4 +16,4 @@ mod prometheus;
 
 pub use chrome::chrome_trace;
 pub use http::{MetricsServer, Request, Response, ServerConfig};
-pub use prometheus::render_prometheus;
+pub use prometheus::{render_prometheus, render_prometheus_labeled};

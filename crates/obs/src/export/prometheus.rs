@@ -28,7 +28,28 @@ fn prom_name(name: &str) -> String {
 
 /// Render the snapshot (and span stats) as a Prometheus text exposition.
 pub fn render_prometheus(snapshot: &MetricsSnapshot, spans: &BTreeMap<String, SpanStat>) -> String {
+    render_prometheus_labeled(snapshot, spans, &[])
+}
+
+/// [`render_prometheus`] plus a `dpaudit_audit_info` info-style gauge
+/// carrying static run labels (adversary, sampling scheme, …) — the
+/// Prometheus idiom for dimensions that never change during a run. An
+/// empty label set omits the info series entirely, so the unlabeled
+/// renderer's output is unchanged.
+pub fn render_prometheus_labeled(
+    snapshot: &MetricsSnapshot,
+    spans: &BTreeMap<String, SpanStat>,
+    labels: &[(&str, &str)],
+) -> String {
     let mut out = String::new();
+    if !labels.is_empty() {
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        let _ = writeln!(out, "# TYPE dpaudit_audit_info gauge");
+        let _ = writeln!(out, "dpaudit_audit_info{{{}}} 1", rendered.join(","));
+    }
     for (name, value) in &snapshot.counters {
         let prom = prom_name(name);
         let _ = writeln!(out, "# TYPE {prom}_total counter");
@@ -97,6 +118,39 @@ mod tests {
         assert!(text.contains("dpaudit_eps_prime_ls 1.25\n"), "{text}");
         assert!(text.contains("dpaudit_eps_target 2\n"), "{text}");
         assert!(text.contains("dpaudit_ledger_steps_total 1\n"), "{text}");
+    }
+
+    #[test]
+    fn labels_render_as_an_info_gauge_and_stay_out_of_the_plain_exposition() {
+        let registry = MetricsRegistry::new();
+        registry.record(&Event::Counter {
+            name: names::TRIALS.into(),
+            delta: 2,
+        });
+        let snapshot = registry.snapshot();
+        let plain = render_prometheus(&snapshot, &BTreeMap::new());
+        assert!(!plain.contains("dpaudit_audit_info"), "{plain}");
+
+        let labeled = render_prometheus_labeled(
+            &snapshot,
+            &BTreeMap::new(),
+            &[("adversary", "glrt"), ("sampling", "poisson(q=0.1)")],
+        );
+        assert!(
+            labeled
+                .contains("dpaudit_audit_info{adversary=\"glrt\",sampling=\"poisson(q=0.1)\"} 1"),
+            "{labeled}"
+        );
+        // Everything else is byte-identical to the unlabeled exposition.
+        assert!(labeled.ends_with(&plain), "{labeled}");
+
+        // Quote/backslash characters in values are escaped per the format.
+        let escaped =
+            render_prometheus_labeled(&snapshot, &BTreeMap::new(), &[("label", "a\"b\\c")]);
+        assert!(
+            escaped.contains("dpaudit_audit_info{label=\"a\\\"b\\\\c\"} 1"),
+            "{escaped}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ mod registry;
 mod sink;
 
 pub use event::{bucket_bounds, names, Event};
-pub use export::{chrome_trace, render_prometheus, MetricsServer, Request, Response, ServerConfig};
+pub use export::{
+    chrome_trace, render_prometheus, render_prometheus_labeled, MetricsServer, Request, Response,
+    ServerConfig,
+};
 pub use global::{
     counter, enabled, gauge_max, install, observe, record, span, span_nanos, InstallGuard,
     SpanGuard,

@@ -2,7 +2,8 @@
 //! integration tests: a 8-record toy neighbouring pair and a 6→4→2 MLP,
 //! small enough that a full multi-trial batch runs in milliseconds.
 
-use dpaudit_core::experiment::{ChallengeMode, TrialSettings};
+use dpaudit_core::experiment::{ChallengeMode, Sampling, TrialSettings};
+use dpaudit_core::AdversaryKind;
 use dpaudit_datasets::{Dataset, NeighborSpec};
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{NeighborPair, SensitivityScaling};
@@ -39,6 +40,16 @@ pub fn toy_model(rng: &mut StdRng) -> Sequential {
 /// Local-sensitivity-scaled bounded DPSGD for `steps` steps with z = 2,
 /// random challenge bits.
 pub fn toy_settings(steps: usize) -> TrialSettings {
+    toy_settings_with(steps, AdversaryKind::GaussianBelief, Sampling::FullBatch)
+}
+
+/// [`toy_settings`] with an explicit adversary and sampling scheme — the
+/// fixture for adversary-zoo and Poisson-protocol runtime tests.
+pub fn toy_settings_with(
+    steps: usize,
+    adversary: AdversaryKind,
+    sampling: Sampling,
+) -> TrialSettings {
     TrialSettings::builder()
         .clip_norm(1.0)
         .learning_rate(0.05)
@@ -47,6 +58,8 @@ pub fn toy_settings(steps: usize) -> TrialSettings {
         .noise_multiplier(2.0)
         .scaling(SensitivityScaling::Local)
         .challenge(ChallengeMode::RandomBit)
+        .adversary(adversary)
+        .sampling(sampling)
         .build()
         .expect("valid trial settings")
 }

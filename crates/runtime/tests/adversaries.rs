@@ -1,0 +1,231 @@
+//! Adversary-zoo and Poisson-protocol guarantees of the audit engine:
+//!
+//! * every adversary (Gaussian-belief, GLRT, threshold-MI) is thread-count
+//!   deterministic end-to-end through `AuditSession`;
+//! * a Poisson-subsampled run is bit-identical across worker counts and
+//!   across a kill-and-resume, and its ε′-from-LS uses the subsampled
+//!   Gaussian accountant;
+//! * adversary and sampling survive the store header round trip, so a
+//!   resumed process re-runs the same protocol.
+
+use dpaudit_core::experiment::Sampling;
+use dpaudit_core::{rho_beta, AdversaryKind, RecordDetail};
+use dpaudit_runtime::store::Seed;
+use dpaudit_runtime::testkit;
+use dpaudit_runtime::{read_store, AuditSession, Parallelism, StoreHeader, SCHEMA_VERSION};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+fn header_for(
+    reps: usize,
+    adversary: AdversaryKind,
+    sampling: Sampling,
+    detail: RecordDetail,
+) -> StoreHeader {
+    StoreHeader {
+        schema_version: SCHEMA_VERSION,
+        label: format!("zoo-{adversary}"),
+        workload: "toy".into(),
+        train_size: 8,
+        world_seed: Seed(0),
+        reps,
+        master_seed: Seed(4242),
+        target_epsilon: 2.0,
+        delta: 1e-3,
+        rho_beta_bound: rho_beta(2.0),
+        detail,
+        settings: testkit::toy_settings_with(3, adversary, sampling),
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dpaudit_adversary_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn report_bits(report: &dpaudit_core::AuditReport) -> [u64; 6] {
+    [
+        report.eps_from_ls.to_bits(),
+        report.eps_from_belief.to_bits(),
+        report.eps_from_advantage.to_bits(),
+        report.advantage.to_bits(),
+        report.max_belief.to_bits(),
+        report.empirical_delta.to_bits(),
+    ]
+}
+
+#[test]
+fn every_adversary_is_thread_count_deterministic() {
+    let pair = testkit::toy_pair();
+    for kind in AdversaryKind::ALL {
+        let run_with = |threads: usize| {
+            let mut session = AuditSession::in_memory(header_for(
+                6,
+                kind,
+                Sampling::FullBatch,
+                RecordDetail::Summary,
+            ));
+            session
+                .run(
+                    &pair,
+                    None,
+                    testkit::toy_model,
+                    Parallelism::trials(threads),
+                    |_| {},
+                    None,
+                )
+                .unwrap()
+                .report
+        };
+        let single = run_with(1);
+        let eight = run_with(8);
+        assert_eq!(
+            report_bits(&single),
+            report_bits(&eight),
+            "{kind} report changed with the worker count"
+        );
+    }
+}
+
+#[test]
+fn poisson_run_is_deterministic_across_worker_counts() {
+    let pair = testkit::toy_pair();
+    let run_with = |threads: usize| {
+        let mut session = AuditSession::in_memory(header_for(
+            6,
+            AdversaryKind::GaussianBelief,
+            Sampling::Poisson { q: 0.5 },
+            RecordDetail::Summary,
+        ));
+        session
+            .run(
+                &pair,
+                None,
+                testkit::toy_model,
+                Parallelism::trials(threads),
+                |_| {},
+                None,
+            )
+            .unwrap()
+            .report
+    };
+    let single = run_with(1);
+    let eight = run_with(8);
+    assert_eq!(report_bits(&single), report_bits(&eight));
+    // The subsampled accountant composes finite per-trial ε′ estimates.
+    assert!(single.eps_from_ls.is_finite() && single.eps_from_ls > 0.0);
+}
+
+#[test]
+fn poisson_glrt_resume_is_bit_identical_to_uninterrupted() {
+    let pair = testkit::toy_pair();
+    let header = header_for(
+        8,
+        AdversaryKind::Glrt,
+        Sampling::Poisson { q: 0.5 },
+        RecordDetail::Full,
+    );
+
+    let clean_path = temp_path("poisson_clean.jsonl");
+    let mut clean = AuditSession::create(&clean_path, header.clone()).unwrap();
+    let clean_outcome = clean
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
+        .unwrap();
+
+    let torn_path = temp_path("poisson_torn.jsonl");
+    let mut first = AuditSession::create(&torn_path, header.clone()).unwrap();
+    first
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
+        .unwrap();
+    drop(first);
+    let full_len = std::fs::metadata(&torn_path).unwrap().len();
+    let file = OpenOptions::new().write(true).open(&torn_path).unwrap();
+    file.set_len(full_len * 2 / 3).unwrap();
+    drop(file);
+
+    let mut resumed = AuditSession::resume(&torn_path).unwrap();
+    // The protocol choice must survive the header round trip — a resumed
+    // process with the wrong adversary or sampling would silently produce
+    // different trials.
+    assert_eq!(resumed.header().settings.adversary, AdversaryKind::Glrt);
+    assert_eq!(
+        resumed.header().settings.sampling,
+        Sampling::Poisson { q: 0.5 }
+    );
+    let missing = resumed.missing_indices();
+    assert!(!missing.is_empty());
+    let resumed_outcome = resumed
+        .run(
+            &pair,
+            None,
+            testkit::toy_model,
+            Parallelism::trials(2),
+            |_| {},
+            None,
+        )
+        .unwrap();
+    assert_eq!(
+        report_bits(&clean_outcome.report),
+        report_bits(&resumed_outcome.report),
+        "resumed Poisson GLRT aggregates differ from the uninterrupted run"
+    );
+
+    let mut clean_records = read_store(&clean_path).unwrap().records;
+    let mut torn_records = read_store(&torn_path).unwrap().records;
+    clean_records.sort_by_key(|r| r.idx);
+    torn_records.sort_by_key(|r| r.idx);
+    assert_eq!(clean_records, torn_records);
+
+    std::fs::remove_file(&clean_path).unwrap();
+    std::fs::remove_file(&torn_path).unwrap();
+}
+
+#[test]
+fn default_header_json_omits_nothing_a_legacy_reader_needs() {
+    // Serializing a default-protocol header and stripping the new fields
+    // must parse back to the same settings — the exact shape a pre-zoo
+    // store on disk has.
+    let header = header_for(
+        4,
+        AdversaryKind::GaussianBelief,
+        Sampling::FullBatch,
+        RecordDetail::Summary,
+    );
+    let json = serde_json::to_string(&header).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    match &mut value {
+        serde_json::Value::Object(entries) => {
+            for (key, field) in entries.iter_mut() {
+                if key == "settings" {
+                    match field {
+                        serde_json::Value::Object(settings) => {
+                            settings.retain(|(k, _)| k != "adversary" && k != "sampling");
+                        }
+                        other => panic!("settings not an object: {other:?}"),
+                    }
+                }
+            }
+        }
+        other => panic!("header not an object: {other:?}"),
+    }
+    let legacy: StoreHeader =
+        serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+    assert_eq!(legacy.settings.adversary, AdversaryKind::GaussianBelief);
+    assert_eq!(legacy.settings.sampling, Sampling::FullBatch);
+    assert_eq!(legacy, header);
+}

@@ -65,7 +65,7 @@ proptest! {
 
         // Counts and max must match the batch path exactly.
         prop_assert_eq!(report.advantage.to_bits(), batch.advantage().to_bits());
-        prop_assert_eq!(report.max_belief.to_bits(), batch.max_belief().to_bits());
+        prop_assert_eq!(report.max_belief.to_bits(), batch.max_score().to_bits());
         prop_assert_eq!(
             report.empirical_delta.to_bits(),
             batch.empirical_delta(bound).to_bits()
@@ -78,7 +78,7 @@ proptest! {
         // Derived estimators are consistent with the core definitions.
         prop_assert_eq!(
             report.eps_from_belief.to_bits(),
-            dpaudit_core::MaxBeliefEstimator::from_max_belief(batch.max_belief()).to_bits()
+            dpaudit_core::MaxBeliefEstimator::from_max_belief(batch.max_score()).to_bits()
         );
         prop_assert_eq!(
             report.eps_from_advantage.to_bits(),

@@ -44,7 +44,7 @@ fn audit(scaling: SensitivityScaling, label: &str) {
         settings.dpsgd.ls_floor,
     );
     // Estimator 2: from the maximum belief across repetitions.
-    let eps_beta = MaxBeliefEstimator::from_max_belief(batch.max_belief());
+    let eps_beta = MaxBeliefEstimator::from_max_belief(batch.max_score());
     // Estimator 3: from the empirical advantage across repetitions.
     let eps_adv = AdvantageEstimator::from_advantage(batch.advantage(), delta);
 
@@ -56,7 +56,7 @@ fn audit(scaling: SensitivityScaling, label: &str) {
     println!(
         "   (advantage {:+.3}, max belief {:.3})\n",
         batch.advantage(),
-        batch.max_belief()
+        batch.max_score()
     );
 }
 

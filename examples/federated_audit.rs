@@ -36,13 +36,13 @@ fn run_round_trip(rho_beta_target: f64, train: &Dataset, seed: u64) {
 
     let mut rng = seeded_rng(seed);
     let mut model = mnist_cnn(&mut rng);
-    let mut insider = DiAdversary::new(NeighborMode::Unbounded);
+    let mut insider = GaussianBelief::new(NeighborMode::Unbounded);
     train_dpsgd(&mut model, &pair, true, &cfg, &mut rng, |record| {
         insider.observe(&record, true);
     });
 
     println!("-- privacy target rho_beta = {rho_beta_target} (epsilon = {epsilon:.2}) --");
-    let history = insider.belief_history();
+    let history = insider.history();
     for (i, beta) in history.iter().enumerate() {
         if i % 6 == 0 || i + 1 == history.len() {
             let bar_len = (beta * 40.0).round() as usize;
@@ -51,7 +51,7 @@ fn run_round_trip(rho_beta_target: f64, train: &Dataset, seed: u64) {
     }
     println!(
         "  final certainty: {:.1}% (bound: {:.1}%) -> target record {}\n",
-        insider.belief_d() * 100.0,
+        insider.score_d() * 100.0,
         rho_beta_target * 100.0,
         if insider.decide_d() {
             "EXPOSED (guess: present)"

@@ -49,7 +49,7 @@ fn main() {
     println!("\ncalibrated noise multiplier z = {z:.2} for k = {steps} steps");
 
     let mut model = purchase_mlp(&mut rng);
-    let mut adversary = DiAdversary::new(NeighborMode::Unbounded);
+    let mut adversary = GaussianBelief::new(NeighborMode::Unbounded);
     let mut sigmas = Vec::new();
     let mut local_sens = Vec::new();
     train_dpsgd(&mut model, &pair, true, &cfg, &mut rng, |record| {
@@ -61,7 +61,7 @@ fn main() {
     // ---------------------------------------------------------------- 4 ---
     // Audit: the adversary's belief must respect rho_beta, and the three
     // empirical epsilon estimators of section 6.4 report the realised loss.
-    let belief = adversary.belief_d();
+    let belief = adversary.score_d();
     println!("\nadversary's final belief in D: {belief:.3} (bound: {rho_beta_target})");
     println!(
         "adversary decides: {}",

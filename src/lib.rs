@@ -48,9 +48,10 @@ pub mod prelude {
     pub use dpaudit_core::{
         advantage_from_success_rate, epsilon_for_rho_alpha, epsilon_for_rho_beta, rho_alpha,
         rho_alpha_composed, rho_beta, run_di_trial, run_di_trials, run_scalar_di_trials,
-        AdvantageEstimator, AuditReport, BeliefTracker, ChallengeMode, DiAdversary, DiBatchResult,
-        EpsEstimate, EpsEstimator, EstimatorInputs, LocalSensitivityEstimator, MaxBeliefEstimator,
-        MiAdversary, ScalarMechanism, ScalarQuery, TrialSettings,
+        AdvantageEstimator, AdversaryKind, AuditReport, BeliefTracker, ChallengeMode,
+        DiAdversaryStrategy, DiBatchResult, EpsEstimate, EpsEstimator, EstimatorInputs,
+        GaussianBelief, Glrt, LocalSensitivityEstimator, MaxBeliefEstimator, MiAdversary, Sampling,
+        ScalarMechanism, ScalarQuery, ThresholdMi, TrialSettings,
     };
     pub use dpaudit_datasets::{
         bounded_candidates, dataset_sensitivity_bounded, dataset_sensitivity_unbounded,

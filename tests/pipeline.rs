@@ -189,7 +189,7 @@ fn mi_adversary_weaker_than_di_on_same_run() {
         let mut model = purchase_mlp(&mut seeded_rng(100 + i));
         let mut rng = seeded_rng(200 + i);
         let b = i % 2 == 0;
-        let mut di = DiAdversary::new(NeighborMode::Unbounded);
+        let mut di = GaussianBelief::new(NeighborMode::Unbounded);
         train_dpsgd(&mut model, &pair, b, &cfg, &mut rng, |r| di.observe(&r, b));
         if di.decide_d() == b {
             di_correct += 1;
