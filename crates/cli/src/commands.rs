@@ -57,11 +57,11 @@ pub fn run(opts: &Opts) -> Result<String, String> {
         "compose" => cmd_compose(opts),
         "audit" => cmd_audit(opts),
         "fabric" => Err(
-            "`fabric` needs a sub-action: `dpaudit fabric serve | work | status | merge`"
+            "`fabric` needs a sub-action: `dpaudit fabric serve | work | status | watch | merge`"
                 .to_string(),
         ),
         "metrics" => Err("`metrics` needs a sub-action: `dpaudit metrics report`".to_string()),
-        "trace" => Err("`trace` needs a sub-action: `dpaudit trace export`".to_string()),
+        "trace" => Err("`trace` needs a sub-action: `dpaudit trace export | merge`".to_string()),
         "watch" => crate::watch::run(opts),
         "demo" => cmd_demo(opts),
         "help" => Ok(usage()),

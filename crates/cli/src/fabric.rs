@@ -8,16 +8,20 @@
 //! * `fabric work` — run a worker: claim leases, execute trials through
 //!   the engine, write a local shard, and stream records back.
 //! * `fabric status` — query a coordinator's queue.
+//! * `fabric watch` — live fleet dashboard over the coordinator's `/fleet`
+//!   endpoint: per-worker throughput sparklines, lease-reclaim alerts, and
+//!   the fleet-wide eps' maximum against the target budget.
 //! * `fabric merge` — merge shard stores offline into one report/store.
 
 use crate::engine::{header_from_opts, parse_parallelism, rebuild_workload};
 use crate::opts::Opts;
 use dpaudit_fabric as fabric;
-use dpaudit_obs::{self as obs, MetricsRegistry};
+use dpaudit_obs::{self as obs, JsonlSink, MetricsRegistry, MultiSink, Sink};
 use dpaudit_runtime::{
     render_partial, render_report, run_from_source, ExecPlan, Parallelism, SourceRunStats,
     StoreHeader, TrialSink, TrialSource,
 };
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -33,9 +37,10 @@ pub fn run_subaction(sub: &str, opts: &Opts) -> Result<String, String> {
         "serve" => cmd_serve(opts),
         "work" => cmd_work(opts),
         "status" => cmd_status(opts),
+        "watch" => cmd_watch(opts),
         "merge" => cmd_merge(opts),
         other => Err(format!(
-            "unknown fabric sub-action `{other}` (serve | work | status | merge)"
+            "unknown fabric sub-action `{other}` (serve | work | status | watch | merge)"
         )),
     }
 }
@@ -186,6 +191,29 @@ fn cmd_work(opts: &Opts) -> Result<String, String> {
     let (shutdown, _) = fabric::shutdown_flag();
     config.shutdown = shutdown;
 
+    // Every worker keeps a registry so metric deltas ride the submit and
+    // heartbeat calls back to the coordinator's fleet view; --trace-dir
+    // additionally tees every event into a per-worker JSONL trace whose
+    // lines carry the job/worker/lease correlation stamps for
+    // `dpaudit trace merge`.
+    let registry = Arc::new(MetricsRegistry::new());
+    config.metrics = Some(registry.clone());
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![registry];
+    if let Some(dir) = opts.str_opt("trace-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let trace_path = Path::new(dir).join(format!("{worker_id}.trace.jsonl"));
+        let sink = JsonlSink::create(&trace_path)
+            .map_err(|e| format!("cannot create trace {}: {e}", trace_path.display()))?;
+        sinks.push(Arc::new(sink));
+        eprintln!("fabric work: tracing to {}", trace_path.display());
+    }
+    let sink: Arc<dyn Sink> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(MultiSink::new(sinks))
+    };
+    let _obs_guard = obs::install(sink);
+
     let mut runner = EngineRunner { parallelism };
     let summary =
         fabric::run_worker(&config, &mut runner).map_err(|e| format!("worker failed: {e}"))?;
@@ -248,6 +276,152 @@ fn cmd_status(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Accumulated fleet-watch state across poll ticks. Pure data — the render
+/// path is a function of this state, so frames are unit-testable without a
+/// coordinator.
+#[derive(Default)]
+struct FleetWatch {
+    /// Per-worker trials/s samples, one per poll tick, newest last.
+    throughput: BTreeMap<String, Vec<f64>>,
+    /// `leases_reclaimed` at the previous tick, to alert on new reclaims.
+    last_reclaimed: Option<u64>,
+}
+
+impl FleetWatch {
+    /// Fold one `/fleet` report into the state and render its frame.
+    fn observe(&mut self, report: &fabric::FleetReport) -> String {
+        for worker in &report.workers {
+            self.throughput
+                .entry(worker.worker.clone())
+                .or_default()
+                .push(worker.trials_per_sec);
+        }
+        let new_reclaims = report
+            .leases_reclaimed
+            .saturating_sub(self.last_reclaimed.unwrap_or(report.leases_reclaimed));
+        self.last_reclaimed = Some(report.leases_reclaimed);
+        render_fleet_frame(report, &self.throughput, new_reclaims)
+    }
+}
+
+/// Render one fleet dashboard frame: totals, eps' vs target, one line per
+/// worker (throughput sparkline, lease ages, heartbeat lag, straggler
+/// flag), and alert lines for reclaims and budget crossings.
+fn render_fleet_frame(
+    report: &fabric::FleetReport,
+    throughput: &BTreeMap<String, Vec<f64>>,
+    new_reclaims: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} jobs · {}/{} trials · {} pending · {} leases reclaimed{}",
+        report.jobs,
+        report.trials_completed,
+        report.trials_total,
+        report.pending,
+        report.leases_reclaimed,
+        if report.done { " · COMPLETE" } else { "" }
+    );
+    match (report.eps_prime_max, report.eps_target) {
+        (Some(eps), Some(target)) if target > 0.0 => {
+            let _ = writeln!(
+                out,
+                "  eps' max {eps:.4} vs target {target:.4} ({:.1}% of budget)",
+                eps / target * 100.0
+            );
+            if eps > target {
+                let _ = writeln!(
+                    out,
+                    "  ALERT: fleet eps' {eps:.4} exceeds the target budget {target:.4}"
+                );
+            }
+        }
+        (Some(eps), _) => {
+            let _ = writeln!(out, "  eps' max {eps:.4} (no target gauge shipped)");
+        }
+        _ => {
+            let _ = writeln!(out, "  eps': no ledger gauges shipped yet");
+        }
+    }
+    if report.workers.is_empty() {
+        let _ = writeln!(out, "  no workers seen yet");
+    }
+    for worker in &report.workers {
+        let spark = crate::watch::sparkline(
+            throughput
+                .get(&worker.worker)
+                .map_or(&[] as &[f64], Vec::as_slice),
+        );
+        let _ = write!(
+            out,
+            "  {:<16} {:>5} trials · {:>6.2}/s {spark} · {} lease(s)",
+            worker.worker, worker.trials_submitted, worker.trials_per_sec, worker.active_leases,
+        );
+        if let Some(age) = worker.oldest_lease_ms {
+            let _ = write!(out, " (oldest {:.1}s)", age as f64 / 1000.0);
+        }
+        let _ = write!(
+            out,
+            " · seen {:.1}s ago",
+            worker.last_seen_ms as f64 / 1000.0
+        );
+        if let Some(eps) = worker.eps_prime {
+            let _ = write!(out, " · eps' {eps:.4}");
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if worker.straggler { " [STRAGGLER]" } else { "" }
+        );
+    }
+    if new_reclaims > 0 {
+        let _ = writeln!(
+            out,
+            "  ALERT: {new_reclaims} lease(s) reclaimed since the last refresh — a worker \
+             stalled or died and its trials were requeued"
+        );
+    }
+    out
+}
+
+fn cmd_watch(opts: &Opts) -> Result<String, String> {
+    let coordinator = opts
+        .str_opt("coordinator")
+        .ok_or("missing required --coordinator ADDR")?;
+    let interval = Duration::from_millis(opts.u64_or("interval-ms", 1_000)?.max(1));
+    let max_ticks = opts.usize_or("max-ticks", 0)?;
+    let client = fabric::Client::new(coordinator);
+    let mut state = FleetWatch::default();
+    let mut last_frame: Option<String> = None;
+    let mut tick = 0usize;
+    loop {
+        tick += 1;
+        let report = match client.fleet() {
+            Ok(report) => report,
+            // A coordinator that vanishes mid-watch usually finished and
+            // exited; the last rendered frame is the final state we saw.
+            Err(e) => match last_frame {
+                Some(frame) => {
+                    return Ok(format!(
+                        "{frame}fabric watch: coordinator at {coordinator} went away ({e})\n"
+                    ))
+                }
+                None => return Err(format!("cannot reach coordinator at {coordinator}: {e}")),
+            },
+        };
+        let frame = state.observe(&report);
+        if report.done || (max_ticks > 0 && tick >= max_ticks) {
+            return Ok(frame);
+        }
+        // Intermediate frames stream to stderr so stdout stays the final
+        // machine-diffable frame, mirroring `dpaudit watch`.
+        eprint!("{frame}");
+        last_frame = Some(frame);
+        std::thread::sleep(interval);
+    }
+}
+
 fn cmd_merge(opts: &Opts) -> Result<String, String> {
     let shards = opts
         .str_opt("shards")
@@ -304,7 +478,10 @@ mod tests {
     #[test]
     fn unknown_subaction_lists_the_real_ones() {
         let err = run_subaction("frobnicate", &parse(&["fabric", "status"])).unwrap_err();
-        assert!(err.contains("serve | work | status | merge"), "{err}");
+        assert!(
+            err.contains("serve | work | status | watch | merge"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -316,5 +493,116 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("cannot reach coordinator"), "{err}");
+    }
+
+    #[test]
+    fn watch_reports_unreachable_coordinators() {
+        let err = run_subaction(
+            "watch",
+            &parse(&["fabric", "watch", "--coordinator", "127.0.0.1:9"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot reach coordinator"), "{err}");
+    }
+
+    fn sample_report() -> fabric::FleetReport {
+        fabric::FleetReport {
+            protocol_version: 1,
+            jobs: 2,
+            trials_total: 16,
+            trials_completed: 9,
+            pending: 5,
+            leases_reclaimed: 1,
+            eps_prime_max: Some(1.25),
+            eps_target: Some(2.0),
+            done: false,
+            workers: vec![
+                fabric::FleetWorker {
+                    worker: "w1".into(),
+                    trials_submitted: 6,
+                    trials_per_sec: 3.5,
+                    active_leases: 1,
+                    oldest_lease_ms: Some(400),
+                    last_seen_ms: 120,
+                    straggler: false,
+                    eps_prime: Some(1.25),
+                },
+                fabric::FleetWorker {
+                    worker: "w2".into(),
+                    trials_submitted: 3,
+                    trials_per_sec: 0.8,
+                    active_leases: 2,
+                    oldest_lease_ms: Some(25_000),
+                    last_seen_ms: 18_000,
+                    straggler: true,
+                    eps_prime: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fleet_frame_shows_workers_budget_and_straggler_flags() {
+        let mut state = FleetWatch::default();
+        let frame = state.observe(&sample_report());
+        assert!(
+            frame.contains("2 jobs · 9/16 trials · 5 pending"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("eps' max 1.2500 vs target 2.0000 (62.5% of budget)"),
+            "{frame}"
+        );
+        assert!(frame.contains("w1"), "{frame}");
+        assert!(frame.contains("6 trials ·   3.50/s"), "{frame}");
+        assert!(frame.contains("(oldest 25.0s)"), "{frame}");
+        assert!(frame.contains("[STRAGGLER]"), "{frame}");
+        // The first tick sets the reclaim baseline; no alert yet.
+        assert!(!frame.contains("ALERT"), "{frame}");
+    }
+
+    #[test]
+    fn fleet_frame_alerts_on_new_reclaims_and_budget_crossings() {
+        let mut state = FleetWatch::default();
+        let mut report = sample_report();
+        state.observe(&report);
+        report.leases_reclaimed = 3;
+        report.eps_prime_max = Some(2.5);
+        let frame = state.observe(&report);
+        assert!(frame.contains("ALERT: 2 lease(s) reclaimed"), "{frame}");
+        assert!(
+            frame.contains("ALERT: fleet eps' 2.5000 exceeds the target budget 2.0000"),
+            "{frame}"
+        );
+        // Three ticks of throughput history per worker render a sparkline.
+        let frame = state.observe(&report);
+        let w1_line = frame.lines().find(|l| l.contains("w1")).unwrap();
+        assert!(
+            w1_line
+                .chars()
+                .any(|c| ('\u{2581}'..='\u{2588}').contains(&c)),
+            "{w1_line}"
+        );
+    }
+
+    #[test]
+    fn fleet_frame_handles_an_empty_fleet_and_completion() {
+        let mut state = FleetWatch::default();
+        let report = fabric::FleetReport {
+            protocol_version: 1,
+            jobs: 1,
+            trials_total: 4,
+            trials_completed: 4,
+            pending: 0,
+            leases_reclaimed: 0,
+            eps_prime_max: None,
+            eps_target: None,
+            done: true,
+            workers: Vec::new(),
+        };
+        let frame = state.observe(&report);
+        assert!(frame.contains("COMPLETE"), "{frame}");
+        assert!(frame.contains("no workers seen yet"), "{frame}");
+        assert!(frame.contains("no ledger gauges shipped yet"), "{frame}");
     }
 }

@@ -349,6 +349,11 @@ pub const COMMANDS: &[CommandSpec] = &[
                 "N",
                 "attempts per request (jittered backoff) [5]",
             ),
+            opt(
+                "trace-dir",
+                "DIR",
+                "write a correlation-stamped obs trace (JSONL) per worker into DIR",
+            ),
         ],
     },
     CommandSpec {
@@ -360,6 +365,26 @@ pub const COMMANDS: &[CommandSpec] = &[
             "ADDR",
             "coordinator address (host:port)",
         )],
+    },
+    CommandSpec {
+        command: "fabric",
+        subaction: Some("watch"),
+        summary: "live fleet dashboard over the coordinator's /fleet endpoint: \
+                  per-worker throughput sparklines, lease ages, straggler flags, \
+                  lease-reclaim alerts, and fleet eps' vs the target budget",
+        flags: &[
+            req("coordinator", "ADDR", "coordinator address (host:port)"),
+            opt(
+                "interval-ms",
+                "MS",
+                "refresh interval in milliseconds [1000]",
+            ),
+            opt(
+                "max-ticks",
+                "N",
+                "stop after N refreshes (0 = until every job completes) [0]",
+            ),
+        ],
     },
     CommandSpec {
         command: "fabric",
@@ -406,6 +431,21 @@ pub const COMMANDS: &[CommandSpec] = &[
             ),
             opt("out", "FILE", "output file [stdout]"),
             opt("format", "NAME", "output format: chrome [chrome]"),
+        ],
+    },
+    CommandSpec {
+        command: "trace",
+        subaction: Some("merge"),
+        summary: "zip per-worker obs traces into one cross-node Chrome/Perfetto \
+                  export with a process track per worker (deterministic bytes \
+                  for a fixed input set, whatever the file order)",
+        flags: &[
+            req(
+                "traces",
+                "A,B,...",
+                "comma-separated trace files (e.g. from `fabric work --trace-dir`)",
+            ),
+            opt("out", "FILE", "output file [stdout]"),
         ],
     },
     CommandSpec {

@@ -235,8 +235,9 @@ fn render_dashboard(state: &WatchState) -> String {
 }
 
 /// Draw `values` (clipped to the last [`WIDTH`] points) as a block-glyph
-/// sparkline scaled between the window's min and max.
-fn sparkline(values: &[f64]) -> String {
+/// sparkline scaled between the window's min and max. Shared with the
+/// fleet dashboard (`dpaudit fabric watch`).
+pub(crate) fn sparkline(values: &[f64]) -> String {
     let shown = &values[values.len().saturating_sub(WIDTH)..];
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in shown {

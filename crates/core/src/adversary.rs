@@ -118,18 +118,6 @@ impl GaussianBelief {
     pub fn mode(&self) -> NeighborMode {
         self.mode
     }
-
-    /// Current posterior belief β_i(D).
-    #[deprecated(note = "use DiAdversaryStrategy::score_d")]
-    pub fn belief_d(&self) -> f64 {
-        self.tracker.belief()
-    }
-
-    /// Belief trajectory β₁, …, β_i.
-    #[deprecated(note = "use DiAdversaryStrategy::history")]
-    pub fn belief_history(&self) -> &[f64] {
-        self.tracker.history()
-    }
 }
 
 impl DiAdversaryStrategy for GaussianBelief {
@@ -162,10 +150,6 @@ impl DiAdversaryStrategy for GaussianBelief {
         self.tracker.decide_d()
     }
 }
-
-/// The former name of [`GaussianBelief`].
-#[deprecated(note = "renamed to GaussianBelief; select adversaries via AdversaryKind")]
-pub type DiAdversary = GaussianBelief;
 
 /// The generalised-likelihood-ratio adversary (Kaissis et al. 2022).
 ///
@@ -469,18 +453,6 @@ mod tests {
         let (cd, cdp) = r.hypothesis_centers(true, NeighborMode::Unbounded);
         b.observe_centers(&r.noisy_sum, &cd, &cdp, r.sigma);
         assert_eq!(a.score_d(), b.score_d());
-    }
-
-    #[test]
-    fn deprecated_accessors_still_delegate() {
-        let mut adv = GaussianBelief::new(NeighborMode::Unbounded);
-        let r = record(vec![2.0, 2.0], vec![2.0, 2.0], vec![1.0, 1.0], 1.0);
-        adv.observe(&r, true);
-        #[allow(deprecated)]
-        {
-            assert_eq!(adv.belief_d(), adv.score_d());
-            assert_eq!(adv.belief_history(), adv.history());
-        }
     }
 
     #[test]

@@ -580,18 +580,6 @@ impl DiBatchResult {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Back-compat shim for [`DiBatchResult::final_scores`].
-    #[deprecated(note = "renamed to final_scores")]
-    pub fn final_beliefs(&self) -> Vec<f64> {
-        self.final_scores()
-    }
-
-    /// Back-compat shim for [`DiBatchResult::max_score`].
-    #[deprecated(note = "renamed to max_score")]
-    pub fn max_belief(&self) -> f64 {
-        self.max_score()
-    }
-
     /// Test accuracies across trials, when recorded (Figure 7 series).
     pub fn test_accuracies(&self) -> Vec<f64> {
         self.trials.iter().filter_map(|t| t.test_accuracy).collect()
@@ -842,11 +830,6 @@ mod tests {
         assert!(batch.empirical_delta(0.9) > 0.8);
         assert_eq!(batch.empirical_delta(1.0), 0.0);
         assert!(batch.max_score() > 0.99);
-        #[allow(deprecated)]
-        {
-            assert_eq!(batch.max_belief().to_bits(), batch.max_score().to_bits());
-            assert_eq!(batch.final_beliefs(), batch.final_scores());
-        }
     }
 
     fn settings_for(adversary: AdversaryKind, z: f64, sampling: Sampling) -> TrialSettings {

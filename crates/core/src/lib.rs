@@ -36,8 +36,6 @@ pub mod mi;
 pub mod scalar;
 pub mod scores;
 
-#[allow(deprecated)]
-pub use adversary::DiAdversary;
 pub use adversary::{AdversaryKind, DiAdversaryStrategy, GaussianBelief, Glrt, ThresholdMi};
 pub use audit::{
     run_estimators, standard_estimators, AdvantageEstimator, AuditReport, BinomialCiEstimator,

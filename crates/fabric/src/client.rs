@@ -8,8 +8,8 @@
 //! trip is timed into the [`dpaudit_obs::names::FABRIC_RTT_SPAN`] span.
 
 use crate::protocol::{
-    JobDescriptor, JobSubmission, LeaseReply, LeaseRequest, RenewReply, RenewRequest, StatusReport,
-    SubmitAck, SubmitHeader,
+    FleetReport, JobDescriptor, JobSubmission, LeaseReply, LeaseRequest, RenewReply, RenewRequest,
+    StatusReport, SubmitAck, SubmitHeader,
 };
 use dpaudit_obs as obs;
 use dpaudit_runtime::{StoreHeader, TrialRecord};
@@ -264,19 +264,13 @@ impl Client {
         self.call("POST", "/lease", request)
     }
 
-    /// `POST /renew`: heartbeat a lease.
+    /// `POST /renew`: heartbeat a lease, optionally piggybacking a metrics
+    /// delta (see the protocol module's *Metric shipping* section).
     ///
     /// # Errors
     /// Transport failures.
-    pub fn renew(&self, lease: u64, worker: &str) -> std::io::Result<RenewReply> {
-        self.call(
-            "POST",
-            "/renew",
-            &RenewRequest {
-                lease,
-                worker: worker.to_string(),
-            },
-        )
+    pub fn renew(&self, request: &RenewRequest) -> std::io::Result<RenewReply> {
+        self.call("POST", "/renew", request)
     }
 
     /// `POST /submit`: stream records back in shard JSONL framing.
@@ -305,6 +299,15 @@ impl Client {
     /// Transport failures.
     pub fn status(&self) -> std::io::Result<StatusReport> {
         let (status, body) = self.request("GET", "/status", &[])?;
+        Self::parse(status, &body)
+    }
+
+    /// `GET /fleet`: the fleet-wide live view (`dpaudit fabric watch`).
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn fleet(&self) -> std::io::Result<FleetReport> {
+        let (status, body) = self.request("GET", "/fleet", &[])?;
         Self::parse(status, &body)
     }
 }

@@ -31,10 +31,13 @@
 //! reclaim is wasted work but never wrong data.
 
 use crate::protocol::{
-    valid_job_id, JobDescriptor, JobStatus, LeaseReply, LeaseRequest, RenewReply, StatusReport,
-    SubmitAck, SubmitHeader, PROTOCOL_VERSION,
+    valid_job_id, FleetReport, FleetWorker, JobDescriptor, JobStatus, LeaseReply, LeaseRequest,
+    RenewReply, RenewRequest, StatusReport, SubmitAck, SubmitHeader, PROTOCOL_VERSION,
 };
-use dpaudit_obs::{self as obs, MetricsServer, Request, Response, ServerConfig};
+use dpaudit_obs::{
+    self as obs, render_health, render_prometheus_fleet, MetricsServer, MetricsSnapshot, Request,
+    Response, ServerConfig,
+};
 use dpaudit_runtime::{StoreHeader, TrialRecord, TrialStore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::ToSocketAddrs;
@@ -82,7 +85,6 @@ struct JobState {
 
 struct LeaseState {
     job: String,
-    #[allow(dead_code)] // status/debugging identity; not used in decisions
     worker: String,
     outstanding: BTreeSet<usize>,
     expires: Instant,
@@ -96,11 +98,25 @@ struct Counters {
     duplicates: u64,
 }
 
+/// The coordinator's live view of one worker: lease contact bookkeeping
+/// plus the merged metric deltas the worker has shipped (see the protocol
+/// module's *Metric shipping* section).
+struct WorkerState {
+    /// All shipped deltas merged together — the worker's full registry
+    /// state, reassembled (deltas are exact under commutative folds).
+    snapshot: MetricsSnapshot,
+    /// Records accepted from this worker.
+    trials_submitted: u64,
+    first_seen: Instant,
+    last_seen: Instant,
+}
+
 struct State {
     jobs: BTreeMap<String, JobState>,
     leases: BTreeMap<u64, LeaseState>,
     next_lease: u64,
     counters: Counters,
+    workers: BTreeMap<String, WorkerState>,
 }
 
 /// The coordinator: shared, thread-safe state plus the request router.
@@ -121,6 +137,7 @@ impl Coordinator {
                 leases: BTreeMap::new(),
                 next_lease: 1,
                 counters: Counters::default(),
+                workers: BTreeMap::new(),
             }),
             metrics: None,
         }
@@ -243,6 +260,31 @@ impl Coordinator {
         }
     }
 
+    /// Record contact from a worker: update its last-seen clock, credit
+    /// accepted records, and merge any piggybacked metrics delta.
+    fn touch_worker(
+        state: &mut State,
+        worker: &str,
+        now: Instant,
+        metrics: Option<&MetricsSnapshot>,
+        accepted: u64,
+    ) {
+        let entry = state
+            .workers
+            .entry(worker.to_string())
+            .or_insert_with(|| WorkerState {
+                snapshot: MetricsSnapshot::default(),
+                trials_submitted: 0,
+                first_seen: now,
+                last_seen: now,
+            });
+        entry.last_seen = now;
+        entry.trials_submitted += accepted;
+        if let Some(delta) = metrics {
+            entry.snapshot.merge(delta);
+        }
+    }
+
     /// Grant a trial-range lease (or report `Wait`/`Done`).
     ///
     /// # Errors
@@ -254,6 +296,7 @@ impl Coordinator {
     fn claim_at(&self, request: &LeaseRequest, now: Instant) -> std::io::Result<LeaseReply> {
         let mut state = self.lock();
         Self::sweep_expired(&mut state, now);
+        Self::touch_worker(&mut state, &request.worker, now, None, 0);
         let candidates: Vec<String> = match &request.job {
             Some(id) => {
                 if !state.jobs.contains_key(id) {
@@ -308,17 +351,25 @@ impl Coordinator {
         })
     }
 
-    /// Heartbeat a lease: push its expiry out one TTL. `renewed: false`
-    /// means the lease already expired and was reclaimed.
-    pub fn renew(&self, lease: u64) -> RenewReply {
-        self.renew_at(lease, Instant::now())
+    /// Heartbeat a lease: push its expiry out one TTL and absorb any
+    /// piggybacked metrics delta. `renewed: false` means the lease already
+    /// expired and was reclaimed.
+    pub fn renew(&self, request: &RenewRequest) -> RenewReply {
+        self.renew_at(request, Instant::now())
     }
 
-    fn renew_at(&self, lease: u64, now: Instant) -> RenewReply {
+    fn renew_at(&self, request: &RenewRequest, now: Instant) -> RenewReply {
         let mut state = self.lock();
         Self::sweep_expired(&mut state, now);
+        Self::touch_worker(
+            &mut state,
+            &request.worker,
+            now,
+            request.metrics.as_ref(),
+            0,
+        );
         let ttl = self.config.lease_ttl;
-        match state.leases.get_mut(&lease) {
+        match state.leases.get_mut(&request.lease) {
             Some(lease) => {
                 lease.expires = now + ttl;
                 RenewReply { renewed: true }
@@ -419,6 +470,13 @@ impl Coordinator {
         state
             .leases
             .retain(|_, lease| !lease.outstanding.is_empty());
+        Self::touch_worker(
+            state,
+            &submit.worker,
+            now,
+            submit.metrics.as_ref(),
+            ack.accepted,
+        );
         Ok(ack)
     }
 
@@ -455,6 +513,104 @@ impl Coordinator {
             trials_submitted: state.counters.submitted,
             duplicates: state.counters.duplicates,
         }
+    }
+
+    /// The fleet-wide live view for `GET /fleet` and `dpaudit fabric
+    /// watch`: per-worker throughput, lease ages, heartbeat lag, and the
+    /// ε′ gauges the workers shipped.
+    pub fn fleet(&self) -> FleetReport {
+        self.fleet_at(Instant::now())
+    }
+
+    fn fleet_at(&self, now: Instant) -> FleetReport {
+        let mut state = self.lock();
+        Self::sweep_expired(&mut state, now);
+        let ttl = self.config.lease_ttl;
+        let trials_total: usize = state.jobs.values().map(|job| job.header.reps).sum();
+        let trials_completed: usize = state.jobs.values().map(|job| job.completed).sum();
+        let pending: usize = state.jobs.values().map(|job| job.pending.len()).sum();
+        let workers: Vec<FleetWorker> = state
+            .workers
+            .iter()
+            .map(|(id, worker)| {
+                let active_leases = state
+                    .leases
+                    .values()
+                    .filter(|lease| &lease.worker == id)
+                    .count();
+                // A live lease expires one TTL after its last touch, so
+                // `expires - ttl` recovers the touch instant.
+                let oldest_lease_ms = state
+                    .leases
+                    .values()
+                    .filter(|lease| &lease.worker == id)
+                    .map(|lease| {
+                        now.saturating_duration_since(lease.expires - ttl)
+                            .as_millis() as u64
+                    })
+                    .max();
+                let last_seen = now.saturating_duration_since(worker.last_seen);
+                let elapsed = now
+                    .saturating_duration_since(worker.first_seen)
+                    .as_secs_f64();
+                let trials_per_sec = if elapsed > 0.0 {
+                    worker.trials_submitted as f64 / elapsed
+                } else {
+                    0.0
+                };
+                let eps_prime = [obs::names::EPS_PRIME_GAUGE, obs::names::EPS_PRIME_LS_GAUGE]
+                    .iter()
+                    .filter_map(|name| worker.snapshot.gauges.get(*name).copied())
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    });
+                FleetWorker {
+                    worker: id.clone(),
+                    trials_submitted: worker.trials_submitted,
+                    trials_per_sec,
+                    active_leases,
+                    oldest_lease_ms,
+                    last_seen_ms: last_seen.as_millis() as u64,
+                    straggler: active_leases > 0 && last_seen > ttl / 2,
+                    eps_prime,
+                }
+            })
+            .collect();
+        let eps_prime_max = workers
+            .iter()
+            .filter_map(|w| w.eps_prime)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
+        let eps_target = state
+            .workers
+            .values()
+            .filter_map(|w| w.snapshot.gauges.get(obs::names::EPS_TARGET_GAUGE).copied())
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
+        FleetReport {
+            protocol_version: PROTOCOL_VERSION,
+            jobs: state.jobs.len(),
+            trials_total,
+            trials_completed,
+            pending,
+            leases_reclaimed: state.counters.reclaimed,
+            eps_prime_max,
+            eps_target,
+            done: !state.jobs.is_empty() && trials_completed == trials_total,
+            workers,
+        }
+    }
+
+    /// Every worker's reassembled metric snapshot, by worker id — the
+    /// input to [`dpaudit_obs::render_prometheus_fleet`].
+    pub fn worker_snapshots(&self) -> BTreeMap<String, MetricsSnapshot> {
+        self.lock()
+            .workers
+            .iter()
+            .map(|(id, worker)| (id.clone(), worker.snapshot.clone()))
+            .collect()
     }
 
     /// Route one HTTP request. Exposed so tests can drive the protocol
@@ -495,12 +651,12 @@ impl Coordinator {
                 }
             }
             ("POST", "/renew") => {
-                let Ok(renew) = serde_json::from_str::<crate::protocol::RenewRequest>(
-                    &String::from_utf8_lossy(&request.body),
-                ) else {
+                let Ok(renew) =
+                    serde_json::from_str::<RenewRequest>(&String::from_utf8_lossy(&request.body))
+                else {
                     return Response::text(400, "malformed renew request");
                 };
-                Response::json(serde_json::to_value(&self.renew(renew.lease)).to_string())
+                Response::json(serde_json::to_value(&self.renew(&renew)).to_string())
             }
             ("POST", "/submit") => {
                 let body = String::from_utf8_lossy(&request.body).into_owned();
@@ -522,14 +678,26 @@ impl Coordinator {
                 }
             }
             ("GET", "/status") => Response::json(serde_json::to_value(&self.status()).to_string()),
-            ("GET", "/metrics") => match &self.metrics {
-                Some(render) => Response {
+            ("GET", "/fleet") => Response::json(serde_json::to_value(&self.fleet()).to_string()),
+            ("GET", "/healthz") => {
+                let state = self.lock();
+                Response::json(render_health(state.jobs.len(), state.workers.len()))
+            }
+            ("GET", "/metrics") => {
+                // Coordinator-process exposition (when enabled) followed by
+                // the fleet exposition of every worker's shipped snapshot.
+                let fleet = render_prometheus_fleet(&self.worker_snapshots());
+                if self.metrics.is_none() && fleet.is_empty() {
+                    return Response::text(404, "metrics not enabled");
+                }
+                let mut body = self.metrics.as_ref().map_or_else(String::new, |r| r());
+                body.push_str(&fleet);
+                Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
-                    body: render().into_bytes(),
-                },
-                None => Response::text(404, "metrics not enabled"),
-            },
+                    body: body.into_bytes(),
+                }
+            }
             _ => Response::text(404, "unknown endpoint"),
         }
     }
@@ -690,14 +858,19 @@ mod tests {
         let LeaseReply::Granted { lease, .. } = claim(&coordinator, "w", 2) else {
             panic!("expected grant");
         };
+        let heartbeat = RenewRequest {
+            lease,
+            worker: "w".into(),
+            metrics: None,
+        };
         for _ in 0..3 {
             std::thread::sleep(Duration::from_millis(50));
-            assert!(coordinator.renew(lease).renewed);
+            assert!(coordinator.renew(&heartbeat).renewed);
         }
         // 150 ms elapsed against an 80 ms TTL, but renewals kept it live.
         assert_eq!(coordinator.status().leases_reclaimed, 0);
         std::thread::sleep(Duration::from_millis(100));
-        assert!(!coordinator.renew(lease).renewed);
+        assert!(!coordinator.renew(&heartbeat).renewed);
         assert_eq!(coordinator.status().leases_reclaimed, 1);
     }
 
@@ -712,6 +885,7 @@ mod tests {
             job: "a".into(),
             lease: Some(lease),
             worker: "w".into(),
+            metrics: None,
         };
         let records = vec![toy_record(0), toy_record(1)];
         let ack = coordinator.ingest(&submit, &records).unwrap();
@@ -748,6 +922,7 @@ mod tests {
             job: "a".into(),
             lease: Some(lease),
             worker: "slow".into(),
+            metrics: None,
         };
         let ack = coordinator
             .ingest(&submit, &[toy_record(0), toy_record(1)])
@@ -759,6 +934,7 @@ mod tests {
             job: "a".into(),
             lease: None,
             worker: "fast".into(),
+            metrics: None,
         };
         let ack = coordinator
             .ingest(&submit2, &[toy_record(0), toy_record(1)])
@@ -783,6 +959,7 @@ mod tests {
             job,
             lease: Some(lease),
             worker: "w".into(),
+            metrics: None,
         };
         coordinator.ingest(&submit, &[toy_record(0)]).unwrap();
         let LeaseReply::Granted { job, .. } = claim(&coordinator, "w", 1) else {
@@ -851,6 +1028,7 @@ mod tests {
             job: "a".into(),
             lease: Some(lease),
             worker: "w".into(),
+            metrics: None,
         };
         let mut body = serde_json::to_value(&submit).to_string();
         body.push('\n');
@@ -873,7 +1051,92 @@ mod tests {
         assert_eq!(status.jobs.len(), 1);
         assert_eq!(status.trials_submitted, 1);
 
+        // No render attached and no worker has shipped metrics yet, so the
+        // exposition stays 404; /fleet and /healthz always answer.
         assert_eq!(coordinator.handle(&get("/metrics", "")).status, 404);
+        let response = coordinator.handle(&get("/fleet", ""));
+        assert_eq!(response.status, 200);
+        let fleet: FleetReport =
+            serde_json::from_str(&String::from_utf8_lossy(&response.body)).unwrap();
+        assert_eq!(fleet.workers.len(), 1);
+        let response = coordinator.handle(&get("/healthz", ""));
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8_lossy(&response.body).into_owned();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"jobs\":1"), "{body}");
         assert_eq!(coordinator.handle(&get("/nope", "")).status, 404);
+    }
+
+    #[test]
+    fn fleet_merges_shipped_metric_deltas_per_worker() {
+        let coordinator = test_coordinator("fleet", Duration::from_secs(30));
+        coordinator.submit_job("a", toy_header(4)).unwrap();
+        let LeaseReply::Granted { lease, .. } = claim(&coordinator, "w1", 2) else {
+            panic!("expected grant");
+        };
+        // First shipment: a counter plus the ε′/ε-target gauges.
+        let mut delta = MetricsSnapshot::default();
+        delta
+            .counters
+            .insert(obs::names::FABRIC_WORKER_TRIALS.into(), 1);
+        delta.gauges.insert(obs::names::EPS_PRIME_GAUGE.into(), 0.8);
+        delta
+            .gauges
+            .insert(obs::names::EPS_TARGET_GAUGE.into(), 2.0);
+        let submit = SubmitHeader {
+            job: "a".into(),
+            lease: Some(lease),
+            worker: "w1".into(),
+            metrics: Some(delta),
+        };
+        coordinator.ingest(&submit, &[toy_record(0)]).unwrap();
+        // Second shipment rides a heartbeat; the counter delta adds, the
+        // gauge max-folds.
+        let mut delta = MetricsSnapshot::default();
+        delta
+            .counters
+            .insert(obs::names::FABRIC_WORKER_TRIALS.into(), 1);
+        delta.gauges.insert(obs::names::EPS_PRIME_GAUGE.into(), 1.1);
+        coordinator.renew(&RenewRequest {
+            lease,
+            worker: "w1".into(),
+            metrics: Some(delta),
+        });
+
+        let snapshots = coordinator.worker_snapshots();
+        assert_eq!(
+            snapshots["w1"].counters[obs::names::FABRIC_WORKER_TRIALS],
+            2
+        );
+        assert_eq!(snapshots["w1"].gauges[obs::names::EPS_PRIME_GAUGE], 1.1);
+
+        let fleet = coordinator.fleet();
+        assert_eq!(fleet.jobs, 1);
+        assert_eq!((fleet.trials_total, fleet.trials_completed), (4, 1));
+        assert_eq!(fleet.eps_prime_max, Some(1.1));
+        assert_eq!(fleet.eps_target, Some(2.0));
+        assert!(!fleet.done);
+        let worker = &fleet.workers[0];
+        assert_eq!(worker.worker, "w1");
+        assert_eq!(worker.trials_submitted, 1);
+        assert_eq!(worker.active_leases, 1);
+        assert!(worker.oldest_lease_ms.is_some());
+        assert!(!worker.straggler, "fresh heartbeat must not flag straggler");
+        assert_eq!(worker.eps_prime, Some(1.1));
+
+        // Shipped metrics make the exposition answer with worker labels
+        // even without a coordinator-side render.
+        let response = coordinator.handle(&Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: String::new(),
+            body: Vec::new(),
+        });
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8_lossy(&response.body).into_owned();
+        assert!(
+            body.contains("dpaudit_fabric_worker_trials_total{worker=\"w1\"} 2"),
+            "{body}"
+        );
     }
 }

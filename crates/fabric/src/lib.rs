@@ -37,8 +37,9 @@ pub use client::{seed_from_id, Backoff, Client};
 pub use coordinator::{replay_job_store, serve, Coordinator, CoordinatorConfig};
 pub use merge::{merge_shards, Merged};
 pub use protocol::{
-    valid_job_id, JobDescriptor, JobStatus, JobSubmission, LeaseReply, LeaseRequest, RenewReply,
-    RenewRequest, StatusReport, SubmitAck, SubmitHeader, PROTOCOL_VERSION,
+    valid_job_id, FleetReport, FleetWorker, JobDescriptor, JobStatus, JobSubmission, LeaseReply,
+    LeaseRequest, RenewReply, RenewRequest, StatusReport, SubmitAck, SubmitHeader,
+    PROTOCOL_VERSION,
 };
 pub use signal::shutdown_flag;
 pub use worker::{run_worker, JobRunner, WorkerConfig, WorkerSummary};

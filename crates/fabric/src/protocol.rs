@@ -15,11 +15,25 @@
 //! | `POST /renew`   | [`RenewRequest`] | [`RenewReply`]                |
 //! | `POST /submit`  | line/JSON shard  | [`SubmitAck`]                 |
 //! | `GET  /status`  | —                | [`StatusReport`]              |
+//! | `GET  /fleet`   | —                | [`FleetReport`]               |
+//! | `GET  /healthz` | —                | `{"status":"ok",...}`         |
 //!
 //! Protocol errors use plain HTTP statuses: `400` malformed body, `404`
 //! unknown job or lease, `409` duplicate job id or a determinism conflict
 //! (two different records claiming the same trial index).
+//!
+//! # Metric shipping
+//!
+//! Workers piggyback their metric state on the calls they already make:
+//! [`SubmitHeader`] and [`RenewRequest`] each carry an optional
+//! [`MetricsSnapshot`] *delta* (see
+//! [`dpaudit_obs::MetricsSnapshot::delta_since`]). The fields are
+//! `#[serde(default)]`, so a pre-shipping peer's body (no `metrics` key)
+//! parses as `None` — no protocol version bump, no new connections. The
+//! coordinator merges deltas into per-worker registries behind `/metrics`
+//! (with `worker` labels) and summarises them in `/fleet`.
 
+use dpaudit_obs::MetricsSnapshot;
 use dpaudit_runtime::StoreHeader;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +107,10 @@ pub struct RenewRequest {
     pub lease: u64,
     /// The renewing worker (status display only).
     pub worker: String,
+    /// Piggybacked metrics delta since the worker's last shipment; the
+    /// heartbeat doubles as the metric channel between submissions.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Answer to a renewal.
@@ -116,6 +134,9 @@ pub struct SubmitHeader {
     pub lease: Option<u64>,
     /// The submitting worker (status display only).
     pub worker: String,
+    /// Piggybacked metrics delta since the worker's last shipment.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Answer to a shard submission.
@@ -171,6 +192,57 @@ impl StatusReport {
     }
 }
 
+/// Per-worker block of a [`FleetReport`]: the coordinator's live view of
+/// one worker, combining lease bookkeeping with the worker's shipped
+/// metric gauges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWorker {
+    /// The worker id.
+    pub worker: String,
+    /// Records the coordinator has accepted from this worker.
+    pub trials_submitted: u64,
+    /// Mean accepted-trial throughput since the worker was first seen.
+    pub trials_per_sec: f64,
+    /// Unexpired leases currently held.
+    pub active_leases: usize,
+    /// Age of the oldest held lease in milliseconds (since its last
+    /// grant/renewal/submission touch), when any is held.
+    pub oldest_lease_ms: Option<u64>,
+    /// Milliseconds since the coordinator last heard from this worker.
+    pub last_seen_ms: u64,
+    /// Straggler heuristic: the worker holds a lease but has been silent
+    /// for more than half the lease TTL — next stop is a reclaim.
+    pub straggler: bool,
+    /// The worker's shipped running-max ε′ gauge, when it has shipped one.
+    pub eps_prime: Option<f64>,
+}
+
+/// `GET /fleet`: one line-JSON summary of the whole fleet — what
+/// `dpaudit fabric watch` tails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// See [`PROTOCOL_VERSION`].
+    pub protocol_version: u64,
+    /// Jobs in the queue.
+    pub jobs: usize,
+    /// Total trials across all jobs.
+    pub trials_total: usize,
+    /// Trials with an accepted record across all jobs.
+    pub trials_completed: usize,
+    /// Queue depth: trials neither completed nor out on a live lease.
+    pub pending: usize,
+    /// Expired leases reclaimed since startup.
+    pub leases_reclaimed: u64,
+    /// Largest ε′ any worker has shipped, when any has.
+    pub eps_prime_max: Option<f64>,
+    /// The target ε budget shipped with the metrics, when any.
+    pub eps_target: Option<f64>,
+    /// Whether every job is complete.
+    pub done: bool,
+    /// Every worker the coordinator has heard from, in id order.
+    pub workers: Vec<FleetWorker>,
+}
+
 /// Whether `id` is a valid job id: non-empty, ≤ 128 bytes, and URL- and
 /// filename-safe (`[A-Za-z0-9._-]`, not starting with a dot or dash).
 /// Job ids name coordinator-side store files, so this is a path-traversal
@@ -213,10 +285,67 @@ mod tests {
             job: "j".into(),
             lease: None,
             worker: "w".into(),
+            metrics: None,
         };
         let text = serde_json::to_value(&header).to_string();
         let back: SubmitHeader = serde_json::from_str(&text).unwrap();
         assert_eq!(back, header);
+    }
+
+    #[test]
+    fn pre_shipping_bodies_without_a_metrics_key_still_parse() {
+        // Bodies serialized before metric shipping existed have no
+        // `metrics` key at all; `#[serde(default)]` must fill in `None`.
+        let submit = SubmitHeader {
+            job: "j".into(),
+            lease: Some(3),
+            worker: "w".into(),
+            metrics: None,
+        };
+        let text = serde_json::to_value(&submit).to_string();
+        let legacy = text.replace(",\"metrics\":null", "");
+        assert!(legacy.len() < text.len(), "metrics key not found in {text}");
+        let back: SubmitHeader = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, submit);
+
+        let renew = RenewRequest {
+            lease: 3,
+            worker: "w".into(),
+            metrics: None,
+        };
+        let text = serde_json::to_value(&renew).to_string();
+        let legacy = text.replace(",\"metrics\":null", "");
+        assert!(legacy.len() < text.len(), "metrics key not found in {text}");
+        let back: RenewRequest = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, renew);
+    }
+
+    #[test]
+    fn fleet_reports_round_trip_through_json() {
+        let report = FleetReport {
+            protocol_version: PROTOCOL_VERSION,
+            jobs: 2,
+            trials_total: 16,
+            trials_completed: 9,
+            pending: 4,
+            leases_reclaimed: 1,
+            eps_prime_max: Some(1.25),
+            eps_target: Some(2.0),
+            done: false,
+            workers: vec![FleetWorker {
+                worker: "w1".into(),
+                trials_submitted: 9,
+                trials_per_sec: 3.5,
+                active_leases: 1,
+                oldest_lease_ms: Some(120),
+                last_seen_ms: 40,
+                straggler: false,
+                eps_prime: Some(1.25),
+            }],
+        };
+        let text = serde_json::to_value(&report).to_string();
+        let back: FleetReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -17,9 +17,19 @@
 //! re-submission dedupes by trial index. A shutdown flag (see
 //! [`crate::signal`]) drains the worker gracefully: in-flight trials
 //! finish and submit, no new lease is claimed.
+//!
+//! # Observability
+//!
+//! The loop stamps the ambient trace context (job / worker / lease ids,
+//! see [`dpaudit_obs::set_context`]) so a trial's spans correlate across
+//! nodes, and — when [`WorkerConfig::metrics`] carries a registry — ships
+//! [`dpaudit_obs::MetricsSnapshot`] deltas piggybacked on the submit and
+//! renew calls it already makes. The baseline only advances on an
+//! acknowledged shipment, so a dropped request's delta rides the next one.
 
 use crate::client::{seed_from_id, Backoff, Client};
-use crate::protocol::{valid_job_id, LeaseReply, LeaseRequest, SubmitHeader};
+use crate::protocol::{valid_job_id, LeaseReply, LeaseRequest, RenewRequest, SubmitHeader};
+use dpaudit_obs::{self as obs, MetricsRegistry, MetricsSnapshot, Sink as _, TraceContext};
 use dpaudit_runtime::{
     read_store, LeaseBatch, SourceRunStats, StoreHeader, TrialRecord, TrialSink, TrialSource,
     TrialStore,
@@ -55,6 +65,10 @@ pub struct WorkerConfig {
     /// Cooperative shutdown flag: when set, finish and submit in-flight
     /// trials, then stop without claiming further leases.
     pub shutdown: Arc<AtomicBool>,
+    /// This worker's metrics registry, when metric shipping is wanted.
+    /// Held by reference (not read through global dispatch) so several
+    /// in-process workers can each ship their own registry.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl WorkerConfig {
@@ -75,6 +89,7 @@ impl WorkerConfig {
             attempts: 5,
             backoff_base: Duration::from_millis(100),
             shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: None,
         }
     }
 
@@ -192,6 +207,7 @@ impl TrialSource for LeaseSource<'_> {
                         last_touch: Instant::now(),
                     });
                     self.leases += 1;
+                    obs::set_lease(Some(lease));
                     return Ok(Some(LeaseBatch { lease, indices }));
                 }
                 LeaseReply::Wait => sleep_interruptible(self.config.poll, &self.config.shutdown),
@@ -202,6 +218,7 @@ impl TrialSource for LeaseSource<'_> {
 
     fn complete(&mut self, _lease: u64) -> std::io::Result<()> {
         *self.shared.borrow_mut() = None;
+        obs::set_lease(None);
         Ok(())
     }
 }
@@ -217,6 +234,9 @@ struct ShardSink<'a> {
     gone: Rc<Cell<bool>>,
     store: Option<TrialStore>,
     backoff: Backoff,
+    /// Registry state as of the last *acknowledged* shipment; the next
+    /// shipment is `snapshot.delta_since(&shipped)`.
+    shipped: MetricsSnapshot,
 }
 
 impl ShardSink<'_> {
@@ -249,6 +269,15 @@ impl ShardSink<'_> {
         Ok(self.store.as_mut().expect("just created"))
     }
 
+    /// The full registry state and the delta not yet acknowledged by the
+    /// coordinator, when a registry is attached and the delta is non-empty.
+    fn pending_shipment(&self) -> Option<(MetricsSnapshot, MetricsSnapshot)> {
+        let registry = self.config.metrics.as_ref()?;
+        let snapshot = registry.snapshot();
+        let delta = snapshot.delta_since(&self.shipped);
+        (!delta.is_empty()).then_some((snapshot, delta))
+    }
+
     /// Explicit heartbeat once more than half the TTL has passed since the
     /// last grant/renewal/submission — long trials outlive their lease
     /// otherwise. A failed renewal is not fatal: the submission that
@@ -262,11 +291,19 @@ impl ShardSink<'_> {
             active.last_touch.elapsed() > active.ttl / 2
         };
         if due {
-            let renewed = Client::with_retry(&mut self.backoff, || {
-                self.client.renew(lease, &self.config.worker_id)
-            })
-            .map(|reply| reply.renewed)
-            .unwrap_or(false);
+            let shipment = self.pending_shipment();
+            let request = RenewRequest {
+                lease,
+                worker: self.config.worker_id.clone(),
+                metrics: shipment.as_ref().map(|(_, delta)| delta.clone()),
+            };
+            let reply = Client::with_retry(&mut self.backoff, || self.client.renew(&request));
+            if reply.is_ok() {
+                if let Some((snapshot, _)) = shipment {
+                    self.shipped = snapshot;
+                }
+            }
+            let renewed = reply.map(|reply| reply.renewed).unwrap_or(false);
             let mut shared = self.shared.borrow_mut();
             if let Some(active) = shared.as_mut() {
                 if renewed {
@@ -282,10 +319,21 @@ impl TrialSink for ShardSink<'_> {
         // Durable-local-first: the shard line survives any submit failure.
         self.store()?.append(&record)?;
         self.maybe_renew(lease);
+        // Count into the worker's own registry (not global dispatch), so
+        // the shipped snapshot carries it even with no global sink
+        // installed — and several in-process workers stay separable.
+        if let Some(registry) = &self.config.metrics {
+            registry.record(&obs::Event::Counter {
+                name: obs::names::FABRIC_WORKER_TRIALS.into(),
+                delta: 1,
+            });
+        }
+        let shipment = self.pending_shipment();
         let submit = SubmitHeader {
             job: self.job.clone(),
             lease: Some(lease),
             worker: self.config.worker_id.clone(),
+            metrics: shipment.as_ref().map(|(_, delta)| delta.clone()),
         };
         // A reclaimed straggler can outlive the coordinator itself: the
         // record is already durably in the local shard (merge still sees
@@ -301,6 +349,10 @@ impl TrialSink for ShardSink<'_> {
             }
             Err(err) => return Err(err),
         };
+        // The coordinator acknowledged the shipment: advance the baseline.
+        if let Some((snapshot, _)) = shipment {
+            self.shipped = snapshot;
+        }
         // `accepted: 0, duplicates: 1` is the reclaimed-straggler case:
         // someone else already ran this index to the same bytes. Fine.
         let mut shared = self.shared.borrow_mut();
@@ -347,6 +399,22 @@ pub fn run_worker(
     let mut backoff = config.backoff();
     let mut summary = WorkerSummary::default();
     let mut contacted = false;
+    // Worker-level correlation context for the whole loop, so even lines
+    // recorded between jobs (poll RTT spans, backoff waits) carry the
+    // worker id; cleared on every exit path by the guard.
+    let worker_context = || TraceContext {
+        job: None,
+        worker: Some(config.worker_id.clone()),
+        lease: None,
+    };
+    obs::set_context(worker_context());
+    struct ClearContext;
+    impl Drop for ClearContext {
+        fn drop(&mut self) {
+            obs::clear_context();
+        }
+    }
+    let _context_guard = ClearContext;
     loop {
         if config.shutdown.load(Ordering::Relaxed) {
             summary.drained = true;
@@ -384,6 +452,24 @@ pub fn run_worker(
         };
         let job_id = next.job.clone();
         let descriptor = Client::with_retry(&mut backoff, || client.job(&job_id))?;
+        // Ambient correlation context: every trace line this job's trials
+        // emit carries the (job, worker) pair; the lease id is stamped on
+        // grant and cleared on completion by the source.
+        obs::set_context(TraceContext {
+            job: Some(job_id.clone()),
+            worker: Some(config.worker_id.clone()),
+            lease: None,
+        });
+        // Anchor the shipped eps' gauges against the budget this job is
+        // audited under, so the coordinator's fleet view can render
+        // eps' vs target without any extra context. (Gauges max-fold, so
+        // re-recording per job or per process is harmless.)
+        if let Some(registry) = &config.metrics {
+            registry.record(&obs::Event::GaugeMax {
+                name: obs::names::EPS_TARGET_GAUGE.into(),
+                value: descriptor.header.target_epsilon,
+            });
+        }
         let shared = Rc::new(RefCell::new(None));
         let gone = Rc::new(Cell::new(false));
         let mut source = LeaseSource {
@@ -404,8 +490,12 @@ pub fn run_worker(
             gone: gone.clone(),
             store: None,
             backoff: config.backoff(),
+            shipped: MetricsSnapshot::default(),
         };
-        let stats = runner.run_job(&job_id, &descriptor.header, &mut source, &mut sink)?;
+        let stats = runner.run_job(&job_id, &descriptor.header, &mut source, &mut sink);
+        // Back to the worker-level context between jobs.
+        obs::set_context(worker_context());
+        let stats = stats?;
         summary.executed += stats.executed;
         summary.leases += source.leases;
         if !summary.jobs.contains(&job_id) {

@@ -257,6 +257,7 @@ fn killed_worker_lease_is_reclaimed_and_the_result_is_unchanged() {
                 job: "job-a".into(),
                 lease: Some(dead_lease),
                 worker: "dead".into(),
+                metrics: None,
             },
             &straggler,
         )
@@ -270,6 +271,92 @@ fn killed_worker_lease_is_reclaimed_and_the_result_is_unchanged() {
     assert_bit_identical(&merged.report().unwrap(), &expected);
     let replay = replay_store(&coordinator_path).unwrap();
     assert_bit_identical(&replay.report.unwrap(), &expected);
+}
+
+#[test]
+fn shipped_worker_metrics_aggregate_to_the_merged_trial_count() {
+    let store_dir = unique_dir("metrics_store");
+    let shard_dir = unique_dir("metrics_shards");
+    let mut config = CoordinatorConfig::new(&store_dir);
+    config.lease_trials = 3;
+    let coordinator = Arc::new(Coordinator::new(config));
+    let server = serve(coordinator.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let header_a = toy_header("metrics-a", 5);
+    let mut header_b = toy_header("metrics-b", 3);
+    header_b.master_seed = Seed(7);
+    let client = Client::new(addr.clone());
+    client.submit_job("job-a", &header_a).unwrap();
+    client.submit_job("job-b", &header_b).unwrap();
+
+    // One job per worker, so both deterministically execute (and ship
+    // metrics). Each in-process worker carries its *own* registry — global
+    // dispatch is process-wide and exclusive.
+    let registries: Vec<Arc<dpaudit_obs::MetricsRegistry>> = (0..2)
+        .map(|_| Arc::new(dpaudit_obs::MetricsRegistry::new()))
+        .collect();
+    let handles: Vec<_> = [("w1", "job-a"), ("w2", "job-b")]
+        .into_iter()
+        .zip(&registries)
+        .map(|((id, job), registry)| {
+            let mut config = worker_config(&addr, id, &shard_dir);
+            config.job = Some(job.into());
+            config.metrics = Some(registry.clone());
+            std::thread::spawn(move || run_worker(&config, &mut ToyRunner { threads: 1 }))
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap().unwrap();
+    }
+
+    // Merge each job's shards; the fleet total must match their sum.
+    let mut merged_trials = 0usize;
+    for job in ["job-a", "job-b"] {
+        let shards: Vec<PathBuf> = shard_paths(&shard_dir)
+            .into_iter()
+            .filter(|path| {
+                path.file_name()
+                    .is_some_and(|name| name.to_string_lossy().starts_with(job))
+            })
+            .collect();
+        let merged = merge_shards(&shards).unwrap();
+        assert!(merged.is_complete());
+        merged_trials += merged.report().unwrap().trials;
+    }
+
+    // The coordinator's fleet view aggregates exactly the merged count.
+    let fleet = client.fleet().unwrap();
+    assert!(fleet.done, "{fleet:?}");
+    assert_eq!(fleet.trials_completed, merged_trials);
+    let fleet_submitted: u64 = fleet.workers.iter().map(|w| w.trials_submitted).sum();
+    assert_eq!(fleet_submitted as usize, merged_trials);
+
+    // So do the shipped per-worker trial counters (reassembled deltas).
+    let snapshots = coordinator.worker_snapshots();
+    assert_eq!(snapshots.len(), 2);
+    let shipped_trials: u64 = snapshots
+        .values()
+        .map(|s| {
+            s.counters
+                .get(dpaudit_obs::names::FABRIC_WORKER_TRIALS)
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(shipped_trials as usize, merged_trials);
+
+    // And the exposition labels every worker's series.
+    let (status, body) = client.request("GET", "/metrics", &[]).unwrap();
+    assert_eq!(status, 200);
+    let exposition = String::from_utf8_lossy(&body).into_owned();
+    for id in ["w1", "w2"] {
+        assert!(
+            exposition.contains(&format!("worker=\"{id}\"")),
+            "missing worker label {id} in:\n{exposition}"
+        );
+    }
+    server.shutdown();
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! Ambient cross-node correlation context stamped onto trace lines.
+//!
+//! The fabric runs one worker per process, so correlation identity is a
+//! process-wide property: which job the worker is executing, the worker's
+//! own id, and the lease it currently holds. [`set_context`] installs
+//! those identifiers once per job (and [`set_lease`] updates the lease as
+//! grants arrive); every [`crate::JsonlSink`] line records the context
+//! that was current at capture time, which is what lets
+//! `dpaudit trace merge` follow one trial from the coordinator's lease
+//! grant through worker execution to the submit ack.
+//!
+//! The context lives behind a process-global `RwLock` read only inside
+//! `JsonlSink::record` — the sinks-disabled hot path never touches it, so
+//! the <2% overhead budget is unaffected. Because it is process-global,
+//! two workers hosted in one process would overwrite each other's
+//! context; the CLI never does that (each `fabric work` is its own
+//! process), and in-process test harnesses should set the context only
+//! from a single worker.
+
+use std::sync::RwLock;
+
+/// The correlation identifiers active for this process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Job id the process is currently executing, if any.
+    pub job: Option<String>,
+    /// This process's fabric worker id, if it is a worker.
+    pub worker: Option<String>,
+    /// The currently held lease id, if any.
+    pub lease: Option<u64>,
+}
+
+static CONTEXT: RwLock<TraceContext> = RwLock::new(TraceContext {
+    job: None,
+    worker: None,
+    lease: None,
+});
+
+fn write_lock() -> std::sync::RwLockWriteGuard<'static, TraceContext> {
+    CONTEXT
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Install the process-wide correlation context (replacing any previous
+/// one). Call at job-start boundaries; pair with [`clear_context`].
+pub fn set_context(context: TraceContext) {
+    *write_lock() = context;
+}
+
+/// Update only the lease id, keeping the job/worker identity. `None`
+/// marks the gap between leases.
+pub fn set_lease(lease: Option<u64>) {
+    write_lock().lease = lease;
+}
+
+/// Reset the context to empty (no job, no worker, no lease).
+pub fn clear_context() {
+    *write_lock() = TraceContext::default();
+}
+
+/// The currently installed context (cloned).
+pub fn current_context() -> TraceContext {
+    CONTEXT
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Serialises tests that mutate the process-global context.
+#[cfg(test)]
+pub(crate) static TEST_CONTEXT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_set_updated_and_cleared() {
+        let _guard = TEST_CONTEXT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear_context();
+        assert_eq!(current_context(), TraceContext::default());
+        set_context(TraceContext {
+            job: Some("job-a".into()),
+            worker: Some("w1".into()),
+            lease: None,
+        });
+        set_lease(Some(7));
+        let ctx = current_context();
+        assert_eq!(ctx.job.as_deref(), Some("job-a"));
+        assert_eq!(ctx.worker.as_deref(), Some("w1"));
+        assert_eq!(ctx.lease, Some(7));
+        set_lease(None);
+        assert_eq!(current_context().lease, None);
+        clear_context();
+        assert_eq!(current_context(), TraceContext::default());
+    }
+}

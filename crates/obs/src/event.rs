@@ -172,6 +172,11 @@ pub mod names {
     pub const FABRIC_DUPLICATES: &str = "fabric.duplicate_submissions";
     /// Counter: worker-side request retries after coordinator errors.
     pub const FABRIC_RETRIES: &str = "fabric.worker_retries";
+    /// Counter: trials this worker executed and submitted — recorded into
+    /// the worker's own registry (not global dispatch) so the shipped
+    /// per-worker snapshot carries it even when no global sink is
+    /// installed, and the coordinator's fleet `/metrics` can label it.
+    pub const FABRIC_WORKER_TRIALS: &str = "fabric.worker_trials";
     /// Span: one worker-side coordinator round trip (request → response).
     pub const FABRIC_RTT_SPAN: &str = "fabric.rtt";
 }

@@ -41,15 +41,57 @@ struct Interval {
 /// ready to write to disk).
 pub fn chrome_trace(lines: &[TraceLine]) -> String {
     let mut events: Vec<Value> = Vec::new();
+    emit_process(&mut events, 1, "dpaudit", lines);
+    serde_json::to_string(&Value::Array(events)).expect("trace events are serialisable")
+}
+
+/// Merge several workers' traces into one export with a process track per
+/// worker: pid 1, 2, … in sorted-worker-id order, process name set to the
+/// worker id, and each worker's thread timelines reconstructed exactly as
+/// [`chrome_trace`] would. Tracks sharing a name (e.g. shards of one
+/// worker's trace) are concatenated before conversion.
+///
+/// Determinism: workers are visited in sorted id order and every worker's
+/// lines are re-sorted by `(ts_nanos, tid, serialised event)` before
+/// emission, so the output bytes depend only on the *set* of input lines
+/// — not on the order files were listed or lines interleaved. This is the
+/// merged-trace analogue of the shard-merge determinism argument.
+pub fn chrome_trace_merged(tracks: &[(String, Vec<TraceLine>)]) -> String {
+    let mut by_worker: BTreeMap<&str, Vec<TraceLine>> = BTreeMap::new();
+    for (worker, lines) in tracks {
+        by_worker
+            .entry(worker.as_str())
+            .or_default()
+            .extend(lines.iter().cloned());
+    }
+    let mut events: Vec<Value> = Vec::new();
+    for (pid, (worker, lines)) in by_worker.iter_mut().enumerate() {
+        lines.sort_by(|a, b| {
+            a.ts_nanos
+                .cmp(&b.ts_nanos)
+                .then(a.tid.cmp(&b.tid))
+                .then_with(|| {
+                    serde_json::to_value(&a.event)
+                        .to_string()
+                        .cmp(&serde_json::to_value(&b.event).to_string())
+                })
+        });
+        emit_process(&mut events, pid as u64 + 1, worker, lines);
+    }
+    serde_json::to_string(&Value::Array(events)).expect("trace events are serialisable")
+}
+
+/// Emit one process track (`pid`, named `process_name`) worth of events.
+fn emit_process(events: &mut Vec<Value>, pid: u64, process_name: &str, lines: &[TraceLine]) {
     let mut by_tid: BTreeMap<u64, Vec<Interval>> = BTreeMap::new();
     let mut counter_totals: BTreeMap<&str, u64> = BTreeMap::new();
 
     events.push(json!({
         "name": "process_name",
         "ph": "M",
-        "pid": 1,
+        "pid": pid,
         "tid": 0,
-        "args": json!({"name": "dpaudit"}),
+        "args": json!({"name": process_name}),
     }));
 
     for line in lines {
@@ -64,11 +106,11 @@ pub fn chrome_trace(lines: &[TraceLine]) -> String {
             Event::Counter { name, delta } => {
                 let total = counter_totals.entry(name.as_str()).or_insert(0);
                 *total += delta;
-                events.push(counter_sample(name, line.ts_nanos, *total as f64));
+                events.push(counter_sample(name, pid, line.ts_nanos, *total as f64));
             }
             Event::GaugeMax { name, value } => {
                 if value.is_finite() {
-                    events.push(counter_sample(name, line.ts_nanos, *value));
+                    events.push(counter_sample(name, pid, line.ts_nanos, *value));
                 }
             }
             Event::Ledger {
@@ -79,6 +121,7 @@ pub fn chrome_trace(lines: &[TraceLine]) -> String {
                 if eps_prime.is_finite() {
                     events.push(counter_sample(
                         names::EPS_PRIME_LS_GAUGE,
+                        pid,
                         line.ts_nanos,
                         *eps_prime,
                     ));
@@ -87,6 +130,7 @@ pub fn chrome_trace(lines: &[TraceLine]) -> String {
                     if budget.is_finite() {
                         events.push(counter_sample(
                             names::EPS_TARGET_GAUGE,
+                            pid,
                             line.ts_nanos,
                             *budget,
                         ));
@@ -101,7 +145,7 @@ pub fn chrome_trace(lines: &[TraceLine]) -> String {
         events.push(json!({
             "name": "thread_name",
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "args": json!({"name": format!("worker-{tid}")}),
         }));
@@ -112,40 +156,38 @@ pub fn chrome_trace(lines: &[TraceLine]) -> String {
         for interval in intervals {
             while open.last().is_some_and(|(_, end)| *end <= interval.start) {
                 let (name, end) = open.pop().expect("non-empty");
-                events.push(span_edge("E", &name, tid, end));
+                events.push(span_edge("E", &name, pid, tid, end));
             }
             let parent_end = open.last().map_or(u64::MAX, |(_, end)| *end);
             let end = interval.end.min(parent_end);
-            events.push(span_edge("B", &interval.name, tid, interval.start));
+            events.push(span_edge("B", &interval.name, pid, tid, interval.start));
             open.push((interval.name, end));
         }
         while let Some((name, end)) = open.pop() {
-            events.push(span_edge("E", &name, tid, end));
+            events.push(span_edge("E", &name, pid, tid, end));
         }
     }
-
-    serde_json::to_string(&Value::Array(events)).expect("trace events are serialisable")
 }
 
-fn counter_sample(name: &str, ts_nanos: u64, value: f64) -> Value {
+fn counter_sample(name: &str, pid: u64, ts_nanos: u64, value: f64) -> Value {
     json!({
         "name": name,
         "cat": "dpaudit",
         "ph": "C",
         "ts": micros(ts_nanos),
-        "pid": 1,
+        "pid": pid,
         "tid": 0,
         "args": json!({"value": value}),
     })
 }
 
-fn span_edge(ph: &str, name: &str, tid: u64, ts_nanos: u64) -> Value {
+fn span_edge(ph: &str, name: &str, pid: u64, tid: u64, ts_nanos: u64) -> Value {
     json!({
         "name": name,
         "cat": "dpaudit",
         "ph": ph,
         "ts": micros(ts_nanos),
-        "pid": 1,
+        "pid": pid,
         "tid": tid,
     })
 }
@@ -158,6 +200,9 @@ mod tests {
         TraceLine {
             ts_nanos: end_ns,
             tid,
+            job: None,
+            worker: None,
+            lease: None,
             event: Event::SpanEnd {
                 name: name.into(),
                 nanos: dur_ns,
@@ -165,22 +210,24 @@ mod tests {
         }
     }
 
-    /// Replay the exported B/E events per tid through a stack, asserting
-    /// proper nesting, and return each completed span's (name, dur µs).
+    /// Replay the exported B/E events per (pid, tid) through a stack,
+    /// asserting proper nesting, and return each completed span's
+    /// (name, tid, dur µs).
     fn matched_spans(text: &str) -> Vec<(String, u64, f64)> {
         let value: Value = serde_json::from_str(text).unwrap();
         let events = value.as_array().expect("a JSON array of trace events");
-        let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+        let mut stacks: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
         let mut done = Vec::new();
         for event in events {
             let ph = event["ph"].as_str().unwrap();
             if ph != "B" && ph != "E" {
                 continue;
             }
+            let pid = event["pid"].as_f64().unwrap() as u64;
             let tid = event["tid"].as_f64().unwrap() as u64;
             let name = event["name"].as_str().unwrap().to_string();
             let ts = event["ts"].as_f64().unwrap();
-            let stack = stacks.entry(tid).or_default();
+            let stack = stacks.entry((pid, tid)).or_default();
             if ph == "B" {
                 stack.push((name, ts));
             } else {
@@ -189,8 +236,8 @@ mod tests {
                 done.push((name, tid, ts - begin_ts));
             }
         }
-        for (tid, stack) in stacks {
-            assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+        for (key, stack) in stacks {
+            assert!(stack.is_empty(), "unclosed spans on {key:?}: {stack:?}");
         }
         done
     }
@@ -219,26 +266,26 @@ mod tests {
 
     #[test]
     fn counters_plot_running_totals_and_ledger_plots_eps() {
+        let counter_line = |ts_nanos: u64, delta: u64| TraceLine {
+            ts_nanos,
+            tid: 0,
+            job: None,
+            worker: None,
+            lease: None,
+            event: Event::Counter {
+                name: "dpsgd.steps".into(),
+                delta,
+            },
+        };
         let lines = vec![
-            TraceLine {
-                ts_nanos: 1_000,
-                tid: 0,
-                event: Event::Counter {
-                    name: "dpsgd.steps".into(),
-                    delta: 2,
-                },
-            },
-            TraceLine {
-                ts_nanos: 2_000,
-                tid: 0,
-                event: Event::Counter {
-                    name: "dpsgd.steps".into(),
-                    delta: 3,
-                },
-            },
+            counter_line(1_000, 2),
+            counter_line(2_000, 3),
             TraceLine {
                 ts_nanos: 3_000,
                 tid: 0,
+                job: None,
+                worker: None,
+                lease: None,
                 event: Event::Ledger {
                     step: 1,
                     local_sensitivity: 0.5,
@@ -275,5 +322,55 @@ mod tests {
     fn empty_trace_is_still_a_valid_event_array() {
         let value: Value = serde_json::from_str(&chrome_trace(&[])).unwrap();
         assert!(value.as_array().is_some());
+    }
+
+    #[test]
+    fn merged_export_gives_each_worker_its_own_process_track() {
+        let w1 = vec![
+            span_line(0, "trial", 50_000, 40_000),
+            span_line(0, "dpsgd.clip", 20_000, 5_000),
+        ];
+        let w2 = vec![span_line(0, "trial", 90_000, 80_000)];
+        let text = chrome_trace_merged(&[("w1".to_string(), w1), ("w2".to_string(), w2)]);
+        let value: Value = serde_json::from_str(&text).unwrap();
+        let events = value.as_array().unwrap();
+        // Two process tracks named after the workers, pids in sorted order.
+        let processes: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("process_name"))
+            .map(|e| {
+                (
+                    e["pid"].as_f64().unwrap() as u64,
+                    e["args"]["name"].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            processes,
+            vec![(1, "w1".to_string()), (2, "w2".to_string())]
+        );
+        // Each track's span pairs still match up.
+        let mut spans = matched_spans(&text);
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            spans,
+            vec![
+                ("dpsgd.clip".to_string(), 0, 5.0),
+                ("trial".to_string(), 0, 40.0),
+                ("trial".to_string(), 0, 80.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_export_is_byte_identical_regardless_of_track_order() {
+        let w1 = vec![span_line(0, "trial", 50_000, 40_000)];
+        let w2 = vec![span_line(1, "trial", 90_000, 80_000)];
+        let forward = chrome_trace_merged(&[
+            ("w1".to_string(), w1.clone()),
+            ("w2".to_string(), w2.clone()),
+        ]);
+        let backward = chrome_trace_merged(&[("w2".to_string(), w2), ("w1".to_string(), w1)]);
+        assert_eq!(forward, backward);
     }
 }

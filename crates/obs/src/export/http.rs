@@ -118,6 +118,14 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// The `/healthz` probe body: liveness plus a coarse shape summary
+/// (how many jobs and workers the endpoint currently knows about). The
+/// single-registry scrape endpoint reports one implicit job and worker;
+/// the fabric coordinator substitutes its real queue and fleet sizes.
+pub fn render_health(jobs: usize, workers: usize) -> String {
+    format!("{{\"status\":\"ok\",\"jobs\":{jobs},\"workers\":{workers}}}\n")
+}
+
 /// A background HTTP endpoint: binds a TCP listener and serves a handler
 /// until shut down (or dropped).
 pub struct MetricsServer {
@@ -130,7 +138,10 @@ pub struct MetricsServer {
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9898`; port 0 picks a free port) and
     /// serve `render()` to every `GET` request on a background thread —
-    /// the Prometheus scrape endpoint.
+    /// the Prometheus scrape endpoint. The one reserved path is
+    /// `GET /healthz`, which answers the [`render_health`] line-JSON probe
+    /// (one job, one worker: this entry point serves a single registry)
+    /// instead of the exposition, for load balancers and CI.
     ///
     /// # Errors
     /// Socket bind/configuration errors.
@@ -141,6 +152,9 @@ impl MetricsServer {
     {
         Self::serve_with(addr, ServerConfig::default(), move |req: &Request| {
             if req.method == "GET" {
+                if req.path == "/healthz" {
+                    return Response::json(render_health(1, 1));
+                }
                 Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -403,6 +417,23 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
         assert_eq!(server.scrapes(), 0);
         let response = scrape(server.addr(), "GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.contains("x 1"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_answers_the_probe_instead_of_the_exposition() {
+        let server = MetricsServer::serve("127.0.0.1:0", || "x 1\n".to_string()).unwrap();
+        let response = scrape(server.addr(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        assert!(
+            response.contains("{\"status\":\"ok\",\"jobs\":1,\"workers\":1}"),
+            "{response}"
+        );
+        assert!(!response.contains("x 1"), "{response}");
+        // Every other GET path still serves the exposition.
+        let response = scrape(server.addr(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(response.contains("x 1"), "{response}");
         server.shutdown();
     }

@@ -8,12 +8,17 @@
 //!   fabric coordinator's line/JSON protocol.
 //! * [`chrome_trace`] — converts a JSONL trace into Chrome trace-event JSON
 //!   loadable in Perfetto / `chrome://tracing`
-//!   (`dpaudit trace export --format chrome`).
+//!   (`dpaudit trace export --format chrome`); [`chrome_trace_merged`]
+//!   zips several workers' traces into one export with a process track per
+//!   worker (`dpaudit trace merge`).
+//! * [`render_prometheus_fleet`] — one exposition over many workers'
+//!   shipped snapshots, each sample labelled `worker="<id>"` (the fabric
+//!   coordinator's `/metrics`).
 
 mod chrome;
 mod http;
 mod prometheus;
 
-pub use chrome::chrome_trace;
-pub use http::{MetricsServer, Request, Response, ServerConfig};
-pub use prometheus::{render_prometheus, render_prometheus_labeled};
+pub use chrome::{chrome_trace, chrome_trace_merged};
+pub use http::{render_health, MetricsServer, Request, Response, ServerConfig};
+pub use prometheus::{render_prometheus, render_prometheus_fleet, render_prometheus_labeled};

@@ -26,6 +26,17 @@ fn prom_name(name: &str) -> String {
     format!("dpaudit_{mapped}")
 }
 
+/// Escape a label value per the text exposition format: backslash, double
+/// quote, and line feed are the three characters the format requires
+/// escaping. Worker ids are user-supplied (`--worker-id`), so a raw
+/// newline here would otherwise split a sample line in two.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 /// Render the snapshot (and span stats) as a Prometheus text exposition.
 pub fn render_prometheus(snapshot: &MetricsSnapshot, spans: &BTreeMap<String, SpanStat>) -> String {
     render_prometheus_labeled(snapshot, spans, &[])
@@ -45,7 +56,7 @@ pub fn render_prometheus_labeled(
     if !labels.is_empty() {
         let rendered: Vec<String> = labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
             .collect();
         let _ = writeln!(out, "# TYPE dpaudit_audit_info gauge");
         let _ = writeln!(out, "dpaudit_audit_info{{{}}} 1", rendered.join(","));
@@ -88,6 +99,69 @@ pub fn render_prometheus_labeled(
                 "dpaudit_span_seconds_total{{span=\"{name}\"}} {}",
                 stat.total_secs()
             );
+        }
+    }
+    out
+}
+
+/// Render one exposition from many workers' shipped snapshots, every
+/// sample labelled `worker="<id>"`. Series are grouped per metric name so
+/// each family gets exactly one `# TYPE` declaration regardless of how
+/// many workers report it; workers and names iterate in `BTreeMap` order,
+/// so the exposition is deterministic for a fixed fleet state.
+pub fn render_prometheus_fleet(workers: &BTreeMap<String, MetricsSnapshot>) -> String {
+    let mut out = String::new();
+    let mut counters: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    let mut histograms: BTreeMap<&str, Vec<(&str, &crate::registry::Histogram)>> = BTreeMap::new();
+    for (worker, snapshot) in workers {
+        for (name, value) in &snapshot.counters {
+            counters.entry(name).or_default().push((worker, *value));
+        }
+        for (name, value) in &snapshot.gauges {
+            gauges.entry(name).or_default().push((worker, *value));
+        }
+        for (name, hist) in &snapshot.histograms {
+            histograms.entry(name).or_default().push((worker, hist));
+        }
+    }
+    for (name, series) in &counters {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# TYPE {prom}_total counter");
+        for (worker, value) in series {
+            let _ = writeln!(
+                out,
+                "{prom}_total{{worker=\"{}\"}} {value}",
+                escape_label(worker)
+            );
+        }
+    }
+    for (name, series) in &gauges {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        for (worker, value) in series {
+            let _ = writeln!(out, "{prom}{{worker=\"{}\"}} {value}", escape_label(worker));
+        }
+    }
+    for (name, series) in &histograms {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        for (worker, hist) in series {
+            let worker = escape_label(worker);
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{worker=\"{worker}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            let total = hist.total();
+            let _ = writeln!(
+                out,
+                "{prom}_bucket{{worker=\"{worker}\",le=\"+Inf\"}} {total}"
+            );
+            let _ = writeln!(out, "{prom}_count{{worker=\"{worker}\"}} {total}");
         }
     }
     out
@@ -144,12 +218,74 @@ mod tests {
         // Everything else is byte-identical to the unlabeled exposition.
         assert!(labeled.ends_with(&plain), "{labeled}");
 
-        // Quote/backslash characters in values are escaped per the format.
+        // Quote/backslash/newline characters in values are escaped per the
+        // format — a raw newline would split the sample line in two.
         let escaped =
-            render_prometheus_labeled(&snapshot, &BTreeMap::new(), &[("label", "a\"b\\c")]);
+            render_prometheus_labeled(&snapshot, &BTreeMap::new(), &[("label", "a\"b\\c\nd")]);
         assert!(
-            escaped.contains("dpaudit_audit_info{label=\"a\\\"b\\\\c\"} 1"),
+            escaped.contains("dpaudit_audit_info{label=\"a\\\"b\\\\c\\nd\"} 1"),
             "{escaped}"
+        );
+        assert!(!escaped.contains("a\"b"), "{escaped}");
+    }
+
+    #[test]
+    fn fleet_exposition_labels_every_series_by_worker() {
+        let snapshot_with = |trials: u64, eps: f64, belief: f64| {
+            let registry = MetricsRegistry::new();
+            registry.record(&Event::Counter {
+                name: names::TRIALS.into(),
+                delta: trials,
+            });
+            registry.record(&Event::GaugeMax {
+                name: names::EPS_PRIME_GAUGE.into(),
+                value: eps,
+            });
+            registry.record(&Event::Observe {
+                name: names::BELIEF_HIST.into(),
+                value: belief,
+            });
+            registry.snapshot()
+        };
+        let mut workers = BTreeMap::new();
+        workers.insert("w1".to_string(), snapshot_with(3, 0.4, 0.15));
+        workers.insert("w2".to_string(), snapshot_with(5, 0.9, 0.95));
+        let text = render_prometheus_fleet(&workers);
+        assert!(
+            text.contains("dpaudit_di_trials_total{worker=\"w1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpaudit_di_trials_total{worker=\"w2\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpaudit_eps_prime{worker=\"w2\"} 0.9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dpaudit_di_belief_count{worker=\"w1\"} 1"),
+            "{text}"
+        );
+        // One TYPE declaration per family, not per worker.
+        assert_eq!(
+            text.matches("# TYPE dpaudit_di_trials_total counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE dpaudit_di_belief histogram").count(),
+            1,
+            "{text}"
+        );
+        // Hostile worker ids stay on one escaped line.
+        let mut hostile = BTreeMap::new();
+        hostile.insert("w\"1\n".to_string(), snapshot_with(1, 0.1, 0.5));
+        let text = render_prometheus_fleet(&hostile);
+        assert!(
+            text.contains("dpaudit_di_trials_total{worker=\"w\\\"1\\n\"} 1"),
+            "{text}"
         );
     }
 

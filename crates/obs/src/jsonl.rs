@@ -3,9 +3,9 @@
 //! in a [`TraceLine`] carrying the capture timestamp and worker thread.
 //!
 //! ```text
-//! {"schema_version":2,"kind":"dpaudit-obs-trace"}                       ← header
-//! {"ts_nanos":1201,"tid":1,"event":{"Counter":{"name":"dpsgd.steps","delta":1}}}
-//! {"ts_nanos":9324,"tid":2,"event":{"SpanEnd":{"name":"trial","nanos":8123}}}
+//! {"schema_version":3,"kind":"dpaudit-obs-trace"}                       ← header
+//! {"ts_nanos":1201,"tid":1,"job":"smoke","worker":"w1","lease":4,"event":{"Counter":{"name":"dpsgd.steps","delta":1}}}
+//! {"ts_nanos":9324,"tid":2,"job":null,"worker":null,"lease":null,"event":{"SpanEnd":{"name":"trial","nanos":8123}}}
 //! ```
 //!
 //! Timestamps are nanoseconds of monotonic time since the sink was
@@ -29,8 +29,17 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Trace file format version; bump on incompatible line-format changes.
-/// Version 2 wrapped each event in a [`TraceLine`] with `ts_nanos`/`tid`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 2 wrapped each event in a [`TraceLine`] with `ts_nanos`/`tid`;
+/// version 3 added the optional `job`/`worker`/`lease` correlation fields
+/// (absent keys parse as `None`, so v2 files stay readable — see
+/// [`MIN_SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest trace version this build still reads. Version 2 lines are a
+/// strict subset of version 3 (no correlation fields), so the v3 reader
+/// accepts both; version 1 (bare events, no `TraceLine` wrapper) would
+/// misparse and is refused.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 /// Discriminator string stored in the header's `kind` field.
 pub const TRACE_KIND: &str = "dpaudit-obs-trace";
@@ -54,13 +63,24 @@ impl ObsHeader {
     }
 }
 
-/// One trace file line: an [`Event`] plus where and when it was captured.
+/// One trace file line: an [`Event`] plus where and when it was captured,
+/// and (since schema v3) the fabric correlation context active at capture
+/// time — which job, worker, and lease the recording process was serving.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceLine {
     /// Monotonic nanoseconds since the sink was created.
     pub ts_nanos: u64,
     /// Small per-process ordinal of the recording thread (0-based).
     pub tid: u64,
+    /// Job id from the ambient [`crate::TraceContext`], if any.
+    #[serde(default)]
+    pub job: Option<String>,
+    /// Worker id from the ambient [`crate::TraceContext`], if any.
+    #[serde(default)]
+    pub worker: Option<String>,
+    /// Lease id from the ambient [`crate::TraceContext`], if any.
+    #[serde(default)]
+    pub lease: Option<u64>,
     /// The recorded event itself.
     pub event: Event,
 }
@@ -111,9 +131,13 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
+        let context = crate::context::current_context();
         let line = TraceLine {
             ts_nanos: self.epoch.elapsed().as_nanos() as u64,
             tid: thread_ordinal(),
+            job: context.job,
+            worker: context.worker,
+            lease: context.lease,
             event: event.clone(),
         };
         // Serialise outside the lock; hold it only for the single write so
@@ -146,9 +170,9 @@ pub fn read_trace_lines(path: &Path) -> std::io::Result<(ObsHeader, Vec<TraceLin
         .ok_or_else(|| bad("empty trace file".to_string()))?;
     let header: ObsHeader =
         serde_json::from_str(header_line).map_err(|e| bad(format!("invalid trace header: {e}")))?;
-    if header.schema_version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&header.schema_version) {
         return Err(bad(format!(
-            "trace schema version {} unsupported (expected {SCHEMA_VERSION})",
+            "trace schema version {} unsupported (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
             header.schema_version
         )));
     }
@@ -276,6 +300,9 @@ mod tests {
         let good = serde_json::to_value(&TraceLine {
             ts_nanos: 7,
             tid: 0,
+            job: None,
+            worker: None,
+            lease: None,
             event: Event::Counter {
                 name: "a".into(),
                 delta: 1,
@@ -304,6 +331,74 @@ mod tests {
             err.to_string().contains("schema version 1 unsupported"),
             "{err}"
         );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_traces_without_correlation_fields_still_read() {
+        // A hand-written schema-2 file: the old TraceLine shape, no
+        // job/worker/lease keys. The v3 reader must parse every line with
+        // the correlation fields defaulted to None.
+        let path = temp_path("legacy_v2.jsonl");
+        fs::write(
+            &path,
+            concat!(
+                "{\"schema_version\":2,\"kind\":\"dpaudit-obs-trace\"}\n",
+                "{\"ts_nanos\":10,\"tid\":0,\"event\":{\"Counter\":{\"name\":\"a\",\"delta\":2}}}\n",
+                "{\"ts_nanos\":20,\"tid\":0,\"event\":{\"SpanEnd\":{\"name\":\"s\",\"nanos\":99}}}\n",
+            ),
+        )
+        .unwrap();
+        let (header, lines) = read_trace_lines(&path).unwrap();
+        assert_eq!(header.schema_version, 2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines
+            .iter()
+            .all(|l| l.job.is_none() && l.worker.is_none() && l.lease.is_none()));
+        assert_eq!(
+            lines[0].event,
+            Event::Counter {
+                name: "a".into(),
+                delta: 2
+            }
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ambient_context_is_stamped_onto_every_line() {
+        let _guard = crate::context::TEST_CONTEXT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let path = temp_path("context_stamp.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        crate::context::set_context(crate::context::TraceContext {
+            job: Some("job-ctx".into()),
+            worker: Some("w-ctx".into()),
+            lease: None,
+        });
+        sink.record(&Event::Counter {
+            name: "a".into(),
+            delta: 1,
+        });
+        crate::context::set_lease(Some(9));
+        sink.record(&Event::Counter {
+            name: "a".into(),
+            delta: 1,
+        });
+        crate::context::clear_context();
+        sink.record(&Event::Counter {
+            name: "a".into(),
+            delta: 1,
+        });
+        sink.flush().unwrap();
+        let (_, lines) = read_trace_lines(&path).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].job.as_deref(), Some("job-ctx"));
+        assert_eq!(lines[0].worker.as_deref(), Some("w-ctx"));
+        assert_eq!(lines[0].lease, None);
+        assert_eq!(lines[1].lease, Some(9));
+        assert!(lines[2].job.is_none() && lines[2].worker.is_none() && lines[2].lease.is_none());
         fs::remove_file(&path).ok();
     }
 

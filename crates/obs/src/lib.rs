@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod event;
 pub mod export;
 mod global;
@@ -55,17 +56,19 @@ mod jsonl;
 mod registry;
 mod sink;
 
+pub use context::{clear_context, current_context, set_context, set_lease, TraceContext};
 pub use event::{bucket_bounds, names, Event};
 pub use export::{
-    chrome_trace, render_prometheus, render_prometheus_labeled, MetricsServer, Request, Response,
-    ServerConfig,
+    chrome_trace, chrome_trace_merged, render_health, render_prometheus, render_prometheus_fleet,
+    render_prometheus_labeled, MetricsServer, Request, Response, ServerConfig,
 };
 pub use global::{
     counter, enabled, gauge_max, install, observe, record, span, span_nanos, InstallGuard,
     SpanGuard,
 };
 pub use jsonl::{
-    read_events, read_trace_lines, JsonlSink, ObsHeader, TraceLine, SCHEMA_VERSION, TRACE_KIND,
+    read_events, read_trace_lines, JsonlSink, ObsHeader, TraceLine, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION, TRACE_KIND,
 };
 pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, SpanStat};
 pub use sink::{MultiSink, NoopSink, Sink};

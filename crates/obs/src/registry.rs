@@ -92,6 +92,73 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, Histogram>,
 }
 
+impl MetricsSnapshot {
+    /// Fold another snapshot into this one: counters add, gauges keep the
+    /// maximum, histograms with matching bounds add bucket-wise (a name
+    /// collision with different bounds keeps ours — the bounds are derived
+    /// from the metric name, so this only happens across incompatible
+    /// builds). Every fold is commutative and associative, so merging any
+    /// permutation of worker snapshots yields identical bytes — the same
+    /// argument that makes a single registry order-independent.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(*value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(hist.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    if mine.bounds == hist.bounds {
+                        for (a, b) in mine.counts.iter_mut().zip(&hist.counts) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The change since `baseline` (an earlier snapshot of the same
+    /// registry): counters and histogram buckets subtract (saturating, so
+    /// a restarted registry degrades to shipping absolutes rather than
+    /// underflowing); gauges are running maxima, which are idempotent
+    /// under [`MetricsSnapshot::merge`], so they ship absolute.
+    ///
+    /// This is the worker→coordinator shipping format: repeatedly merging
+    /// `delta_since` increments reconstructs the worker's full snapshot.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut delta = self.clone();
+        for (name, value) in &baseline.counters {
+            if let Some(slot) = delta.counters.get_mut(name) {
+                *slot = slot.saturating_sub(*value);
+            }
+        }
+        for (name, hist) in &baseline.histograms {
+            if let Some(mine) = delta.histograms.get_mut(name) {
+                if mine.bounds == hist.bounds {
+                    for (a, b) in mine.counts.iter_mut().zip(&hist.counts) {
+                        *a = a.saturating_sub(*b);
+                    }
+                }
+            }
+        }
+        delta
+    }
+
+    /// Whether the snapshot carries no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     snapshot: MetricsSnapshot,
@@ -309,6 +376,79 @@ mod tests {
         assert_eq!(snap.histograms[names::LEDGER_SENSITIVITY_HIST].total(), 4);
         assert_eq!(snap.gauges[names::EPS_PRIME_LS_GAUGE], 0.9);
         assert_eq!(snap.gauges[names::EPS_TARGET_GAUGE], 1.5);
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_and_sums_histograms() {
+        let build = |events: &[Event]| {
+            let registry = MetricsRegistry::new();
+            registry.absorb(events);
+            registry.snapshot()
+        };
+        let a = build(&[
+            counter("c", 2),
+            Event::GaugeMax {
+                name: "g".into(),
+                value: 0.4,
+            },
+            Event::Observe {
+                name: names::BELIEF_HIST.into(),
+                value: 0.15,
+            },
+        ]);
+        let b = build(&[
+            counter("c", 3),
+            counter("only-b", 1),
+            Event::GaugeMax {
+                name: "g".into(),
+                value: 0.9,
+            },
+            Event::Observe {
+                name: names::BELIEF_HIST.into(),
+                value: 0.95,
+            },
+        ]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Commutative: the merged fold is order-independent.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters["c"], 5);
+        assert_eq!(ab.counters["only-b"], 1);
+        assert_eq!(ab.gauges["g"], 0.9);
+        assert_eq!(ab.histograms[names::BELIEF_HIST].total(), 2);
+    }
+
+    #[test]
+    fn deltas_reassemble_the_full_snapshot_under_merge() {
+        let registry = MetricsRegistry::new();
+        registry.record(&counter("c", 2));
+        registry.record(&Event::Observe {
+            name: names::BELIEF_HIST.into(),
+            value: 0.15,
+        });
+        let first = registry.snapshot();
+        registry.record(&counter("c", 3));
+        registry.record(&Event::GaugeMax {
+            name: "g".into(),
+            value: 0.7,
+        });
+        let second = registry.snapshot();
+
+        // Shipping first, then (second - first), reconstructs second.
+        let mut shipped = MetricsSnapshot::default();
+        shipped.merge(&first.delta_since(&MetricsSnapshot::default()));
+        shipped.merge(&second.delta_since(&first));
+        assert_eq!(shipped, second);
+
+        // The increment itself carries only the change.
+        let increment = second.delta_since(&first);
+        assert_eq!(increment.counters["c"], 3);
+        assert_eq!(increment.histograms[names::BELIEF_HIST].total(), 0);
+        assert!(first.delta_since(&second).counters["c"] == 0, "saturates");
+        assert!(MetricsSnapshot::default().is_empty());
+        assert!(!second.is_empty());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! folding the trace back through a registry yields the identical
 //! deterministic snapshot (counter sums, gauge maxima, histogram buckets).
 
-use dpaudit_obs::{names, read_events, Event, JsonlSink, MetricsRegistry, Sink};
+use dpaudit_obs::{
+    chrome_trace_merged, names, read_events, Event, JsonlSink, MetricsRegistry, Sink, TraceLine,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -53,6 +55,24 @@ impl proptest::strategy::Strategy for ArbEvent {
                 name: SPANS[rng.gen_range(0..SPANS.len())].into(),
                 nanos: rng.gen_range(0u64..10_000_000_000),
             },
+        }
+    }
+}
+
+/// Draws one full trace line: timestamp, thread, and an event of any kind.
+struct ArbTraceLine;
+
+impl proptest::strategy::Strategy for ArbTraceLine {
+    type Value = TraceLine;
+
+    fn sample(&self, rng: &mut StdRng) -> TraceLine {
+        TraceLine {
+            ts_nanos: rng.gen_range(0u64..1_000_000),
+            tid: rng.gen_range(1u64..4),
+            job: None,
+            worker: None,
+            lease: None,
+            event: ArbEvent.sample(rng),
         }
     }
 }
@@ -113,5 +133,35 @@ proptest! {
             prop_assert_eq!(stat.count, other.count);
             prop_assert_eq!(stat.total_nanos, other.total_nanos);
         }
+    }
+
+    /// The merged Chrome export is byte-identical whatever order the
+    /// per-worker trace files arrive in and however each file's lines are
+    /// permuted — `dpaudit trace merge` over the same shard set always
+    /// produces the same artefact.
+    #[test]
+    fn merged_chrome_export_is_invariant_under_file_and_line_order(
+        lines in proptest::collection::vec(ArbTraceLine, 0..48),
+        workers in 1usize..4,
+        seed in 0usize..64,
+    ) {
+        let mut tracks: Vec<(String, Vec<TraceLine>)> = (0..workers)
+            .map(|w| (format!("w{w}"), Vec::new()))
+            .collect();
+        for (i, line) in lines.iter().enumerate() {
+            tracks[i % workers].1.push(line.clone());
+        }
+        let baseline = chrome_trace_merged(&tracks);
+
+        let mut shuffled: Vec<(String, Vec<TraceLine>)> = scramble(tracks.len(), seed)
+            .into_iter()
+            .map(|i| tracks[i].clone())
+            .collect();
+        for (_, track) in &mut shuffled {
+            let order = scramble(track.len(), seed + 1);
+            let lines = track.clone();
+            *track = order.into_iter().map(|i| lines[i].clone()).collect();
+        }
+        prop_assert_eq!(chrome_trace_merged(&shuffled), baseline);
     }
 }
