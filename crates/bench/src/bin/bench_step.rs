@@ -1,6 +1,7 @@
 //! Throughput probe for the batched gradient pipeline across kernel
 //! variants: per-example oracle, batched clip loop at scalar/SIMD × f64/f32,
-//! and the chunk-parallel SIMD loop, per workload, emitted as a JSON blob
+//! the chunk-parallel SIMD loop, and — when compiled in — every non-native
+//! gemm backend at f64/f32, per workload, emitted as a JSON blob
 //! (`results/run_all.sh` captures it as `results/BENCH_step.json`).
 //!
 //! The speedup baseline is `batched_f64_scalar` — the register-blocked
@@ -9,14 +10,15 @@
 //! asserted inline: the batched-scalar, batched-SIMD, and parallel-SIMD f64
 //! sums must be bit-identical (the accumulation-chain contract), the
 //! per-example oracle must agree within 1e-9 (sequential vs chunked
-//! reduction order), and the f32 sums must track the f64 oracle within a
-//! relative tolerance — so every ratio reported here is pure speed.
+//! reduction order), and the f32 and non-native-backend sums must track the
+//! f64 native oracle within a relative tolerance — so every ratio reported
+//! here is pure speed.
 
 use dpaudit_bench::Workload;
 use dpaudit_dpsgd::{clip_loop, clip_loop_mode, ClippingStrategy, ComputeMode};
 use dpaudit_math::{axpy, seeded_rng};
 use dpaudit_nn::Sequential;
-use dpaudit_tensor::{kernel_backend, set_force_scalar, Tensor};
+use dpaudit_tensor::{kernel_backend, set_force_scalar, Backend, Tensor};
 use rayon::ThreadPoolBuilder;
 use std::time::Instant;
 
@@ -75,22 +77,38 @@ fn measure(workload: Workload, pool: &rayon::ThreadPool) -> serde_json::Value {
     let clipping = ClippingStrategy::Flat(3.0);
     let layout = model.param_layout();
 
-    let batched =
-        |compute, pool| clip_loop_mode(&model, xs, ys, &clipping, &layout, pool, compute).clean_sum;
+    let batched = |compute, pool, backend| {
+        clip_loop_mode(&model, xs, ys, &clipping, &layout, pool, compute, backend).clean_sum
+    };
+    let native = Backend::native();
 
     // Scalar tiles pinned: the per-example oracle and the PR-5 baseline.
     set_force_scalar(true);
     let (per_example, oracle_sum) =
         throughput(|| per_example_step(&model, xs, ys, &clipping, &layout));
-    let (f64_scalar, f64_scalar_sum) = throughput(|| batched(ComputeMode::F64, None));
-    let (f32_scalar, f32_scalar_sum) = throughput(|| batched(ComputeMode::F32, None));
+    let (f64_scalar, f64_scalar_sum) = throughput(|| batched(ComputeMode::F64, None, native));
+    let (f32_scalar, f32_scalar_sum) = throughput(|| batched(ComputeMode::F32, None, native));
 
     // SIMD dispatch restored: the variants this PR adds.
     set_force_scalar(false);
-    let (f64_simd, f64_simd_sum) = throughput(|| batched(ComputeMode::F64, None));
-    let (f32_simd, f32_simd_sum) = throughput(|| batched(ComputeMode::F32, None));
+    let (f64_simd, f64_simd_sum) = throughput(|| batched(ComputeMode::F64, None, native));
+    let (f32_simd, f32_simd_sum) = throughput(|| batched(ComputeMode::F32, None, native));
     let (parallel, parallel_sum) =
         throughput(|| clip_loop(&model, xs, ys, &clipping, &layout, Some(pool)).clean_sum);
+
+    // Non-native gemm backends compiled into this binary (e.g. a blas
+    // build): one f64 and one f32 row each, tolerance-checked against the
+    // native oracle below.
+    let mut backend_rows: Vec<(String, f64, Vec<f64>)> = Vec::new();
+    for backend in Backend::compiled() {
+        if backend == native {
+            continue;
+        }
+        let (f64_rate, f64_sum) = throughput(|| batched(ComputeMode::F64, None, backend));
+        let (f32_rate, f32_sum) = throughput(|| batched(ComputeMode::F32, None, backend));
+        backend_rows.push((format!("batched_f64_{}", backend.name()), f64_rate, f64_sum));
+        backend_rows.push((format!("batched_f32_{}", backend.name()), f32_rate, f32_sum));
+    }
 
     // Determinism contract: every f64 variant of the chunked reduction is
     // bit-identical; the sequential oracle agrees within rounding.
@@ -123,22 +141,45 @@ fn measure(workload: Workload, pool: &rayon::ThreadPool) -> serde_json::Value {
         );
     }
 
+    // Non-native backends are tolerance-gated against the native oracle:
+    // tight for f64 rows (same precision, different summation tree), the
+    // f32 band for f32 rows.
+    for (label, _, sum) in &backend_rows {
+        let tol = if label.contains("f64") { 1e-9 } else { 1e-3 };
+        let worst = worst_abs_diff(sum, &f64_scalar_sum);
+        assert!(
+            worst < tol * scale,
+            "{label} sum drifted from the native f64 oracle: {worst} (scale {scale})"
+        );
+    }
+
+    let mut rates = vec![
+        ("per_example_f64".to_string(), per_example),
+        ("batched_f64_scalar".to_string(), f64_scalar),
+        ("batched_f64_simd".to_string(), f64_simd),
+        ("batched_f32_scalar".to_string(), f32_scalar),
+        ("batched_f32_simd".to_string(), f32_simd),
+        ("parallel_f64_simd".to_string(), parallel),
+    ];
+    rates.extend(backend_rows.iter().map(|(l, r, _)| (l.clone(), *r)));
+    let examples_per_sec: serde_json::Value = serde_json::Value::Object(
+        rates
+            .iter()
+            .map(|(l, r)| (l.clone(), serde_json::json!(*r)))
+            .collect(),
+    );
+    let speedups: serde_json::Value = serde_json::Value::Object(
+        rates
+            .iter()
+            .filter(|(l, _)| l != "per_example_f64" && l != "batched_f64_scalar")
+            .map(|(l, r)| (l.clone(), serde_json::json!(*r / f64_scalar)))
+            .collect(),
+    );
+
     serde_json::json!({
         "workload": workload.key(),
-        "examples_per_sec": serde_json::json!({
-            "per_example_f64": per_example,
-            "batched_f64_scalar": f64_scalar,
-            "batched_f64_simd": f64_simd,
-            "batched_f32_scalar": f32_scalar,
-            "batched_f32_simd": f32_simd,
-            "parallel_f64_simd": parallel,
-        }),
-        "speedup_vs_batched_f64_scalar": serde_json::json!({
-            "batched_f64_simd": f64_simd / f64_scalar,
-            "batched_f32_scalar": f32_scalar / f64_scalar,
-            "batched_f32_simd": f32_simd / f64_scalar,
-            "parallel_f64_simd": parallel / f64_scalar,
-        }),
+        "examples_per_sec": examples_per_sec,
+        "speedup_vs_batched_f64_scalar": speedups,
         "f64_sums_bit_identical": true,
         "f32_worst_abs_drift": worst_abs_diff(&f32_simd_sum, &f64_scalar_sum),
     })
@@ -154,11 +195,16 @@ fn main() {
         .into_iter()
         .map(|w| measure(w, &pool))
         .collect();
+    let gemm_backends: Vec<serde_json::Value> = Backend::compiled()
+        .into_iter()
+        .map(|b| serde_json::json!({ "name": b.name(), "capabilities": b.capabilities() }))
+        .collect();
     let blob = serde_json::json!({
         "train_size": TRAIN,
         "iters": ITERS,
         "cores": cores,
         "backend": kernel_backend(),
+        "gemm_backends": gemm_backends,
         "runs": runs,
     });
     println!(

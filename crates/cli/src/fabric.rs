@@ -148,12 +148,23 @@ impl fabric::JobRunner for EngineRunner {
             )
         })?;
         let plan = ExecPlan::for_header(header, self.parallelism);
+        // A worker must execute the job's recorded backend, not whatever it
+        // has: shards from a different accumulation order would poison the
+        // coordinator's deterministic merge. Refuse up front with the
+        // rebuild hint instead of panicking mid-trial.
+        header.settings.dpsgd.backend.resolve().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot execute job `{job}`: {e}"),
+            )
+        })?;
         // The protocol choices ride in the job header's settings; surface
         // them so a worker's log shows which precision, adversary and
         // sampling scheme its shards were produced under.
         eprintln!(
-            "fabric work: job `{job}` compute {} adversary {} sampling {}",
+            "fabric work: job `{job}` compute {} backend {} adversary {} sampling {}",
             header.settings.dpsgd.compute,
+            header.settings.dpsgd.backend,
             header.settings.adversary.label(),
             header.settings.sampling,
         );

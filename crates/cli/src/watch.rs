@@ -163,9 +163,10 @@ fn render_dashboard(state: &WatchState) -> String {
     let mut out = String::new();
     let header = &state.header;
     let compute = header.settings.dpsgd.compute;
+    let backend = header.settings.dpsgd.backend;
     let _ = writeln!(
         out,
-        "watch: {} · workload {} · compute {compute} · adversary {} · sampling {} · target eps {:.4} (delta {:e})",
+        "watch: {} · workload {} · compute {compute} · backend {backend} · adversary {} · sampling {} · target eps {:.4} (delta {:e})",
         header.label,
         header.workload,
         header.settings.adversary.label(),
@@ -229,6 +230,16 @@ fn render_dashboard(state: &WatchState) -> String {
             out,
             "  note: f32 storage run — eps' is tolerance-equivalent to, not \
              bit-identical with, an f64 run's"
+        );
+    }
+    if backend != dpaudit_dpsgd::BackendChoice::Native {
+        // Same caveat for a non-native gemm backend: its accumulation
+        // order differs from the native oracle's, so the run is
+        // tolerance-gated, not bit-comparable.
+        let _ = writeln!(
+            out,
+            "  note: {backend} backend run — results are tolerance-equivalent \
+             to, not bit-identical with, the native backend's"
         );
     }
     out
@@ -357,6 +368,20 @@ mod tests {
         assert!(f32_frame.contains("compute f32"), "{f32_frame}");
         assert!(f32_frame.contains("ALERT"), "{f32_frame}");
         assert!(f32_frame.contains("f32 storage run"), "{f32_frame}");
+    }
+
+    #[test]
+    fn dashboard_labels_backend_and_flags_non_native_runs() {
+        let native_frame = render_dashboard(&toy_state(&[0.5], 2.0));
+        assert!(native_frame.contains("backend native"), "{native_frame}");
+        assert!(!native_frame.contains("backend run"), "{native_frame}");
+
+        let mut state = toy_state(&[0.5], 2.0);
+        state.header.settings.dpsgd.backend = dpaudit_dpsgd::BackendChoice::Blas;
+        let blas_frame = render_dashboard(&state);
+        assert!(blas_frame.contains("backend blas"), "{blas_frame}");
+        assert!(blas_frame.contains("blas backend run"), "{blas_frame}");
+        assert!(blas_frame.contains("tolerance-equivalent"), "{blas_frame}");
     }
 
     #[test]

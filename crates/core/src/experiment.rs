@@ -3,8 +3,8 @@
 use dpaudit_datasets::Dataset;
 use dpaudit_dp::NeighborMode;
 use dpaudit_dpsgd::{
-    train_dpsgd, train_dpsgd_subsampled, AdaptiveClipConfig, ClippingStrategy, ComputeMode,
-    DpsgdConfig, NeighborPair, Optimizer, SensitivityScaling,
+    train_dpsgd, train_dpsgd_subsampled, AdaptiveClipConfig, BackendChoice, ClippingStrategy,
+    ComputeMode, DpsgdConfig, NeighborPair, Optimizer, SensitivityScaling,
 };
 use dpaudit_math::{seeded_rng, split_seed};
 use dpaudit_nn::Sequential;
@@ -141,6 +141,7 @@ pub struct TrialSettingsBuilder {
     optimizer: Optimizer,
     ls_floor: Option<f64>,
     compute: ComputeMode,
+    backend: BackendChoice,
     challenge: ChallengeMode,
     adversary: AdversaryKind,
     sampling: Sampling,
@@ -159,6 +160,7 @@ impl Default for TrialSettingsBuilder {
             optimizer: Optimizer::Sgd,
             ls_floor: None,
             compute: ComputeMode::F64,
+            backend: BackendChoice::Native,
             challenge: ChallengeMode::RandomBit,
             adversary: AdversaryKind::GaussianBelief,
             sampling: Sampling::FullBatch,
@@ -242,6 +244,15 @@ impl TrialSettingsBuilder {
     #[must_use]
     pub fn compute(mut self, compute: ComputeMode) -> Self {
         self.compute = compute;
+        self
+    }
+
+    /// Compute backend for the gradient gemms (native default; alternative
+    /// backends trade bit-reproducibility for platform kernels and are
+    /// gated by the tolerance-equivalence suite).
+    #[must_use]
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -343,6 +354,7 @@ impl TrialSettingsBuilder {
                 optimizer: self.optimizer,
                 ls_floor,
                 compute: self.compute,
+                backend: self.backend,
             },
             challenge: self.challenge,
             adversary: self.adversary,
@@ -696,6 +708,52 @@ mod tests {
         assert_eq!(parsed, current);
         assert_eq!(parsed.adversary, AdversaryKind::GaussianBelief);
         assert_eq!(parsed.sampling, Sampling::FullBatch);
+    }
+
+    #[test]
+    fn legacy_headers_without_backend_parse_to_native() {
+        // A pre-backend header has no `backend` key inside the dpsgd config;
+        // serde must default it to the native (bit-stable) backend so old
+        // stores keep their byte-identity guarantee.
+        let current = settings(2.0, ChallengeMode::RandomBit);
+        let json = serde_json::to_string(&current).unwrap();
+        assert!(json.contains("\"backend\":\"Native\""), "{json}");
+        let legacy = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            match &mut v {
+                serde_json::Value::Object(entries) => {
+                    let dpsgd = entries
+                        .iter_mut()
+                        .find(|(k, _)| k == "dpsgd")
+                        .map(|(_, v)| v)
+                        .expect("header has a dpsgd object");
+                    match dpsgd {
+                        serde_json::Value::Object(inner) => {
+                            inner.retain(|(k, _)| k != "backend");
+                        }
+                        other => panic!("dpsgd serialised to a non-object: {other:?}"),
+                    }
+                }
+                other => panic!("settings serialised to a non-object: {other:?}"),
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        let parsed: TrialSettings = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, current);
+        assert_eq!(parsed.dpsgd.backend, BackendChoice::Native);
+    }
+
+    #[test]
+    fn backend_choice_round_trips_through_the_builder() {
+        let s = TrialSettings::builder()
+            .backend(BackendChoice::Blas)
+            .build()
+            .unwrap();
+        assert_eq!(s.dpsgd.backend, BackendChoice::Blas);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"backend\":\"Blas\""), "{json}");
+        let back: TrialSettings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

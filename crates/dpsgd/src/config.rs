@@ -55,6 +55,52 @@ impl std::fmt::Display for ComputeMode {
     }
 }
 
+/// Which compute backend serves the gemm-shaped hot path of the batched
+/// gradient pipeline.
+///
+/// [`BackendChoice::Native`] (the default) is the in-tree scalar-tile +
+/// SIMD-dispatch kernels — the byte-stability oracle every determinism test
+/// pins. [`BackendChoice::Blas`] routes the gemms through an external CBLAS
+/// `dgemm`/`sgemm` (cargo feature `blas`); blocked BLAS kernels sum in a
+/// different order, so blas runs are tolerance-equivalent to the oracle, not
+/// bit-identical, and are opt-in per run. The choice is resolved to a
+/// [`dpaudit_tensor::Backend`] handle once per training run and recorded in
+/// the run's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BackendChoice {
+    /// In-tree scalar/SIMD kernels (bit-reproducible oracle).
+    #[default]
+    Native,
+    /// External CBLAS gemms (tolerance-equivalent, requires `--features blas`).
+    Blas,
+}
+
+impl BackendChoice {
+    /// The backend's header name, as accepted by
+    /// [`dpaudit_tensor::Backend::resolve`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Native => "native",
+            BackendChoice::Blas => "blas",
+        }
+    }
+
+    /// Resolve to a compute-backend handle.
+    ///
+    /// # Errors
+    /// Errors when the backend is not compiled into this binary (the message
+    /// names the cargo feature that would enable it).
+    pub fn resolve(self) -> Result<dpaudit_tensor::Backend, String> {
+        dpaudit_tensor::Backend::resolve(self.name())
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of one DPSGD training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DpsgdConfig {
@@ -83,6 +129,9 @@ pub struct DpsgdConfig {
     /// Storage precision of the batched gradient pipeline (f64 default).
     #[serde(default)]
     pub compute: ComputeMode,
+    /// Compute backend for the gemm-shaped hot path (native default).
+    #[serde(default)]
+    pub backend: BackendChoice,
 }
 
 impl DpsgdConfig {
@@ -144,6 +193,7 @@ impl DpsgdConfig {
             optimizer: Optimizer::Sgd,
             ls_floor: 1e-6 * bound,
             compute: ComputeMode::F64,
+            backend: BackendChoice::Native,
         }
     }
 
@@ -257,12 +307,24 @@ mod tests {
         assert_eq!(SensitivityScaling::Local.to_string(), "LS");
         assert_eq!(ComputeMode::F64.to_string(), "f64");
         assert_eq!(ComputeMode::F32.to_string(), "f32");
+        assert_eq!(BackendChoice::Native.to_string(), "native");
+        assert_eq!(BackendChoice::Blas.to_string(), "blas");
     }
 
     #[test]
     fn compute_mode_defaults_to_f64() {
         let c = cfg(NeighborMode::Bounded, SensitivityScaling::Global);
         assert_eq!(c.compute, ComputeMode::F64);
+    }
+
+    #[test]
+    fn backend_defaults_to_native_and_resolves() {
+        let c = cfg(NeighborMode::Bounded, SensitivityScaling::Global);
+        assert_eq!(c.backend, BackendChoice::Native);
+        assert_eq!(
+            c.backend.resolve().unwrap(),
+            dpaudit_tensor::Backend::native()
+        );
     }
 
     #[test]

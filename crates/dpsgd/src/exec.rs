@@ -17,7 +17,7 @@
 use dpaudit_math::axpy;
 use dpaudit_nn::{Sequential, SequentialF32};
 use dpaudit_obs as obs;
-use dpaudit_tensor::Tensor;
+use dpaudit_tensor::{Backend, Tensor};
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,12 +93,29 @@ pub fn clip_loop(
     layout: &[usize],
     pool: Option<&ThreadPool>,
 ) -> ClipLoopOutput {
+    clip_loop_on(model, xs, ys, clipping, layout, pool, Backend::native())
+}
+
+/// [`clip_loop`] with the per-example gradient gemms routed through a
+/// [`Backend`] handle (resolved once per training run, never per chunk).
+/// On [`Backend::native`] the two are bit-identical; other backends are
+/// tolerance-equivalent only.
+pub fn clip_loop_on(
+    model: &Sequential,
+    xs: &[Tensor],
+    ys: &[usize],
+    clipping: &ClippingStrategy,
+    layout: &[usize],
+    pool: Option<&ThreadPool>,
+    backend: Backend,
+) -> ClipLoopOutput {
     let dim = model.param_count();
     let bound = clipping.total_bound();
     let ranges = chunk_ranges(xs.len());
     let run_chunk = |(start, end): (usize, usize)| {
         let chunk_span = obs::span(obs::names::CLIP_CHUNK_SPAN);
-        let (losses, mut grads) = model.per_example_grads(&xs[start..end], &ys[start..end]);
+        let (losses, mut grads) =
+            model.per_example_grads_on(backend, &xs[start..end], &ys[start..end]);
         let mut clean_sum = vec![0.0; dim];
         let mut unclipped = 0usize;
         for row in grads.data_mut().chunks_exact_mut(dim) {
@@ -133,6 +150,11 @@ pub fn clip_loop(
 /// parameters); everything downstream of the per-example gradients
 /// is deterministic with a fixed chunk and fold order, so f32 results are
 /// still bit-identical across thread counts, just not to the f64 oracle.
+///
+/// The `backend` handle routes every per-example gradient gemm (both
+/// precisions) through the selected compute backend; it is resolved once
+/// per training run, so no dynamic dispatch sits inside the chunk loop.
+#[allow(clippy::too_many_arguments)]
 pub fn clip_loop_mode(
     model: &Sequential,
     xs: &[Tensor],
@@ -141,9 +163,10 @@ pub fn clip_loop_mode(
     layout: &[usize],
     pool: Option<&ThreadPool>,
     compute: ComputeMode,
+    backend: Backend,
 ) -> ClipLoopOutput {
     if compute == ComputeMode::F64 {
-        return clip_loop(model, xs, ys, clipping, layout, pool);
+        return clip_loop_on(model, xs, ys, clipping, layout, pool, backend);
     }
     let dim = model.param_count();
     let bound = clipping.total_bound();
@@ -151,7 +174,8 @@ pub fn clip_loop_mode(
     let ranges = chunk_ranges(xs.len());
     let run_chunk = |(start, end): (usize, usize)| {
         let chunk_span = obs::span(obs::names::CLIP_CHUNK_SPAN);
-        let (losses, grads) = shadow.per_example_grads(&xs[start..end], &ys[start..end]);
+        let (losses, grads) =
+            shadow.per_example_grads_on(backend, &xs[start..end], &ys[start..end]);
         let mut clean_sum = vec![0.0; dim];
         let mut unclipped = 0usize;
         for row in grads.chunks_exact(dim) {
@@ -389,7 +413,16 @@ mod tests {
         let clipping = ClippingStrategy::Flat(0.7);
         let layout = model.param_layout();
         let oracle = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
-        let f32_out = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F32);
+        let f32_out = clip_loop_mode(
+            &model,
+            &xs,
+            &ys,
+            &clipping,
+            &layout,
+            None,
+            ComputeMode::F32,
+            Backend::native(),
+        );
         assert!((oracle.loss_total - f32_out.loss_total).abs() < 1e-3 * xs.len() as f64);
         for (i, (a, b)) in oracle.clean_sum.iter().zip(&f32_out.clean_sum).enumerate() {
             let tol = 1e-4 * xs.len() as f64 + 1e-3 * a.abs();
@@ -402,7 +435,16 @@ mod tests {
         let (model, xs, ys) = setup(CLIP_CHUNK * 3 + 2);
         let clipping = ClippingStrategy::Flat(0.5);
         let layout = model.param_layout();
-        let serial = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F32);
+        let serial = clip_loop_mode(
+            &model,
+            &xs,
+            &ys,
+            &clipping,
+            &layout,
+            None,
+            ComputeMode::F32,
+            Backend::native(),
+        );
         for threads in [2, 4] {
             let pool = ThreadPoolBuilder::new()
                 .num_threads(threads)
@@ -416,6 +458,7 @@ mod tests {
                 &layout,
                 Some(&pool),
                 ComputeMode::F32,
+                Backend::native(),
             );
             assert_eq!(parallel.unclipped, serial.unclipped);
             assert_eq!(parallel.loss_total.to_bits(), serial.loss_total.to_bits());
@@ -431,9 +474,62 @@ mod tests {
         let clipping = ClippingStrategy::Flat(0.9);
         let layout = model.param_layout();
         let a = clip_loop(&model, &xs, &ys, &clipping, &layout, None);
-        let b = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, ComputeMode::F64);
+        let b = clip_loop_mode(
+            &model,
+            &xs,
+            &ys,
+            &clipping,
+            &layout,
+            None,
+            ComputeMode::F64,
+            Backend::native(),
+        );
         for (x, y) in a.clean_sum.iter().zip(&b.clean_sum) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Tolerance-equivalence gate at the clip-loop level: the BLAS backend
+    /// must track the native oracle closely in both precisions, and must
+    /// preserve the integer clip count exactly (the tolerance is far below
+    /// the margin between any pre-clip norm and the bound in this setup).
+    #[cfg(feature = "blas")]
+    #[test]
+    fn blas_backend_clip_loop_tracks_native_within_tolerance() {
+        let (model, xs, ys) = setup(CLIP_CHUNK + 7);
+        let clipping = ClippingStrategy::Flat(0.7);
+        let layout = model.param_layout();
+        let blas = Backend::resolve("blas").unwrap();
+        for compute in [ComputeMode::F64, ComputeMode::F32] {
+            let oracle = clip_loop_mode(
+                &model,
+                &xs,
+                &ys,
+                &clipping,
+                &layout,
+                None,
+                compute,
+                Backend::native(),
+            );
+            let out = clip_loop_mode(&model, &xs, &ys, &clipping, &layout, None, compute, blas);
+            assert_eq!(out.unclipped, oracle.unclipped, "{compute}");
+            let loss_tol = match compute {
+                ComputeMode::F64 => 1e-9 * xs.len() as f64,
+                ComputeMode::F32 => 1e-3 * xs.len() as f64,
+            };
+            assert!(
+                (oracle.loss_total - out.loss_total).abs() < loss_tol,
+                "{compute} loss: {} vs {}",
+                oracle.loss_total,
+                out.loss_total
+            );
+            for (i, (a, b)) in oracle.clean_sum.iter().zip(&out.clean_sum).enumerate() {
+                let tol = match compute {
+                    ComputeMode::F64 => 1e-9 * (1.0 + a.abs()),
+                    ComputeMode::F32 => 1e-4 * xs.len() as f64 + 1e-3 * a.abs(),
+                };
+                assert!((a - b).abs() < tol, "{compute} clean_sum[{i}]: {a} vs {b}");
+            }
         }
     }
 

@@ -35,9 +35,9 @@ pub mod trainer;
 pub mod transcript;
 
 pub use clip::{clip_to_norm, clipped_gradient, AdaptiveClipConfig, ClippingStrategy};
-pub use config::{ComputeMode, DpsgdConfig, SensitivityScaling};
+pub use config::{BackendChoice, ComputeMode, DpsgdConfig, SensitivityScaling};
 pub use exec::{
-    batch_pool, batch_threads, clip_loop, clip_loop_mode, effective_batch_threads,
+    batch_pool, batch_threads, clip_loop, clip_loop_mode, clip_loop_on, effective_batch_threads,
     set_batch_threads, ClipLoopOutput, CLIP_CHUNK,
 };
 pub use federated::{train_federated, FederatedConfig, FederatedOutcome, RoundRecord};

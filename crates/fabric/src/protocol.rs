@@ -373,6 +373,30 @@ mod tests {
     }
 
     #[test]
+    fn job_headers_carry_the_compute_backend_across_the_wire() {
+        use dpaudit_dpsgd::BackendChoice;
+        use dpaudit_runtime::testkit;
+
+        let mut header = testkit::toy_store_header(4);
+        header.settings.dpsgd.backend = BackendChoice::Blas;
+        let submission = JobSubmission {
+            job: "blas-job".into(),
+            header,
+        };
+        let text = serde_json::to_value(&submission).to_string();
+        let back: JobSubmission = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, submission);
+        assert_eq!(back.header.settings.dpsgd.backend, BackendChoice::Blas);
+
+        // Headers serialized before the field existed (no `backend` key)
+        // must still parse, defaulting to the native oracle.
+        let legacy = text.replace(",\"backend\":\"Blas\"", "");
+        assert!(legacy.len() < text.len(), "backend key not found in {text}");
+        let back: JobSubmission = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.header.settings.dpsgd.backend, BackendChoice::Native);
+    }
+
+    #[test]
     fn job_ids_are_filename_safe() {
         for good in ["mnist-a", "purchase_2", "job.7", "A"] {
             assert!(valid_job_id(good), "{good}");

@@ -14,12 +14,9 @@
 //! tolerance-equivalent of the f64 oracle, not a bit-identical one, and is
 //! opt-in per run.
 
-use dpaudit_tensor::{
-    conv2d_backward_input_into, conv2d_backward_params_into, conv2d_forward_gemm_into, im2col_into,
-    matmul_acc_f32, matmul_nt_acc_f32, maxpool2d_backward, maxpool2d_forward, Conv2dDims, PoolDims,
-    Tensor,
-};
+use dpaudit_tensor::{Backend, Conv2dDims, PoolDims, Tensor};
 
+use crate::batched;
 use crate::layers::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::model::Sequential;
@@ -153,6 +150,17 @@ impl SequentialF32 {
     /// # Panics
     /// Panics on an empty batch or a length mismatch.
     pub fn per_example_grads(&self, xs: &[Tensor], labels: &[usize]) -> (Vec<f64>, Vec<f32>) {
+        self.per_example_grads_on(Backend::native(), xs, labels)
+    }
+
+    /// [`SequentialF32::per_example_grads`] with the gemms routed through a
+    /// [`Backend`] handle.
+    pub fn per_example_grads_on(
+        &self,
+        backend: Backend,
+        xs: &[Tensor],
+        labels: &[usize],
+    ) -> (Vec<f64>, Vec<f32>) {
         assert_eq!(xs.len(), labels.len(), "per_example_grads: length mismatch");
         assert!(!xs.is_empty(), "per_example_grads: empty batch");
         let batch = xs.len();
@@ -167,7 +175,7 @@ impl SequentialF32 {
         // Forward, recording caches and the evolving per-example shape.
         let mut caches = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            let (out, out_shape, cache) = layer_forward(layer, &h, &shape, batch);
+            let (out, out_shape, cache) = layer_forward(backend, layer, &h, &shape, batch);
             caches.push(cache);
             h = out;
             shape = out_shape;
@@ -209,6 +217,7 @@ impl SequentialF32 {
             // The first layer's input gradient is discarded (the input is
             // data, not a parameter), so its backward gemm is skipped.
             d = layer_backward(
+                backend,
                 layer,
                 cache,
                 &d,
@@ -224,8 +233,11 @@ impl SequentialF32 {
 }
 
 /// Forward one layer over the flat `[B, ...]` f32 batch buffer. Returns the
-/// output buffer, the new per-example shape, and the backward cache.
+/// output buffer, the new per-example shape, and the backward cache. The
+/// arithmetic is the shared element-generic kernels of [`batched`] — the
+/// same code path as the f64 pipeline, instantiated at f32.
 fn layer_forward(
+    backend: Backend,
     layer: &LayerF32,
     input: &[f32],
     shape: &[usize],
@@ -240,13 +252,7 @@ fn layer_forward(
         } => {
             let (n, m) = (*in_f, *out_f);
             assert_eq!(shape, [n], "DenseF32: input must be [{n}], got {shape:?}");
-            let mut y = vec![0.0f32; batch * m];
-            matmul_nt_acc_f32(&mut y, input, weight, batch, n, m);
-            for row in y.chunks_exact_mut(m) {
-                for (yi, bi) in row.iter_mut().zip(bias) {
-                    *yi += bi;
-                }
-            }
+            let y = batched::dense_forward(backend, input, weight, bias, batch, n, m);
             (
                 y,
                 vec![m],
@@ -273,18 +279,7 @@ fn layer_forward(
                 k_h: *k_h,
                 k_w: *k_w,
             };
-            let ex_len = dims.in_channels * dims.in_h * dims.in_w;
-            let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
-            let mut patches = vec![0.0f32; batch * rows * cols];
-            let mut out = vec![0.0f32; batch * dims.out_channels * rows];
-            for ((ex, p), o) in input
-                .chunks_exact(ex_len)
-                .zip(patches.chunks_exact_mut(rows * cols))
-                .zip(out.chunks_exact_mut(dims.out_channels * rows))
-            {
-                im2col_into(ex, &dims, p);
-                conv2d_forward_gemm_into(p, kernels, bias, &dims, o);
-            }
+            let (out, patches) = batched::conv_forward(backend, input, kernels, bias, &dims, batch);
             (
                 out,
                 vec![dims.out_channels, dims.out_h(), dims.out_w()],
@@ -298,23 +293,10 @@ fn layer_forward(
             inv_std,
         } => {
             assert_eq!(shape.len(), 3, "BatchNorm2dF32: input must be [C,H,W]");
-            let channels = gamma.len();
-            assert_eq!(shape[0], channels, "BatchNorm2dF32: channel mismatch");
+            assert_eq!(shape[0], gamma.len(), "BatchNorm2dF32: channel mismatch");
             let plane = shape[1] * shape[2];
-            let mut normalized = vec![0.0f32; input.len()];
-            let mut out = vec![0.0f32; input.len()];
-            for ex in 0..batch {
-                let base = ex * channels * plane;
-                for c in 0..channels {
-                    let (g, bb, m, is_c) = (gamma[c], beta[c], mean[c], inv_std[c]);
-                    for p in 0..plane {
-                        let idx = base + c * plane + p;
-                        let xhat = (input[idx] - m) * is_c;
-                        normalized[idx] = xhat;
-                        out[idx] = g * xhat + bb;
-                    }
-                }
-            }
+            let (out, normalized) =
+                batched::batchnorm_forward(input, gamma, beta, mean, inv_std, plane, batch);
             (
                 out,
                 shape.to_vec(),
@@ -322,11 +304,7 @@ fn layer_forward(
             )
         }
         LayerF32::Relu => {
-            let mask: Vec<bool> = input.iter().map(|&x| x > 0.0).collect();
-            let out: Vec<f32> = input
-                .iter()
-                .map(|&x| if x > 0.0 { x } else { 0.0 })
-                .collect();
+            let (out, mask) = batched::relu_forward(input);
             (out, shape.to_vec(), CacheF32::Relu { mask })
         }
         LayerF32::MaxPool2d { pool } => {
@@ -338,15 +316,7 @@ fn layer_forward(
                 pool_h: *pool,
                 pool_w: *pool,
             };
-            let ex_len = dims.channels * dims.in_h * dims.in_w;
-            let out_len = dims.channels * dims.out_h() * dims.out_w();
-            let mut out = Vec::with_capacity(batch * out_len);
-            let mut argmax = Vec::with_capacity(batch * out_len);
-            for ex in input.chunks_exact(ex_len) {
-                let (o, a) = maxpool2d_forward(ex, &dims);
-                out.extend_from_slice(&o);
-                argmax.extend_from_slice(&a);
-            }
+            let (out, argmax) = batched::maxpool_forward(input, &dims, batch);
             (
                 out,
                 vec![dims.channels, dims.out_h(), dims.out_w()],
@@ -368,6 +338,7 @@ fn layer_forward(
 /// buffer.
 #[allow(clippy::too_many_arguments)]
 fn layer_backward(
+    backend: Backend,
     layer: &LayerF32,
     cache: &CacheF32,
     d_out: &[f32],
@@ -386,93 +357,23 @@ fn layer_backward(
                 ..
             },
             CacheF32::Dense { input },
-        ) => {
-            let (n, m) = (*in_f, *out_f);
-            let mut d_in = vec![0.0f32; if need_d_in { batch * n } else { 0 }];
-            if need_d_in {
-                matmul_acc_f32(&mut d_in, d_out, weight, batch, m, n);
-            }
-            for (ex, (dy, x)) in d_out.chunks_exact(m).zip(input.chunks_exact(n)).enumerate() {
-                let base = ex * stride + offset;
-                let row = &mut flat[base..base + m * n + m];
-                for (j, &dv) in dy.iter().enumerate() {
-                    for (dst, &xv) in row[j * n..(j + 1) * n].iter_mut().zip(x) {
-                        *dst = dv * xv;
-                    }
-                }
-                row[m * n..].copy_from_slice(dy);
-            }
-            d_in
-        }
+        ) => batched::dense_backward(
+            backend, d_out, input, weight, flat, stride, offset, batch, *in_f, *out_f, need_d_in,
+        ),
         (LayerF32::Conv2d { kernels, .. }, CacheF32::Conv2d { patches, dims }) => {
-            let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
-            let out_len = dims.out_channels * rows;
-            let kernel_len = dims.out_channels * cols;
-            let in_len = dims.in_channels * dims.in_h * dims.in_w;
-            let mut d_in = vec![0.0f32; if need_d_in { batch * in_len } else { 0 }];
-            for (ex, (dy, p)) in d_out
-                .chunks_exact(out_len)
-                .zip(patches.chunks_exact(rows * cols))
-                .enumerate()
-            {
-                let base = ex * stride + offset;
-                let row = &mut flat[base..base + kernel_len + dims.out_channels];
-                let (d_k, d_b) = row.split_at_mut(kernel_len);
-                conv2d_backward_params_into(p, dy, dims, d_k, d_b);
-                if need_d_in {
-                    conv2d_backward_input_into(
-                        kernels,
-                        dy,
-                        dims,
-                        &mut d_in[ex * in_len..(ex + 1) * in_len],
-                    );
-                }
-            }
-            d_in
+            batched::conv_backward(
+                backend, d_out, patches, kernels, dims, flat, stride, offset, batch, need_d_in,
+            )
         }
         (
             LayerF32::BatchNorm2d { gamma, inv_std, .. },
             CacheF32::BatchNorm2d { normalized, plane },
-        ) => {
-            let channels = gamma.len();
-            let ex_len = channels * plane;
-            let mut d_in = vec![0.0f32; normalized.len()];
-            for ex in 0..batch {
-                let ex_base = ex * ex_len;
-                let base = ex * stride + offset;
-                let (d_gamma, d_beta) = flat[base..base + 2 * channels].split_at_mut(channels);
-                for c in 0..channels {
-                    let g = gamma[c];
-                    let is_c = inv_std[c];
-                    for p in 0..*plane {
-                        let idx = ex_base + c * plane + p;
-                        let dy = d_out[idx];
-                        d_gamma[c] += dy * normalized[idx];
-                        d_beta[c] += dy;
-                        d_in[idx] = dy * g * is_c;
-                    }
-                }
-            }
-            d_in
-        }
-        (LayerF32::Relu, CacheF32::Relu { mask }) => {
-            assert_eq!(d_out.len(), mask.len(), "ReLUF32 backward: length mismatch");
-            d_out
-                .iter()
-                .zip(mask)
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect()
-        }
+        ) => batched::batchnorm_backward(
+            d_out, normalized, gamma, inv_std, *plane, flat, stride, offset, batch,
+        ),
+        (LayerF32::Relu, CacheF32::Relu { mask }) => batched::relu_backward(d_out, mask),
         (LayerF32::MaxPool2d { .. }, CacheF32::MaxPool2d { argmax, dims }) => {
-            let out_len = dims.channels * dims.out_h() * dims.out_w();
-            let mut d_in = Vec::with_capacity(batch * dims.channels * dims.in_h * dims.in_w);
-            for (dy, am) in d_out
-                .chunks_exact(out_len)
-                .zip(argmax.chunks_exact(out_len))
-            {
-                d_in.extend_from_slice(&maxpool2d_backward(dy, am, dims));
-            }
-            d_in
+            batched::maxpool_backward(d_out, argmax, dims)
         }
         (LayerF32::Flatten, CacheF32::Flatten) => d_out.to_vec(),
         _ => panic!("SequentialF32: cache does not match layer kind"),
@@ -545,6 +446,39 @@ mod tests {
         let xs: Vec<Tensor> = (0..5).map(|i| example(200 + i, &[1, 8, 8])).collect();
         let labels = vec![2, 0, 1, 1, 2];
         assert_grads_close(&model, &xs, &labels);
+    }
+
+    /// Layer-pipeline-level backend equivalence: the blas backend's
+    /// per-example gradients must track the native oracle within a
+    /// reassociation-scale tolerance, in both precisions.
+    #[cfg(feature = "blas")]
+    #[test]
+    fn blas_backend_grads_track_native_within_tolerance() {
+        let blas = Backend::resolve("blas").unwrap();
+        let model = tiny_cnn(5);
+        let xs: Vec<Tensor> = (0..5).map(|i| example(200 + i, &[1, 8, 8])).collect();
+        let labels = vec![2, 0, 1, 1, 2];
+
+        let (l_native, g_native) = model.per_example_grads(&xs, &labels);
+        let (l_blas, g_blas) = model.per_example_grads_on(blas, &xs, &labels);
+        for (a, b) in l_native.iter().zip(&l_blas) {
+            assert!((a - b).abs() < 1e-9, "f64 loss differs: {a} vs {b}");
+        }
+        for (i, (a, b)) in g_native.data().iter().zip(g_blas.data()).enumerate() {
+            let tol = 1e-9 * (1.0 + a.abs());
+            assert!((a - b).abs() < tol, "f64 grad[{i}] differs: {a} vs {b}");
+        }
+
+        let shadow = SequentialF32::from_model(&model);
+        let (_, s_native) = shadow.per_example_grads(&xs, &labels);
+        let (_, s_blas) = shadow.per_example_grads_on(blas, &xs, &labels);
+        for (i, (a, b)) in s_native.iter().zip(&s_blas).enumerate() {
+            let tol = 1e-4 + 1e-3 * f64::from(a.abs());
+            assert!(
+                (f64::from(*a) - f64::from(*b)).abs() < tol,
+                "f32 grad[{i}] differs: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

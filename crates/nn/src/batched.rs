@@ -1,0 +1,268 @@
+//! Element-generic batched layer kernels, shared by the f64 pipeline
+//! ([`crate::layers::Layer::forward_batch`]) and the f32 storage mode
+//! ([`crate::batch32::SequentialF32`]).
+//!
+//! Each helper is written once against [`Elem`] and a [`Backend`] handle:
+//! the two precisions and every compute backend flow through the same code
+//! path, so the accumulation order per element type is defined in exactly
+//! one place. On [`Backend::native`] these are bit-identical to the
+//! pre-refactor per-precision bodies they replaced — the gemm entry points
+//! the backend dispatches to are the very same dispatched kernels, and the
+//! non-gemm arithmetic is untouched.
+//!
+//! All helpers work on flat row-major `[B, ...]` slices; shape validation
+//! stays with the callers (which own the layer structs and batch shapes).
+
+use dpaudit_tensor::{
+    conv2d_backward_input_into, conv2d_backward_params_on, conv2d_forward_gemm_on,
+    maxpool2d_backward, maxpool2d_forward, Backend, Conv2dDims, Elem, PoolDims,
+};
+
+/// Batched dense forward `Y = X·Wᵀ + b`: one gemm for the whole batch, the
+/// bias joining after the dot product (matching the scalar layer's
+/// add-after-matvec order). `input` is `[B, in_f]`, `weight` is
+/// `[out_f, in_f]`; returns `[B, out_f]`.
+pub(crate) fn dense_forward<T: Elem>(
+    backend: Backend,
+    input: &[T],
+    weight: &[T],
+    bias: &[T],
+    batch: usize,
+    in_f: usize,
+    out_f: usize,
+) -> Vec<T> {
+    let mut y = vec![T::ZERO; batch * out_f];
+    T::matmul_nt_acc_on(backend, &mut y, input, weight, batch, in_f, out_f);
+    for row in y.chunks_exact_mut(out_f) {
+        for (yi, bi) in row.iter_mut().zip(bias) {
+            *yi += *bi;
+        }
+    }
+    y
+}
+
+/// Batched dense backward: `dX = dY·W` as one gemm (skipped when
+/// `need_d_in` is false — the input is data, not a parameter), and each
+/// example's `[dW | db]` segment written at `flat[b·stride + offset..]` as
+/// the outer product `δ ⊗ x` followed by `δ`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dense_backward<T: Elem>(
+    backend: Backend,
+    d_out: &[T],
+    input: &[T],
+    weight: &[T],
+    flat: &mut [T],
+    stride: usize,
+    offset: usize,
+    batch: usize,
+    in_f: usize,
+    out_f: usize,
+    need_d_in: bool,
+) -> Vec<T> {
+    let (n, m) = (in_f, out_f);
+    let mut d_in = vec![T::ZERO; if need_d_in { batch * n } else { 0 }];
+    if need_d_in {
+        T::matmul_acc_on(backend, &mut d_in, d_out, weight, batch, m, n);
+    }
+    for (ex, (dy, x)) in d_out.chunks_exact(m).zip(input.chunks_exact(n)).enumerate() {
+        let base = ex * stride + offset;
+        let row = &mut flat[base..base + m * n + m];
+        for (j, &dv) in dy.iter().enumerate() {
+            for (dst, &xv) in row[j * n..(j + 1) * n].iter_mut().zip(x) {
+                *dst = dv * xv;
+            }
+        }
+        row[m * n..].copy_from_slice(dy);
+    }
+    d_in
+}
+
+/// Batched convolution forward: per-example `im2col` lowering and one
+/// forward gemm each, writing straight into slices of batch-sized buffers.
+/// Returns `(out, patches)` — the patch matrices are the backward cache.
+pub(crate) fn conv_forward<T: Elem>(
+    backend: Backend,
+    input: &[T],
+    kernels: &[T],
+    bias: &[T],
+    dims: &Conv2dDims,
+    batch: usize,
+) -> (Vec<T>, Vec<T>) {
+    let ex_len = dims.in_channels * dims.in_h * dims.in_w;
+    let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+    let mut patches = vec![T::ZERO; batch * rows * cols];
+    let mut out = vec![T::ZERO; batch * dims.out_channels * rows];
+    for ((ex, p), o) in input
+        .chunks_exact(ex_len)
+        .zip(patches.chunks_exact_mut(rows * cols))
+        .zip(out.chunks_exact_mut(dims.out_channels * rows))
+    {
+        T::im2col_on(backend, ex, dims, p);
+        conv2d_forward_gemm_on(backend, p, kernels, bias, dims, o);
+    }
+    (out, patches)
+}
+
+/// Batched convolution backward: per-example parameter gradients written
+/// straight into the caller's `[dK | db]` segment of `flat`, and the input
+/// gradient (the transposed convolution) computed only when `need_d_in`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_backward<T: Elem>(
+    backend: Backend,
+    d_out: &[T],
+    patches: &[T],
+    kernels: &[T],
+    dims: &Conv2dDims,
+    flat: &mut [T],
+    stride: usize,
+    offset: usize,
+    batch: usize,
+    need_d_in: bool,
+) -> Vec<T> {
+    let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
+    let out_len = dims.out_channels * rows;
+    let kernel_len = dims.out_channels * cols;
+    let in_len = dims.in_channels * dims.in_h * dims.in_w;
+    let mut d_in = vec![T::ZERO; if need_d_in { batch * in_len } else { 0 }];
+    for (ex, (dy, p)) in d_out
+        .chunks_exact(out_len)
+        .zip(patches.chunks_exact(rows * cols))
+        .enumerate()
+    {
+        let base = ex * stride + offset;
+        let row = &mut flat[base..base + kernel_len + dims.out_channels];
+        let (d_k, d_b) = row.split_at_mut(kernel_len);
+        conv2d_backward_params_on(backend, p, dy, dims, d_k, d_b);
+        if need_d_in {
+            conv2d_backward_input_into(
+                kernels,
+                dy,
+                dims,
+                &mut d_in[ex * in_len..(ex + 1) * in_len],
+            );
+        }
+    }
+    d_in
+}
+
+/// Batched frozen batch-norm forward `y = γ·(x − μ)·inv_std + β`, with the
+/// per-channel statistics pre-folded into `mean`/`inv_std`. Returns
+/// `(out, normalized)` — the normalized activations are the backward cache.
+pub(crate) fn batchnorm_forward<T: Elem>(
+    input: &[T],
+    gamma: &[T],
+    beta: &[T],
+    mean: &[T],
+    inv_std: &[T],
+    plane: usize,
+    batch: usize,
+) -> (Vec<T>, Vec<T>) {
+    let channels = gamma.len();
+    let mut normalized = vec![T::ZERO; input.len()];
+    let mut out = vec![T::ZERO; input.len()];
+    for ex in 0..batch {
+        let base = ex * channels * plane;
+        for c in 0..channels {
+            let (g, bb, m, is_c) = (gamma[c], beta[c], mean[c], inv_std[c]);
+            for p in 0..plane {
+                let idx = base + c * plane + p;
+                let xhat = (input[idx] - m) * is_c;
+                normalized[idx] = xhat;
+                out[idx] = g * xhat + bb;
+            }
+        }
+    }
+    (out, normalized)
+}
+
+/// Batched frozen batch-norm backward: per-example `[dγ | dβ]` accumulated
+/// in place at `flat[b·stride + offset..]` (segments zero on entry), and
+/// `d_in = dy·γ·inv_std` — the statistics are constants, so the chain rule
+/// is linear.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn batchnorm_backward<T: Elem>(
+    d_out: &[T],
+    normalized: &[T],
+    gamma: &[T],
+    inv_std: &[T],
+    plane: usize,
+    flat: &mut [T],
+    stride: usize,
+    offset: usize,
+    batch: usize,
+) -> Vec<T> {
+    let channels = gamma.len();
+    let ex_len = channels * plane;
+    let mut d_in = vec![T::ZERO; normalized.len()];
+    for ex in 0..batch {
+        let ex_base = ex * ex_len;
+        let base = ex * stride + offset;
+        let (d_gamma, d_beta) = flat[base..base + 2 * channels].split_at_mut(channels);
+        for c in 0..channels {
+            let g = gamma[c];
+            let is_c = inv_std[c];
+            for p in 0..plane {
+                let idx = ex_base + c * plane + p;
+                let dy = d_out[idx];
+                d_gamma[c] += dy * normalized[idx];
+                d_beta[c] += dy;
+                d_in[idx] = dy * g * is_c;
+            }
+        }
+    }
+    d_in
+}
+
+/// Batched ReLU forward. Returns `(out, mask)`; the mask is the backward
+/// cache.
+pub(crate) fn relu_forward<T: Elem>(input: &[T]) -> (Vec<T>, Vec<bool>) {
+    let mask: Vec<bool> = input.iter().map(|&x| x > T::ZERO).collect();
+    let out: Vec<T> = input
+        .iter()
+        .map(|&x| if x > T::ZERO { x } else { T::ZERO })
+        .collect();
+    (out, mask)
+}
+
+/// Batched ReLU backward: gradients pass where the mask is set.
+pub(crate) fn relu_backward<T: Elem>(d_out: &[T], mask: &[bool]) -> Vec<T> {
+    assert_eq!(d_out.len(), mask.len(), "ReLU backward: length mismatch");
+    d_out
+        .iter()
+        .zip(mask)
+        .map(|(&g, &m)| if m { g } else { T::ZERO })
+        .collect()
+}
+
+/// Batched max-pool forward. Returns `(out, argmax)`; the argmax indices
+/// are the backward cache.
+pub(crate) fn maxpool_forward<T: Elem>(
+    input: &[T],
+    dims: &PoolDims,
+    batch: usize,
+) -> (Vec<T>, Vec<usize>) {
+    let ex_len = dims.channels * dims.in_h * dims.in_w;
+    let out_len = dims.channels * dims.out_h() * dims.out_w();
+    let mut out = Vec::with_capacity(batch * out_len);
+    let mut argmax = Vec::with_capacity(batch * out_len);
+    for ex in input.chunks_exact(ex_len) {
+        let (o, a) = maxpool2d_forward(ex, dims);
+        out.extend_from_slice(&o);
+        argmax.extend_from_slice(&a);
+    }
+    (out, argmax)
+}
+
+/// Batched max-pool backward: scatter each gradient to its argmax source.
+pub(crate) fn maxpool_backward<T: Elem>(d_out: &[T], argmax: &[usize], dims: &PoolDims) -> Vec<T> {
+    let out_len = dims.channels * dims.out_h() * dims.out_w();
+    let batch = d_out.len() / out_len;
+    let mut d_in = Vec::with_capacity(batch * dims.channels * dims.in_h * dims.in_w);
+    for (dy, am) in d_out
+        .chunks_exact(out_len)
+        .zip(argmax.chunks_exact(out_len))
+    {
+        d_in.extend_from_slice(&maxpool2d_backward(dy, am, dims));
+    }
+    d_in
+}

@@ -6,13 +6,13 @@
 //! parameter gradient in the layer's canonical parameter order).
 
 use dpaudit_tensor::{
-    conv2d_backward, conv2d_backward_input_into, conv2d_backward_params_into, conv2d_forward,
-    conv2d_forward_gemm_into, im2col_into, matmul_acc, matmul_nt_acc, matvec, matvec_transposed,
-    maxpool2d_backward, maxpool2d_forward, outer_product, Conv2dDims, PoolDims, Tensor,
+    conv2d_backward, conv2d_forward, matvec, matvec_transposed, maxpool2d_backward,
+    maxpool2d_forward, outer_product, Backend, Conv2dDims, PoolDims, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::batched;
 use crate::init::glorot_uniform;
 
 /// Per-layer forward intermediates required by the backward pass.
@@ -66,8 +66,8 @@ pub enum BatchCache {
         /// The layer's `[B, in_features]` input.
         input: Tensor,
     },
-    /// Convolution cache: the [`im2col_into`] patch matrices of every
-    /// example.
+    /// Convolution cache: the [`dpaudit_tensor::im2col_into`] patch
+    /// matrices of every example.
     Conv2d {
         /// `B` concatenated `[patch_rows, patch_cols]` matrices.
         patches: Vec<f64>,
@@ -559,6 +559,13 @@ impl Layer {
     /// to stacking `B` scalar passes. Dense and convolution layers run one
     /// gemm-shaped call per batch/example instead of `B` matvecs.
     pub fn forward_batch(&self, input: &Tensor) -> (Tensor, BatchCache) {
+        self.forward_batch_on(Backend::native(), input)
+    }
+
+    /// [`Layer::forward_batch`] with the gemm-shaped work routed through a
+    /// [`Backend`] handle. On [`Backend::native`] the two are bit-identical;
+    /// other backends are tolerance-equivalent only.
+    pub fn forward_batch_on(&self, backend: Backend, input: &Tensor) -> (Tensor, BatchCache) {
         let is = input.shape();
         let batch = *is.first().expect("forward_batch: rank-0 input");
         match self {
@@ -569,15 +576,15 @@ impl Layer {
                     &[batch, n],
                     "Dense: batched input must be [B, {n}], got {is:?}"
                 );
-                let mut y = vec![0.0; batch * m];
-                // y = X · Wᵀ: the bias joins after the dot product, matching
-                // the scalar layer's add-after-matvec order.
-                matmul_nt_acc(&mut y, input.data(), d.weight.data(), batch, n, m);
-                for row in y.chunks_exact_mut(m) {
-                    for (yi, bi) in row.iter_mut().zip(d.bias.data()) {
-                        *yi += bi;
-                    }
-                }
+                let y = batched::dense_forward(
+                    backend,
+                    input.data(),
+                    d.weight.data(),
+                    d.bias.data(),
+                    batch,
+                    n,
+                    m,
+                );
                 (
                     Tensor::from_vec(&[batch, m], y),
                     BatchCache::Dense {
@@ -592,21 +599,14 @@ impl Layer {
                     "Conv2d expects a [B, C, H, W] input, got {is:?}"
                 );
                 let dims = c.dims_for_shape(&is[1..]);
-                let ex_len = dims.in_channels * dims.in_h * dims.in_w;
-                let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
-                // One allocation each for the whole batch; the per-example
-                // lowering and gemm write straight into their slices.
-                let mut patches = vec![0.0; batch * rows * cols];
-                let mut out = vec![0.0; batch * dims.out_channels * rows];
-                for ((ex, p), o) in input
-                    .data()
-                    .chunks_exact(ex_len)
-                    .zip(patches.chunks_exact_mut(rows * cols))
-                    .zip(out.chunks_exact_mut(dims.out_channels * rows))
-                {
-                    im2col_into(ex, &dims, p);
-                    conv2d_forward_gemm_into(p, c.kernels.data(), c.bias.data(), &dims, o);
-                }
+                let (out, patches) = batched::conv_forward(
+                    backend,
+                    input.data(),
+                    c.kernels.data(),
+                    c.bias.data(),
+                    &dims,
+                    batch,
+                );
                 (
                     Tensor::from_vec(&[batch, dims.out_channels, dims.out_h(), dims.out_w()], out),
                     BatchCache::Conv2d { patches, dims },
@@ -616,30 +616,20 @@ impl Layer {
                 assert_eq!(is.len(), 4, "BatchNorm2d expects [B, C, H, W], got {is:?}");
                 assert_eq!(is[1], b.channels(), "BatchNorm2d: channel mismatch");
                 let plane = is[2] * is[3];
-                let ex_len = b.channels() * plane;
                 let inv_std: Vec<f64> = b
                     .running_var
                     .iter()
                     .map(|&v| 1.0 / (v + b.eps).sqrt())
                     .collect();
-                let mut normalized = vec![0.0; input.len()];
-                let mut out = vec![0.0; input.len()];
-                for ex in 0..batch {
-                    let base = ex * ex_len;
-                    #[allow(clippy::needless_range_loop)]
-                    for c in 0..b.channels() {
-                        let g = b.gamma.data()[c];
-                        let bb = b.beta.data()[c];
-                        let m = b.running_mean[c];
-                        let is_c = inv_std[c];
-                        for p in 0..plane {
-                            let idx = base + c * plane + p;
-                            let xhat = (input.data()[idx] - m) * is_c;
-                            normalized[idx] = xhat;
-                            out[idx] = g * xhat + bb;
-                        }
-                    }
-                }
+                let (out, normalized) = batched::batchnorm_forward(
+                    input.data(),
+                    b.gamma.data(),
+                    b.beta.data(),
+                    &b.running_mean,
+                    &inv_std,
+                    plane,
+                    batch,
+                );
                 (
                     Tensor::from_vec(is, out),
                     BatchCache::BatchNorm2d {
@@ -649,9 +639,8 @@ impl Layer {
                 )
             }
             Layer::Relu => {
-                let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
-                let out = input.map(|x| if x > 0.0 { x } else { 0.0 });
-                (out, BatchCache::Relu { mask })
+                let (out, mask) = batched::relu_forward(input.data());
+                (Tensor::from_vec(is, out), BatchCache::Relu { mask })
             }
             Layer::MaxPool2d(p) => {
                 assert_eq!(
@@ -660,15 +649,7 @@ impl Layer {
                     "MaxPool2d expects a [B, C, H, W] input, got {is:?}"
                 );
                 let dims = p.dims_for_shape(&is[1..]);
-                let ex_len = dims.channels * dims.in_h * dims.in_w;
-                let out_len = dims.channels * dims.out_h() * dims.out_w();
-                let mut out = Vec::with_capacity(batch * out_len);
-                let mut argmax = Vec::with_capacity(batch * out_len);
-                for ex in input.data().chunks_exact(ex_len) {
-                    let (o, a) = maxpool2d_forward(ex, &dims);
-                    out.extend_from_slice(&o);
-                    argmax.extend_from_slice(&a);
-                }
+                let (out, argmax) = batched::maxpool_forward(input.data(), &dims, batch);
                 (
                     Tensor::from_vec(&[batch, dims.channels, dims.out_h(), dims.out_w()], out),
                     BatchCache::MaxPool2d { argmax, dims },
@@ -700,6 +681,21 @@ impl Layer {
         stride: usize,
         offset: usize,
     ) -> Tensor {
+        self.backward_batch_on(Backend::native(), d_out, cache, d_params, stride, offset)
+    }
+
+    /// [`Layer::backward_batch`] with the gemm-shaped work routed through a
+    /// [`Backend`] handle. On [`Backend::native`] the two are bit-identical;
+    /// other backends are tolerance-equivalent only.
+    pub fn backward_batch_on(
+        &self,
+        backend: Backend,
+        d_out: &Tensor,
+        cache: &BatchCache,
+        d_params: &mut [f64],
+        stride: usize,
+        offset: usize,
+    ) -> Tensor {
         let batch = *d_out.shape().first().expect("backward_batch: rank-0 d_out");
         match (self, cache) {
             (Layer::Dense(d), BatchCache::Dense { input }) => {
@@ -709,53 +705,39 @@ impl Layer {
                     &[batch, m],
                     "Dense backward: d_out shape mismatch"
                 );
-                // dX = dY · W, one gemm for the whole batch.
-                let mut d_in = vec![0.0; batch * n];
-                matmul_acc(&mut d_in, d_out.data(), d.weight.data(), batch, m, n);
-                for (ex, (dy, x)) in d_out
-                    .data()
-                    .chunks_exact(m)
-                    .zip(input.data().chunks_exact(n))
-                    .enumerate()
-                {
-                    let base = ex * stride + offset;
-                    let row = &mut d_params[base..base + m * n + m];
-                    // Per-example outer product dW = δ ⊗ x, then d_b = δ.
-                    for (j, &dv) in dy.iter().enumerate() {
-                        for (dst, &xv) in row[j * n..(j + 1) * n].iter_mut().zip(x) {
-                            *dst = dv * xv;
-                        }
-                    }
-                    row[m * n..].copy_from_slice(dy);
-                }
+                let d_in = batched::dense_backward(
+                    backend,
+                    d_out.data(),
+                    input.data(),
+                    d.weight.data(),
+                    d_params,
+                    stride,
+                    offset,
+                    batch,
+                    n,
+                    m,
+                    true,
+                );
                 Tensor::from_vec(&[batch, n], d_in)
             }
             (Layer::Conv2d(c), BatchCache::Conv2d { patches, dims }) => {
-                let (rows, cols) = (dims.patch_rows(), dims.patch_cols());
-                let out_len = dims.out_channels * rows;
                 assert_eq!(
                     d_out.len(),
-                    batch * out_len,
+                    batch * dims.out_channels * dims.patch_rows(),
                     "Conv2d backward: d_out length mismatch"
                 );
-                let kernel_len = dims.out_channels * cols;
-                let in_len = dims.in_channels * dims.in_h * dims.in_w;
-                // Gradients land directly in the caller's d_params row and
-                // the per-example d_in slice — no staging Vec per example.
-                let mut d_in = vec![0.0; batch * in_len];
-                for (ex, ((dy, p), di)) in d_out
-                    .data()
-                    .chunks_exact(out_len)
-                    .zip(patches.chunks_exact(rows * cols))
-                    .zip(d_in.chunks_exact_mut(in_len))
-                    .enumerate()
-                {
-                    let base = ex * stride + offset;
-                    let row = &mut d_params[base..base + kernel_len + dims.out_channels];
-                    let (d_k, d_b) = row.split_at_mut(kernel_len);
-                    conv2d_backward_params_into(p, dy, dims, d_k, d_b);
-                    conv2d_backward_input_into(c.kernels.data(), dy, dims, di);
-                }
+                let d_in = batched::conv_backward(
+                    backend,
+                    d_out.data(),
+                    patches,
+                    c.kernels.data(),
+                    dims,
+                    d_params,
+                    stride,
+                    offset,
+                    batch,
+                    true,
+                );
                 Tensor::from_vec(&[batch, dims.in_channels, dims.in_h, dims.in_w], d_in)
             }
             (
@@ -767,52 +749,25 @@ impl Layer {
             ) => {
                 let is = normalized.shape();
                 let plane = is[2] * is[3];
-                let channels = b.channels();
-                let ex_len = channels * plane;
-                let mut d_in = vec![0.0; normalized.len()];
-                for ex in 0..batch {
-                    let ex_base = ex * ex_len;
-                    let base = ex * stride + offset;
-                    // row = [d_gamma | d_beta], accumulated in place (the
-                    // caller zero-initialises the segment).
-                    let (d_gamma, d_beta) =
-                        d_params[base..base + 2 * channels].split_at_mut(channels);
-                    #[allow(clippy::needless_range_loop)]
-                    for c in 0..channels {
-                        let g = b.gamma.data()[c];
-                        let is_c = inv_std[c];
-                        for p in 0..plane {
-                            let idx = ex_base + c * plane + p;
-                            let dy = d_out.data()[idx];
-                            d_gamma[c] += dy * normalized.data()[idx];
-                            d_beta[c] += dy;
-                            // Stats are constants, so the chain rule is linear.
-                            d_in[idx] = dy * g * is_c;
-                        }
-                    }
-                }
+                let d_in = batched::batchnorm_backward(
+                    d_out.data(),
+                    normalized.data(),
+                    b.gamma.data(),
+                    inv_std,
+                    plane,
+                    d_params,
+                    stride,
+                    offset,
+                    batch,
+                );
                 Tensor::from_vec(is, d_in)
             }
             (Layer::Relu, BatchCache::Relu { mask }) => {
-                assert_eq!(d_out.len(), mask.len(), "ReLU backward: length mismatch");
-                let d_in: Vec<f64> = d_out
-                    .data()
-                    .iter()
-                    .zip(mask)
-                    .map(|(&g, &m)| if m { g } else { 0.0 })
-                    .collect();
+                let d_in = batched::relu_backward(d_out.data(), mask);
                 Tensor::from_vec(d_out.shape(), d_in)
             }
             (Layer::MaxPool2d(_), BatchCache::MaxPool2d { argmax, dims }) => {
-                let out_len = dims.channels * dims.out_h() * dims.out_w();
-                let mut d_in = Vec::with_capacity(batch * dims.channels * dims.in_h * dims.in_w);
-                for (dy, am) in d_out
-                    .data()
-                    .chunks_exact(out_len)
-                    .zip(argmax.chunks_exact(out_len))
-                {
-                    d_in.extend_from_slice(&maxpool2d_backward(dy, am, dims));
-                }
+                let d_in = batched::maxpool_backward(d_out.data(), argmax, dims);
                 Tensor::from_vec(&[batch, dims.channels, dims.in_h, dims.in_w], d_in)
             }
             (Layer::Flatten, BatchCache::Flatten { shape }) => {

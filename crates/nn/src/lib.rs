@@ -16,6 +16,7 @@
 //! workaround in DP deep-learning stacks.
 
 pub mod batch32;
+pub(crate) mod batched;
 pub mod init;
 pub mod layers;
 pub mod loss;

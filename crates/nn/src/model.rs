@@ -1,6 +1,6 @@
 //! Sequential models with flat parameter vectors and per-example gradients.
 
-use dpaudit_tensor::Tensor;
+use dpaudit_tensor::{Backend, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::layers::{BatchCache, Cache, Layer};
@@ -134,9 +134,15 @@ impl Sequential {
     /// Plain batched forward pass (no caches) over a `[B, ...]` batch
     /// tensor, producing `[B, classes]` logits.
     pub fn forward_batch(&self, xs: &Tensor) -> Tensor {
+        self.forward_batch_on(Backend::native(), xs)
+    }
+
+    /// [`Sequential::forward_batch`] with the gemms routed through a
+    /// [`Backend`] handle.
+    pub fn forward_batch_on(&self, backend: Backend, xs: &Tensor) -> Tensor {
         let mut h = xs.clone();
         for layer in &self.layers {
-            let (out, _) = layer.forward_batch(&h);
+            let (out, _) = layer.forward_batch_on(backend, &h);
             h = out;
         }
         h
@@ -145,10 +151,20 @@ impl Sequential {
     /// Batched forward pass retaining per-layer caches for
     /// [`Sequential::backward_batch`].
     pub fn forward_batch_cached(&self, xs: &Tensor) -> (Tensor, Vec<BatchCache>) {
+        self.forward_batch_cached_on(Backend::native(), xs)
+    }
+
+    /// [`Sequential::forward_batch_cached`] with the gemms routed through a
+    /// [`Backend`] handle.
+    pub fn forward_batch_cached_on(
+        &self,
+        backend: Backend,
+        xs: &Tensor,
+    ) -> (Tensor, Vec<BatchCache>) {
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut h = xs.clone();
         for layer in &self.layers {
-            let (out, cache) = layer.forward_batch(&h);
+            let (out, cache) = layer.forward_batch_on(backend, &h);
             caches.push(cache);
             h = out;
         }
@@ -160,6 +176,17 @@ impl Sequential {
     /// of per-example flat parameter gradients — row `b` is exactly what
     /// [`Sequential::per_example_grad`] would return for example `b`.
     pub fn backward_batch(&self, caches: &[BatchCache], d_logits: Tensor) -> Tensor {
+        self.backward_batch_on(Backend::native(), caches, d_logits)
+    }
+
+    /// [`Sequential::backward_batch`] with the gemms routed through a
+    /// [`Backend`] handle.
+    pub fn backward_batch_on(
+        &self,
+        backend: Backend,
+        caches: &[BatchCache],
+        d_logits: Tensor,
+    ) -> Tensor {
         assert_eq!(
             caches.len(),
             self.layers.len(),
@@ -178,7 +205,7 @@ impl Sequential {
         }
         let mut d = d_logits;
         for ((layer, cache), offset) in self.layers.iter().zip(caches).zip(offsets).rev() {
-            d = layer.backward_batch(&d, cache, &mut flat, dim, offset);
+            d = layer.backward_batch_on(backend, &d, cache, &mut flat, dim, offset);
         }
         Tensor::from_vec(&[batch, dim], flat)
     }
@@ -194,9 +221,21 @@ impl Sequential {
     /// # Panics
     /// Panics on an empty batch or a length mismatch.
     pub fn per_example_grads(&self, xs: &[Tensor], labels: &[usize]) -> (Vec<f64>, Tensor) {
+        self.per_example_grads_on(Backend::native(), xs, labels)
+    }
+
+    /// [`Sequential::per_example_grads`] with the gemms routed through a
+    /// [`Backend`] handle. On [`Backend::native`] the two are bit-identical;
+    /// other backends are tolerance-equivalent only.
+    pub fn per_example_grads_on(
+        &self,
+        backend: Backend,
+        xs: &[Tensor],
+        labels: &[usize],
+    ) -> (Vec<f64>, Tensor) {
         assert_eq!(xs.len(), labels.len(), "per_example_grads: length mismatch");
         let batch = Tensor::stack(xs);
-        let (logits, caches) = self.forward_batch_cached(&batch);
+        let (logits, caches) = self.forward_batch_cached_on(backend, &batch);
         let classes = logits.shape()[1];
         let mut losses = Vec::with_capacity(xs.len());
         let mut d_logits = Vec::with_capacity(logits.len());
@@ -205,7 +244,11 @@ impl Sequential {
             losses.push(loss);
             d_logits.extend_from_slice(&d_row);
         }
-        let grads = self.backward_batch(&caches, Tensor::from_vec(&[xs.len(), classes], d_logits));
+        let grads = self.backward_batch_on(
+            backend,
+            &caches,
+            Tensor::from_vec(&[xs.len(), classes], d_logits),
+        );
         (losses, grads)
     }
 
@@ -214,6 +257,18 @@ impl Sequential {
     /// batched pipeline.
     pub fn per_example_grad(&self, x: &Tensor, label: usize) -> (f64, Vec<f64>) {
         let (losses, grads) = self.per_example_grads(std::slice::from_ref(x), &[label]);
+        (losses[0], grads.into_vec())
+    }
+
+    /// [`Sequential::per_example_grad`] with the gemms routed through a
+    /// [`Backend`] handle.
+    pub fn per_example_grad_on(
+        &self,
+        backend: Backend,
+        x: &Tensor,
+        label: usize,
+    ) -> (f64, Vec<f64>) {
+        let (losses, grads) = self.per_example_grads_on(backend, std::slice::from_ref(x), &[label]);
         (losses[0], grads.into_vec())
     }
 

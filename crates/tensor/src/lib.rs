@@ -14,7 +14,13 @@
 //! `f64` (the determinism oracle) and `f32` (the opt-in storage mode of the
 //! batched gradient pipeline); the compute routines are generic over
 //! [`Elem`].
+//!
+//! Above the raw entry points sits the [`backend`] seam: a [`Backend`] handle
+//! bundles the gemm + `im2col` surface so the batched pipeline can swap the
+//! native kernels for an external BLAS (cargo feature `blas`) per run, with
+//! the native path remaining the byte-stability oracle.
 
+pub mod backend;
 pub mod conv;
 pub mod elem;
 pub mod ops;
@@ -22,10 +28,11 @@ pub mod pool;
 pub mod simd;
 pub mod tensor;
 
+pub use backend::{backend_name, Backend, ComputeBackend, NativeBackend};
 pub use conv::{
     conv2d_backward, conv2d_backward_input, conv2d_backward_input_into, conv2d_backward_params,
-    conv2d_backward_params_into, conv2d_forward, conv2d_forward_gemm, conv2d_forward_gemm_into,
-    im2col, im2col_into, Conv2dDims,
+    conv2d_backward_params_into, conv2d_backward_params_on, conv2d_forward, conv2d_forward_gemm,
+    conv2d_forward_gemm_into, conv2d_forward_gemm_on, im2col, im2col_into, Conv2dDims,
 };
 pub use elem::Elem;
 pub use ops::{

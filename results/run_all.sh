@@ -51,5 +51,7 @@ mkdir -p results/obs
 # Batched-pipeline throughput across kernel variants: per-example oracle,
 # batched clip loop at scalar/SIMD x f64/f32, chunk-parallel SIMD (f64
 # sums asserted bit-identical, f32 within tolerance; ratios are pure speed).
+# Build bench_step with `--features blas` beforehand to also record one
+# f64 + one f32 row per non-native gemm backend (tolerance-gated inline).
 ./target/release/bench_step > results/BENCH_step.json 2>results/BENCH_step.log && echo "done bench_step"
 echo ALL_RUNS_COMPLETE

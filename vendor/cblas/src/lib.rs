@@ -1,0 +1,341 @@
+//! Offline stand-in for a CBLAS gemm binding.
+//!
+//! The build environment has no crates.io access and no system BLAS, so this
+//! crate plays the role a `cblas-sys` + vendored OpenBLAS pair would play in
+//! the real dependency tree: it exposes the row-major `dgemm`/`sgemm` entry
+//! points (the exact subset `dpaudit-tensor`'s `BlasBackend` calls) with
+//! CBLAS semantics — `C ← α·op(A)·op(B) + β·C`.
+//!
+//! The kernel is a deliberately *library-shaped* implementation: each output
+//! row is accumulated over fixed `KC`-element k-panels, with every panel
+//! reduced into a private partial-sum buffer before being folded into `C`.
+//! That is how blocked BLAS libraries actually sum, and it produces a
+//! different floating-point summation tree than `dpaudit-tensor`'s native
+//! kernels (which seed from `C` and add terms in one ascending-`k` chain).
+//! The bitwise divergence is therefore *real*, which is exactly what the
+//! backend tolerance-equivalence suite needs to exercise: a backend that only
+//! ever matched the oracle bit-for-bit would make the gating vacuous.
+//!
+//! Restoring a real BLAS later means swapping the `[workspace.dependencies]`
+//! path entry for a registry binding; the call sites are already written
+//! against the CBLAS signature.
+
+/// Matrix storage order. Only row-major is implemented — the workspace never
+/// calls the column-major path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    RowMajor,
+}
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    None,
+    Trans,
+}
+
+/// Identifies the BLAS implementation behind this binding, in the spirit of
+/// `openblas_get_config()`. Surfaced by `dpaudit backend list`.
+pub fn vendor() -> &'static str {
+    "rustblas (in-tree reference, KC=64 panel accumulation)"
+}
+
+/// k-panel width: terms are summed into a private buffer per `KC`-wide slice
+/// of the inner dimension, then folded into `C`.
+const KC: usize = 64;
+
+macro_rules! gemm_impl {
+    ($name:ident, $t:ty, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Computes `C ← α·op(A)·op(B) + β·C` for row-major matrices, where
+        /// `op(A)` is `m×k` and `op(B)` is `k×n`. `lda`/`ldb`/`ldc` are the
+        /// row strides of the *stored* matrices.
+        ///
+        /// # Panics
+        /// Panics if a buffer is too short for its dimensions and stride.
+        #[allow(clippy::too_many_arguments)]
+        pub fn $name(
+            _layout: Layout,
+            transa: Transpose,
+            transb: Transpose,
+            m: usize,
+            n: usize,
+            k: usize,
+            alpha: $t,
+            a: &[$t],
+            lda: usize,
+            b: &[$t],
+            ldb: usize,
+            beta: $t,
+            c: &mut [$t],
+            ldc: usize,
+        ) {
+            let (a_rows, a_cols) = match transa {
+                Transpose::None => (m, k),
+                Transpose::Trans => (k, m),
+            };
+            let (b_rows, b_cols) = match transb {
+                Transpose::None => (k, n),
+                Transpose::Trans => (n, k),
+            };
+            assert!(lda >= a_cols.max(1), "gemm: lda shorter than op(A) row");
+            assert!(ldb >= b_cols.max(1), "gemm: ldb shorter than op(B) row");
+            assert!(ldc >= n.max(1), "gemm: ldc shorter than C row");
+            if a_rows > 0 {
+                assert!(
+                    a.len() >= (a_rows - 1) * lda + a_cols,
+                    "gemm: A buffer too short"
+                );
+            }
+            if b_rows > 0 {
+                assert!(
+                    b.len() >= (b_rows - 1) * ldb + b_cols,
+                    "gemm: B buffer too short"
+                );
+            }
+            if m > 0 {
+                assert!(c.len() >= (m - 1) * ldc + n, "gemm: C buffer too short");
+            }
+            if m == 0 || n == 0 {
+                return;
+            }
+            let mut panel = vec![0.0 as $t; n];
+            for i in 0..m {
+                let crow = &mut c[i * ldc..i * ldc + n];
+                if beta != 1.0 {
+                    for cv in crow.iter_mut() {
+                        *cv *= beta;
+                    }
+                }
+                let mut kp = 0;
+                while kp < k {
+                    let kend = (kp + KC).min(k);
+                    panel.fill(0.0);
+                    for kk in kp..kend {
+                        let aik = match transa {
+                            Transpose::None => a[i * lda + kk],
+                            Transpose::Trans => a[kk * lda + i],
+                        };
+                        let scaled = alpha * aik;
+                        match transb {
+                            Transpose::None => {
+                                let brow = &b[kk * ldb..kk * ldb + n];
+                                for (pv, bv) in panel.iter_mut().zip(brow) {
+                                    *pv += scaled * *bv;
+                                }
+                            }
+                            Transpose::Trans => {
+                                for (j, pv) in panel.iter_mut().enumerate() {
+                                    *pv += scaled * b[j * ldb + kk];
+                                }
+                            }
+                        }
+                    }
+                    for (cv, pv) in crow.iter_mut().zip(&panel) {
+                        *cv += *pv;
+                    }
+                    kp = kend;
+                }
+            }
+        }
+    };
+}
+
+gemm_impl!(dgemm, f64, "Double-precision general matrix multiply.");
+gemm_impl!(sgemm, f32, "Single-precision general matrix multiply.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn naive(
+        transa: Transpose,
+        transb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    let av = match transa {
+                        Transpose::None => a[i * lda + kk],
+                        Transpose::Trans => a[kk * lda + i],
+                    };
+                    let bv = match transb {
+                        Transpose::None => b[kk * ldb + j],
+                        Transpose::Trans => b[j * ldb + kk],
+                    };
+                    acc += av * bv;
+                }
+                c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+            }
+        }
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2000) as f64 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn check(
+        transa: Transpose,
+        transb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let (a_rows, a_cols) = match transa {
+            Transpose::None => (m, k),
+            Transpose::Trans => (k, m),
+        };
+        let (b_rows, b_cols) = match transb {
+            Transpose::None => (k, n),
+            Transpose::Trans => (n, k),
+        };
+        let a = fill(a_rows * a_cols, 7 + m as u64);
+        let b = fill(b_rows * b_cols, 11 + n as u64);
+        let seed_c = fill(m * n, 13 + k as u64);
+        let mut got = seed_c.clone();
+        let mut want = seed_c;
+        dgemm(
+            Layout::RowMajor,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            &a,
+            a_cols,
+            &b,
+            b_cols,
+            beta,
+            &mut got,
+            n,
+        );
+        naive(
+            transa, transb, m, n, k, alpha, &a, a_cols, &b, b_cols, beta, &mut want, n,
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                "mismatch: got {g}, want {w} ({m}x{n}x{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn dgemm_matches_naive_across_shapes_and_transposes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 2, 5),
+            (4, 7, 4),
+            (8, 8, 8),
+            (9, 5, 11),
+            (13, 16, 7),
+            (5, 3, 130), // spans three k-panels
+        ] {
+            for &ta in &[Transpose::None, Transpose::Trans] {
+                for &tb in &[Transpose::None, Transpose::Trans] {
+                    check(ta, tb, m, n, k, 1.0, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_honours_alpha_and_beta() {
+        check(Transpose::None, Transpose::None, 6, 4, 9, 0.5, 0.0);
+        check(Transpose::None, Transpose::Trans, 6, 4, 9, -2.0, 3.0);
+    }
+
+    #[test]
+    fn sgemm_matches_f32_naive() {
+        let m = 4;
+        let n = 5;
+        let k = 70; // spans two k-panels
+        let a: Vec<f32> = fill(m * k, 3).iter().map(|&v| v as f32).collect();
+        let b: Vec<f32> = fill(n * k, 5).iter().map(|&v| v as f32).collect();
+        let mut got = vec![0.25f32; m * n];
+        let want_seed = got.clone();
+        sgemm(
+            Layout::RowMajor,
+            Transpose::None,
+            Transpose::Trans,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            k,
+            1.0,
+            &mut got,
+            n,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                let want = want_seed[i * n + j] + acc;
+                let g = got[i * n + j];
+                assert!(
+                    (g - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                    "sgemm mismatch: got {g}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_are_no_ops() {
+        let a: Vec<f64> = vec![];
+        let b: Vec<f64> = vec![];
+        let mut c: Vec<f64> = vec![];
+        dgemm(
+            Layout::RowMajor,
+            Transpose::None,
+            Transpose::None,
+            0,
+            0,
+            0,
+            1.0,
+            &a,
+            1,
+            &b,
+            1,
+            1.0,
+            &mut c,
+            1,
+        );
+    }
+
+    #[test]
+    fn vendor_string_identifies_the_stand_in() {
+        assert!(vendor().contains("rustblas"));
+    }
+}
